@@ -1,0 +1,45 @@
+//! Common interface for the baseline detectors of §6.1.
+
+/// A session-level anomaly detector trained on normal sessions only.
+pub trait BaselineDetector {
+    /// Short method name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Trains on normal tokenized sessions. `vocab_size` is the key-space
+    /// size including `k0`.
+    fn fit(&mut self, train: &[Vec<u32>], vocab_size: usize);
+
+    /// Anomaly score of a session; higher means more abnormal. Scores are
+    /// comparable only within one fitted detector.
+    fn score(&self, session: &[u32]) -> f64;
+
+    /// Verdict using the detector's internal threshold.
+    fn is_abnormal(&self, session: &[u32]) -> bool;
+}
+
+/// Sets a detection threshold at the `quantile` of training scores plus a
+/// small slack — the standard "fit on normal, alarm above the q-quantile"
+/// rule all the reconstruction/score-based baselines use.
+pub fn quantile_threshold(mut scores: Vec<f64>, quantile: f64) -> f64 {
+    if scores.is_empty() {
+        return f64::INFINITY;
+    }
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("scores must be finite"));
+    let q = quantile.clamp(0.0, 1.0);
+    let idx = ((scores.len() - 1) as f64 * q).round() as usize;
+    scores[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_threshold_picks_expected_value() {
+        let scores = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile_threshold(scores.clone(), 1.0), 5.0);
+        assert_eq!(quantile_threshold(scores.clone(), 0.0), 1.0);
+        assert_eq!(quantile_threshold(scores, 0.5), 3.0);
+        assert_eq!(quantile_threshold(vec![], 0.9), f64::INFINITY);
+    }
+}

@@ -1,0 +1,82 @@
+//! Session featurization shared by the non-sequence baselines.
+//!
+//! §6.1 of the paper: "we profile each session as a vector of n dimensions
+//! (n is the number of total operation keys) and count the appearances of
+//! each operation".
+
+/// Count vector of a key session over a key space of `vocab_size`
+/// (index 0 collects padding/unknown keys).
+pub fn count_vector(session: &[u32], vocab_size: usize) -> Vec<f32> {
+    let mut v = vec![0.0f32; vocab_size];
+    for &k in session {
+        let idx = (k as usize).min(vocab_size - 1);
+        v[idx] += 1.0;
+    }
+    v
+}
+
+/// L2-normalized count vector (zero vectors stay zero).
+pub fn normalized_count_vector(session: &[u32], vocab_size: usize) -> Vec<f32> {
+    let mut v = count_vector(session, vocab_size);
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+/// Cosine similarity between two equal-length vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        if na == nb {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_appearances() {
+        let v = count_vector(&[1, 2, 2, 3, 3, 3], 5);
+        assert_eq!(v, vec![0.0, 1.0, 2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn unknown_keys_fold_into_last_bucket() {
+        let v = count_vector(&[0, 99], 4);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[3], 1.0);
+    }
+
+    #[test]
+    fn normalization_gives_unit_norm() {
+        let v = normalized_count_vector(&[1, 1, 2], 4);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-6);
+        assert_eq!(normalized_count_vector(&[], 4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn cosine_properties() {
+        let a = [1.0, 0.0, 1.0];
+        let b = [1.0, 0.0, 1.0];
+        let c = [0.0, 1.0, 0.0];
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-6);
+        assert!(cosine(&a, &c).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0; 3], &[0.0; 3]), 1.0);
+        assert_eq!(cosine(&[0.0; 3], &a), 0.0);
+    }
+}

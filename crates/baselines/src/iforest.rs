@@ -1,0 +1,214 @@
+//! Isolation Forest (Liu et al. \[48\]) on session count vectors.
+
+use crate::detector::{quantile_threshold, BaselineDetector};
+use crate::features::count_vector;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+enum Node {
+    Internal { feature: usize, threshold: f32, left: Box<Node>, right: Box<Node> },
+    Leaf { size: usize },
+}
+
+impl Node {
+    fn path_length(&self, x: &[f32], depth: f64) -> f64 {
+        match self {
+            Node::Leaf { size } => depth + c_factor(*size),
+            Node::Internal { feature, threshold, left, right } => {
+                if x[*feature] < *threshold {
+                    left.path_length(x, depth + 1.0)
+                } else {
+                    right.path_length(x, depth + 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// Average path length of an unsuccessful BST search over `n` items —
+/// the normalization constant `c(n)` from the paper.
+fn c_factor(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * ((n - 1.0).ln() + 0.577_215_664_9) - 2.0 * (n - 1.0) / n
+}
+
+/// Isolation Forest baseline.
+pub struct IsolationForest {
+    /// Number of trees.
+    pub trees: usize,
+    /// Subsample size per tree.
+    pub subsample: usize,
+    /// Quantile of training scores used as the alarm threshold (tuned like
+    /// scikit-learn's `contamination`; 0.98 ≈ contamination 0.02).
+    pub threshold_quantile: f64,
+    /// RNG seed.
+    pub seed: u64,
+    vocab_size: usize,
+    forest: Vec<Node>,
+    threshold: f64,
+}
+
+impl IsolationForest {
+    /// Creates an untrained forest with standard parameters (100 trees,
+    /// subsample 256).
+    pub fn new(threshold_quantile: f64) -> Self {
+        IsolationForest {
+            trees: 100,
+            subsample: 256,
+            threshold_quantile,
+            seed: 23,
+            vocab_size: 0,
+            forest: Vec::new(),
+            threshold: f64::INFINITY,
+        }
+    }
+
+    fn build(data: &[&Vec<f32>], depth: usize, max_depth: usize, rng: &mut StdRng) -> Node {
+        if data.len() <= 1 || depth >= max_depth {
+            return Node::Leaf { size: data.len().max(1) };
+        }
+        let dim = data[0].len();
+        // Pick a feature that actually varies; give up after a few tries.
+        for _ in 0..8 {
+            let feature = rng.gen_range(0..dim);
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for x in data {
+                lo = lo.min(x[feature]);
+                hi = hi.max(x[feature]);
+            }
+            if hi > lo {
+                let threshold = rng.gen_range(lo..hi);
+                let (left, right): (Vec<&Vec<f32>>, Vec<&Vec<f32>>) =
+                    data.iter().partition(|x| x[feature] < threshold);
+                if left.is_empty() || right.is_empty() {
+                    continue;
+                }
+                return Node::Internal {
+                    feature,
+                    threshold,
+                    left: Box::new(Self::build(&left, depth + 1, max_depth, rng)),
+                    right: Box::new(Self::build(&right, depth + 1, max_depth, rng)),
+                };
+            }
+        }
+        Node::Leaf { size: data.len() }
+    }
+
+    fn raw_score(&self, x: &[f32]) -> f64 {
+        let avg: f64 = self
+            .forest
+            .iter()
+            .map(|t| t.path_length(x, 0.0))
+            .sum::<f64>()
+            / self.forest.len().max(1) as f64;
+        let c = c_factor(self.subsample);
+        if c == 0.0 {
+            return 0.5;
+        }
+        2f64.powf(-avg / c)
+    }
+}
+
+impl BaselineDetector for IsolationForest {
+    fn name(&self) -> &'static str {
+        "iForest"
+    }
+
+    fn fit(&mut self, train: &[Vec<u32>], vocab_size: usize) {
+        assert!(!train.is_empty(), "isolation forest needs training data");
+        self.vocab_size = vocab_size;
+        let feats: Vec<Vec<f32>> =
+            train.iter().map(|s| count_vector(s, vocab_size)).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let sub = self.subsample.min(feats.len());
+        let max_depth = (sub as f64).log2().ceil() as usize + 1;
+        self.forest = (0..self.trees)
+            .map(|_| {
+                let mut sample: Vec<&Vec<f32>> = feats.iter().collect();
+                sample.shuffle(&mut rng);
+                sample.truncate(sub);
+                Self::build(&sample, 0, max_depth, &mut rng)
+            })
+            .collect();
+        let train_scores: Vec<f64> = feats.iter().map(|f| self.raw_score(f)).collect();
+        self.threshold = quantile_threshold(train_scores, self.threshold_quantile);
+    }
+
+    fn score(&self, session: &[u32]) -> f64 {
+        self.raw_score(&count_vector(session, self.vocab_size))
+    }
+
+    fn is_abnormal(&self, session: &[u32]) -> bool {
+        self.score(session) > self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn themed(base: u32, n: usize, len: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|i| (0..len).map(|j| base + ((i + j) % 3) as u32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn c_factor_is_monotone() {
+        assert_eq!(c_factor(1), 0.0);
+        assert!(c_factor(10) > c_factor(2));
+        assert!(c_factor(1000) > c_factor(100));
+    }
+
+    #[test]
+    fn isolates_volume_outliers() {
+        // iForest on count vectors is good at exactly this: sessions with
+        // far more operations of some key than normal. Training needs
+        // natural volume variance for range-based splits to separate
+        // out-of-range values.
+        let train: Vec<Vec<u32>> = (0..60)
+            .map(|i| {
+                let len = 12 + (i % 14);
+                (0..len).map(|j| 1 + ((i + j) % 3) as u32).collect()
+            })
+            .collect();
+        let mut forest = IsolationForest::new(0.98);
+        forest.fit(&train, 8);
+        let mut heavy = train[0].clone();
+        heavy.extend(std::iter::repeat_n(2u32, 60)); // key-2 burst
+        assert!(forest.score(&heavy) > forest.score(&train[0]));
+        assert!(forest.is_abnormal(&heavy));
+    }
+
+    #[test]
+    fn accepts_most_of_the_training_distribution() {
+        let train = themed(1, 60, 20);
+        let mut forest = IsolationForest::new(0.98);
+        forest.fit(&train, 8);
+        let accepted = train.iter().filter(|s| !forest.is_abnormal(s)).count();
+        assert!(accepted >= 57, "accepted only {}/60", accepted);
+    }
+
+    #[test]
+    fn flags_foreign_key_usage() {
+        let train = themed(1, 60, 20);
+        let mut forest = IsolationForest::new(0.95);
+        forest.fit(&train, 10);
+        let foreign: Vec<u32> = (0..20).map(|j| 6 + (j % 3) as u32).collect();
+        assert!(forest.is_abnormal(&foreign));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = themed(1, 30, 15);
+        let mut a = IsolationForest::new(0.95);
+        a.fit(&train, 8);
+        let mut b = IsolationForest::new(0.95);
+        b.fit(&train, 8);
+        assert_eq!(a.score(&train[3]), b.score(&train[3]));
+    }
+}

@@ -1,0 +1,31 @@
+//! # ucad-baselines
+//!
+//! The five unsupervised baselines the UCAD paper compares against in §6.1
+//! (OneClassSVM, isolation forest, Mazzawi et al.'s behavioral patterning,
+//! DeepLog, USAD) plus LogCluster from the §6.6 transferability study — all
+//! implemented from scratch on the shared [`BaselineDetector`] interface.
+//!
+//! Non-sequence methods ([`OneClassSvm`], [`IsolationForest`], [`Mazzawi`],
+//! [`LogCluster`]) consume per-session key count vectors (the paper's
+//! featurization); sequence methods ([`DeepLog`], [`Usad`]) consume the
+//! tokenized key sequences directly.
+
+#![warn(missing_docs)]
+
+pub mod deeplog;
+pub mod detector;
+pub mod features;
+pub mod iforest;
+pub mod logcluster;
+pub mod mazzawi;
+pub mod ocsvm;
+pub mod usad;
+
+pub use deeplog::DeepLog;
+pub use detector::{quantile_threshold, BaselineDetector};
+pub use features::{cosine, count_vector, normalized_count_vector};
+pub use iforest::IsolationForest;
+pub use logcluster::LogCluster;
+pub use mazzawi::Mazzawi;
+pub use ocsvm::{Kernel, OneClassSvm};
+pub use usad::Usad;

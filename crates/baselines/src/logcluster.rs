@@ -1,0 +1,145 @@
+//! LogCluster (Lin et al. \[46\]): clustering-based log anomaly detection
+//! used as a baseline in the §6.6 transferability study.
+//!
+//! Normal sessions are clustered by cosine similarity of their count
+//! vectors (a leader/representative algorithm); at detection time a session
+//! is normal iff it is close enough to some learned representative.
+//! Characteristic behaviour (Table 6): high precision, low recall — any
+//! session near a known pattern passes, so subtle anomalies are missed.
+
+use crate::detector::BaselineDetector;
+use crate::features::{cosine, normalized_count_vector};
+
+/// LogCluster baseline.
+pub struct LogCluster {
+    /// Cosine similarity above which a session joins an existing cluster
+    /// during training.
+    pub cluster_sim: f32,
+    /// Cosine similarity required to call a session normal at detection.
+    pub detect_sim: f32,
+    vocab_size: usize,
+    representatives: Vec<Vec<f32>>,
+    members: Vec<usize>,
+}
+
+impl LogCluster {
+    /// Creates an untrained LogCluster detector.
+    pub fn new(cluster_sim: f32, detect_sim: f32) -> Self {
+        LogCluster {
+            cluster_sim,
+            detect_sim,
+            vocab_size: 0,
+            representatives: Vec::new(),
+            members: Vec::new(),
+        }
+    }
+
+    /// Number of learned clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.representatives.len()
+    }
+
+    fn best_similarity(&self, session: &[u32]) -> f32 {
+        let v = normalized_count_vector(session, self.vocab_size);
+        self.representatives
+            .iter()
+            .map(|r| cosine(r, &v))
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+}
+
+impl BaselineDetector for LogCluster {
+    fn name(&self) -> &'static str {
+        "LogCluster"
+    }
+
+    fn fit(&mut self, train: &[Vec<u32>], vocab_size: usize) {
+        assert!(!train.is_empty(), "LogCluster needs training data");
+        self.vocab_size = vocab_size;
+        self.representatives.clear();
+        self.members.clear();
+        for s in train {
+            let v = normalized_count_vector(s, vocab_size);
+            let best = self
+                .representatives
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i, cosine(r, &v)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            match best {
+                Some((i, sim)) if sim >= self.cluster_sim => {
+                    // Update the representative as a running mean.
+                    let n = self.members[i] as f32;
+                    for (r, x) in self.representatives[i].iter_mut().zip(&v) {
+                        *r = (*r * n + x) / (n + 1.0);
+                    }
+                    self.members[i] += 1;
+                }
+                _ => {
+                    self.representatives.push(v);
+                    self.members.push(1);
+                }
+            }
+        }
+    }
+
+    fn score(&self, session: &[u32]) -> f64 {
+        1.0 - self.best_similarity(session) as f64
+    }
+
+    fn is_abnormal(&self, session: &[u32]) -> bool {
+        self.best_similarity(session) < self.detect_sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn themed(base: u32, n: usize, len: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|i| (0..len).map(|j| base + ((i + j) % 3) as u32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn clusters_form_per_theme() {
+        let mut train = themed(1, 20, 12);
+        train.extend(themed(5, 20, 12));
+        let mut lc = LogCluster::new(0.8, 0.7);
+        lc.fit(&train, 10);
+        assert_eq!(lc.cluster_count(), 2);
+    }
+
+    #[test]
+    fn accepts_known_patterns_rejects_foreign() {
+        let train = themed(1, 20, 12);
+        let mut lc = LogCluster::new(0.8, 0.7);
+        lc.fit(&train, 10);
+        assert!(!lc.is_abnormal(&train[0]));
+        let foreign: Vec<u32> = (0..12).map(|j| 6 + (j % 3) as u32).collect();
+        assert!(lc.is_abnormal(&foreign));
+    }
+
+    #[test]
+    fn misses_subtle_anomalies_low_recall() {
+        // One injected op barely moves the count vector: LogCluster's
+        // documented low-recall behaviour.
+        let train = themed(1, 20, 12);
+        let mut lc = LogCluster::new(0.8, 0.7);
+        lc.fit(&train, 10);
+        let mut subtle = train[0].clone();
+        subtle.insert(6, 7);
+        assert!(!lc.is_abnormal(&subtle));
+    }
+
+    #[test]
+    fn score_orders_sessions_by_distance() {
+        let train = themed(1, 20, 12);
+        let mut lc = LogCluster::new(0.8, 0.7);
+        lc.fit(&train, 10);
+        let near = &train[1];
+        let far: Vec<u32> = (0..12).map(|j| 6 + (j % 3) as u32).collect();
+        assert!(lc.score(&far) > lc.score(near));
+    }
+}

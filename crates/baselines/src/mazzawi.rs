@@ -1,0 +1,164 @@
+//! Behavioral-patterning baseline after Mazzawi et al. \[52\]: a hybrid of
+//! per-key volume statistics and syntax-usage profiles, scoring sessions by
+//! robust deviation from the learned behavioral envelope.
+//!
+//! This is the paper's representative "point anomaly" hybrid: strong when a
+//! session's aggregate behaviour (volumes, key usage) deviates, blind to
+//! stealthy in-place injections — the failure mode Table 2 shows.
+
+use crate::detector::{quantile_threshold, BaselineDetector};
+use crate::features::count_vector;
+
+/// Behavioral patterning detector.
+pub struct Mazzawi {
+    /// Robust z-score above which a single feature deviation alarms.
+    pub z_threshold: f64,
+    /// Quantile of training aggregate scores used as the alarm threshold.
+    pub threshold_quantile: f64,
+    vocab_size: usize,
+    medians: Vec<f64>,
+    mads: Vec<f64>,
+    threshold: f64,
+}
+
+impl Mazzawi {
+    /// Creates an untrained detector.
+    pub fn new(z_threshold: f64, threshold_quantile: f64) -> Self {
+        Mazzawi {
+            z_threshold,
+            threshold_quantile,
+            vocab_size: 0,
+            medians: Vec::new(),
+            mads: Vec::new(),
+            threshold: f64::INFINITY,
+        }
+    }
+
+    /// Behavioral feature vector: per-key counts plus aggregate statistics
+    /// (session length, distinct keys, max single-key count).
+    fn features(&self, session: &[u32]) -> Vec<f64> {
+        let counts = count_vector(session, self.vocab_size);
+        let distinct = counts.iter().filter(|&&c| c > 0.0).count() as f64;
+        let max_count = counts.iter().cloned().fold(0.0f32, f32::max) as f64;
+        let mut f: Vec<f64> = counts.into_iter().map(|c| c as f64).collect();
+        f.push(session.len() as f64);
+        f.push(distinct);
+        f.push(max_count);
+        f
+    }
+
+    fn deviation(&self, session: &[u32]) -> f64 {
+        let f = self.features(session);
+        let mut worst = 0.0f64;
+        let mut sum = 0.0f64;
+        for ((x, m), mad) in f.iter().zip(&self.medians).zip(&self.mads) {
+            let z = (x - m).abs() / mad.max(0.5);
+            worst = worst.max(z);
+            sum += z;
+        }
+        // Aggregate: the worst single deviation dominates, with a small
+        // contribution from overall drift.
+        worst + 0.05 * sum / f.len() as f64
+    }
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    values[values.len() / 2]
+}
+
+impl BaselineDetector for Mazzawi {
+    fn name(&self) -> &'static str {
+        "Mazzawi et al."
+    }
+
+    fn fit(&mut self, train: &[Vec<u32>], vocab_size: usize) {
+        assert!(!train.is_empty(), "behavioral patterning needs training data");
+        self.vocab_size = vocab_size;
+        let feats: Vec<Vec<f64>> = train.iter().map(|s| self.features(s)).collect();
+        let dim = feats[0].len();
+        self.medians = (0..dim)
+            .map(|j| {
+                let mut col: Vec<f64> = feats.iter().map(|f| f[j]).collect();
+                median(&mut col)
+            })
+            .collect();
+        self.mads = (0..dim)
+            .map(|j| {
+                let mut col: Vec<f64> =
+                    feats.iter().map(|f| (f[j] - self.medians[j]).abs()).collect();
+                median(&mut col) * 1.4826 // MAD → sigma under normality
+            })
+            .collect();
+        let scores: Vec<f64> = train.iter().map(|s| self.deviation(s)).collect();
+        self.threshold = quantile_threshold(scores, self.threshold_quantile)
+            .max(self.z_threshold);
+    }
+
+    fn score(&self, session: &[u32]) -> f64 {
+        self.deviation(session)
+    }
+
+    fn is_abnormal(&self, session: &[u32]) -> bool {
+        self.deviation(session) > self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn themed(base: u32, n: usize, len: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|i| (0..len).map(|j| base + ((i + j) % 3) as u32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn accepts_training_distribution() {
+        let train = themed(1, 50, 20);
+        let mut m = Mazzawi::new(3.0, 0.98);
+        m.fit(&train, 8);
+        let accepted = train.iter().filter(|s| !m.is_abnormal(s)).count();
+        assert!(accepted >= 47, "accepted {}/50", accepted);
+    }
+
+    #[test]
+    fn flags_volume_anomalies() {
+        let train = themed(1, 50, 20);
+        let mut m = Mazzawi::new(3.0, 0.98);
+        m.fit(&train, 8);
+        let mut heavy = train[0].clone();
+        heavy.extend(std::iter::repeat_n(1u32, 100));
+        assert!(m.is_abnormal(&heavy));
+    }
+
+    #[test]
+    fn blind_to_stealthy_injection() {
+        // The documented failure mode: a single foreign op barely moves the
+        // statistical envelope when MADs are non-trivial.
+        let train: Vec<Vec<u32>> = (0..50)
+            .map(|i| {
+                let len = 18 + (i % 5);
+                (0..len).map(|j| 1 + ((i + j) % 4) as u32).collect()
+            })
+            .collect();
+        let mut m = Mazzawi::new(3.0, 0.99);
+        m.fit(&train, 10);
+        let mut stealthy = train[0].clone();
+        stealthy.insert(10, 5); // one op of an unused key
+        // A single count of a never-used key: z = 1/0.5 = 2 < threshold.
+        assert!(
+            !m.is_abnormal(&stealthy),
+            "behavioral patterning unexpectedly caught a stealthy injection"
+        );
+    }
+
+    #[test]
+    fn median_helper() {
+        let mut v = vec![5.0, 1.0, 3.0];
+        assert_eq!(median(&mut v), 3.0);
+        let mut v = vec![2.0, 1.0];
+        assert_eq!(median(&mut v), 2.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! USAD (Audibert et al. \[11\]): unsupervised anomaly detection with
+//! adversarially trained autoencoders.
+//!
+//! Two autoencoders share an encoder. Training alternates the two-phase
+//! USAD objective: AE1 learns to reconstruct windows; AE2 learns to
+//! distinguish real windows from AE1's reconstructions; AE1 additionally
+//! learns to fool AE2. The anomaly score of a window is
+//! `alpha * ||W - AE1(W)||^2 + beta * ||W - AE2(AE1(W))||^2`.
+
+use crate::detector::{quantile_threshold, BaselineDetector};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use ucad_nn::layers::Linear;
+use ucad_nn::optim::{Adam, Optimizer};
+use ucad_nn::{ParamStore, Tape, Tensor, Var};
+
+/// USAD baseline over one-hot key windows.
+pub struct Usad {
+    /// Window length (time steps per scored window).
+    pub window: usize,
+    /// Step between consecutive training/scoring windows (1 = dense; larger
+    /// values subsample long sessions for speed).
+    pub window_step: usize,
+    /// Latent dimension.
+    pub latent: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Score weights `(alpha, beta)`.
+    pub alpha_beta: (f64, f64),
+    /// Quantile of training scores used as the alarm threshold.
+    pub threshold_quantile: f64,
+    /// RNG seed.
+    pub seed: u64,
+    vocab_size: usize,
+    store: ParamStore,
+    nets: Option<Nets>,
+    threshold: f64,
+}
+
+struct Nets {
+    encoder: Linear,
+    dec1: Linear,
+    dec2: Linear,
+}
+
+impl Usad {
+    /// Creates an untrained USAD detector.
+    pub fn new(window: usize, latent: usize) -> Self {
+        Usad {
+            window,
+            window_step: 1,
+            latent,
+            epochs: 20,
+            lr: 2e-3,
+            alpha_beta: (0.5, 0.5),
+            threshold_quantile: 0.99,
+            seed: 31,
+            vocab_size: 0,
+            store: ParamStore::new(),
+            nets: None,
+            threshold: f64::INFINITY,
+        }
+    }
+
+    fn flatten_window(&self, keys: &[u32]) -> Tensor {
+        let dim = self.window * self.vocab_size;
+        let mut x = Tensor::zeros(1, dim);
+        for (t, &k) in keys.iter().enumerate().take(self.window) {
+            let idx = t * self.vocab_size + (k as usize).min(self.vocab_size - 1);
+            x.data_mut()[idx] = 1.0;
+        }
+        x
+    }
+
+    fn windows_of(&self, session: &[u32]) -> Vec<Vec<u32>> {
+        if session.len() <= self.window {
+            let mut w = session.to_vec();
+            w.resize(self.window, 0);
+            return vec![w];
+        }
+        session
+            .windows(self.window)
+            .step_by(self.window_step.max(1))
+            .map(<[u32]>::to_vec)
+            .collect()
+    }
+
+    /// Builds `z = E(w)`, `r1 = D1(z)`, `r2 = D2(E(r1))` on a tape.
+    fn reconstructions(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        nets: &Nets,
+        x: Var,
+    ) -> (Var, Var) {
+        let z = nets.encoder.forward(tape, store, x);
+        let zr = tape.relu(z);
+        let r1_logits = nets.dec1.forward(tape, store, zr);
+        let r1 = tape.sigmoid(r1_logits);
+        let z2 = nets.encoder.forward(tape, store, r1);
+        let z2r = tape.relu(z2);
+        let r2_logits = nets.dec2.forward(tape, store, z2r);
+        let r2 = tape.sigmoid(r2_logits);
+        (r1, r2)
+    }
+
+    fn direct_recon2(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        nets: &Nets,
+        x: Var,
+    ) -> Var {
+        let z = nets.encoder.forward(tape, store, x);
+        let zr = tape.relu(z);
+        let logits = nets.dec2.forward(tape, store, zr);
+        tape.sigmoid(logits)
+    }
+
+    fn window_score(&self, keys: &[u32]) -> f64 {
+        let nets = self.nets.as_ref().expect("fit first");
+        let xv = self.flatten_window(keys);
+        let mut tape = Tape::new();
+        let x = tape.constant(xv.clone());
+        let (r1, r2) = self.reconstructions(&mut tape, &self.store, nets, x);
+        let e1 = mse(&xv, tape.value(r1));
+        let e2 = mse(&xv, tape.value(r2));
+        let (a, b) = self.alpha_beta;
+        a * e1 + b * e2
+    }
+}
+
+fn mse(a: &Tensor, b: &Tensor) -> f64 {
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| ((x - y) as f64).powi(2))
+        .sum::<f64>()
+        / a.len().max(1) as f64
+}
+
+impl BaselineDetector for Usad {
+    fn name(&self) -> &'static str {
+        "USAD"
+    }
+
+    fn fit(&mut self, train: &[Vec<u32>], vocab_size: usize) {
+        assert!(!train.is_empty(), "USAD needs training data");
+        self.vocab_size = vocab_size;
+        let dim = self.window * vocab_size;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut store = ParamStore::new();
+        let nets = Nets {
+            encoder: Linear::new(&mut store, "enc", dim, self.latent, &mut rng),
+            dec1: Linear::new(&mut store, "dec1", self.latent, dim, &mut rng),
+            dec2: Linear::new(&mut store, "dec2", self.latent, dim, &mut rng),
+        };
+        let mut windows: Vec<Vec<u32>> =
+            train.iter().flat_map(|s| self.windows_of(s)).collect();
+        let mut opt = Adam::new(self.lr, 1e-5);
+        for epoch in 1..=self.epochs {
+            windows.shuffle(&mut rng);
+            let w1 = 1.0 / epoch as f32; // USAD's epoch-dependent weights
+            let w2 = 1.0 - w1;
+            for chunk in windows.chunks(32) {
+                store.zero_grad();
+                for keys in chunk {
+                    let xv = self.flatten_window(keys);
+                    let mut tape = Tape::new();
+                    let x = tape.constant(xv);
+                    let (r1, r2) = self.reconstructions(&mut tape, &store, &nets, x);
+                    // L_AE1 = w1 * ||x - r1||^2 + w2 * ||x - r2||^2
+                    let d1 = tape.sub(x, r1);
+                    let sq1 = tape.hadamard(d1, d1);
+                    let m1 = tape.mean_all(sq1);
+                    let d2 = tape.sub(x, r2);
+                    let sq2 = tape.hadamard(d2, d2);
+                    let m2 = tape.mean_all(sq2);
+                    let a1 = tape.scale(m1, w1);
+                    let a2 = tape.scale(m2, w2);
+                    let loss_ae1 = tape.add(a1, a2);
+                    // L_AE2 = w1 * ||x - D2(E(x))||^2 - w2 * ||x - r2||^2
+                    let r2d = self.direct_recon2(&mut tape, &store, &nets, x);
+                    let d3 = tape.sub(x, r2d);
+                    let sq3 = tape.hadamard(d3, d3);
+                    let m3 = tape.mean_all(sq3);
+                    let b1 = tape.scale(m3, w1);
+                    let b2 = tape.scale(m2, -w2);
+                    let loss_ae2 = tape.add(b1, b2);
+                    let loss = tape.add(loss_ae1, loss_ae2);
+                    tape.backward(loss, &mut store);
+                }
+                let inv = 1.0 / chunk.len() as f32;
+                for p in store.iter_mut() {
+                    for g in p.grad.data_mut() {
+                        *g *= inv;
+                    }
+                }
+                opt.step(&mut store);
+            }
+        }
+        self.store = store;
+        self.nets = Some(nets);
+        let scores: Vec<f64> = train.iter().map(|s| self.session_score(s)).collect();
+        self.threshold = quantile_threshold(scores, self.threshold_quantile);
+    }
+
+    fn score(&self, session: &[u32]) -> f64 {
+        self.session_score(session)
+    }
+
+    fn is_abnormal(&self, session: &[u32]) -> bool {
+        self.session_score(session) > self.threshold
+    }
+}
+
+impl Usad {
+    fn session_score(&self, session: &[u32]) -> f64 {
+        self.windows_of(session)
+            .iter()
+            .map(|w| self.window_score(w))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn themed(base: u32, n: usize, len: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|i| (0..len).map(|j| base + ((i + j) % 3) as u32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn reconstruction_error_lower_on_training_theme() {
+        let train = themed(1, 30, 12);
+        let mut usad = Usad::new(6, 16);
+        usad.fit(&train, 8);
+        let normal_score = usad.score(&train[0]);
+        let foreign: Vec<u32> = (0..12).map(|j| 5 + (j % 3) as u32).collect();
+        let foreign_score = usad.score(&foreign);
+        assert!(
+            foreign_score > normal_score,
+            "foreign {} <= normal {}",
+            foreign_score,
+            normal_score
+        );
+    }
+
+    #[test]
+    fn accepts_training_and_flags_foreign() {
+        let train = themed(1, 30, 12);
+        let mut usad = Usad::new(6, 16);
+        usad.fit(&train, 8);
+        let accepted = train.iter().filter(|s| !usad.is_abnormal(s)).count();
+        assert!(accepted >= 28, "accepted {}/30", accepted);
+        let foreign: Vec<u32> = (0..12).map(|j| 5 + (j % 3) as u32).collect();
+        assert!(usad.is_abnormal(&foreign));
+    }
+
+    #[test]
+    fn short_sessions_are_padded() {
+        let train = themed(1, 20, 12);
+        let mut usad = Usad::new(6, 8);
+        usad.fit(&train, 8);
+        // Shorter than the window: must not panic.
+        let _ = usad.score(&[1, 2]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 8: robustness to abnormal sessions contaminating the training set
+//! (the §6.5 hybrid-dataset study), on Scenario-I at paper scale.
+
+use ucad::{run_baseline, run_transdas, TokenizedDataset};
+use ucad_baselines::{DeepLog, IsolationForest, Kernel, Mazzawi, OneClassSvm, Usad};
+use ucad_bench::{header, measured_block, paper_block, scenario1};
+use ucad_trace::{ScenarioDataset, ScenarioSpec};
+
+fn main() {
+    header("Figure 8: robustness to contaminated training data (Scenario-I)");
+    paper_block();
+    println!("  Trans-DAS F1 declines slowly with contamination: ~0.90 at 0% to ~0.77 at 20%");
+    println!("  (Scenario-II declines ~0.08 over the same range). Mazzawi et al. collapses at");
+    println!("  any contamination; DeepLog and USAD lose ~0.1 on average; Trans-DAS stays");
+    println!("  highest in most settings.");
+
+    measured_block();
+    let spec = ScenarioSpec::commenting();
+    let s1 = scenario1(13); // reuse the model/detector configs
+    let mut cfg = s1.model;
+    cfg.epochs = 20;
+
+    println!(
+        "  {:<8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "contam%", "UCAD", "OCSVM", "iForest", "Mazzawi", "DeepLog", "USAD"
+    );
+    for percent in [0u32, 10, 20] {
+        let ds = ScenarioDataset::generate_hybrid(
+            &spec,
+            spec.default_train_sessions,
+            percent as f64 / 100.0,
+            100 + percent as u64,
+        );
+        let data = TokenizedDataset::from_dataset(&ds);
+        let (ucad_row, _) = run_transdas(&data, "UCAD", cfg, s1.detector);
+        let mut svm = OneClassSvm::new(0.1, Kernel::Linear);
+        let svm_row = run_baseline(&data, &mut svm);
+        let mut forest = IsolationForest::new(0.95);
+        let forest_row = run_baseline(&data, &mut forest);
+        let mut maz = Mazzawi::new(3.0, 0.98);
+        let maz_row = run_baseline(&data, &mut maz);
+        let mut dl = DeepLog::new(10, 5);
+        dl.epochs = 4;
+        let dl_row = run_baseline(&data, &mut dl);
+        let mut usad = Usad::new(10, 32);
+        usad.epochs = 6;
+        usad.window_step = 3;
+        let usad_row = run_baseline(&data, &mut usad);
+        println!(
+            "  {:<8} {:>9.5} {:>9.5} {:>9.5} {:>9.5} {:>9.5} {:>9.5}",
+            percent, ucad_row.f1, svm_row.f1, forest_row.f1, maz_row.f1, dl_row.f1, usad_row.f1
+        );
+    }
+    println!("  (expected shape: UCAD declines slowly and stays highest in most columns)");
+}

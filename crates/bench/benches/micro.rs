@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks of the hot paths: statement abstraction,
+//! n-gram/Jaccard clustering, the Trans-DAS forward pass and session
+//! detection throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use ucad_model::{DetectionMode, Detector, DetectorConfig, TransDas, TransDasConfig};
+use ucad_preprocess::{clean_sessions, CleanerConfig, NgramProfile};
+use ucad_preprocess::abstraction::abstract_statement;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_abstraction(c: &mut Criterion) {
+    let stmts = [
+        "SELECT * FROM t_cell_fp_3 WHERE pnci=812 and gridId IN (3, 17, 99, 240)",
+        "INSERT INTO t_cell_fp_9 (pnci, gridId, fps) VALUES (1, 2, 3), (4, 5, 6), (7, 8, 9)",
+        "UPDATE T_content SET count=23 WHERE danmuKey=94",
+        "DELETE FROM t_rm_mac WHERE normal_mac=1771",
+    ];
+    c.bench_function("abstract_statement", |b| {
+        b.iter(|| {
+            for s in &stmts {
+                black_box(abstract_statement(black_box(s)));
+            }
+        })
+    });
+}
+
+fn bench_jaccard(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let sessions: Vec<Vec<u32>> = (0..64)
+        .map(|_| (0..30).map(|_| rng.gen_range(1..40u32)).collect())
+        .collect();
+    let profiles: Vec<NgramProfile> =
+        sessions.iter().map(|s| NgramProfile::new(s, 2)).collect();
+    c.bench_function("jaccard_64x64", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for a in &profiles {
+                for bp in &profiles {
+                    acc += a.jaccard(bp);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("dbscan_clean_64_sessions", |b| {
+        b.iter_batched(
+            || sessions.clone(),
+            |s| {
+                let mut rng = StdRng::seed_from_u64(2);
+                black_box(clean_sessions(&s, &CleanerConfig::default(), &mut rng))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn trained_tiny_model() -> TransDas {
+    let cfg = TransDasConfig {
+        epochs: 2,
+        ..TransDasConfig::scenario1(21)
+    };
+    let mut rng = StdRng::seed_from_u64(3);
+    let sessions: Vec<Vec<u32>> = (0..40)
+        .map(|_| (0..24).map(|_| rng.gen_range(1..21u32)).collect())
+        .collect();
+    let mut model = TransDas::new(cfg);
+    model.train(&sessions);
+    model
+}
+
+fn bench_model(c: &mut Criterion) {
+    let model = trained_tiny_model();
+    let window: Vec<u32> = (0..30).map(|i| (i % 20) as u32 + 1).collect();
+    c.bench_function("transdas_forward_L30_h10_B6", |b| {
+        b.iter(|| black_box(model.output(black_box(&window))))
+    });
+    c.bench_function("transdas_position_scores", |b| {
+        b.iter(|| black_box(model.position_scores(black_box(&window))))
+    });
+    let det = Detector::new(
+        &model,
+        DetectorConfig { top_p: 5, min_context: 2, mode: DetectionMode::Block },
+    );
+    let session: Vec<u32> = (0..24).map(|i| (i % 20) as u32 + 1).collect();
+    c.bench_function("detect_session_24_ops", |b| {
+        b.iter(|| black_box(det.detect_session(black_box(&session))))
+    });
+}
+
+criterion_group!(benches, bench_abstraction, bench_jaccard, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table 4: training time per epoch and F1 under different latent
+//! dimensions `h` (Scenario-II).
+
+use ucad::sweep_hidden;
+use ucad_bench::{full_scale, header, measured_block, paper_block, scenario2};
+
+fn main() {
+    header("Table 4: training time and F1 vs latent dimension h (Scenario-II)");
+    paper_block();
+    println!("  h        16      32      64      128     256");
+    println!("  time(s)  41      43      49      62      83");
+    println!("  F1       0.96989 0.98099 0.98168 0.98268 0.98183");
+
+    measured_block();
+    let s2 = scenario2(5);
+    let values: Vec<usize> =
+        if full_scale() { vec![16, 32, 64, 128, 256] } else { vec![8, 16, 32, 64] };
+    let mut cfg = s2.model;
+    if !s2.full {
+        cfg.epochs = 3;
+        cfg.stride = 8;
+    }
+    let points = sweep_hidden(&s2.data, cfg, s2.detector, &values);
+    print!("  h       ");
+    for p in &points {
+        print!(" {:>7}", p.value as usize);
+    }
+    println!();
+    print!("  time(s) ");
+    for p in &points {
+        print!(" {:>7.1}", p.secs_per_epoch);
+    }
+    println!();
+    print!("  F1      ");
+    for p in &points {
+        print!(" {:>7.5}", p.f1);
+    }
+    println!();
+    println!("  (expected shape: time grows roughly linearly in h; F1 stays nearly flat)");
+}

@@ -1,0 +1,40 @@
+//! Table 5: training time per epoch and F1 under different input sizes `L`
+//! (Scenario-II).
+
+use ucad::sweep_window;
+use ucad_bench::{full_scale, header, measured_block, paper_block, scenario2};
+
+fn main() {
+    header("Table 5: training time and F1 vs input size L (Scenario-II)");
+    paper_block();
+    println!("  L        50      75      100     125     150");
+    println!("  time(s)  16      30      49      74      105");
+    println!("  F1       0.97025 0.97473 0.98168 0.96783 0.96866");
+
+    measured_block();
+    let s2 = scenario2(6);
+    let values: Vec<usize> =
+        if full_scale() { vec![50, 75, 100, 125, 150] } else { vec![25, 40, 50, 65] };
+    let mut cfg = s2.model;
+    if !s2.full {
+        cfg.epochs = 3;
+        cfg.stride = 8;
+    }
+    let points = sweep_window(&s2.data, cfg, s2.detector, &values);
+    print!("  L       ");
+    for p in &points {
+        print!(" {:>7}", p.value as usize);
+    }
+    println!();
+    print!("  time(s) ");
+    for p in &points {
+        print!(" {:>7.1}", p.secs_per_epoch);
+    }
+    println!();
+    print!("  F1      ");
+    for p in &points {
+        print!(" {:>7.5}", p.f1);
+    }
+    println!();
+    println!("  (expected shape: time grows with L; F1 peaks near the average session length)");
+}

@@ -1,0 +1,203 @@
+//! Session-level evaluation metrics (§6.1).
+//!
+//! Normal sessions are negatives, abnormal sessions positives. FPR is
+//! computed per normal test set (V1-V3), FNR per abnormal set (A1-A3), and
+//! precision/recall/F1 aggregate the six sets.
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts over one or more test sets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Abnormal sessions flagged abnormal.
+    pub tp: usize,
+    /// Normal sessions flagged abnormal.
+    pub fp: usize,
+    /// Normal sessions passed.
+    pub tn: usize,
+    /// Abnormal sessions passed.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Adds one observation.
+    pub fn observe(&mut self, truth_abnormal: bool, flagged: bool) {
+        match (truth_abnormal, flagged) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Merges another confusion matrix into this one.
+    pub fn merge(&mut self, other: &Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// False positive rate `FP / (FP + TN)`; 0 when undefined.
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// False negative rate `FN / (FN + TP)`; 0 when undefined.
+    pub fn fnr(&self) -> f64 {
+        ratio(self.fn_, self.fn_ + self.tp)
+    }
+
+    /// Precision `TP / (TP + FP)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall `TP / (TP + FN)`.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1 score; 0 when precision + recall is 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// One method's full Table 2 row: per-set FPR/FNR plus aggregate P/R/F1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodResult {
+    /// Method name.
+    pub method: String,
+    /// FPR on V1, V2, V3.
+    pub fpr: [f64; 3],
+    /// FNR on A1, A2, A3.
+    pub fnr: [f64; 3],
+    /// Aggregate precision.
+    pub precision: f64,
+    /// Aggregate recall.
+    pub recall: f64,
+    /// Aggregate F1.
+    pub f1: f64,
+}
+
+impl MethodResult {
+    /// Builds the row from per-set confusions (V1, V2, V3, A1, A2, A3).
+    pub fn from_confusions(method: impl Into<String>, sets: &[Confusion; 6]) -> Self {
+        let mut total = Confusion::default();
+        for c in sets {
+            total.merge(c);
+        }
+        MethodResult {
+            method: method.into(),
+            fpr: [sets[0].fpr(), sets[1].fpr(), sets[2].fpr()],
+            fnr: [sets[3].fnr(), sets[4].fnr(), sets[5].fnr()],
+            precision: total.precision(),
+            recall: total.recall(),
+            f1: total.f1(),
+        }
+    }
+
+    /// Formats the row like Table 2 of the paper.
+    pub fn format_row(&self) -> String {
+        format!(
+            "{:<22} {:>7.5} {:>7.5} {:>7.5} | {:>7.5} {:>7.5} {:>7.5} | P {:>7.5} R {:>7.5} F1 {:>7.5}",
+            self.method,
+            self.fpr[0],
+            self.fpr[1],
+            self.fpr[2],
+            self.fnr[0],
+            self.fnr[1],
+            self.fnr[2],
+            self.precision,
+            self.recall,
+            self.f1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_rates() {
+        let mut c = Confusion::default();
+        // 8 abnormal: 6 caught, 2 missed. 10 normal: 1 flagged, 9 passed.
+        for _ in 0..6 {
+            c.observe(true, true);
+        }
+        for _ in 0..2 {
+            c.observe(true, false);
+        }
+        c.observe(false, true);
+        for _ in 0..9 {
+            c.observe(false, false);
+        }
+        assert!((c.fpr() - 0.1).abs() < 1e-12);
+        assert!((c.fnr() - 0.25).abs() < 1e-12);
+        assert!((c.precision() - 6.0 / 7.0).abs() < 1e-12);
+        assert!((c.recall() - 0.75).abs() < 1e-12);
+        let f1 = 2.0 * (6.0 / 7.0) * 0.75 / (6.0 / 7.0 + 0.75);
+        assert!((c.f1() - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_confusion_is_all_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.fpr(), 0.0);
+        assert_eq!(c.fnr(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn perfect_detector_gets_f1_one() {
+        let mut sets = [Confusion::default(); 6];
+        for s in sets.iter_mut().take(3) {
+            s.tn = 10;
+        }
+        for s in sets.iter_mut().skip(3) {
+            s.tp = 10;
+        }
+        let r = MethodResult::from_confusions("perfect", &sets);
+        assert_eq!(r.f1, 1.0);
+        assert_eq!(r.fpr, [0.0; 3]);
+        assert_eq!(r.fnr, [0.0; 3]);
+    }
+
+    #[test]
+    fn method_result_aggregates_across_sets() {
+        let mut sets = [Confusion::default(); 6];
+        sets[0] = Confusion { tp: 0, fp: 2, tn: 8, fn_: 0 }; // V1
+        sets[3] = Confusion { tp: 9, fp: 0, tn: 0, fn_: 1 }; // A1
+        let r = MethodResult::from_confusions("m", &sets);
+        assert!((r.fpr[0] - 0.2).abs() < 1e-12);
+        assert!((r.fnr[0] - 0.1).abs() < 1e-12);
+        assert!((r.precision - 9.0 / 11.0).abs() < 1e-12);
+        assert!((r.recall - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn format_row_contains_all_fields() {
+        let sets = [Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 }; 6];
+        let row = MethodResult::from_confusions("demo", &sets).format_row();
+        assert!(row.contains("demo"));
+        assert!(row.contains("F1"));
+    }
+}

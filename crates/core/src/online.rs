@@ -1,0 +1,361 @@
+//! Online detection service (§3 / §5.3): the deployment loop around a
+//! trained [`Ucad`] instance.
+//!
+//! Audit records arrive one at a time; the service groups them into active
+//! sessions, screens each session's attributes against the access-control
+//! policies, scores every new operation against the contextual intent of
+//! its preceding operations (the paper's streaming `O_L` procedure), and
+//! raises [`Alert`]s for a DBA. DBA feedback closes the loop: alerts
+//! confirmed as false alarms become verified-normal sessions that the next
+//! fine-tuning round learns from (§5.2's concept-drift strategy).
+
+use crate::system::Ucad;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use ucad_dbsim::LogRecord;
+use ucad_model::TrainReport;
+use ucad_trace::{Operation, Session};
+
+/// An alert raised for a DBA (§3: "detected abnormal operations may be
+/// subsequently sent to a domain expert").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Session that triggered the alert.
+    pub session_id: u64,
+    /// User of the session.
+    pub user: String,
+    /// Reason for the alert.
+    pub reason: AlertReason,
+    /// Raw SQL of the offending operation (when applicable).
+    pub sql: Option<String>,
+    /// Index of the offending operation within the session.
+    pub position: Option<usize>,
+}
+
+/// Why an alert fired.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AlertReason {
+    /// The session violated an access-control policy.
+    Policy(String),
+    /// An operation's key was never seen in training.
+    UnknownStatement,
+    /// The operation fell outside the top-p contextual intent.
+    IntentMismatch,
+}
+
+struct ActiveSession {
+    session: Session,
+    keys: Vec<u32>,
+    alerted: bool,
+}
+
+/// The deployment wrapper: per-session state, alerting, and the verified-
+/// normal feedback buffer.
+pub struct OnlineUcad {
+    system: Ucad,
+    active: HashMap<u64, ActiveSession>,
+    /// Closed sessions the DBA confirmed normal (false alarms included),
+    /// awaiting the next fine-tuning round.
+    verified_normals: Vec<Vec<u32>>,
+    alerts: Vec<Alert>,
+}
+
+impl OnlineUcad {
+    /// Wraps a trained system.
+    pub fn new(system: Ucad) -> Self {
+        OnlineUcad {
+            system,
+            active: HashMap::new(),
+            verified_normals: Vec::new(),
+            alerts: Vec::new(),
+        }
+    }
+
+    /// Read access to the wrapped system.
+    pub fn system(&self) -> &Ucad {
+        &self.system
+    }
+
+    /// Alerts raised so far (most recent last).
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Number of currently active sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Sessions queued for the next fine-tuning round.
+    pub fn pending_feedback(&self) -> usize {
+        self.verified_normals.len()
+    }
+
+    /// Feeds one audit record into its session; returns the alert raised by
+    /// this operation, if any. A session alerts at most once (the paper
+    /// flags the whole session on the first abnormal operation).
+    pub fn observe(&mut self, record: &LogRecord) -> Option<Alert> {
+        let entry = self.active.entry(record.session_id).or_insert_with(|| ActiveSession {
+            session: Session {
+                id: record.session_id,
+                user: record.user.clone(),
+                client_ip: record.client_ip.clone(),
+                ops: Vec::new(),
+            },
+            keys: Vec::new(),
+            alerted: false,
+        });
+        entry.session.ops.push(Operation {
+            sql: record.sql.clone(),
+            table: record.table.clone(),
+            kind: record.op,
+            timestamp: record.timestamp,
+        });
+        let key = self.system.preprocessor.vocab.key_of_sql(&record.sql);
+        entry.keys.push(key);
+        if entry.alerted {
+            return None;
+        }
+
+        // (1) Known attack patterns: screen the session's attributes so far.
+        if let Some(v) = self.system.preprocessor.screen(&entry.session) {
+            entry.alerted = true;
+            let alert = Alert {
+                session_id: record.session_id,
+                user: record.user.clone(),
+                reason: AlertReason::Policy(format!("{v:?}")),
+                sql: Some(record.sql.clone()),
+                position: Some(entry.session.ops.len() - 1),
+            };
+            self.alerts.push(alert.clone());
+            return Some(alert);
+        }
+
+        // (2) Contextual intent: score the newly arrived operation against
+        // its preceding window (streaming detection, §5.3).
+        let t = entry.keys.len() - 1;
+        let min_context = self.system.detector.min_context.max(1);
+        if t < min_context {
+            return None;
+        }
+        let reason = if key == 0 {
+            Some(AlertReason::UnknownStatement)
+        } else {
+            // Score only the newly arrived operation against its preceding
+            // window (earlier positions were checked when they arrived):
+            // the streaming `O_L` rule of §5.3.
+            let scores = self.system.model.next_scores(&entry.keys[..t]);
+            let target = scores[key as usize];
+            let rank = scores
+                .iter()
+                .enumerate()
+                .skip(1)
+                .filter(|&(k, &s)| k != key as usize && s > target)
+                .count();
+            (rank >= self.system.detector.top_p).then_some(AlertReason::IntentMismatch)
+        };
+        if let Some(reason) = reason {
+            entry.alerted = true;
+            let alert = Alert {
+                session_id: record.session_id,
+                user: record.user.clone(),
+                reason,
+                sql: Some(record.sql.clone()),
+                position: Some(t),
+            };
+            self.alerts.push(alert.clone());
+            return Some(alert);
+        }
+        None
+    }
+
+    /// Closes a session. Unalerted sessions are verified normal by the
+    /// system itself and join the feedback buffer; alerted sessions await
+    /// DBA diagnosis (see [`OnlineUcad::confirm_false_alarm`]).
+    pub fn close_session(&mut self, session_id: u64) {
+        if let Some(entry) = self.active.remove(&session_id) {
+            if !entry.alerted {
+                self.verified_normals.push(entry.keys);
+            }
+        }
+    }
+
+    /// DBA feedback: the alert on `session_id` was a false alarm; the
+    /// session is verified normal and will be learned from (§5.3: "false
+    /// alarms will be incorporated with the verified normal sessions for
+    /// the next round of Trans-DAS training").
+    pub fn confirm_false_alarm(&mut self, session_id: u64) {
+        if let Some(entry) = self.active.remove(&session_id) {
+            self.verified_normals.push(entry.keys);
+        }
+    }
+
+    /// Runs one fine-tuning round over the accumulated verified-normal
+    /// sessions and clears the buffer. Returns `None` when there is no
+    /// feedback to learn from.
+    pub fn retrain_from_feedback(&mut self, epochs: usize) -> Option<TrainReport> {
+        if self.verified_normals.is_empty() {
+            return None;
+        }
+        let sessions = std::mem::take(&mut self.verified_normals);
+        Some(self.system.model.fine_tune(&sessions, epochs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::UcadConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ucad_model::TransDasConfig;
+    use ucad_trace::{generate_raw_log, AnomalySynthesizer, ScenarioSpec, SessionGenerator};
+
+    fn online_system(seed: u64) -> (OnlineUcad, ScenarioSpec) {
+        let spec = ScenarioSpec::commenting();
+        let raw = generate_raw_log(&spec, 120, 0.0, seed);
+        let mut cfg = UcadConfig::scenario1();
+        cfg.model = TransDasConfig {
+            hidden: 8,
+            heads: 2,
+            blocks: 2,
+            window: 12,
+            epochs: 12,
+            ..cfg.model
+        };
+        let (system, _) = Ucad::train(&raw.sessions, cfg);
+        (OnlineUcad::new(system), spec)
+    }
+
+    fn records_of(session: &Session) -> Vec<LogRecord> {
+        session
+            .ops
+            .iter()
+            .map(|op| LogRecord {
+                timestamp: op.timestamp,
+                user: session.user.clone(),
+                client_ip: session.client_ip.clone(),
+                session_id: session.id,
+                sql: op.sql.clone(),
+                table: op.table.clone(),
+                op: op.kind,
+                rows: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streams_normal_sessions_without_mostly_alerting() {
+        let (mut online, spec) = online_system(700);
+        let mut gen = SessionGenerator::new(spec);
+        let mut rng = StdRng::seed_from_u64(701);
+        let mut alerted = 0;
+        for _ in 0..10 {
+            let s = gen.normal_session(&mut rng).session;
+            for r in records_of(&s) {
+                online.observe(&r);
+            }
+            if online
+                .alerts()
+                .iter()
+                .any(|a| a.session_id == s.id)
+            {
+                alerted += 1;
+            }
+            online.close_session(s.id);
+        }
+        assert!(alerted <= 4, "too many online false alarms: {alerted}/10");
+        assert_eq!(online.active_sessions(), 0);
+        assert!(online.pending_feedback() >= 6);
+    }
+
+    #[test]
+    fn alerts_fire_on_injected_anomalies_and_stop_after_first() {
+        let (mut online, spec) = online_system(702);
+        let mut gen = SessionGenerator::new(spec.clone());
+        let synth = AnomalySynthesizer::new(&spec);
+        let mut rng = StdRng::seed_from_u64(703);
+        let mut caught = 0;
+        for _ in 0..10 {
+            let base = gen.normal_session(&mut rng).session;
+            let bad = synth.credential_stealing(&base, &mut gen, &mut rng).session;
+            let before = online.alerts().len();
+            let mut fired = 0;
+            for r in records_of(&bad) {
+                if online.observe(&r).is_some() {
+                    fired += 1;
+                }
+            }
+            assert!(fired <= 1, "a session alerted more than once");
+            if online.alerts().len() > before {
+                caught += 1;
+            }
+            online.close_session(bad.id);
+        }
+        assert!(caught >= 6, "online detector caught only {caught}/10 A2 sessions");
+    }
+
+    #[test]
+    fn policy_violations_alert_with_policy_reason() {
+        let (mut online, spec) = online_system(704);
+        let mut gen = SessionGenerator::new(spec);
+        let mut rng = StdRng::seed_from_u64(705);
+        let v = gen.noise_policy_violation(&mut rng).session;
+        let mut reasons = Vec::new();
+        for r in records_of(&v) {
+            if let Some(a) = online.observe(&r) {
+                reasons.push(a.reason);
+            }
+        }
+        assert!(
+            matches!(reasons.first(), Some(AlertReason::Policy(_))),
+            "expected a policy alert, got {reasons:?}"
+        );
+    }
+
+    #[test]
+    fn false_alarm_feedback_flows_into_fine_tuning() {
+        let (mut online, spec) = online_system(706);
+        let mut gen = SessionGenerator::new(spec);
+        let mut rng = StdRng::seed_from_u64(707);
+        // Feed a few sessions; whatever alerts is confirmed false by the DBA.
+        let mut ids = Vec::new();
+        for _ in 0..5 {
+            let s = gen.normal_session(&mut rng).session;
+            ids.push(s.id);
+            for r in records_of(&s) {
+                online.observe(&r);
+            }
+        }
+        for id in ids {
+            // Either path lands the session in the feedback buffer.
+            online.confirm_false_alarm(id);
+            online.close_session(id);
+        }
+        assert_eq!(online.pending_feedback(), 5);
+        let report = online.retrain_from_feedback(2).expect("feedback available");
+        assert_eq!(report.epoch_losses.len(), 2);
+        assert_eq!(online.pending_feedback(), 0);
+        assert!(online.retrain_from_feedback(2).is_none());
+    }
+
+    #[test]
+    fn unknown_statements_raise_unknown_statement_alerts() {
+        let (mut online, spec) = online_system(708);
+        let mut gen = SessionGenerator::new(spec);
+        let mut rng = StdRng::seed_from_u64(709);
+        let mut s = gen.normal_session(&mut rng).session;
+        let mid = s.len() / 2;
+        s.ops[mid].sql = "DELETE FROM t_shadow WHERE id=9".into();
+        let mut got = None;
+        for r in records_of(&s) {
+            if let Some(a) = online.observe(&r) {
+                got = Some(a);
+                break;
+            }
+        }
+        let alert = got.expect("unknown statement must alert");
+        assert_eq!(alert.reason, AlertReason::UnknownStatement);
+        assert_eq!(alert.position, Some(mid));
+    }
+}

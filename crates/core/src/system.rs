@@ -1,0 +1,238 @@
+//! The UCAD system façade (§3): preprocessing module + anomaly detection
+//! module, with the offline-training and online-detection stages.
+
+use serde::{Deserialize, Serialize};
+use ucad_model::{Detection, Detector, DetectorConfig, TrainReport, TransDas, TransDasConfig};
+use ucad_preprocess::{PolicyViolation, PreprocessConfig, PreprocessReport, Preprocessor};
+use ucad_trace::Session;
+
+/// Full system configuration. `model.vocab_size` is a placeholder — the
+/// actual key-space size is substituted after the vocabulary is built.
+#[derive(Debug, Clone, Copy)]
+pub struct UcadConfig {
+    /// Preprocessing pipeline configuration.
+    pub preprocess: PreprocessConfig,
+    /// Trans-DAS configuration template.
+    pub model: TransDasConfig,
+    /// Top-p detector configuration.
+    pub detector: DetectorConfig,
+    /// Seed for the cleaning stage's sampling.
+    pub seed: u64,
+}
+
+impl UcadConfig {
+    /// Paper defaults for Scenario-I.
+    pub fn scenario1() -> Self {
+        UcadConfig {
+            preprocess: PreprocessConfig::default(),
+            model: TransDasConfig::scenario1(0),
+            detector: DetectorConfig::scenario1(),
+            seed: 42,
+        }
+    }
+
+    /// Paper defaults for Scenario-II.
+    pub fn scenario2() -> Self {
+        UcadConfig {
+            preprocess: PreprocessConfig::default(),
+            model: TransDasConfig::scenario2(0),
+            detector: DetectorConfig::scenario2(),
+            seed: 42,
+        }
+    }
+}
+
+/// Why a session was flagged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Passed policy screening and intent matching.
+    Normal,
+    /// Rejected by the access-control screen (known attack pattern).
+    PolicyViolation(PolicyViolation),
+    /// Flagged by Trans-DAS intent comparison.
+    IntentMismatch(Detection),
+}
+
+impl Verdict {
+    /// True when the session is considered abnormal.
+    pub fn is_abnormal(&self) -> bool {
+        !matches!(self, Verdict::Normal)
+    }
+}
+
+/// Training-stage report.
+#[derive(Debug, Clone)]
+pub struct UcadTrainReport {
+    /// Preprocessing statistics.
+    pub preprocess: PreprocessReport,
+    /// Model training statistics.
+    pub model: TrainReport,
+    /// Purified training sessions used.
+    pub purified_sessions: usize,
+}
+
+/// A trained UCAD instance.
+pub struct Ucad {
+    /// Fitted preprocessing state.
+    pub preprocessor: Preprocessor,
+    /// Trained Trans-DAS model.
+    pub model: TransDas,
+    /// Detector configuration.
+    pub detector: DetectorConfig,
+}
+
+impl Ucad {
+    /// Offline training stage (§5.2): fits the preprocessor on the raw log,
+    /// purifies it, and trains Trans-DAS on the purified sessions.
+    pub fn train(raw_sessions: &[Session], cfg: UcadConfig) -> (Ucad, UcadTrainReport) {
+        let (preprocessor, purified, pre_report) =
+            Preprocessor::fit(raw_sessions, cfg.preprocess, cfg.seed);
+        let model_cfg = TransDasConfig {
+            vocab_size: preprocessor.vocab.key_space(),
+            ..cfg.model
+        };
+        let mut model = TransDas::new(model_cfg);
+        let model_report = model.train(&purified);
+        let report = UcadTrainReport {
+            preprocess: pre_report,
+            model: model_report,
+            purified_sessions: purified.len(),
+        };
+        (Ucad { preprocessor, model, detector: cfg.detector }, report)
+    }
+
+    /// Trains directly on pre-tokenized purified sessions, bypassing the
+    /// preprocessing stage (used by experiments that tokenize up front and
+    /// by the ablation/sweep harnesses).
+    pub fn train_tokenized(
+        preprocessor: Preprocessor,
+        purified: &[Vec<u32>],
+        model_cfg: TransDasConfig,
+        detector: DetectorConfig,
+    ) -> (Ucad, TrainReport) {
+        let model_cfg =
+            TransDasConfig { vocab_size: preprocessor.vocab.key_space(), ..model_cfg };
+        let mut model = TransDas::new(model_cfg);
+        let report = model.train(purified);
+        (Ucad { preprocessor, model, detector }, report)
+    }
+
+    /// Online detection stage (§5.3): policy screen first, then contextual
+    /// intent comparison through the trained model.
+    pub fn detect(&self, session: &Session) -> Verdict {
+        if let Some(v) = self.preprocessor.screen(session) {
+            return Verdict::PolicyViolation(v);
+        }
+        let keys = self.preprocessor.transform(session);
+        self.detect_keys(&keys)
+    }
+
+    /// Detection on an already-tokenized session (no policy screen).
+    pub fn detect_keys(&self, keys: &[u32]) -> Verdict {
+        let detector = Detector::new(&self.model, self.detector);
+        let d = detector.detect_session(keys);
+        if d.abnormal {
+            Verdict::IntentMismatch(d)
+        } else {
+            Verdict::Normal
+        }
+    }
+
+    /// Fine-tunes the model on newly verified normal sessions (§5.2
+    /// concept-drift handling). Sessions are tokenized with the frozen
+    /// vocabulary.
+    pub fn fine_tune(&mut self, verified_normals: &[Session], epochs: usize) -> TrainReport {
+        let tokenized: Vec<Vec<u32>> = verified_normals
+            .iter()
+            .map(|s| self.preprocessor.transform(s))
+            .collect();
+        self.model.fine_tune(&tokenized, epochs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucad_model::MaskMode;
+    use ucad_trace::{generate_raw_log, AnomalySynthesizer, ScenarioSpec, SessionGenerator};
+
+    fn small_cfg() -> UcadConfig {
+        let mut cfg = UcadConfig::scenario1();
+        cfg.model = TransDasConfig {
+            hidden: 8,
+            heads: 2,
+            blocks: 2,
+            window: 12,
+            epochs: 6,
+            mask: MaskMode::TransDas,
+            ..TransDasConfig::scenario1(0)
+        };
+        cfg
+    }
+
+    #[test]
+    fn end_to_end_train_and_detect() {
+        let spec = ScenarioSpec::commenting();
+        let raw = generate_raw_log(&spec, 80, 0.1, 100);
+        let (ucad, report) = Ucad::train(&raw.sessions, small_cfg());
+        assert!(report.purified_sessions > 20);
+        assert!(report.preprocess.vocab_size >= 15);
+        assert!(!report.model.epoch_losses.is_empty());
+
+        // A fresh normal session should mostly pass; a policy-violating one
+        // must be screened.
+        let mut gen = SessionGenerator::new(spec.clone());
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        let violating = gen.noise_policy_violation(&mut rng).session;
+        assert!(matches!(ucad.detect(&violating), Verdict::PolicyViolation(_)));
+    }
+
+    #[test]
+    fn detects_credential_stealing_better_than_chance() {
+        let spec = ScenarioSpec::commenting();
+        let raw = generate_raw_log(&spec, 120, 0.0, 101);
+        let (ucad, _) = Ucad::train(&raw.sessions, small_cfg());
+
+        let mut gen = SessionGenerator::new(spec.clone());
+        let synth = AnomalySynthesizer::new(&spec);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(6);
+        let mut caught = 0;
+        let mut false_alarms = 0;
+        let n = 20;
+        for _ in 0..n {
+            let normal = gen.normal_session(&mut rng).session;
+            let abnormal = synth.credential_stealing(&normal, &mut gen, &mut rng);
+            if ucad.detect_keys(&ucad.preprocessor.transform(&abnormal.session)).is_abnormal() {
+                caught += 1;
+            }
+            if ucad.detect_keys(&ucad.preprocessor.transform(&normal)).is_abnormal() {
+                false_alarms += 1;
+            }
+        }
+        assert!(
+            caught > false_alarms,
+            "A2 detection not better than chance: caught {caught}, false alarms {false_alarms}"
+        );
+        assert!(caught >= n / 2, "caught only {caught}/{n} A2 sessions");
+    }
+
+    #[test]
+    fn fine_tune_runs_on_frozen_vocabulary() {
+        let spec = ScenarioSpec::commenting();
+        let raw = generate_raw_log(&spec, 60, 0.0, 102);
+        let (mut ucad, _) = Ucad::train(&raw.sessions, small_cfg());
+        let mut gen = SessionGenerator::new(spec);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let new_normals: Vec<_> =
+            (0..5).map(|_| gen.normal_session(&mut rng).session).collect();
+        let report = ucad.fine_tune(&new_normals, 2);
+        assert_eq!(report.epoch_losses.len(), 2);
+    }
+
+    #[test]
+    fn verdict_classification() {
+        assert!(!Verdict::Normal.is_abnormal());
+        let d = Detection { abnormal: true, first_anomaly: Some(3), positions_checked: 5 };
+        assert!(Verdict::IntentMismatch(d).is_abnormal());
+    }
+}

@@ -1,0 +1,260 @@
+//! AST for the SQL subset the UCAD traces exercise.
+//!
+//! The paper's workloads consist of single-table `INSERT` / `SELECT` /
+//! `UPDATE` / `DELETE` statements with conjunctive equality and `IN`
+//! predicates; this module models exactly that subset.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A literal value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit integer literal.
+    Int(i64),
+    /// Single-quoted string literal.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// One conjunct of a `WHERE` clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Condition {
+    /// `column = value`
+    Eq(String, Value),
+    /// `column IN (v1, v2, ...)`
+    In(String, Vec<Value>),
+}
+
+impl Condition {
+    /// Column the condition constrains.
+    pub fn column(&self) -> &str {
+        match self {
+            Condition::Eq(c, _) | Condition::In(c, _) => c,
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Eq(c, v) => write!(f, "{c}={v}"),
+            Condition::In(c, vs) => {
+                write!(f, "{c} IN (")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Projection list of a `SELECT`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Projection {
+    /// `SELECT *`
+    All,
+    /// `SELECT c1, c2, ...`
+    Columns(Vec<String>),
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    /// `INSERT INTO table (cols...) VALUES (...), (...)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Column list.
+        columns: Vec<String>,
+        /// One entry per `VALUES` tuple.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `SELECT proj FROM table [WHERE conds]`
+    Select {
+        /// Target table.
+        table: String,
+        /// Projection list.
+        projection: Projection,
+        /// Conjunctive `WHERE` conditions (empty = no filter).
+        conditions: Vec<Condition>,
+    },
+    /// `UPDATE table SET col=value, ... [WHERE conds]`
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column, value)` assignments.
+        assignments: Vec<(String, Value)>,
+        /// Conjunctive `WHERE` conditions.
+        conditions: Vec<Condition>,
+    },
+    /// `DELETE FROM table [WHERE conds]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Conjunctive `WHERE` conditions.
+        conditions: Vec<Condition>,
+    },
+}
+
+/// The four operation kinds recorded in the audit log (the paper's `#Keys`
+/// breakdown in Table 1 counts statements per kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// `SELECT`
+    Select,
+    /// `INSERT`
+    Insert,
+    /// `UPDATE`
+    Update,
+    /// `DELETE`
+    Delete,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Select => "SELECT",
+            OpKind::Insert => "INSERT",
+            OpKind::Update => "UPDATE",
+            OpKind::Delete => "DELETE",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Statement {
+    /// Table the statement touches.
+    pub fn table(&self) -> &str {
+        match self {
+            Statement::Insert { table, .. }
+            | Statement::Select { table, .. }
+            | Statement::Update { table, .. }
+            | Statement::Delete { table, .. } => table,
+        }
+    }
+
+    /// Operation kind.
+    pub fn op_kind(&self) -> OpKind {
+        match self {
+            Statement::Insert { .. } => OpKind::Insert,
+            Statement::Select { .. } => OpKind::Select,
+            Statement::Update { .. } => OpKind::Update,
+            Statement::Delete { .. } => OpKind::Delete,
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn write_conds(f: &mut fmt::Formatter<'_>, conds: &[Condition]) -> fmt::Result {
+            if conds.is_empty() {
+                return Ok(());
+            }
+            write!(f, " WHERE ")?;
+            for (i, c) in conds.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " and ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            Ok(())
+        }
+        match self {
+            Statement::Insert { table, columns, rows } => {
+                write!(f, "INSERT INTO {table} ({}) VALUES ", columns.join(", "))?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "(")?;
+                    for (j, v) in row.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Statement::Select { table, projection, conditions } => {
+                match projection {
+                    Projection::All => write!(f, "SELECT * FROM {table}")?,
+                    Projection::Columns(cols) => {
+                        write!(f, "SELECT {} FROM {table}", cols.join(", "))?
+                    }
+                }
+                write_conds(f, conditions)
+            }
+            Statement::Update { table, assignments, conditions } => {
+                write!(f, "UPDATE {table} SET ")?;
+                for (i, (c, v)) in assignments.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}={v}")?;
+                }
+                write_conds(f, conditions)
+            }
+            Statement::Delete { table, conditions } => {
+                write!(f, "DELETE FROM {table}")?;
+                write_conds(f, conditions)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_visually() {
+        let s = Statement::Select {
+            table: "t_cell_fp_3".into(),
+            projection: Projection::All,
+            conditions: vec![
+                Condition::Eq("pnci".into(), Value::Int(7)),
+                Condition::In("gridId".into(), vec![Value::Int(1), Value::Int(2)]),
+            ],
+        };
+        assert_eq!(
+            s.to_string(),
+            "SELECT * FROM t_cell_fp_3 WHERE pnci=7 and gridId IN (1, 2)"
+        );
+    }
+
+    #[test]
+    fn op_kind_and_table() {
+        let s = Statement::Delete { table: "t_rm_mac".into(), conditions: vec![] };
+        assert_eq!(s.op_kind(), OpKind::Delete);
+        assert_eq!(s.table(), "t_rm_mac");
+        assert_eq!(s.to_string(), "DELETE FROM t_rm_mac");
+    }
+
+    #[test]
+    fn insert_display_multi_row() {
+        let s = Statement::Insert {
+            table: "t".into(),
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![
+                vec![Value::Int(1), Value::Str("x".into())],
+                vec![Value::Int(2), Value::Str("y".into())],
+            ],
+        };
+        assert_eq!(s.to_string(), "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+    }
+}

@@ -1,0 +1,344 @@
+//! In-memory relational engine executing the parsed SQL subset.
+//!
+//! The engine exists so the synthetic workloads in `ucad-trace` run against a
+//! real executor and the audit log reflects statements that actually touched
+//! data — the same property the paper's production traces have.
+
+use crate::ast::{Condition, Projection, Statement, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// Referenced column does not exist in the table.
+    UnknownColumn {
+        /// Table searched.
+        table: String,
+        /// Missing column.
+        column: String,
+    },
+    /// INSERT column list does not match the table schema.
+    SchemaMismatch(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            ExecError::UnknownColumn { table, column } => {
+                write!(f, "unknown column '{column}' in table '{table}'")
+            }
+            ExecError::SchemaMismatch(t) => write!(f, "schema mismatch for table '{t}'"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A table: named columns plus row storage.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given columns.
+    pub fn new(columns: Vec<String>) -> Self {
+        Table { columns, rows: Vec::new() }
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of rows currently stored.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecResult {
+    /// Rows returned by a `SELECT`.
+    Rows(Vec<Vec<Value>>),
+    /// Row count affected by a write.
+    Affected(usize),
+}
+
+impl ExecResult {
+    /// Number of rows returned or affected.
+    pub fn row_count(&self) -> usize {
+        match self {
+            ExecResult::Rows(r) => r.len(),
+            ExecResult::Affected(n) => *n,
+        }
+    }
+}
+
+/// An in-memory database.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates (or replaces) a table.
+    pub fn create_table(&mut self, name: &str, columns: &[&str]) {
+        self.tables.insert(
+            name.to_string(),
+            Table::new(columns.iter().map(|c| c.to_string()).collect()),
+        );
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Executes one statement.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<ExecResult, ExecError> {
+        match stmt {
+            Statement::Insert { table, columns, rows } => {
+                let t = self
+                    .tables
+                    .get_mut(table)
+                    .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
+                // Map the statement's column order onto the schema order.
+                let mut mapping = Vec::with_capacity(columns.len());
+                for c in columns {
+                    let idx = t.column_index(c).ok_or_else(|| ExecError::UnknownColumn {
+                        table: table.clone(),
+                        column: c.clone(),
+                    })?;
+                    mapping.push(idx);
+                }
+                if columns.len() != t.columns.len() {
+                    return Err(ExecError::SchemaMismatch(table.clone()));
+                }
+                for row in rows {
+                    let mut stored = vec![Value::Int(0); t.columns.len()];
+                    for (value, &idx) in row.iter().zip(mapping.iter()) {
+                        stored[idx] = value.clone();
+                    }
+                    t.rows.push(stored);
+                }
+                Ok(ExecResult::Affected(rows.len()))
+            }
+            Statement::Select { table, projection, conditions } => {
+                let t = self
+                    .tables
+                    .get(table)
+                    .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
+                let filter = Self::compile_filter(table, t, conditions)?;
+                let proj: Option<Vec<usize>> = match projection {
+                    Projection::All => None,
+                    Projection::Columns(cols) => {
+                        let mut idxs = Vec::with_capacity(cols.len());
+                        for c in cols {
+                            idxs.push(t.column_index(c).ok_or_else(|| {
+                                ExecError::UnknownColumn {
+                                    table: table.clone(),
+                                    column: c.clone(),
+                                }
+                            })?);
+                        }
+                        Some(idxs)
+                    }
+                };
+                let rows = t
+                    .rows
+                    .iter()
+                    .filter(|row| filter(row))
+                    .map(|row| match &proj {
+                        None => row.clone(),
+                        Some(idxs) => idxs.iter().map(|&i| row[i].clone()).collect(),
+                    })
+                    .collect();
+                Ok(ExecResult::Rows(rows))
+            }
+            Statement::Update { table, assignments, conditions } => {
+                let t = self
+                    .tables
+                    .get(table)
+                    .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
+                let filter = Self::compile_filter(table, t, conditions)?;
+                let mut sets = Vec::with_capacity(assignments.len());
+                for (c, v) in assignments {
+                    let idx = t.column_index(c).ok_or_else(|| ExecError::UnknownColumn {
+                        table: table.clone(),
+                        column: c.clone(),
+                    })?;
+                    sets.push((idx, v.clone()));
+                }
+                let t = self.tables.get_mut(table).expect("checked above");
+                let mut affected = 0;
+                for row in &mut t.rows {
+                    if filter(row) {
+                        for (idx, v) in &sets {
+                            row[*idx] = v.clone();
+                        }
+                        affected += 1;
+                    }
+                }
+                Ok(ExecResult::Affected(affected))
+            }
+            Statement::Delete { table, conditions } => {
+                let t = self
+                    .tables
+                    .get(table)
+                    .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
+                let filter = Self::compile_filter(table, t, conditions)?;
+                let t = self.tables.get_mut(table).expect("checked above");
+                let before = t.rows.len();
+                t.rows.retain(|row| !filter(row));
+                Ok(ExecResult::Affected(before - t.rows.len()))
+            }
+        }
+    }
+
+    /// Compiles conjunctive conditions into a row predicate, resolving column
+    /// indices once up front.
+    #[allow(clippy::type_complexity)]
+    fn compile_filter(
+        table: &str,
+        t: &Table,
+        conditions: &[Condition],
+    ) -> Result<Box<dyn Fn(&[Value]) -> bool>, ExecError> {
+        enum Compiled {
+            Eq(usize, Value),
+            In(usize, Vec<Value>),
+        }
+        let mut compiled = Vec::with_capacity(conditions.len());
+        for cond in conditions {
+            let idx = t.column_index(cond.column()).ok_or_else(|| {
+                ExecError::UnknownColumn {
+                    table: table.to_string(),
+                    column: cond.column().to_string(),
+                }
+            })?;
+            compiled.push(match cond {
+                Condition::Eq(_, v) => Compiled::Eq(idx, v.clone()),
+                Condition::In(_, vs) => Compiled::In(idx, vs.clone()),
+            });
+        }
+        Ok(Box::new(move |row: &[Value]| {
+            compiled.iter().all(|c| match c {
+                Compiled::Eq(idx, v) => &row[*idx] == v,
+                Compiled::In(idx, vs) => vs.contains(&row[*idx]),
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table("t", &["id", "name", "count"]);
+        db.execute(&parse("INSERT INTO t (id, name, count) VALUES (1, 'a', 10), (2, 'b', 20), (3, 'a', 30)").unwrap())
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_then_select_all() {
+        let mut db = db();
+        let r = db.execute(&parse("SELECT * FROM t").unwrap()).unwrap();
+        assert_eq!(r.row_count(), 3);
+    }
+
+    #[test]
+    fn select_with_eq_and_projection() {
+        let mut db = db();
+        let r = db
+            .execute(&parse("SELECT id FROM t WHERE name='a'").unwrap())
+            .unwrap();
+        assert_eq!(
+            r,
+            ExecResult::Rows(vec![vec![Value::Int(1)], vec![Value::Int(3)]])
+        );
+    }
+
+    #[test]
+    fn select_with_in() {
+        let mut db = db();
+        let r = db
+            .execute(&parse("SELECT * FROM t WHERE id IN (1, 3)").unwrap())
+            .unwrap();
+        assert_eq!(r.row_count(), 2);
+    }
+
+    #[test]
+    fn update_affects_matching_rows() {
+        let mut db = db();
+        let r = db
+            .execute(&parse("UPDATE t SET count=99 WHERE name='a'").unwrap())
+            .unwrap();
+        assert_eq!(r, ExecResult::Affected(2));
+        let r = db
+            .execute(&parse("SELECT * FROM t WHERE count=99").unwrap())
+            .unwrap();
+        assert_eq!(r.row_count(), 2);
+    }
+
+    #[test]
+    fn delete_removes_rows() {
+        let mut db = db();
+        let r = db.execute(&parse("DELETE FROM t WHERE id=2").unwrap()).unwrap();
+        assert_eq!(r, ExecResult::Affected(1));
+        assert_eq!(db.table("t").unwrap().row_count(), 2);
+    }
+
+    #[test]
+    fn insert_respects_column_order() {
+        let mut db = Database::new();
+        db.create_table("t", &["a", "b"]);
+        db.execute(&parse("INSERT INTO t (b, a) VALUES (2, 1)").unwrap()).unwrap();
+        let r = db.execute(&parse("SELECT a, b FROM t").unwrap()).unwrap();
+        assert_eq!(r, ExecResult::Rows(vec![vec![Value::Int(1), Value::Int(2)]]));
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let mut db = db();
+        assert!(matches!(
+            db.execute(&parse("SELECT * FROM nope").unwrap()),
+            Err(ExecError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            db.execute(&parse("SELECT * FROM t WHERE ghost=1").unwrap()),
+            Err(ExecError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_without_where_clears_table() {
+        let mut db = db();
+        let r = db.execute(&parse("DELETE FROM t").unwrap()).unwrap();
+        assert_eq!(r, ExecResult::Affected(3));
+        assert_eq!(db.table("t").unwrap().row_count(), 0);
+    }
+}

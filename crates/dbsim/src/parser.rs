@@ -1,0 +1,405 @@
+//! Recursive-descent parser for the SQL subset in [`crate::ast`].
+//!
+//! Parsing is case-insensitive for keywords and preserves identifier case.
+//! The parser is used both by the audit-log replayer and by UCAD's
+//! preprocessing (statement abstraction needs a faithful parse to substitute
+//! variables with `$k` placeholders).
+
+use crate::ast::{Condition, Projection, Statement, Value};
+use std::fmt;
+
+/// Parse error with byte position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation of what went wrong.
+    pub message: String,
+    /// Token index where the error occurred.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Eq,
+    Star,
+}
+
+fn lex(sql: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' | ';' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != '\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError {
+                        message: "unterminated string literal".into(),
+                        at: tokens.len(),
+                    });
+                }
+                tokens.push(Token::Str(sql[start..j].to_string()));
+                i = j + 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                let text = &sql[start..j];
+                let value = text.parse::<i64>().map_err(|_| ParseError {
+                    message: format!("bad integer literal '{text}'"),
+                    at: tokens.len(),
+                })?;
+                tokens.push(Token::Int(value));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let c = bytes[j] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(sql[start..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character '{other}'"),
+                    at: tokens.len(),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token, ParseError> {
+        let t = self.tokens.get(self.pos).cloned().ok_or_else(|| ParseError {
+            message: "unexpected end of statement".into(),
+            at: self.pos,
+        })?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), at: self.pos }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next()? {
+            Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.error(format!("expected keyword {kw}, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<(), ParseError> {
+        let t = self.next()?;
+        if t == tok {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {tok:?}, found {t:?}")))
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.next()? {
+            Token::Int(i) => Ok(Value::Int(i)),
+            Token::Str(s) => Ok(Value::Str(s)),
+            // Abstracted statements contain `$k` placeholders; treat them as
+            // string values so abstracted SQL still parses.
+            Token::Ident(s) if s.starts_with('$') => Ok(Value::Str(s)),
+            other => Err(self.error(format!("expected value, found {other:?}"))),
+        }
+    }
+
+    fn value_list(&mut self) -> Result<Vec<Value>, ParseError> {
+        self.expect(Token::LParen)?;
+        let mut values = vec![self.value()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            values.push(self.value()?);
+        }
+        self.expect(Token::RParen)?;
+        Ok(values)
+    }
+
+    fn conditions(&mut self) -> Result<Vec<Condition>, ParseError> {
+        if !self.peek_keyword("where") {
+            return Ok(Vec::new());
+        }
+        self.pos += 1;
+        let mut conds = Vec::new();
+        loop {
+            let column = self.expect_ident()?;
+            if self.peek_keyword("in") {
+                self.pos += 1;
+                conds.push(Condition::In(column, self.value_list()?));
+            } else {
+                self.expect(Token::Eq)?;
+                conds.push(Condition::Eq(column, self.value()?));
+            }
+            if self.peek_keyword("and") {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(conds)
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        let head = self.expect_ident()?;
+        let stmt = if head.eq_ignore_ascii_case("select") {
+            let projection = if self.peek() == Some(&Token::Star) {
+                self.pos += 1;
+                Projection::All
+            } else {
+                let mut cols = vec![self.expect_ident()?];
+                while self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                    cols.push(self.expect_ident()?);
+                }
+                Projection::Columns(cols)
+            };
+            self.expect_keyword("from")?;
+            let table = self.expect_ident()?;
+            let conditions = self.conditions()?;
+            Statement::Select { table, projection, conditions }
+        } else if head.eq_ignore_ascii_case("insert") {
+            self.expect_keyword("into")?;
+            let table = self.expect_ident()?;
+            self.expect(Token::LParen)?;
+            let mut columns = vec![self.expect_ident()?];
+            while self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+                columns.push(self.expect_ident()?);
+            }
+            self.expect(Token::RParen)?;
+            self.expect_keyword("values")?;
+            let mut rows = vec![self.tuple(columns.len())?];
+            while self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+                rows.push(self.tuple(columns.len())?);
+            }
+            Statement::Insert { table, columns, rows }
+        } else if head.eq_ignore_ascii_case("update") {
+            let table = self.expect_ident()?;
+            self.expect_keyword("set")?;
+            let mut assignments = Vec::new();
+            loop {
+                let col = self.expect_ident()?;
+                self.expect(Token::Eq)?;
+                assignments.push((col, self.value()?));
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let conditions = self.conditions()?;
+            Statement::Update { table, assignments, conditions }
+        } else if head.eq_ignore_ascii_case("delete") {
+            self.expect_keyword("from")?;
+            let table = self.expect_ident()?;
+            let conditions = self.conditions()?;
+            Statement::Delete { table, conditions }
+        } else {
+            return Err(self.error(format!("unsupported statement '{head}'")));
+        };
+        if self.pos != self.tokens.len() {
+            return Err(self.error("trailing tokens after statement"));
+        }
+        Ok(stmt)
+    }
+
+    fn tuple(&mut self, arity: usize) -> Result<Vec<Value>, ParseError> {
+        let values = self.value_list()?;
+        if values.len() != arity {
+            return Err(self.error(format!(
+                "VALUES tuple arity {} does not match column list {}",
+                values.len(),
+                arity
+            )));
+        }
+        Ok(values)
+    }
+}
+
+/// Parses a single SQL statement.
+pub fn parse(sql: &str) -> Result<Statement, ParseError> {
+    let tokens = lex(sql)?;
+    if tokens.is_empty() {
+        return Err(ParseError { message: "empty statement".into(), at: 0 });
+    }
+    Parser { tokens, pos: 0 }.statement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::OpKind;
+
+    #[test]
+    fn parses_select_star_with_in() {
+        let s = parse("SELECT * FROM t_cell_fp_9 WHERE pnci=1 and gridId IN (2, 36)").unwrap();
+        match &s {
+            Statement::Select { table, projection, conditions } => {
+                assert_eq!(table, "t_cell_fp_9");
+                assert_eq!(*projection, Projection::All);
+                assert_eq!(conditions.len(), 2);
+                assert_eq!(conditions[1].column(), "gridId");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_row_insert() {
+        let s = parse(
+            "INSERT INTO t_cell_fp_3 (pnci, gridId, fps) VALUES (1, 2, 3), (4, 5, 6)",
+        )
+        .unwrap();
+        match &s {
+            Statement::Insert { columns, rows, .. } => {
+                assert_eq!(columns.len(), 3);
+                assert_eq!(rows.len(), 2);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_update_with_string_values() {
+        let s = parse("Update T_content set count=23, tag='hot' where danmuKey=94").unwrap();
+        match &s {
+            Statement::Update { assignments, conditions, .. } => {
+                assert_eq!(assignments.len(), 2);
+                assert_eq!(assignments[1].1, Value::Str("hot".into()));
+                assert_eq!(conditions.len(), 1);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert_eq!(s.op_kind(), OpKind::Update);
+    }
+
+    #[test]
+    fn parses_delete_without_where() {
+        let s = parse("DELETE FROM t_rm_mac").unwrap();
+        assert_eq!(s, Statement::Delete { table: "t_rm_mac".into(), conditions: vec![] });
+    }
+
+    #[test]
+    fn parses_abstracted_placeholders() {
+        let s = parse("UPDATE T_content SET count=$1 WHERE danmuKey=$2").unwrap();
+        match &s {
+            Statement::Update { assignments, .. } => {
+                assert_eq!(assignments[0].1, Value::Str("$1".into()));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for sql in [
+            "SELECT * FROM t WHERE a=1",
+            "SELECT a, b FROM t",
+            "INSERT INTO t (a) VALUES (1), (2)",
+            "UPDATE t SET a=1 WHERE b='x'",
+            "DELETE FROM t WHERE a IN (1, 2, 3)",
+        ] {
+            let stmt = parse(sql).unwrap();
+            let printed = stmt.to_string();
+            assert_eq!(parse(&printed).unwrap(), stmt, "roundtrip failed for {sql}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("DROP TABLE t").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("INSERT INTO t (a, b) VALUES (1)").is_err());
+        assert!(parse("SELECT * FROM t WHERE a='unterminated").is_err());
+        assert!(parse("SELECT * FROM t extra junk").is_err());
+    }
+
+    #[test]
+    fn negative_integers() {
+        let s = parse("UPDATE t SET a=-5 WHERE b=1").unwrap();
+        match s {
+            Statement::Update { assignments, .. } => {
+                assert_eq!(assignments[0].1, Value::Int(-5));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Online anomaly detection with the top-*p* strategy (§5.3).
+//!
+//! For each operation in an active session, the detector checks whether the
+//! operation's key ranks within the top-*p* of the model's predicted
+//! similarity scores for that position. A miss marks the operation — and
+//! therefore the session — abnormal. Statements outside the training
+//! vocabulary (`k0`) are abnormal by definition (their embedding is the
+//! constant zero vector, so they carry no learned semantics).
+
+use crate::model::TransDas;
+use serde::{Deserialize, Serialize};
+
+/// How positions are scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectionMode {
+    /// Paper-exact streaming: one forward pass per operation, scoring the
+    /// next operation from its *preceding* window (`O_L`).
+    Streaming,
+    /// Batched evaluation: one forward pass per window of `L` operations,
+    /// scoring every position simultaneously. Identical information flow to
+    /// the training objective (bidirectional context minus the target);
+    /// ~`L`x faster, used for large offline evaluations.
+    Block,
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// An operation is normal if its key ranks in the top-`p` predictions.
+    pub top_p: usize,
+    /// Minimum number of preceding operations before detection starts
+    /// (early operations have no contextual intent to compare against).
+    pub min_context: usize,
+    /// Scoring mode.
+    pub mode: DetectionMode,
+}
+
+impl DetectorConfig {
+    /// Paper defaults for Scenario-I (`p = 5`).
+    pub fn scenario1() -> Self {
+        DetectorConfig { top_p: 5, min_context: 2, mode: DetectionMode::Block }
+    }
+
+    /// Paper defaults for Scenario-II (`p = 10`).
+    pub fn scenario2() -> Self {
+        DetectorConfig { top_p: 10, min_context: 2, mode: DetectionMode::Block }
+    }
+}
+
+/// Per-session verdict.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Whether any operation fell outside the top-*p*.
+    pub abnormal: bool,
+    /// Index of the first abnormal operation, if any.
+    pub first_anomaly: Option<usize>,
+    /// Number of operations actually scored.
+    pub positions_checked: usize,
+}
+
+/// Top-*p* detector over a trained Trans-DAS model.
+pub struct Detector<'a> {
+    model: &'a TransDas,
+    /// Configuration.
+    pub cfg: DetectorConfig,
+}
+
+impl<'a> Detector<'a> {
+    /// Wraps a trained model.
+    pub fn new(model: &'a TransDas, cfg: DetectorConfig) -> Self {
+        assert!(cfg.top_p >= 1, "top_p must be at least 1");
+        Detector { model, cfg }
+    }
+
+    /// Detects anomalies in one tokenized session.
+    pub fn detect_session(&self, keys: &[u32]) -> Detection {
+        match self.cfg.mode {
+            DetectionMode::Streaming => self.detect_streaming(keys),
+            DetectionMode::Block => self.detect_block(keys),
+        }
+    }
+
+    /// Rank (0-based) of `actual` in `scores`, counting keys `1..V` only.
+    fn rank_of(scores: &[f32], actual: u32) -> usize {
+        let target = scores[actual as usize];
+        scores
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|&(k, &s)| k != actual as usize && s > target)
+            .count()
+    }
+
+    fn verdict_at(&self, scores: &[f32], actual: u32) -> bool {
+        if actual == 0 {
+            return true; // unseen statement
+        }
+        Self::rank_of(scores, actual) >= self.cfg.top_p
+    }
+
+    fn detect_streaming(&self, keys: &[u32]) -> Detection {
+        let mut checked = 0;
+        for t in self.cfg.min_context..keys.len() {
+            checked += 1;
+            if keys[t] == 0 {
+                return Detection {
+                    abnormal: true,
+                    first_anomaly: Some(t),
+                    positions_checked: checked,
+                };
+            }
+            let scores = self.model.next_scores(&keys[..t]);
+            if self.verdict_at(&scores, keys[t]) {
+                return Detection {
+                    abnormal: true,
+                    first_anomaly: Some(t),
+                    positions_checked: checked,
+                };
+            }
+        }
+        Detection { abnormal: false, first_anomaly: None, positions_checked: checked }
+    }
+
+    fn detect_block(&self, keys: &[u32]) -> Detection {
+        let l = self.model.cfg.window;
+        // Position 0 has no predecessor and cannot be predicted.
+        let min_context = self.cfg.min_context.max(1);
+        if keys.len() <= min_context {
+            return Detection { abnormal: false, first_anomaly: None, positions_checked: 0 };
+        }
+        // Fast path for unseen statements.
+        for (t, &k) in keys.iter().enumerate().skip(min_context) {
+            if k == 0 {
+                return Detection {
+                    abnormal: true,
+                    first_anomaly: Some(t),
+                    positions_checked: t - min_context + 1,
+                };
+            }
+        }
+        // Front-pad so window rows line up with session positions; row i of
+        // a window starting at `start` predicts padded position start+i+1.
+        let pad = (l + 1).saturating_sub(keys.len());
+        let mut padded = vec![0u32; pad];
+        padded.extend_from_slice(keys);
+        let n = padded.len();
+        debug_assert!(n > l);
+        let mut checked = 0;
+        let mut next_t = min_context; // watermark: each position scored once
+        while next_t < keys.len() {
+            let tp = next_t + pad;
+            let start = (tp - 1).min(n - l);
+            let window = &padded[start..start + l];
+            let scores = self.model.position_scores(window);
+            for i in 0..l {
+                let t_padded = start + i + 1;
+                if t_padded >= n {
+                    break;
+                }
+                if t_padded < pad {
+                    continue;
+                }
+                let t = t_padded - pad;
+                if t < next_t {
+                    continue;
+                }
+                checked += 1;
+                next_t = t + 1;
+                if self.verdict_at(scores.row(i), keys[t]) {
+                    return Detection {
+                        abnormal: true,
+                        first_anomaly: Some(t),
+                        positions_checked: checked,
+                    };
+                }
+            }
+        }
+        Detection { abnormal: false, first_anomaly: None, positions_checked: checked }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MaskMode, TransDasConfig};
+
+    /// Two session "themes" (user task types): keys 1-3 cycle and keys 4-6
+    /// cycle. Per the paper's negative sampling (keys absent from the
+    /// session), the model learns to score foreign-theme keys low in a
+    /// given context — the signal top-p detection relies on.
+    fn trained_model() -> TransDas {
+        let cfg = TransDasConfig {
+            vocab_size: 8,
+            hidden: 8,
+            heads: 2,
+            blocks: 2,
+            window: 6,
+            positional: false,
+            mask: MaskMode::TransDas,
+            triplet: true,
+            margin: 0.5,
+            negatives: 2,
+            dropout_keep: 1.0,
+            lr: 1e-2,
+            weight_decay: 1e-5,
+            epochs: 40,
+            stride: 1,
+            batch_size: 16,
+            threads: 1,
+            seed: 11,
+        };
+        let mut model = TransDas::new(cfg);
+        let sessions: Vec<Vec<u32>> = (0..12)
+            .map(|i| {
+                let base = if i % 2 == 0 { 1 } else { 4 };
+                (0..15).map(|j| base + (j % 3) as u32).collect()
+            })
+            .collect();
+        model.train(&sessions);
+        model
+    }
+
+    #[test]
+    fn normal_cycle_passes_detection() {
+        let model = trained_model();
+        let det = Detector::new(
+            &model,
+            DetectorConfig { top_p: 3, min_context: 2, mode: DetectionMode::Streaming },
+        );
+        let d = det.detect_session(&[1, 2, 3, 1, 2, 3, 1, 2, 3, 1]);
+        assert!(!d.abnormal, "normal session flagged at {:?}", d.first_anomaly);
+        assert_eq!(d.positions_checked, 8);
+    }
+
+    #[test]
+    fn out_of_intent_key_is_flagged() {
+        let model = trained_model();
+        let det = Detector::new(
+            &model,
+            DetectorConfig { top_p: 3, min_context: 2, mode: DetectionMode::Streaming },
+        );
+        // Key 5 is in the vocabulary but belongs to the other theme: its
+        // semantics do not match this session's contextual intent.
+        let d = det.detect_session(&[1, 2, 3, 5, 1, 2]);
+        assert!(d.abnormal);
+        assert_eq!(d.first_anomaly, Some(3));
+    }
+
+    #[test]
+    fn unseen_key_is_always_abnormal() {
+        let model = trained_model();
+        for mode in [DetectionMode::Streaming, DetectionMode::Block] {
+            let det = Detector::new(
+                &model,
+                DetectorConfig { top_p: 4, min_context: 2, mode },
+            );
+            let d = det.detect_session(&[1, 2, 0, 4]);
+            assert!(d.abnormal, "mode {:?}", mode);
+            assert_eq!(d.first_anomaly, Some(2));
+        }
+    }
+
+    #[test]
+    fn larger_top_p_is_more_permissive() {
+        let model = trained_model();
+        let keys = [1, 2, 3, 5, 1, 2];
+        let flag = |p: usize| {
+            Detector::new(
+                &model,
+                DetectorConfig { top_p: p, min_context: 2, mode: DetectionMode::Streaming },
+            )
+            .detect_session(&keys)
+            .abnormal
+        };
+        assert!(flag(3), "p=3 should flag a foreign-theme key");
+        assert!(!flag(7), "p=vocab should pass everything in-vocab");
+    }
+
+    #[test]
+    fn block_and_streaming_agree_on_clear_cases() {
+        let model = trained_model();
+        let normal = [1u32, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3];
+        let abnormal = [1u32, 2, 3, 1, 5, 5, 1, 2, 3, 1, 2, 3];
+        for (keys, expect) in [(&normal, false), (&abnormal, true)] {
+            for mode in [DetectionMode::Streaming, DetectionMode::Block] {
+                let det = Detector::new(
+                    &model,
+                    DetectorConfig { top_p: 3, min_context: 2, mode },
+                );
+                assert_eq!(
+                    det.detect_session(keys).abnormal,
+                    expect,
+                    "mode {:?} keys {:?}",
+                    mode,
+                    keys
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_shorter_than_min_context_pass() {
+        let model = trained_model();
+        let det = Detector::new(&model, DetectorConfig::scenario1());
+        let d = det.detect_session(&[1, 2]);
+        assert!(!d.abnormal);
+        assert_eq!(d.positions_checked, 0);
+    }
+
+    #[test]
+    fn block_mode_checks_every_position_of_long_sessions() {
+        let model = trained_model();
+        let det = Detector::new(
+            &model,
+            DetectorConfig { top_p: 7, min_context: 2, mode: DetectionMode::Block },
+        );
+        // 20 ops with window 6: all positions >= 2 must be scored.
+        let keys: Vec<u32> = (0..20).map(|j| (j % 4) as u32 + 1).collect();
+        let d = det.detect_session(&keys);
+        assert!(!d.abnormal);
+        assert_eq!(d.positions_checked, 18);
+    }
+}

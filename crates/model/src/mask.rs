@@ -1,0 +1,87 @@
+//! Additive attention masks (§4.3).
+
+use crate::config::MaskMode;
+use ucad_nn::Tensor;
+
+/// Large negative value standing in for `-inf` in masked logits.
+pub const NEG_INF: f32 = -1e9;
+
+/// Builds the `L x L` additive mask for the given mode. Entry `(i, j)` is
+/// `0` when output position `i` may attend to input `j`, otherwise
+/// [`NEG_INF`].
+pub fn build_mask(mode: MaskMode, len: usize) -> Tensor {
+    let mut m = Tensor::zeros(len, len);
+    match mode {
+        MaskMode::Full => {}
+        MaskMode::Causal => {
+            for i in 0..len {
+                for j in (i + 1)..len {
+                    m.set(i, j, NEG_INF);
+                }
+            }
+        }
+        MaskMode::TransDas => {
+            // Output i predicts input i+1; disconnect exactly Q_i -> K_{i+1}
+            // so the prediction cannot peek at its own target while keeping
+            // the full bidirectional context.
+            for i in 0..len.saturating_sub(1) {
+                m.set(i, i + 1, NEG_INF);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mask_is_all_zero() {
+        let m = build_mask(MaskMode::Full, 4);
+        assert!(m.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn causal_mask_blocks_strict_future() {
+        let m = build_mask(MaskMode::Causal, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                let blocked = m.get(i, j) == NEG_INF;
+                assert_eq!(blocked, j > i, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn transdas_mask_blocks_only_the_target() {
+        let m = build_mask(MaskMode::TransDas, 5);
+        for i in 0..5 {
+            for j in 0..5 {
+                let blocked = m.get(i, j) == NEG_INF;
+                assert_eq!(blocked, j == i + 1, "({i},{j})");
+            }
+        }
+        // The last row has no target inside the window: nothing blocked.
+        assert!(m.row(4).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn transdas_keeps_self_and_bidirectional_context() {
+        let m = build_mask(MaskMode::TransDas, 6);
+        // Position 2 sees itself, the past (0, 1) and the future (4, 5),
+        // but not its target (3).
+        assert_eq!(m.get(2, 2), 0.0);
+        assert_eq!(m.get(2, 0), 0.0);
+        assert_eq!(m.get(2, 5), 0.0);
+        assert_eq!(m.get(2, 3), NEG_INF);
+    }
+
+    #[test]
+    fn single_element_masks_are_safe() {
+        for mode in [MaskMode::Full, MaskMode::Causal, MaskMode::TransDas] {
+            let m = build_mask(mode, 1);
+            assert_eq!(m.get(0, 0), 0.0);
+        }
+    }
+}

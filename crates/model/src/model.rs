@@ -1,0 +1,743 @@
+//! The Trans-DAS model (§4): order-free embedding, multi-head attention
+//! blocks with the target-disconnect mask, and the Eq. 11 training
+//! objective, trained by sliding windows over tokenized sessions.
+
+use crate::config::TransDasConfig;
+#[cfg(test)]
+use crate::config::MaskMode;
+use crate::mask::build_mask;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+use ucad_nn::init::{normal, xavier_uniform};
+use ucad_nn::layers::{LayerNorm, Linear};
+use ucad_nn::optim::{Adam, Optimizer};
+use ucad_nn::{ParamId, ParamStore, Tape, Tensor, Var};
+
+/// One attention block: `m` heads, output projection, feed-forward,
+/// residual + layer norm + dropout regularization (Eq. 5).
+struct Block {
+    wq: Vec<ParamId>,
+    wk: Vec<ParamId>,
+    wv: Vec<ParamId>,
+    wo: ParamId,
+    ln1: LayerNorm,
+    ffn1: Linear,
+    ffn2: Linear,
+    ln2: LayerNorm,
+}
+
+/// A training window: a fixed-length input slice, its shifted targets and
+/// the session's key bitmap used for negative sampling.
+#[derive(Clone)]
+pub struct Window {
+    /// Input keys, length = `config.window` (front-padded with `k0`).
+    pub inputs: Vec<u32>,
+    /// Target keys (inputs shifted left by one, plus the successor).
+    pub targets: Vec<u32>,
+    /// `forbidden[k]` = key `k` appears in the source session (negatives are
+    /// drawn outside this set, per the paper's negative-sampling rule).
+    pub forbidden: Arc<Vec<bool>>,
+}
+
+/// Global gradient-norm clip applied per optimizer step.
+const GRAD_CLIP: f32 = 5.0;
+
+/// Per-training-run report.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Mean per-window loss for each epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Wall-clock seconds per epoch.
+    pub epoch_secs: Vec<f64>,
+    /// Number of training windows.
+    pub windows: usize,
+}
+
+/// The Trans-DAS model (or, depending on config toggles, one of its Table 3
+/// ablation variants).
+pub struct TransDas {
+    /// Hyper-parameters.
+    pub cfg: TransDasConfig,
+    /// All trainable parameters.
+    pub store: ParamStore,
+    embedding: ParamId,
+    positional: Option<ParamId>,
+    blocks: Vec<Block>,
+    mask: Tensor,
+}
+
+impl TransDas {
+    /// Builds a model with freshly initialized parameters.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`TransDasConfig::validate`].
+    pub fn new(cfg: TransDasConfig) -> Self {
+        cfg.validate().expect("invalid Trans-DAS configuration");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let mut emb = normal(cfg.vocab_size, cfg.hidden, 0.1, &mut rng);
+        emb.row_mut(0).iter_mut().for_each(|v| *v = 0.0); // k0 stays zero
+        let embedding = store.add("embedding", emb);
+        let positional = cfg.positional.then(|| {
+            store.add("positional", normal(cfg.window, cfg.hidden, 0.1, &mut rng))
+        });
+        let d = cfg.head_dim();
+        let blocks = (0..cfg.blocks)
+            .map(|b| {
+                let mut head_param = |name: &str, i: usize| {
+                    store.add(
+                        format!("block{b}.{name}{i}"),
+                        xavier_uniform(cfg.hidden, d, &mut rng),
+                    )
+                };
+                let wq = (0..cfg.heads).map(|i| head_param("wq", i)).collect();
+                let wk = (0..cfg.heads).map(|i| head_param("wk", i)).collect();
+                let wv = (0..cfg.heads).map(|i| head_param("wv", i)).collect();
+                let wo = store.add(
+                    format!("block{b}.wo"),
+                    xavier_uniform(cfg.hidden, cfg.hidden, &mut rng),
+                );
+                Block {
+                    wq,
+                    wk,
+                    wv,
+                    wo,
+                    ln1: LayerNorm::new(&mut store, &format!("block{b}.ln1"), cfg.hidden),
+                    ffn1: Linear::new(&mut store, &format!("block{b}.ffn1"), cfg.hidden, cfg.hidden, &mut rng),
+                    ffn2: Linear::new(&mut store, &format!("block{b}.ffn2"), cfg.hidden, cfg.hidden, &mut rng),
+                    ln2: LayerNorm::new(&mut store, &format!("block{b}.ln2"), cfg.hidden),
+                }
+            })
+            .collect();
+        let mask = build_mask(cfg.mask, cfg.window);
+        TransDas { cfg, store, embedding, positional, blocks, mask }
+    }
+
+    /// Embedding matrix handle.
+    pub fn embedding_id(&self) -> ParamId {
+        self.embedding
+    }
+
+    /// Front-pads (or tail-truncates) a key sequence to the model window.
+    pub fn pad_window(&self, keys: &[u32]) -> Vec<u32> {
+        let l = self.cfg.window;
+        if keys.len() >= l {
+            keys[keys.len() - l..].to_vec()
+        } else {
+            let mut w = vec![0u32; l - keys.len()];
+            w.extend_from_slice(keys);
+            w
+        }
+    }
+
+    /// Forward pass over a full window of keys. With `capture_attention`,
+    /// the first block's head-averaged attention matrix is written out
+    /// (used by the Figure 6 probe).
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        inputs: &[u32],
+        store: &ParamStore,
+        train: bool,
+        rng: &mut StdRng,
+        mut capture_attention: Option<&mut Tensor>,
+    ) -> Var {
+        assert_eq!(inputs.len(), self.cfg.window, "inputs must be one full window");
+        let keep = if train { self.cfg.dropout_keep } else { 1.0 };
+        let idx: Vec<usize> = inputs.iter().map(|&k| k as usize).collect();
+        let emb = tape.param(store, self.embedding);
+        let mut x = tape.gather_rows(emb, &idx);
+        if let Some(pos) = self.positional {
+            let p = tape.param(store, pos);
+            x = tape.add(x, p);
+        }
+        let scale = 1.0 / (self.cfg.hidden as f32).sqrt(); // Eq. 3 scales by sqrt(h)
+        // Combine the mode mask with a padding mask: `k0` columns carry no
+        // information (zero embedding, logit 0) and would otherwise soak up
+        // most of the softmax mass in short, front-padded windows, washing
+        // out the real context. Each row keeps itself unmasked so the
+        // softmax always has support.
+        let mut mask_t = self.mask.clone();
+        for (j, &key) in inputs.iter().enumerate() {
+            if key == 0 {
+                for i in 0..self.cfg.window {
+                    if i != j {
+                        mask_t.set(i, j, crate::mask::NEG_INF);
+                    }
+                }
+            }
+        }
+        let mask = tape.constant(mask_t);
+        for (bi, block) in self.blocks.iter().enumerate() {
+            // Multi-head attention with masking.
+            let mut heads = Vec::with_capacity(self.cfg.heads);
+            for h in 0..self.cfg.heads {
+                let wq = tape.param(store, block.wq[h]);
+                let wk = tape.param(store, block.wk[h]);
+                let wv = tape.param(store, block.wv[h]);
+                let q = tape.matmul(x, wq);
+                let k = tape.matmul(x, wk);
+                let v = tape.matmul(x, wv);
+                let kt = tape.transpose(k);
+                let s_raw = tape.matmul(q, kt);
+                let s_scaled = tape.scale(s_raw, scale);
+                let s_masked = tape.add(s_scaled, mask);
+                let a = tape.softmax_rows(s_masked);
+                if bi == 0 {
+                    if let Some(cap) = capture_attention.as_deref_mut() {
+                        if h == 0 {
+                            *cap = tape.value(a).clone();
+                        } else {
+                            cap.add_assign(tape.value(a));
+                        }
+                        if h == self.cfg.heads - 1 {
+                            *cap = cap.scale(1.0 / self.cfg.heads as f32);
+                        }
+                    }
+                }
+                heads.push(tape.matmul(a, v));
+            }
+            let mh = tape.concat_cols(&heads);
+            let wo = tape.param(store, block.wo);
+            let projected = tape.matmul(mh, wo);
+            // Reg(x) = LN(x + Dropout(f(x))), Eq. 5.
+            let dropped = tape.dropout(projected, keep, rng);
+            let res = tape.add(x, dropped);
+            let normed = block.ln1.forward(tape, store, res);
+            // Point-wise feed forward, Eq. 7, with the same regularization.
+            let f1 = block.ffn1.forward(tape, store, normed);
+            let act = tape.relu(f1);
+            let f2 = block.ffn2.forward(tape, store, act);
+            let dropped2 = tape.dropout(f2, keep, rng);
+            let res2 = tape.add(normed, dropped2);
+            x = block.ln2.forward(tape, store, res2);
+        }
+        x
+    }
+
+    /// Evaluation-mode output `O^(B)` for a padded window.
+    pub fn output(&self, inputs: &[u32]) -> Tensor {
+        let padded = self.pad_window(inputs);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let o = self.forward(&mut tape, &padded, &self.store, false, &mut rng, None);
+        tape.value(o).clone()
+    }
+
+    /// Evaluation forward that also returns the first block's head-averaged
+    /// attention weights (`L x L`).
+    pub fn output_with_attention(&self, inputs: &[u32]) -> (Tensor, Tensor) {
+        let padded = self.pad_window(inputs);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut tape = Tape::new();
+        let mut attn = Tensor::zeros(self.cfg.window, self.cfg.window);
+        let o = self.forward(&mut tape, &padded, &self.store, false, &mut rng, Some(&mut attn));
+        (tape.value(o).clone(), attn)
+    }
+
+    /// Scores every vocabulary key against every output position:
+    /// `scores[i][k] = O_i . M(k)` (`L x vocab`). Ranking by this dot product
+    /// is identical to ranking by Eq. 10's sigmoid, which is monotone.
+    pub fn position_scores(&self, inputs: &[u32]) -> Tensor {
+        let o = self.output(inputs);
+        let m = self.store.value(self.embedding);
+        o.matmul(&m.transpose())
+    }
+
+    /// Scores the *next* operation after `context` against all keys
+    /// (`1 x vocab` row: the paper's `O_L` detection vector).
+    pub fn next_scores(&self, context: &[u32]) -> Vec<f32> {
+        let padded = self.pad_window(context);
+        let scores = self.position_scores(&padded);
+        scores.row(scores.rows() - 1).to_vec()
+    }
+
+    /// Extracts training windows from tokenized sessions.
+    pub fn extract_windows(&self, sessions: &[Vec<u32>]) -> Vec<Window> {
+        let l = self.cfg.window;
+        let stride = self.cfg.stride;
+        let mut windows = Vec::new();
+        for s in sessions {
+            if s.len() < 2 {
+                continue;
+            }
+            let mut forbidden = vec![false; self.cfg.vocab_size];
+            for &k in s {
+                if (k as usize) < forbidden.len() {
+                    forbidden[k as usize] = true;
+                }
+            }
+            let forbidden = Arc::new(forbidden);
+            // Front-pad so every transition x_t -> x_{t+1} appears in some
+            // window even for sessions shorter than L (a window consumes
+            // L inputs plus one successor target).
+            let mut padded = vec![0u32; (l + 1).saturating_sub(s.len())];
+            padded.extend_from_slice(s);
+            let n = padded.len();
+            let mut start = 0;
+            loop {
+                let end = start + l;
+                if end + 1 > n {
+                    // Tail window: align to the end so the final transition
+                    // is covered even when the stride skipped past it.
+                    let tail = n - l - 1;
+                    if !tail.is_multiple_of(stride) {
+                        windows.push(Window {
+                            inputs: padded[tail..tail + l].to_vec(),
+                            targets: padded[tail + 1..tail + l + 1].to_vec(),
+                            forbidden: Arc::clone(&forbidden),
+                        });
+                    }
+                    break;
+                }
+                windows.push(Window {
+                    inputs: padded[start..end].to_vec(),
+                    targets: padded[start + 1..end + 1].to_vec(),
+                    forbidden: Arc::clone(&forbidden),
+                });
+                start += stride;
+            }
+        }
+        windows
+    }
+
+    /// Builds the Eq. 11 loss for one window on `tape`.
+    fn window_loss(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        window: &Window,
+        rng: &mut StdRng,
+    ) -> Var {
+        let l = self.cfg.window;
+        let o = self.forward(tape, &window.inputs, store, true, rng, None);
+        // Positive key embeddings and z+ per position (Eq. 10).
+        let pos_idx: Vec<usize> = window.targets.iter().map(|&k| k as usize).collect();
+        let emb_p = tape.param(store, self.embedding);
+        let p = tape.gather_rows(emb_p, &pos_idx);
+        let op = tape.hadamard(o, p);
+        let zpos_logit = tape.sum_rows(op);
+        let zpos = tape.sigmoid(zpos_logit);
+        // Similarity logits per position for each negative draw
+        // ("iteratively" sampled keys absent from the session).
+        let neg_logits: Vec<Var> = (0..self.cfg.negatives)
+            .map(|_| {
+                let neg_idx: Vec<usize> =
+                    (0..l).map(|_| self.sample_negative(window, rng)).collect();
+                let emb_n = tape.param(store, self.embedding);
+                let n = tape.gather_rows(emb_n, &neg_idx);
+                let on = tape.hadamard(o, n);
+                tape.sum_rows(on)
+            })
+            .collect();
+        // Mask padded positions (target k0 carries no learning signal).
+        let mask_vec: Vec<f32> = window
+            .targets
+            .iter()
+            .map(|&t| if t == 0 { 0.0 } else { 1.0 })
+            .collect();
+        let mask = tape.constant(Tensor::from_vec(l, 1, mask_vec));
+        // Cross-entropy component: -log z+.
+        let log_zpos = tape.log(zpos);
+        let ce = tape.scale(log_zpos, -1.0);
+        let inv_negs = 1.0 / self.cfg.negatives as f32;
+        let mut loss_col = if self.cfg.triplet {
+            // Triplet component averaged over negatives:
+            // mean_j max(s-_j - s+ + g, 0). The margin is applied to the
+            // raw similarity logits rather than Eq. 11's sigmoids: once
+            // both sigmoids saturate near 1 their difference carries no
+            // gradient and mis-ranked pairs can never be fixed, while the
+            // logit-space margin keeps the ranking objective optimizable
+            // (rankings are what top-p detection consumes, and sigmoid is
+            // monotone, so the detection rule is unchanged). Documented as
+            // a deviation in DESIGN.md.
+            let mut acc = ce;
+            for &s_neg in &neg_logits {
+                let diff = tape.sub(s_neg, zpos_logit);
+                let shifted = tape.add_scalar(diff, self.cfg.margin);
+                let trip = tape.relu(shifted);
+                let scaled = tape.scale(trip, inv_negs);
+                acc = tape.add(acc, scaled);
+            }
+            acc
+        } else {
+            // CE-only ablation: -log z+ - mean_j log(1 - z-_j). Without
+            // *any* negative signal the sigmoid objective degenerates (all
+            // embeddings align), so the base objective keeps the standard
+            // negative-sampling CE term.
+            let mut acc = ce;
+            for &s_neg in &neg_logits {
+                let zneg = tape.sigmoid(s_neg);
+                let ones = tape.constant(Tensor::full(l, 1, 1.0));
+                let one_minus = tape.sub(ones, zneg);
+                let log_n = tape.log(one_minus);
+                let ce_n = tape.scale(log_n, -inv_negs);
+                acc = tape.add(acc, ce_n);
+            }
+            acc
+        };
+        loss_col = tape.hadamard(loss_col, mask);
+        tape.sum_all(loss_col)
+    }
+
+    fn sample_negative(&self, window: &Window, rng: &mut StdRng) -> usize {
+        let v = self.cfg.vocab_size;
+        for _ in 0..100 {
+            let k = rng.gen_range(1..v);
+            if !window.forbidden[k] {
+                return k;
+            }
+        }
+        // Session covers (nearly) the whole vocabulary: fall back to any
+        // non-padding key.
+        rng.gen_range(1..v)
+    }
+
+    /// Trains on purified tokenized sessions (offline stage, §5.2).
+    pub fn train(&mut self, sessions: &[Vec<u32>]) -> TrainReport {
+        let windows = self.extract_windows(sessions);
+        self.train_windows(windows, self.cfg.epochs, self.cfg.lr)
+    }
+
+    /// Fine-tunes on newly verified normal sessions (§5.2 concept-drift
+    /// strategy): same objective, reduced learning rate, few epochs.
+    pub fn fine_tune(&mut self, sessions: &[Vec<u32>], epochs: usize) -> TrainReport {
+        let windows = self.extract_windows(sessions);
+        self.train_windows(windows, epochs, self.cfg.lr * 0.1)
+    }
+
+    fn train_windows(&mut self, mut windows: Vec<Window>, epochs: usize, lr: f32) -> TrainReport {
+        let mut report = TrainReport { windows: windows.len(), ..Default::default() };
+        if windows.is_empty() {
+            return report;
+        }
+        let mut opt = Adam::new(lr, self.cfg.weight_decay);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
+        for epoch in 0..epochs {
+            let start = Instant::now();
+            // Mild 1/t learning-rate decay stabilizes the late epochs.
+            opt.lr = lr / (1.0 + 0.15 * epoch as f32);
+            windows.shuffle(&mut rng);
+            let mut total = 0.0f64;
+            for (bi, batch) in windows.chunks(self.cfg.batch_size).enumerate() {
+                self.store.zero_grad();
+                let batch_seed = self
+                    .cfg
+                    .seed
+                    .wrapping_add((epoch as u64) << 32)
+                    .wrapping_add(bi as u64);
+                total += self.accumulate_batch(batch, batch_seed);
+                // Average gradients over the batch, then clip the global
+                // norm: a single outlier batch can otherwise knock a
+                // converged model out of its basin.
+                let inv = 1.0 / batch.len() as f32;
+                let mut norm_sq = 0.0f64;
+                for p in self.store.iter_mut() {
+                    for g in p.grad.data_mut() {
+                        *g *= inv;
+                        norm_sq += (*g as f64) * (*g as f64);
+                    }
+                }
+                let norm = norm_sq.sqrt() as f32;
+                if norm > GRAD_CLIP {
+                    let scale = GRAD_CLIP / norm;
+                    for p in self.store.iter_mut() {
+                        for g in p.grad.data_mut() {
+                            *g *= scale;
+                        }
+                    }
+                }
+                opt.step(&mut self.store);
+                // k0 must stay the constant zero vector.
+                self.store
+                    .get_mut(self.embedding)
+                    .value
+                    .row_mut(0)
+                    .iter_mut()
+                    .for_each(|v| *v = 0.0);
+            }
+            report.epoch_losses.push((total / windows.len() as f64) as f32);
+            report.epoch_secs.push(start.elapsed().as_secs_f64());
+        }
+        report
+    }
+
+    /// Computes and accumulates gradients for one batch, splitting windows
+    /// across `cfg.threads` workers; returns the summed loss.
+    fn accumulate_batch(&mut self, batch: &[Window], seed: u64) -> f64 {
+        let threads = self.cfg.threads.min(batch.len()).max(1);
+        if threads == 1 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut total = 0.0f64;
+            // Split borrows: read params through a snapshot reference while
+            // writing grads afterwards.
+            let snapshot = self.store.clone();
+            for w in batch {
+                let mut tape = Tape::new();
+                let loss = self.window_loss(&mut tape, &snapshot, w, &mut rng);
+                total += tape.backward(loss, &mut self.store) as f64;
+            }
+            return total;
+        }
+        let chunk = batch.len().div_ceil(threads);
+        let snapshot = &self.store;
+        let this = &*self;
+        let partials: Vec<(ParamStore, f64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = batch
+                .chunks(chunk)
+                .enumerate()
+                .map(|(ti, chunk_windows)| {
+                    scope.spawn(move || {
+                        let mut local = snapshot.clone();
+                        local.zero_grad();
+                        let mut rng =
+                            StdRng::seed_from_u64(seed.wrapping_add(1 + ti as u64));
+                        let mut total = 0.0f64;
+                        for w in chunk_windows {
+                            let mut tape = Tape::new();
+                            let loss = this.window_loss(&mut tape, snapshot, w, &mut rng);
+                            total += tape.backward(loss, &mut local) as f64;
+                        }
+                        (local, total)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        let mut total = 0.0;
+        for (local, t) in partials {
+            total += t;
+            for (i, p) in self.store.iter_mut().enumerate() {
+                p.grad.add_assign(&local.get(ucad_nn::ParamId(i)).grad);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(vocab: usize) -> TransDasConfig {
+        TransDasConfig {
+            vocab_size: vocab,
+            hidden: 8,
+            heads: 2,
+            blocks: 2,
+            window: 6,
+            positional: false,
+            mask: MaskMode::TransDas,
+            triplet: true,
+            margin: 0.5,
+            negatives: 2,
+            dropout_keep: 1.0,
+            lr: 1e-2,
+            weight_decay: 1e-5,
+            epochs: 30,
+            stride: 1,
+            batch_size: 16,
+            threads: 1,
+            seed: 7,
+        }
+    }
+
+    /// Cyclic sessions over keys 1..=4: a fully predictable language.
+    fn cyclic_sessions(n: usize, len: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|i| (0..len).map(|j| ((i + j) % 4) as u32 + 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn construction_and_shapes() {
+        let model = TransDas::new(tiny_config(10));
+        let out = model.output(&[1, 2, 3]);
+        assert_eq!(out.shape(), (6, 8));
+        let scores = model.next_scores(&[1, 2, 3]);
+        assert_eq!(scores.len(), 10);
+    }
+
+    #[test]
+    fn k0_embedding_row_is_zero_before_and_after_training() {
+        let mut model = TransDas::new(tiny_config(8));
+        let zero_row = |m: &TransDas| {
+            m.store.value(m.embedding_id()).row(0).iter().all(|&v| v == 0.0)
+        };
+        assert!(zero_row(&model));
+        let mut cfg_sessions = cyclic_sessions(4, 10);
+        cfg_sessions.push(vec![1, 2, 3, 4, 1, 2]);
+        model.cfg.epochs = 2;
+        model.train(&cfg_sessions);
+        assert!(zero_row(&model));
+    }
+
+    #[test]
+    fn window_extraction_covers_all_transitions() {
+        let model = TransDas::new(tiny_config(10));
+        let sessions = vec![vec![1, 2, 3, 4, 5, 6, 7, 8]];
+        let windows = model.extract_windows(&sessions);
+        // Every transition (t -> t+1) appears as some (input[i], target[i])
+        // pair with target non-padding.
+        let mut covered = std::collections::HashSet::new();
+        for w in &windows {
+            assert_eq!(w.inputs.len(), 6);
+            assert_eq!(w.targets.len(), 6);
+            assert_eq!(&w.inputs[1..], &w.targets[..5], "targets must be shifted inputs");
+            for i in 0..6 {
+                if w.targets[i] != 0 && w.inputs[i] != 0 {
+                    covered.insert((w.inputs[i], w.targets[i]));
+                }
+            }
+        }
+        for t in 0..7u32 {
+            assert!(covered.contains(&(t + 1, t + 2)), "transition {} missing", t + 1);
+        }
+    }
+
+    #[test]
+    fn short_sessions_are_padded_not_dropped() {
+        let model = TransDas::new(tiny_config(10));
+        let windows = model.extract_windows(&[vec![3, 4, 5]]);
+        assert!(!windows.is_empty());
+        let w = &windows[0];
+        assert_eq!(w.inputs, vec![0, 0, 0, 0, 3, 4]);
+        assert_eq!(w.targets, vec![0, 0, 0, 3, 4, 5]);
+    }
+
+    #[test]
+    fn training_reduces_loss_and_separates_themes() {
+        // Two themed session populations (keys 1-3 vs keys 4-6). The Eq. 11
+        // objective samples negatives outside each session, so after
+        // training, a context from one theme must score its own keys above
+        // every foreign-theme key.
+        let mut model = TransDas::new(tiny_config(8));
+        let sessions: Vec<Vec<u32>> = (0..12)
+            .map(|i| {
+                let base = if i % 2 == 0 { 1u32 } else { 4 };
+                (0..12).map(|j| base + (j % 3) as u32).collect()
+            })
+            .collect();
+        let report = model.train(&sessions);
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(last < first * 0.6, "loss did not drop: {} -> {}", first, last);
+        let scores = model.next_scores(&[1, 2, 3, 1, 2]);
+        let min_in_theme =
+            scores[1..=3].iter().cloned().fold(f32::INFINITY, f32::min);
+        let max_foreign =
+            scores[4..=6].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert!(
+            min_in_theme > max_foreign,
+            "themes not separated: in-theme min {} vs foreign max {} ({:?})",
+            min_in_theme,
+            max_foreign,
+            scores
+        );
+    }
+
+    #[test]
+    fn negative_sampling_avoids_session_keys() {
+        let model = TransDas::new(tiny_config(20));
+        let windows = model.extract_windows(&[vec![1, 2, 3, 1, 2, 3, 1]]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for w in &windows {
+            for _ in 0..50 {
+                let n = model.sample_negative(w, &mut rng);
+                assert!(n >= 4, "negative {} collides with session keys", n);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_training_both_converge() {
+        let sessions = cyclic_sessions(6, 10);
+        let mut serial = TransDas::new(tiny_config(6));
+        let serial_report = serial.train(&sessions);
+        let mut cfg = tiny_config(6);
+        cfg.threads = 4;
+        let mut parallel = TransDas::new(cfg);
+        let parallel_report = parallel.train(&sessions);
+        assert!(*serial_report.epoch_losses.last().unwrap() < 1.0);
+        assert!(*parallel_report.epoch_losses.last().unwrap() < 1.0);
+    }
+
+    #[test]
+    fn fine_tuning_adapts_to_new_pattern_without_forgetting_everything() {
+        let mut model = TransDas::new(tiny_config(8));
+        model.train(&cyclic_sessions(8, 12));
+        // New pattern: 5 -> 6 -> 5 -> 6.
+        let new: Vec<Vec<u32>> = (0..6)
+            .map(|_| vec![5, 6, 5, 6, 5, 6, 5, 6, 5, 6])
+            .collect();
+        model.fine_tune(&new, 20);
+        let scores = model.next_scores(&[6, 5, 6, 5]);
+        let rank_of_6 = scores
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, &s)| s > scores[6])
+            .count();
+        assert!(rank_of_6 < 3, "fine-tuned pattern not learned (rank {})", rank_of_6);
+    }
+
+    #[test]
+    fn variants_construct_and_run() {
+        for cfg in [
+            tiny_config(10).into_base_transformer(),
+            tiny_config(10).into_embedding_variant(),
+            tiny_config(10).into_masking_variant(),
+            tiny_config(10).into_objective_variant(),
+        ] {
+            let mut model = TransDas::new(TransDasConfig { epochs: 2, ..cfg });
+            let report = model.train(&cyclic_sessions(4, 8));
+            assert_eq!(report.epoch_losses.len(), 2);
+            assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+        }
+    }
+
+    #[test]
+    fn attention_capture_has_row_stochastic_weights() {
+        let model = TransDas::new(tiny_config(10));
+        let (_, attn) = model.output_with_attention(&[1, 2, 3, 4, 5, 1]);
+        assert_eq!(attn.shape(), (6, 6));
+        for r in 0..6 {
+            let sum: f32 = attn.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "row {} sums to {}", r, sum);
+        }
+    }
+
+    #[test]
+    fn transdas_mask_prevents_target_leakage() {
+        // With Full attention the model can trivially copy input i+1 into
+        // output i; with the Trans-DAS mask it cannot. Verify the attention
+        // weight on the target position is exactly zero.
+        let model = TransDas::new(tiny_config(10));
+        let (_, attn) = model.output_with_attention(&[1, 2, 3, 4, 5, 1]);
+        for i in 0..5 {
+            assert!(
+                attn.get(i, i + 1) < 1e-6,
+                "target leakage at ({}, {}): {}",
+                i,
+                i + 1,
+                attn.get(i, i + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sessions = cyclic_sessions(4, 8);
+        let mut cfg = tiny_config(6);
+        cfg.epochs = 3;
+        let mut a = TransDas::new(cfg);
+        let ra = a.train(&sessions);
+        let mut b = TransDas::new(cfg);
+        let rb = b.train(&sessions);
+        assert_eq!(ra.epoch_losses, rb.epoch_losses);
+        assert_eq!(a.next_scores(&[1, 2]), b.next_scores(&[1, 2]));
+    }
+}

@@ -1,0 +1,67 @@
+//! Weight initialization helpers.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The standard choice for the linear
+/// projections in attention blocks.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rows, cols, -a, a, rng)
+}
+
+/// Uniform initialization in `[lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    let mut t = Tensor::zeros(rows, cols);
+    for v in t.data_mut() {
+        *v = rng.gen_range(lo..hi);
+    }
+    t
+}
+
+/// Approximately normal initialization (Irwin-Hall sum of 12 uniforms),
+/// mean 0 and the given standard deviation.
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Tensor {
+    let mut t = Tensor::zeros(rows, cols);
+    for v in t.data_mut() {
+        let s: f32 = (0..12).map(|_| rng.gen::<f32>()).sum::<f32>() - 6.0;
+        *v = s * std;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = xavier_uniform(16, 16, &mut rng);
+        let a = (6.0f32 / 32.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= a));
+        // Not all-zero.
+        assert!(t.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn normal_has_roughly_requested_std() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = normal(100, 100, 0.5, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / t.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {}", mean);
+        assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(9));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

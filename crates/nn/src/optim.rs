@@ -1,0 +1,183 @@
+//! First-order optimizers over a [`ParamStore`].
+//!
+//! Both optimizers implement the `||theta||_2` regularization term of the
+//! UCAD training objective (Eq. 11) as decoupled weight decay: every step
+//! shrinks the weights toward zero in proportion to `weight_decay`.
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+
+/// Common interface so training loops can swap optimizers.
+pub trait Optimizer {
+    /// Applies one update using the gradients accumulated in `store`, then
+    /// leaves the gradients untouched (call [`ParamStore::zero_grad`] before
+    /// the next accumulation).
+    fn step(&mut self, store: &mut ParamStore);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient in `[0, 1)`; 0 disables momentum.
+    pub momentum: f32,
+    /// Decoupled L2 weight decay coefficient.
+    pub weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        if self.velocity.len() != store.len() {
+            self.velocity = store
+                .iter()
+                .map(|(_, p)| Tensor::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+        }
+        for (i, p) in store.iter_mut().enumerate() {
+            let v = &mut self.velocity[i];
+            if self.momentum > 0.0 {
+                for (vel, g) in v.data_mut().iter_mut().zip(p.grad.data()) {
+                    *vel = self.momentum * *vel + g;
+                }
+                p.value.add_scaled(v, -self.lr);
+            } else {
+                p.value.add_scaled(&p.grad, -self.lr);
+            }
+            if self.weight_decay > 0.0 {
+                let decay = self.lr * self.weight_decay;
+                for w in p.value.data_mut() {
+                    *w -= decay * *w;
+                }
+            }
+        }
+    }
+}
+
+/// Adam with decoupled weight decay (AdamW-style).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor in the denominator.
+    pub eps: f32,
+    /// Decoupled L2 weight decay coefficient.
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas (0.9, 0.999).
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        if self.m.len() != store.len() {
+            self.m = store
+                .iter()
+                .map(|(_, p)| Tensor::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in store.iter_mut().enumerate() {
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((m, v), (w, g)) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(p.value.data_mut().iter_mut().zip(p.grad.data().iter()))
+            {
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                *w -= self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * *w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimizes f(x) = sum((x - target)^2) and checks convergence.
+    fn converges(mut opt: impl Optimizer) {
+        let mut store = ParamStore::new();
+        let id = store.add("x", Tensor::full(1, 3, 5.0));
+        let target = Tensor::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        for _ in 0..400 {
+            store.zero_grad();
+            let mut tape = Tape::new();
+            let x = tape.param(&store, id);
+            let t = tape.constant(target.clone());
+            let d = tape.sub(x, t);
+            let sq = tape.hadamard(d, d);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss, &mut store);
+            opt.step(&mut store);
+        }
+        let x = store.value(id);
+        for (a, b) in x.data().iter().zip(target.data()) {
+            assert!((a - b).abs() < 0.05, "did not converge: {} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        converges(Sgd::new(0.05, 0.0, 0.0));
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        converges(Sgd::new(0.02, 0.9, 0.0));
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        converges(Adam::new(0.1, 0.0));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut store = ParamStore::new();
+        let id = store.add("x", Tensor::full(1, 1, 4.0));
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        // Zero gradient: only decay acts.
+        store.zero_grad();
+        opt.step(&mut store);
+        let w = store.value(id).item();
+        assert!((w - 4.0 * (1.0 - 0.1 * 0.5)).abs() < 1e-6);
+    }
+}

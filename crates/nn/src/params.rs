@@ -1,0 +1,132 @@
+//! Trainable parameter storage shared across forward passes.
+//!
+//! A [`Tape`](crate::tape::Tape) is rebuilt for every forward pass, but the
+//! parameters persist here. `Tape::param` snapshots a parameter's value into
+//! the graph; `Tape::backward` accumulates the resulting gradient back into
+//! the [`ParamStore`], where an optimizer then applies the update.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+/// One trainable tensor plus its accumulated gradient.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Human-readable name, used in diagnostics.
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated since the last [`ParamStore::zero_grad`].
+    pub grad: Tensor,
+}
+
+/// Container owning every trainable parameter of a model.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new parameter and returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.params.push(Param { name: name.into(), value, grad });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Immutable access to a parameter.
+    pub fn get(&self, id: ParamId) -> &Param {
+        &self.params[id.0]
+    }
+
+    /// Mutable access to a parameter.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Param {
+        &mut self.params[id.0]
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_weights(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Clears every accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for p in &mut self.params {
+            p.grad.fill_zero();
+        }
+    }
+
+    /// Adds `delta` into the gradient of `id`.
+    pub(crate) fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor) {
+        self.params[id.0].grad.add_assign(delta);
+    }
+
+    /// Iterates over `(ParamId, &Param)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Iterates mutably over all parameters.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Param> {
+        self.params.iter_mut()
+    }
+
+    /// Sum of squared weights, the `||theta||_2^2` term reported in training
+    /// diagnostics (the optimizer applies the matching decoupled decay).
+    pub fn l2_norm_sq(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| p.value.data().iter().map(|v| v * v).sum::<f32>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_zero_grad() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::full(2, 2, 1.0));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_weights(), 4);
+        store.accumulate_grad(id, &Tensor::full(2, 2, 3.0));
+        assert_eq!(store.get(id).grad.data()[0], 3.0);
+        store.accumulate_grad(id, &Tensor::full(2, 2, 1.0));
+        assert_eq!(store.get(id).grad.data()[0], 4.0);
+        store.zero_grad();
+        assert_eq!(store.get(id).grad.data()[0], 0.0);
+    }
+
+    #[test]
+    fn l2_norm_counts_all_params() {
+        let mut store = ParamStore::new();
+        store.add("a", Tensor::full(1, 2, 2.0));
+        store.add("b", Tensor::full(1, 1, 3.0));
+        assert!((store.l2_norm_sq() - (4.0 + 4.0 + 9.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,185 @@
+//! Statement abstraction: literals → `$k` placeholders (§5.1).
+//!
+//! The paper's tokenization assigns one key per *abstract* statement so that
+//! fine-grained differences (different columns, different `IN` arity,
+//! different tuple counts) stay distinguishable while concrete literal values
+//! (which would explode the vocabulary and leak user data) are folded away.
+
+use ucad_dbsim::{parse, Condition, Statement, Value};
+
+/// Abstracts one SQL statement: every literal becomes `$k`, numbered in
+/// order of appearance. Statements that do not parse in the supported subset
+/// fall back to [`abstract_literals`], so the tokenizer never drops input.
+pub fn abstract_statement(sql: &str) -> String {
+    match parse(sql) {
+        Ok(stmt) => abstract_parsed(&stmt),
+        Err(_) => abstract_literals(sql),
+    }
+}
+
+/// Abstracts a parsed statement.
+pub fn abstract_parsed(stmt: &Statement) -> String {
+    let mut counter = 0usize;
+    let mut ph = || {
+        counter += 1;
+        Value::Str(format!("${counter}"))
+    };
+    let conds = |conds: &[Condition], ph: &mut dyn FnMut() -> Value| -> Vec<Condition> {
+        conds
+            .iter()
+            .map(|c| match c {
+                Condition::Eq(col, _) => Condition::Eq(col.clone(), ph()),
+                Condition::In(col, vs) => {
+                    Condition::In(col.clone(), vs.iter().map(|_| ph()).collect())
+                }
+            })
+            .collect()
+    };
+    let abstracted = match stmt {
+        Statement::Insert { table, columns, rows } => Statement::Insert {
+            table: table.clone(),
+            columns: columns.clone(),
+            rows: rows
+                .iter()
+                .map(|r| r.iter().map(|_| ph()).collect())
+                .collect(),
+        },
+        Statement::Select { table, projection, conditions } => Statement::Select {
+            table: table.clone(),
+            projection: projection.clone(),
+            conditions: conds(conditions, &mut ph),
+        },
+        Statement::Update { table, assignments, conditions } => Statement::Update {
+            table: table.clone(),
+            assignments: assignments
+                .iter()
+                .map(|(c, _)| (c.clone(), ph()))
+                .collect(),
+            conditions: conds(conditions, &mut ph),
+        },
+        Statement::Delete { table, conditions } => Statement::Delete {
+            table: table.clone(),
+            conditions: conds(conditions, &mut ph),
+        },
+    };
+    // Strip the quotes Display adds around string values: placeholders print
+    // as `'$1'`; normalize to `$1`.
+    abstracted.to_string().replace('\'', "")
+}
+
+/// Literal-level fallback abstraction: numbers and quoted strings become
+/// `$k`. Used for statements outside the parsed subset and for free-form
+/// log lines.
+pub fn abstract_literals(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    let mut counter = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\'' {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] as char != '\'' {
+                j += 1;
+            }
+            counter += 1;
+            out.push_str(&format!("${counter}"));
+            i = (j + 1).min(bytes.len());
+        } else if c.is_ascii_digit()
+            && (i == 0 || !(bytes[i - 1] as char).is_ascii_alphanumeric() && bytes[i - 1] as char != '_')
+        {
+            let mut j = i + 1;
+            while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                j += 1;
+            }
+            counter += 1;
+            out.push_str(&format!("${counter}"));
+            i = j;
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abstracts_the_paper_example() {
+        // "Update T_content set count=23 where danmuKey=94" →
+        // "UPDATE T_content SET count=$1 WHERE danmuKey=$2"
+        let a = abstract_statement("Update T_content set count=23 where danmuKey=94");
+        assert_eq!(a, "UPDATE T_content SET count=$1 WHERE danmuKey=$2");
+    }
+
+    #[test]
+    fn identical_shapes_get_identical_abstractions() {
+        let a = abstract_statement("SELECT * FROM t WHERE a=1 and b IN (2, 3)");
+        let b = abstract_statement("SELECT * FROM t WHERE a=99 and b IN (7, 1000)");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_in_arity_stays_distinguishable() {
+        let a = abstract_statement("SELECT * FROM t WHERE b IN (1, 2)");
+        let b = abstract_statement("SELECT * FROM t WHERE b IN (1, 2, 3)");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_columns_stay_distinguishable() {
+        // The paper's motivating example: normal_mac vs abnormal_mac must
+        // get different keys even though the statements are literally close.
+        let a = abstract_statement("DELETE FROM t_mac WHERE normal_mac=1");
+        let b = abstract_statement("DELETE FROM t_mac WHERE abnormal_mac=1");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_tuple_counts_stay_distinguishable() {
+        let a = abstract_statement("INSERT INTO t (a, b) VALUES (1, 2)");
+        let b = abstract_statement("INSERT INTO t (a, b) VALUES (1, 2), (3, 4)");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn placeholders_are_sequential() {
+        let a = abstract_statement("INSERT INTO t (a, b, c) VALUES (1, 'x', 3)");
+        assert_eq!(a, "INSERT INTO t (a, b, c) VALUES ($1, $2, $3)");
+    }
+
+    #[test]
+    fn string_literals_are_abstracted() {
+        let a = abstract_statement("UPDATE t SET name='alice' WHERE id=7");
+        let b = abstract_statement("UPDATE t SET name='bob' WHERE id=8");
+        assert_eq!(a, b);
+        assert!(!a.contains("alice"));
+    }
+
+    #[test]
+    fn fallback_handles_unparseable_text() {
+        let a = abstract_literals("DROP TABLE users; -- 42 'oops'");
+        assert!(a.contains("$1"));
+        assert!(!a.contains("42"));
+        assert!(!a.contains("oops"));
+    }
+
+    #[test]
+    fn fallback_keeps_identifier_digits() {
+        // Table names like t_cell_fp_3 must keep their digits: they are part
+        // of the identifier, not literals.
+        let a = abstract_literals("SELECT broken FROM t_cell_fp_3 WHERE ???=5");
+        assert!(a.contains("t_cell_fp_3"), "identifier digits must survive: {a}");
+        assert!(!a.contains("=5"));
+    }
+
+    #[test]
+    fn abstraction_is_idempotent() {
+        let once = abstract_statement("SELECT * FROM t WHERE a=1");
+        let twice = abstract_statement(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,251 @@
+//! Clustering-based noise removal and pattern balancing (§5.1).
+//!
+//! After policy filtering, sessions are profiled with n-grams, clustered
+//! with DBSCAN under Jaccard distance, and then:
+//! 1. large clusters are randomly under-sampled toward the median cluster
+//!    size (pattern balancing),
+//! 2. clusters far below the median size are removed (rare patterns),
+//! 3. sessions much shorter than their cluster's average length are removed
+//!    (too short to reveal contextual intent).
+
+use crate::dbscan::{dbscan, Assignment, DbscanParams};
+use crate::ngram::NgramProfile;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Cleaning configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CleanerConfig {
+    /// Gram size for session profiles.
+    pub ngram: usize,
+    /// DBSCAN parameters over Jaccard distance.
+    pub dbscan: DbscanParams,
+    /// Remove clusters smaller than `small_cluster_frac * median_size`.
+    pub small_cluster_frac: f64,
+    /// Remove sessions shorter than `short_session_frac * cluster_avg_len`.
+    pub short_session_frac: f64,
+    /// Under-sample clusters larger than the median size.
+    pub balance: bool,
+    /// Floor on balancing: an under-sampled cluster keeps at least this
+    /// fraction of its members (so balancing never guts the dominant
+    /// pattern when cluster sizes are very skewed).
+    pub min_keep_frac: f64,
+}
+
+impl Default for CleanerConfig {
+    fn default() -> Self {
+        CleanerConfig {
+            ngram: 2,
+            dbscan: DbscanParams::default(),
+            small_cluster_frac: 0.2,
+            short_session_frac: 0.5,
+            balance: true,
+            min_keep_frac: 0.4,
+        }
+    }
+}
+
+/// Why a session was removed (or that it was kept).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CleanOutcome {
+    /// Session survives cleaning.
+    Kept,
+    /// DBSCAN marked the session density-unreachable.
+    NoiseCluster,
+    /// The session's cluster was far smaller than the median.
+    SmallCluster,
+    /// The session was much shorter than its cluster average.
+    TooShort,
+    /// Random under-sampling of an oversized cluster dropped it.
+    Undersampled,
+}
+
+/// Aggregate statistics of one cleaning pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CleanStats {
+    /// Sessions kept.
+    pub kept: usize,
+    /// Removed as DBSCAN noise.
+    pub noise: usize,
+    /// Removed with a small cluster.
+    pub small_cluster: usize,
+    /// Removed as too short.
+    pub too_short: usize,
+    /// Dropped by balancing.
+    pub undersampled: usize,
+    /// Number of DBSCAN clusters found.
+    pub clusters: usize,
+}
+
+/// Cleans tokenized sessions; returns a per-session outcome plus stats.
+pub fn clean_sessions(
+    key_sessions: &[Vec<u32>],
+    cfg: &CleanerConfig,
+    rng: &mut impl Rng,
+) -> (Vec<CleanOutcome>, CleanStats) {
+    let n = key_sessions.len();
+    let mut outcome = vec![CleanOutcome::Kept; n];
+    let mut stats = CleanStats::default();
+    if n == 0 {
+        return (outcome, stats);
+    }
+
+    let profiles: Vec<NgramProfile> =
+        key_sessions.iter().map(|s| NgramProfile::new(s, cfg.ngram)).collect();
+    let (assignments, k) = dbscan(n, cfg.dbscan, |a, b| profiles[a].distance(&profiles[b]));
+    stats.clusters = k;
+
+    // Collect members per cluster; noise is removed outright.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, a) in assignments.iter().enumerate() {
+        match a {
+            Assignment::Cluster(c) => members[*c].push(i),
+            Assignment::Noise => outcome[i] = CleanOutcome::NoiseCluster,
+        }
+    }
+
+    if k > 0 {
+        let mut sizes: Vec<usize> = members.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        // Lower median: with few clusters this errs toward balancing the
+        // dominant pattern, which is the point of the under-sampling step.
+        let median = sizes[(sizes.len() - 1) / 2].max(1);
+
+        for cluster in &mut members {
+            // (1) Balance: under-sample clusters above the median size,
+            // keeping at least `min_keep_frac` of each cluster.
+            let keep = median.max((cluster.len() as f64 * cfg.min_keep_frac) as usize);
+            if cfg.balance && cluster.len() > keep {
+                cluster.shuffle(rng);
+                for &i in &cluster[keep..] {
+                    outcome[i] = CleanOutcome::Undersampled;
+                }
+                cluster.truncate(keep);
+            }
+            // (2) Remove clusters far below the median size.
+            if (cluster.len() as f64) < cfg.small_cluster_frac * median as f64 {
+                for &i in cluster.iter() {
+                    outcome[i] = CleanOutcome::SmallCluster;
+                }
+                continue;
+            }
+            // (3) Remove sessions much shorter than the cluster average.
+            let avg_len: f64 = cluster
+                .iter()
+                .map(|&i| key_sessions[i].len() as f64)
+                .sum::<f64>()
+                / cluster.len().max(1) as f64;
+            for &i in cluster.iter() {
+                if (key_sessions[i].len() as f64) < cfg.short_session_frac * avg_len {
+                    outcome[i] = CleanOutcome::TooShort;
+                }
+            }
+        }
+    }
+
+    for o in &outcome {
+        match o {
+            CleanOutcome::Kept => stats.kept += 1,
+            CleanOutcome::NoiseCluster => stats.noise += 1,
+            CleanOutcome::SmallCluster => stats.small_cluster += 1,
+            CleanOutcome::TooShort => stats.too_short += 1,
+            CleanOutcome::Undersampled => stats.undersampled += 1,
+        }
+    }
+    (outcome, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds m near-identical sessions around a base pattern.
+    fn pattern_sessions(base: &[u32], m: usize) -> Vec<Vec<u32>> {
+        (0..m)
+            .map(|i| {
+                let mut s = base.to_vec();
+                // Minor variation: rotate by i % 2 (keeps most bigrams).
+                if i % 2 == 1 {
+                    s.push(base[0]);
+                }
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn structureless_noise_is_removed() {
+        let mut sessions = pattern_sessions(&[1, 2, 3, 4, 1, 2, 3, 4], 10);
+        // One structureless outlier with disjoint bigrams.
+        sessions.push(vec![9, 7, 8, 5, 6, 9, 5, 8]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let (outcome, stats) = clean_sessions(&sessions, &CleanerConfig::default(), &mut rng);
+        assert_eq!(outcome[10], CleanOutcome::NoiseCluster);
+        assert!(stats.kept >= 8);
+    }
+
+    #[test]
+    fn short_sessions_are_removed() {
+        let mut sessions = pattern_sessions(&[1, 2, 3, 4, 1, 2, 3, 4], 10);
+        sessions.push(vec![1, 2]); // same pattern but too short
+        let mut rng = StdRng::seed_from_u64(1);
+        let (outcome, _) = clean_sessions(&sessions, &CleanerConfig::default(), &mut rng);
+        assert!(
+            outcome[10] == CleanOutcome::TooShort || outcome[10] == CleanOutcome::NoiseCluster,
+            "short session survived: {:?}",
+            outcome[10]
+        );
+    }
+
+    #[test]
+    fn balancing_undersamples_the_dominant_pattern() {
+        let mut sessions = pattern_sessions(&[1, 2, 3, 4, 1, 2, 3, 4], 40);
+        sessions.extend(pattern_sessions(&[5, 6, 7, 8, 5, 6, 7, 8], 6));
+        let mut rng = StdRng::seed_from_u64(2);
+        let (outcome, stats) = clean_sessions(&sessions, &CleanerConfig::default(), &mut rng);
+        assert!(stats.undersampled > 0, "expected under-sampling");
+        // The small pattern must survive entirely.
+        for o in &outcome[40..] {
+            assert_eq!(*o, CleanOutcome::Kept);
+        }
+        // The dominant cluster is reduced to the keep floor
+        // (max(median, 0.4 * 40) = 16), not left at full size.
+        let kept_big = outcome[..40].iter().filter(|&&o| o == CleanOutcome::Kept).count();
+        assert!(kept_big <= 16, "dominant cluster not balanced: {kept_big}");
+    }
+
+    #[test]
+    fn disabling_balance_keeps_everything_in_one_pattern() {
+        let sessions = pattern_sessions(&[1, 2, 3, 4, 1, 2, 3, 4], 20);
+        let cfg = CleanerConfig { balance: false, ..CleanerConfig::default() };
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, stats) = clean_sessions(&sessions, &cfg, &mut rng);
+        assert_eq!(stats.kept, 20);
+        assert_eq!(stats.undersampled, 0);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (outcome, stats) = clean_sessions(&[], &CleanerConfig::default(), &mut rng);
+        assert!(outcome.is_empty());
+        assert_eq!(stats, CleanStats::default());
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let mut sessions = pattern_sessions(&[1, 2, 3, 4, 1, 2], 15);
+        sessions.push(vec![9, 9, 9]);
+        sessions.push(vec![1]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (outcome, stats) = clean_sessions(&sessions, &CleanerConfig::default(), &mut rng);
+        let total = stats.kept
+            + stats.noise
+            + stats.small_cluster
+            + stats.too_short
+            + stats.undersampled;
+        assert_eq!(total, outcome.len());
+    }
+}

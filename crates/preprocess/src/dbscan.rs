@@ -1,0 +1,152 @@
+//! DBSCAN over a precomputed distance function (§5.1 uses DBSCAN on Jaccard
+//! distances to find arbitrarily shaped clusters of session profiles).
+
+/// Cluster assignment: `Cluster(i)` or `Noise`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// Member of cluster `i` (0-based).
+    Cluster(usize),
+    /// Density-unreachable point.
+    Noise,
+}
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DbscanParams {
+    /// Neighborhood radius (on the distance scale, typically 1 - Jaccard).
+    pub eps: f64,
+    /// Minimum neighborhood size (including the point itself) for a core
+    /// point.
+    pub min_pts: usize,
+}
+
+impl Default for DbscanParams {
+    fn default() -> Self {
+        // Defaults tuned for Jaccard distance over bigram session profiles:
+        // same-task sessions land within ~0.25 of each other, while sessions
+        // sharing only part of their task mix sit beyond ~0.5 — eps between
+        // the two separates task patterns instead of density-chaining them
+        // into one giant cluster.
+        DbscanParams { eps: 0.3, min_pts: 3 }
+    }
+}
+
+/// Runs DBSCAN over `n` items with pairwise distance `dist`.
+/// Returns one [`Assignment`] per item and the number of clusters found.
+pub fn dbscan(
+    n: usize,
+    params: DbscanParams,
+    dist: impl Fn(usize, usize) -> f64,
+) -> (Vec<Assignment>, usize) {
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+    let mut labels = vec![UNVISITED; n];
+    let mut cluster = 0usize;
+
+    let neighbors = |p: usize| -> Vec<usize> {
+        (0..n).filter(|&q| dist(p, q) <= params.eps).collect()
+    };
+
+    for p in 0..n {
+        if labels[p] != UNVISITED {
+            continue;
+        }
+        let nbrs = neighbors(p);
+        if nbrs.len() < params.min_pts {
+            labels[p] = NOISE;
+            continue;
+        }
+        labels[p] = cluster;
+        // Expand the cluster with a work queue.
+        let mut queue: Vec<usize> = nbrs;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let q = queue[qi];
+            qi += 1;
+            if labels[q] == NOISE {
+                labels[q] = cluster; // border point
+            }
+            if labels[q] != UNVISITED {
+                continue;
+            }
+            labels[q] = cluster;
+            let q_nbrs = neighbors(q);
+            if q_nbrs.len() >= params.min_pts {
+                queue.extend(q_nbrs);
+            }
+        }
+        cluster += 1;
+    }
+
+    let assignments = labels
+        .into_iter()
+        .map(|l| if l == NOISE { Assignment::Noise } else { Assignment::Cluster(l) })
+        .collect();
+    (assignments, cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1-D points clustered by absolute distance.
+    fn run(points: &[f64], eps: f64, min_pts: usize) -> (Vec<Assignment>, usize) {
+        let pts = points.to_vec();
+        dbscan(pts.len(), DbscanParams { eps, min_pts }, move |a, b| {
+            (pts[a] - pts[b]).abs()
+        })
+    }
+
+    #[test]
+    fn two_blobs_and_an_outlier() {
+        let points = [0.0, 0.1, 0.2, 5.0, 5.1, 5.2, 100.0];
+        let (labels, k) = run(&points, 0.5, 2);
+        assert_eq!(k, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(labels[6], Assignment::Noise);
+    }
+
+    #[test]
+    fn all_noise_when_min_pts_too_high() {
+        let points = [0.0, 10.0, 20.0];
+        let (labels, k) = run(&points, 0.5, 2);
+        assert_eq!(k, 0);
+        assert!(labels.iter().all(|&l| l == Assignment::Noise));
+    }
+
+    #[test]
+    fn single_cluster_when_eps_large() {
+        let points = [0.0, 1.0, 2.0, 3.0];
+        let (labels, k) = run(&points, 10.0, 2);
+        assert_eq!(k, 1);
+        assert!(labels.iter().all(|&l| l == Assignment::Cluster(0)));
+    }
+
+    #[test]
+    fn chain_reachability_merges_into_one_cluster() {
+        // Density-connected chain: consecutive gaps within eps.
+        let points = [0.0, 0.4, 0.8, 1.2, 1.6];
+        let (labels, k) = run(&points, 0.5, 2);
+        assert_eq!(k, 1);
+        assert!(labels.iter().all(|&l| l == Assignment::Cluster(0)));
+    }
+
+    #[test]
+    fn border_points_join_a_cluster() {
+        // 1.0 is within eps of the dense blob edge but is not itself core.
+        let points = [0.0, 0.1, 0.2, 0.6];
+        let (labels, k) = run(&points, 0.45, 3);
+        assert_eq!(k, 1);
+        assert_eq!(labels[3], Assignment::Cluster(0));
+    }
+
+    #[test]
+    fn empty_input() {
+        let (labels, k) = dbscan(0, DbscanParams::default(), |_, _| 0.0);
+        assert!(labels.is_empty());
+        assert_eq!(k, 0);
+    }
+}

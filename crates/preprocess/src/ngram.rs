@@ -1,0 +1,120 @@
+//! N-gram session profiles and Jaccard similarity (§5.1).
+//!
+//! Each session is profiled as the *set* of key n-grams it contains;
+//! similarity between sessions is the Jaccard index of their profiles.
+//! Sets (not multisets) keep the measure robust to the repeated-operation
+//! noise the pipeline is trying to remove.
+
+use std::collections::HashSet;
+
+/// N-gram profile of one key sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NgramProfile {
+    grams: HashSet<Vec<u32>>,
+}
+
+impl NgramProfile {
+    /// Builds the profile of `keys` with gram size `n` (n >= 1). Sequences
+    /// shorter than `n` are profiled by their full content as a single gram.
+    pub fn new(keys: &[u32], n: usize) -> Self {
+        assert!(n >= 1, "gram size must be >= 1");
+        let mut grams = HashSet::new();
+        if keys.len() < n {
+            if !keys.is_empty() {
+                grams.insert(keys.to_vec());
+            }
+        } else {
+            for w in keys.windows(n) {
+                grams.insert(w.to_vec());
+            }
+        }
+        NgramProfile { grams }
+    }
+
+    /// Number of distinct grams.
+    pub fn len(&self) -> usize {
+        self.grams.len()
+    }
+
+    /// True when the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.grams.is_empty()
+    }
+
+    /// Jaccard index between two profiles, in `[0, 1]`.
+    /// Two empty profiles count as identical (1.0).
+    pub fn jaccard(&self, other: &NgramProfile) -> f64 {
+        if self.grams.is_empty() && other.grams.is_empty() {
+            return 1.0;
+        }
+        let inter = self.grams.intersection(&other.grams).count();
+        let union = self.grams.len() + other.grams.len() - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Jaccard distance `1 - jaccard`, a metric on gram sets.
+    pub fn distance(&self, other: &NgramProfile) -> f64 {
+        1.0 - self.jaccard(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigram_profile_contents() {
+        let p = NgramProfile::new(&[1, 2, 3, 2, 3], 2);
+        // Distinct bigrams: (1,2), (2,3), (3,2).
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn identical_sequences_have_similarity_one() {
+        let a = NgramProfile::new(&[1, 2, 3], 2);
+        let b = NgramProfile::new(&[1, 2, 3], 2);
+        assert_eq!(a.jaccard(&b), 1.0);
+        assert_eq!(a.distance(&b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_sequences_have_similarity_zero() {
+        let a = NgramProfile::new(&[1, 2], 2);
+        let b = NgramProfile::new(&[3, 4], 2);
+        assert_eq!(a.jaccard(&b), 0.0);
+    }
+
+    #[test]
+    fn jaccard_is_symmetric_and_bounded() {
+        let a = NgramProfile::new(&[1, 2, 3, 4], 2);
+        let b = NgramProfile::new(&[3, 4, 5], 2);
+        let ab = a.jaccard(&b);
+        assert_eq!(ab, b.jaccard(&a));
+        assert!((0.0..=1.0).contains(&ab));
+        // grams a: (1,2),(2,3),(3,4); b: (3,4),(4,5); inter 1, union 4.
+        assert!((ab - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_sequences_fall_back_to_whole_content() {
+        let a = NgramProfile::new(&[7], 3);
+        assert_eq!(a.len(), 1);
+        let b = NgramProfile::new(&[7], 3);
+        assert_eq!(a.jaccard(&b), 1.0);
+        let empty = NgramProfile::new(&[], 2);
+        assert!(empty.is_empty());
+        assert_eq!(empty.jaccard(&empty), 1.0);
+        assert_eq!(empty.jaccard(&a), 0.0);
+    }
+
+    #[test]
+    fn unigrams_ignore_order() {
+        let a = NgramProfile::new(&[1, 2, 3], 1);
+        let b = NgramProfile::new(&[3, 1, 2, 2], 1);
+        assert_eq!(a.jaccard(&b), 1.0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Attribute-based access-control policies (§5.1, "enforcing access control
+//! policies").
+//!
+//! Following the paper, policies are built over five attributes: user
+//! identity, client address, access time, target table, and the interval
+//! between consecutive operations. Granting policies are learned from the
+//! observed training population; denying policies are explicit rules.
+//! Sessions violating a granting policy or matching a denying policy are
+//! filtered out before clustering.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use ucad_trace::Session;
+
+/// Why a session was rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyViolation {
+    /// The `(user, address)` pair was never seen in the training population.
+    UnknownAddress {
+        /// User account.
+        user: String,
+        /// Offending address.
+        ip: String,
+    },
+    /// The session started outside the allowed hour band.
+    OffHours {
+        /// Hour of day (0-23) the session started.
+        hour: u8,
+    },
+    /// The user accessed a table outside their observed set.
+    ForbiddenTable {
+        /// User account.
+        user: String,
+        /// Offending table.
+        table: String,
+    },
+    /// Two consecutive operations were separated by more than the allowed
+    /// interval (session hijacking indicator).
+    ExcessiveInterval {
+        /// Observed gap in seconds.
+        gap: u64,
+    },
+    /// An explicit deny rule matched.
+    DenyRule {
+        /// Name of the matching rule.
+        rule: String,
+    },
+}
+
+/// An explicit deny rule (the paper notes policies are extensible; new
+/// rules slot in here).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DenyRule {
+    /// Deny a specific client address.
+    Address {
+        /// Rule name for reporting.
+        name: String,
+        /// Blocked address.
+        ip: String,
+    },
+    /// Deny any access to a table.
+    Table {
+        /// Rule name for reporting.
+        name: String,
+        /// Blocked table.
+        table: String,
+    },
+    /// Deny a specific user account.
+    User {
+        /// Rule name for reporting.
+        name: String,
+        /// Blocked account.
+        user: String,
+    },
+}
+
+/// Learned + explicit access-control policy set.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AccessPolicy {
+    /// Known `(user → addresses)` population.
+    known_ips: HashMap<String, HashSet<String>>,
+    /// Known `(user → tables)` population.
+    known_tables: HashMap<String, HashSet<String>>,
+    /// Allowed start-hour band `[start, end)`.
+    hour_band: (u8, u8),
+    /// Maximum allowed gap between consecutive ops (seconds).
+    max_interval: u64,
+    /// Explicit deny rules.
+    deny_rules: Vec<DenyRule>,
+}
+
+impl AccessPolicy {
+    /// Learns granting policies from raw (possibly noisy) logs, admitting an
+    /// attribute value only when it has at least `min_support` supporting
+    /// sessions. One-off addresses, tables and hours — the signature of
+    /// policy-violating noise — then fail the granting policies.
+    pub fn learn_with_support(sessions: &[Session], min_support: usize) -> Self {
+        use std::collections::HashMap as Map;
+        let mut ip_counts: Map<(String, String), usize> = Map::new();
+        let mut table_counts: Map<(String, String), usize> = Map::new();
+        let mut hour_counts: Map<u8, usize> = Map::new();
+        let mut max_gap = 1u64;
+        for s in sessions {
+            *ip_counts.entry((s.user.clone(), s.client_ip.clone())).or_insert(0) += 1;
+            let mut seen_tables = HashSet::new();
+            for op in &s.ops {
+                seen_tables.insert(op.table.clone());
+            }
+            for t in seen_tables {
+                *table_counts.entry((s.user.clone(), t)).or_insert(0) += 1;
+            }
+            if let Some(first) = s.ops.first() {
+                *hour_counts.entry(((first.timestamp % 86_400) / 3_600) as u8).or_insert(0) += 1;
+            }
+            for w in s.ops.windows(2) {
+                max_gap = max_gap.max(w[1].timestamp - w[0].timestamp);
+            }
+        }
+        let mut known_ips: HashMap<String, HashSet<String>> = HashMap::new();
+        for ((user, ip), c) in ip_counts {
+            if c >= min_support {
+                known_ips.entry(user).or_default().insert(ip);
+            }
+        }
+        let mut known_tables: HashMap<String, HashSet<String>> = HashMap::new();
+        for ((user, table), c) in table_counts {
+            if c >= min_support {
+                known_tables.entry(user).or_default().insert(table);
+            }
+        }
+        let supported: Vec<u8> = hour_counts
+            .iter()
+            .filter(|(_, &c)| c >= min_support)
+            .map(|(&h, _)| h)
+            .collect();
+        let (min_hour, max_hour) = match (supported.iter().min(), supported.iter().max()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            _ => (0, 23),
+        };
+        AccessPolicy {
+            known_ips,
+            known_tables,
+            hour_band: (min_hour.saturating_sub(1), (max_hour + 2).min(24)),
+            max_interval: max_gap * 4,
+            deny_rules: Vec::new(),
+        }
+    }
+
+    /// Learns granting policies from a trusted training population:
+    /// per-user address and table sets, the observed start-hour band
+    /// (with ±1h slack), and the maximum observed inter-op interval
+    /// (with 4x slack).
+    pub fn learn(sessions: &[Session]) -> Self {
+        let mut known_ips: HashMap<String, HashSet<String>> = HashMap::new();
+        let mut known_tables: HashMap<String, HashSet<String>> = HashMap::new();
+        let mut min_hour = 23u8;
+        let mut max_hour = 0u8;
+        let mut max_gap = 1u64;
+        for s in sessions {
+            known_ips.entry(s.user.clone()).or_default().insert(s.client_ip.clone());
+            let tables = known_tables.entry(s.user.clone()).or_default();
+            for op in &s.ops {
+                tables.insert(op.table.clone());
+            }
+            if let Some(first) = s.ops.first() {
+                let hour = ((first.timestamp % 86_400) / 3_600) as u8;
+                min_hour = min_hour.min(hour);
+                max_hour = max_hour.max(hour);
+            }
+            for w in s.ops.windows(2) {
+                max_gap = max_gap.max(w[1].timestamp - w[0].timestamp);
+            }
+        }
+        AccessPolicy {
+            known_ips,
+            known_tables,
+            hour_band: (min_hour.saturating_sub(1), (max_hour + 2).min(24)),
+            max_interval: max_gap * 4,
+            deny_rules: Vec::new(),
+        }
+    }
+
+    /// Adds an explicit deny rule.
+    pub fn add_deny_rule(&mut self, rule: DenyRule) {
+        self.deny_rules.push(rule);
+    }
+
+    /// Checks a session; `None` means the session passes all policies.
+    pub fn check(&self, session: &Session) -> Option<PolicyViolation> {
+        for rule in &self.deny_rules {
+            match rule {
+                DenyRule::Address { name, ip } if *ip == session.client_ip => {
+                    return Some(PolicyViolation::DenyRule { rule: name.clone() })
+                }
+                DenyRule::User { name, user } if *user == session.user => {
+                    return Some(PolicyViolation::DenyRule { rule: name.clone() })
+                }
+                DenyRule::Table { name, table }
+                    if session.ops.iter().any(|op| op.table == *table) =>
+                {
+                    return Some(PolicyViolation::DenyRule { rule: name.clone() })
+                }
+                _ => {}
+            }
+        }
+        match self.known_ips.get(&session.user) {
+            Some(ips) if ips.contains(&session.client_ip) => {}
+            _ => {
+                return Some(PolicyViolation::UnknownAddress {
+                    user: session.user.clone(),
+                    ip: session.client_ip.clone(),
+                })
+            }
+        }
+        if let Some(first) = session.ops.first() {
+            let hour = ((first.timestamp % 86_400) / 3_600) as u8;
+            if hour < self.hour_band.0 || hour >= self.hour_band.1 {
+                return Some(PolicyViolation::OffHours { hour });
+            }
+        }
+        if let Some(tables) = self.known_tables.get(&session.user) {
+            for op in &session.ops {
+                if !tables.contains(&op.table) {
+                    return Some(PolicyViolation::ForbiddenTable {
+                        user: session.user.clone(),
+                        table: op.table.clone(),
+                    });
+                }
+            }
+        }
+        for w in session.ops.windows(2) {
+            let gap = w[1].timestamp - w[0].timestamp;
+            if gap > self.max_interval {
+                return Some(PolicyViolation::ExcessiveInterval { gap });
+            }
+        }
+        None
+    }
+
+    /// Splits sessions into `(passing, rejected)`.
+    pub fn filter<'a>(
+        &self,
+        sessions: &'a [Session],
+    ) -> (Vec<&'a Session>, Vec<(&'a Session, PolicyViolation)>) {
+        let mut pass = Vec::new();
+        let mut fail = Vec::new();
+        for s in sessions {
+            match self.check(s) {
+                None => pass.push(s),
+                Some(v) => fail.push((s, v)),
+            }
+        }
+        (pass, fail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucad_dbsim::OpKind;
+    use ucad_trace::Operation;
+
+    fn session(user: &str, ip: &str, start: u64, tables: &[&str]) -> Session {
+        Session {
+            id: 1,
+            user: user.into(),
+            client_ip: ip.into(),
+            ops: tables
+                .iter()
+                .enumerate()
+                .map(|(i, t)| Operation {
+                    sql: format!("SELECT * FROM {t}"),
+                    table: t.to_string(),
+                    kind: OpKind::Select,
+                    timestamp: start + i as u64 * 5,
+                })
+                .collect(),
+        }
+    }
+
+    fn trained() -> AccessPolicy {
+        let train = vec![
+            session("u1", "10.0.0.1", 9 * 3600, &["a", "b"]),
+            session("u1", "10.0.0.1", 17 * 3600, &["a"]),
+            session("u2", "10.0.0.2", 12 * 3600, &["b"]),
+        ];
+        AccessPolicy::learn(&train)
+    }
+
+    #[test]
+    fn known_sessions_pass() {
+        let p = trained();
+        assert_eq!(p.check(&session("u1", "10.0.0.1", 10 * 3600, &["a"])), None);
+    }
+
+    #[test]
+    fn unknown_address_is_rejected() {
+        let p = trained();
+        let v = p.check(&session("u1", "203.0.113.99", 10 * 3600, &["a"]));
+        assert!(matches!(v, Some(PolicyViolation::UnknownAddress { .. })));
+    }
+
+    #[test]
+    fn cross_user_address_is_rejected() {
+        // u2's address used with u1's account: credential-sharing indicator.
+        let p = trained();
+        let v = p.check(&session("u1", "10.0.0.2", 10 * 3600, &["a"]));
+        assert!(matches!(v, Some(PolicyViolation::UnknownAddress { .. })));
+    }
+
+    #[test]
+    fn off_hours_is_rejected() {
+        let p = trained();
+        let v = p.check(&session("u1", "10.0.0.1", 3 * 3600, &["a"]));
+        assert!(matches!(v, Some(PolicyViolation::OffHours { hour: 3 })));
+    }
+
+    #[test]
+    fn forbidden_table_is_rejected() {
+        let p = trained();
+        let v = p.check(&session("u2", "10.0.0.2", 12 * 3600, &["a"]));
+        assert!(matches!(v, Some(PolicyViolation::ForbiddenTable { .. })));
+    }
+
+    #[test]
+    fn excessive_interval_is_rejected() {
+        let p = trained();
+        let mut s = session("u1", "10.0.0.1", 10 * 3600, &["a", "a"]);
+        s.ops[1].timestamp = s.ops[0].timestamp + 100_000;
+        let v = p.check(&s);
+        assert!(matches!(v, Some(PolicyViolation::ExcessiveInterval { .. })));
+    }
+
+    #[test]
+    fn deny_rules_take_priority() {
+        let mut p = trained();
+        p.add_deny_rule(DenyRule::Table { name: "no-secrets".into(), table: "a".into() });
+        let v = p.check(&session("u1", "10.0.0.1", 10 * 3600, &["a"]));
+        assert_eq!(v, Some(PolicyViolation::DenyRule { rule: "no-secrets".into() }));
+    }
+
+    #[test]
+    fn filter_partitions_sessions() {
+        let p = trained();
+        let sessions = vec![
+            session("u1", "10.0.0.1", 10 * 3600, &["a"]),
+            session("u1", "203.0.113.99", 10 * 3600, &["a"]),
+        ];
+        let (pass, fail) = p.filter(&sessions);
+        assert_eq!(pass.len(), 1);
+        assert_eq!(fail.len(), 1);
+    }
+}

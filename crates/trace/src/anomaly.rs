@@ -1,0 +1,271 @@
+//! Abnormal-session synthesis following §6.1 of the paper.
+//!
+//! Real anomalies are rare, so the paper synthesizes the three threat-model
+//! classes from normal material:
+//! * **A1 privilege abuse** — combine repeated or randomly chosen `SELECT`
+//!   operations with a normal session.
+//! * **A2 credential stealing** — insert `DELETE` and other irrelevant
+//!   operations into a normal session, keeping the injection below 10% of the
+//!   original length so the anomaly stays stealthy.
+//! * **A3 misoperations** — randomly combine rarely performed operations.
+
+use crate::scenario::{ScenarioSpec, SessionGenerator};
+use crate::session::{AnomalyKind, LabeledSession, Operation, Session};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Weight threshold below which a template counts as "rarely performed".
+pub const RARE_WEIGHT_THRESHOLD: f32 = 0.2;
+
+/// Synthesizes the A1/A2/A3 abnormal sets from normal V1 sessions.
+pub struct AnomalySynthesizer<'a> {
+    spec: &'a ScenarioSpec,
+    select_pool: Vec<usize>,
+    delete_pool: Vec<usize>,
+    rare_pool: Vec<usize>,
+}
+
+impl<'a> AnomalySynthesizer<'a> {
+    /// Builds template pools from the scenario.
+    pub fn new(spec: &'a ScenarioSpec) -> Self {
+        let rare_pool = {
+            let r = spec.rare_template_ids(RARE_WEIGHT_THRESHOLD);
+            if r.is_empty() {
+                // Degenerate specs: fall back to the least frequent quartile.
+                let mut ids: Vec<usize> = (0..spec.templates.len()).collect();
+                ids.sort_by(|&a, &b| {
+                    spec.templates[a]
+                        .weight
+                        .partial_cmp(&spec.templates[b].weight)
+                        .expect("weights are finite")
+                });
+                ids.truncate((ids.len() / 4).max(1));
+                ids
+            } else {
+                r
+            }
+        };
+        AnomalySynthesizer {
+            spec,
+            select_pool: spec.select_template_ids(),
+            delete_pool: spec.delete_template_ids(),
+            rare_pool,
+        }
+    }
+
+    /// A1: privilege abuse. Interleaves a burst of repeated/random `SELECT`s
+    /// (≈35% of the session, at least 6) into a normal session — the abuser
+    /// retrieves far more data than the session's business task needs.
+    pub fn privilege_abuse(
+        &self,
+        base: &Session,
+        gen: &mut SessionGenerator,
+        rng: &mut impl Rng,
+    ) -> LabeledSession {
+        let extra = ((base.len() as f32 * 0.35).ceil() as usize).max(6);
+        // "repeatedly or randomly chosen": half the time repeat one select,
+        // half the time draw independently.
+        let repeat_one = rng.gen_bool(0.5);
+        let fixed = *self.select_pool.choose(rng).expect("selects exist");
+        let inject: Vec<usize> = (0..extra)
+            .map(|_| {
+                if repeat_one {
+                    fixed
+                } else {
+                    *self.select_pool.choose(rng).expect("selects exist")
+                }
+            })
+            .collect();
+        let session = splice(base, &inject, gen, rng, SpliceMode::TailBurst);
+        LabeledSession::abnormal(session, AnomalyKind::PrivilegeAbuse)
+    }
+
+    /// A2: credential stealing. Randomly inserts deletes plus irrelevant
+    /// rare operations, bounded by 10% of the original length.
+    pub fn credential_stealing(
+        &self,
+        base: &Session,
+        gen: &mut SessionGenerator,
+        rng: &mut impl Rng,
+    ) -> LabeledSession {
+        let budget = ((base.len() as f32 * 0.10).floor() as usize).max(1);
+        let inject: Vec<usize> = (0..budget)
+            .map(|i| {
+                if i == 0 || rng.gen_bool(0.6) {
+                    *self.delete_pool.choose(rng).expect("deletes exist")
+                } else {
+                    *self.rare_pool.choose(rng).expect("rare pool non-empty")
+                }
+            })
+            .collect();
+        let session = splice(base, &inject, gen, rng, SpliceMode::Scattered);
+        LabeledSession::abnormal(session, AnomalyKind::CredentialStealing)
+    }
+
+    /// A3: misoperations. Builds a session purely out of rarely performed
+    /// operations combined at random.
+    pub fn misoperation(
+        &self,
+        gen: &mut SessionGenerator,
+        rng: &mut impl Rng,
+    ) -> LabeledSession {
+        let len = (self.spec.avg_session_len / 2).max(6);
+        let ids: Vec<usize> = (0..len)
+            .map(|_| *self.rare_pool.choose(rng).expect("rare pool non-empty"))
+            .collect();
+        let annotated = gen.session_from_templates(rng, &ids);
+        LabeledSession::abnormal(annotated.session, AnomalyKind::Misoperation)
+    }
+}
+
+enum SpliceMode {
+    /// Injected ops are scattered uniformly across the session (A2).
+    Scattered,
+    /// Injected ops form a burst in the tail half of the session (A1).
+    TailBurst,
+}
+
+/// Inserts instantiations of `inject` templates into a copy of `base` and
+/// regenerates timestamps so the result is still monotone.
+fn splice(
+    base: &Session,
+    inject: &[usize],
+    gen: &mut SessionGenerator,
+    rng: &mut impl Rng,
+    mode: SpliceMode,
+) -> Session {
+    // Instantiate injected templates through the generator so they execute
+    // against the engine like every other op.
+    let fresh = gen.session_for_user(rng, &base.user, &base.client_ip, inject);
+    let mut ops: Vec<Operation> = base.ops.clone();
+    let positions: Vec<usize> = match mode {
+        SpliceMode::Scattered => (0..inject.len())
+            .map(|_| rng.gen_range(0..=ops.len()))
+            .collect(),
+        SpliceMode::TailBurst => {
+            let anchor = rng.gen_range(ops.len() / 2..=ops.len());
+            vec![anchor; inject.len()]
+        }
+    };
+    for (mut op, pos) in fresh.session.ops.into_iter().zip(positions) {
+        let pos = pos.min(ops.len());
+        // Keep timestamps locally plausible: inherit the neighbour's time.
+        op.timestamp = if pos == 0 {
+            ops.first().map(|o| o.timestamp).unwrap_or(op.timestamp)
+        } else {
+            ops[pos - 1].timestamp + 1
+        };
+        ops.insert(pos, op);
+    }
+    // Re-monotonize timestamps after insertion.
+    for i in 1..ops.len() {
+        if ops[i].timestamp < ops[i - 1].timestamp {
+            ops[i].timestamp = ops[i - 1].timestamp + 1;
+        }
+    }
+    Session {
+        id: base.id | (1 << 62), // distinct id space for synthesized sessions
+        user: base.user.clone(),
+        client_ip: base.client_ip.clone(),
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ucad_dbsim::OpKind;
+
+    fn setup() -> (ScenarioSpec, SessionGenerator, StdRng) {
+        let spec = ScenarioSpec::commenting();
+        let gen = SessionGenerator::new(spec.clone());
+        (spec, gen, StdRng::seed_from_u64(21))
+    }
+
+    #[test]
+    fn a1_adds_selects_only() {
+        let (spec, mut gen, mut rng) = setup();
+        let synth = AnomalySynthesizer::new(&spec);
+        let base = gen.normal_session(&mut rng).session;
+        let a1 = synth.privilege_abuse(&base, &mut gen, &mut rng);
+        assert_eq!(a1.label, Some(AnomalyKind::PrivilegeAbuse));
+        assert!(a1.session.len() > base.len());
+        let added = a1.session.len() - base.len();
+        assert!(added >= 6);
+        // All added ops are selects.
+        let selects_before = base.ops.iter().filter(|o| o.kind == OpKind::Select).count();
+        let selects_after =
+            a1.session.ops.iter().filter(|o| o.kind == OpKind::Select).count();
+        assert_eq!(selects_after - selects_before, added);
+    }
+
+    #[test]
+    fn a2_injection_is_stealthy() {
+        let (spec, mut gen, mut rng) = setup();
+        let synth = AnomalySynthesizer::new(&spec);
+        for _ in 0..10 {
+            let base = gen.normal_session(&mut rng).session;
+            let a2 = synth.credential_stealing(&base, &mut gen, &mut rng);
+            let added = a2.session.len() - base.len();
+            assert!(added >= 1);
+            assert!(
+                added as f32 <= (base.len() as f32 * 0.10).max(1.0),
+                "A2 injected {} ops into a session of {}",
+                added,
+                base.len()
+            );
+            // At least one injected op is a delete.
+            let del_before = base.ops.iter().filter(|o| o.kind == OpKind::Delete).count();
+            let del_after =
+                a2.session.ops.iter().filter(|o| o.kind == OpKind::Delete).count();
+            assert!(del_after > del_before);
+        }
+    }
+
+    #[test]
+    fn a3_uses_only_rare_templates() {
+        let (spec, mut gen, mut rng) = setup();
+        let synth = AnomalySynthesizer::new(&spec);
+        let a3 = synth.misoperation(&mut gen, &mut rng);
+        assert_eq!(a3.label, Some(AnomalyKind::Misoperation));
+        assert!(a3.session.len() >= 6);
+        // Every op's table/kind pair corresponds to some rare template.
+        let rare: Vec<_> = spec
+            .rare_template_ids(RARE_WEIGHT_THRESHOLD)
+            .into_iter()
+            .map(|id| (spec.templates[id].table.clone(), spec.templates[id].kind()))
+            .collect();
+        for op in &a3.session.ops {
+            assert!(
+                rare.iter().any(|(t, k)| *t == op.table && *k == op.kind),
+                "op not from rare pool: {}",
+                op.sql
+            );
+        }
+    }
+
+    #[test]
+    fn splice_preserves_timestamp_monotonicity() {
+        let (spec, mut gen, mut rng) = setup();
+        let synth = AnomalySynthesizer::new(&spec);
+        for _ in 0..5 {
+            let base = gen.normal_session(&mut rng).session;
+            let a2 = synth.credential_stealing(&base, &mut gen, &mut rng);
+            for w in a2.session.ops.windows(2) {
+                assert!(w[0].timestamp <= w[1].timestamp);
+            }
+        }
+    }
+
+    #[test]
+    fn synthesized_ids_do_not_collide_with_normals() {
+        let (spec, mut gen, mut rng) = setup();
+        let synth = AnomalySynthesizer::new(&spec);
+        let base = gen.normal_session(&mut rng).session;
+        let a1 = synth.privilege_abuse(&base, &mut gen, &mut rng);
+        assert_ne!(a1.session.id, base.id);
+    }
+}

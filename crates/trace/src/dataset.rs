@@ -1,0 +1,256 @@
+//! Dataset assembly following the evaluation protocol of §6.1.
+//!
+//! Purified normal sessions are split 8:2 into a training set `T` and a
+//! normal test set `V1`; `V2`/`V3` are order-swap and duplicate-removal
+//! mutations of `V1`; `A1`/`A2`/`A3` are synthesized anomaly sets of the
+//! same size as `V1`.
+
+use crate::anomaly::AnomalySynthesizer;
+use crate::mutate::{partial_remove, partial_swap};
+use crate::scenario::{AnnotatedSession, ScenarioSpec, SessionGenerator};
+use crate::session::{LabeledSession, Session};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A complete train/test bundle for one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioDataset {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Purified training sessions `T` (may contain injected anomalies when
+    /// built with contamination; see [`ScenarioDataset::generate_hybrid`]).
+    pub train: Vec<Session>,
+    /// Fraction of `train` that is anomalous (0.0 for clean generation).
+    pub contamination: f64,
+    /// Held-out normal sessions `V1`.
+    pub v1: Vec<Session>,
+    /// Partial-swap mutations of `V1`.
+    pub v2: Vec<Session>,
+    /// Partial-remove mutations of `V1`.
+    pub v3: Vec<Session>,
+    /// Privilege-abuse anomalies.
+    pub a1: Vec<LabeledSession>,
+    /// Credential-stealing anomalies.
+    pub a2: Vec<LabeledSession>,
+    /// Misoperation anomalies.
+    pub a3: Vec<LabeledSession>,
+}
+
+impl ScenarioDataset {
+    /// Generates a clean dataset with `train_sessions` training sessions
+    /// (the paper's defaults are [`ScenarioSpec::default_train_sessions`]).
+    pub fn generate(spec: &ScenarioSpec, train_sessions: usize, seed: u64) -> Self {
+        Self::generate_hybrid(spec, train_sessions, 0.0, seed)
+    }
+
+    /// Generates a dataset whose training set is contaminated with the given
+    /// fraction of synthetic anomalies (the §6.5 robustness protocol).
+    /// Contaminating anomalies are freshly synthesized — never shared with
+    /// the A1-A3 test sets.
+    pub fn generate_hybrid(
+        spec: &ScenarioSpec,
+        train_sessions: usize,
+        contamination: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&contamination), "contamination in [0,1)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen = SessionGenerator::new(spec.clone());
+        let test_sessions = (train_sessions as f64 / 4.0).round().max(1.0) as usize;
+        let total = train_sessions + test_sessions;
+
+        let normals: Vec<AnnotatedSession> =
+            (0..total).map(|_| gen.normal_session(&mut rng)).collect();
+        let (train_part, test_part) = normals.split_at(train_sessions);
+        let mut train: Vec<Session> =
+            train_part.iter().map(|a| a.session.clone()).collect();
+
+        let v1: Vec<Session> = test_part.iter().map(|a| a.session.clone()).collect();
+        let v2: Vec<Session> =
+            test_part.iter().map(|a| partial_swap(a, &mut rng)).collect();
+        let v3: Vec<Session> =
+            test_part.iter().map(|a| partial_remove(a, &mut rng)).collect();
+
+        let synth = AnomalySynthesizer::new(spec);
+        let a1: Vec<LabeledSession> = test_part
+            .iter()
+            .map(|a| synth.privilege_abuse(&a.session, &mut gen, &mut rng))
+            .collect();
+        let a2: Vec<LabeledSession> = test_part
+            .iter()
+            .map(|a| synth.credential_stealing(&a.session, &mut gen, &mut rng))
+            .collect();
+        let a3: Vec<LabeledSession> =
+            (0..test_sessions).map(|_| synth.misoperation(&mut gen, &mut rng)).collect();
+
+        // Contaminate the training set with fresh anomalies.
+        if contamination > 0.0 {
+            let k = ((train.len() as f64 * contamination)
+                / (1.0 - contamination))
+                .round() as usize;
+            for i in 0..k {
+                let s = match i % 3 {
+                    0 => {
+                        let base = gen.normal_session(&mut rng).session;
+                        synth.privilege_abuse(&base, &mut gen, &mut rng)
+                    }
+                    1 => {
+                        let base = gen.normal_session(&mut rng).session;
+                        synth.credential_stealing(&base, &mut gen, &mut rng)
+                    }
+                    _ => synth.misoperation(&mut gen, &mut rng),
+                };
+                let pos = rng.gen_range(0..=train.len());
+                train.insert(pos, s.session);
+            }
+        }
+
+        ScenarioDataset {
+            scenario: spec.name,
+            train,
+            contamination,
+            v1,
+            v2,
+            v3,
+            a1,
+            a2,
+            a3,
+        }
+    }
+
+    /// Full labeled test set: V1-3 as negatives, A1-3 as positives, in the
+    /// order `(v1, v2, v3, a1, a2, a3)`.
+    pub fn test_sets(&self) -> [(&'static str, Vec<LabeledSession>); 6] {
+        let norm =
+            |v: &[Session]| v.iter().cloned().map(LabeledSession::normal).collect();
+        [
+            ("V1", norm(&self.v1)),
+            ("V2", norm(&self.v2)),
+            ("V3", norm(&self.v3)),
+            ("A1", self.a1.clone()),
+            ("A2", self.a2.clone()),
+            ("A3", self.a3.clone()),
+        ]
+    }
+}
+
+/// A raw (unpurified) log for exercising the preprocessing module: normal
+/// sessions mixed with policy-violating, structureless and too-short noise.
+#[derive(Debug, Clone)]
+pub struct RawLog {
+    /// All sessions in generation order.
+    pub sessions: Vec<Session>,
+    /// Indices of sessions that are noise (ground truth for preprocessing
+    /// tests; a production system would not have this).
+    pub noise_indices: Vec<usize>,
+}
+
+/// Generates a raw log with `n_normal` normal sessions and
+/// `noise_frac * n_normal` noise sessions of mixed kinds.
+pub fn generate_raw_log(
+    spec: &ScenarioSpec,
+    n_normal: usize,
+    noise_frac: f64,
+    seed: u64,
+) -> RawLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = SessionGenerator::new(spec.clone());
+    let n_noise = (n_normal as f64 * noise_frac).round() as usize;
+    let mut sessions = Vec::with_capacity(n_normal + n_noise);
+    let mut noise_ids = Vec::with_capacity(n_noise);
+    for _ in 0..n_normal {
+        sessions.push(gen.normal_session(&mut rng).session);
+    }
+    for i in 0..n_noise {
+        let s = match i % 3 {
+            0 => gen.noise_policy_violation(&mut rng),
+            1 => gen.noise_rare_pattern(&mut rng),
+            _ => gen.noise_short(&mut rng),
+        };
+        noise_ids.push(s.session.id);
+        // Insertion shifts indices, so indices are recovered by id below.
+        let pos = rng.gen_range(0..=sessions.len());
+        sessions.insert(pos, s.session);
+    }
+    let ids: std::collections::HashSet<u64> = noise_ids.into_iter().collect();
+    let noise_indices = sessions
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| ids.contains(&s.id))
+        .map(|(i, _)| i)
+        .collect();
+    RawLog { sessions, noise_indices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioSpec;
+
+    #[test]
+    fn dataset_sizes_follow_protocol() {
+        let spec = ScenarioSpec::commenting();
+        let ds = ScenarioDataset::generate(&spec, 80, 3);
+        assert_eq!(ds.train.len(), 80);
+        assert_eq!(ds.v1.len(), 20);
+        assert_eq!(ds.v2.len(), 20);
+        assert_eq!(ds.v3.len(), 20);
+        assert_eq!(ds.a1.len(), 20);
+        assert_eq!(ds.a2.len(), 20);
+        assert_eq!(ds.a3.len(), 20);
+        assert!(ds.a1.iter().all(|s| s.is_abnormal()));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = ScenarioSpec::commenting();
+        let a = ScenarioDataset::generate(&spec, 20, 11);
+        let b = ScenarioDataset::generate(&spec, 20, 11);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.a2.len(), b.a2.len());
+        let c = ScenarioDataset::generate(&spec, 20, 12);
+        assert_ne!(
+            a.train[0].ops[0].sql, c.train[0].ops[0].sql,
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn hybrid_contamination_ratio_is_respected() {
+        let spec = ScenarioSpec::commenting();
+        let ds = ScenarioDataset::generate_hybrid(&spec, 50, 0.2, 4);
+        // k anomalies such that k / (50 + k) ≈ 0.2 → k ≈ 13.
+        let extra = ds.train.len() - 50;
+        let actual = extra as f64 / ds.train.len() as f64;
+        assert!(
+            (actual - 0.2).abs() < 0.03,
+            "contamination {} too far from 0.2",
+            actual
+        );
+    }
+
+    #[test]
+    fn test_sets_are_labeled_correctly() {
+        let spec = ScenarioSpec::commenting();
+        let ds = ScenarioDataset::generate(&spec, 20, 5);
+        let sets = ds.test_sets();
+        for (name, set) in &sets[..3] {
+            assert!(set.iter().all(|s| !s.is_abnormal()), "{name} must be normal");
+        }
+        for (name, set) in &sets[3..] {
+            assert!(set.iter().all(|s| s.is_abnormal()), "{name} must be abnormal");
+        }
+    }
+
+    #[test]
+    fn raw_log_contains_marked_noise() {
+        let spec = ScenarioSpec::commenting();
+        let raw = generate_raw_log(&spec, 30, 0.3, 6);
+        assert_eq!(raw.sessions.len(), 39);
+        assert_eq!(raw.noise_indices.len(), 9);
+        for &i in &raw.noise_indices {
+            assert!(i < raw.sessions.len());
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # ucad-trace
+//!
+//! Synthetic trace substrate for the UCAD reproduction.
+//!
+//! The paper evaluates on proprietary production traces from two database
+//! application scenarios plus three public system-log datasets; none of
+//! those are redistributable, so this crate generates statistically
+//! calibrated stand-ins:
+//!
+//! * [`scenario`] — workflow-driven session generators for Scenario-I
+//!   (commenting application) and Scenario-II (location service), calibrated
+//!   to Table 1 of the paper and executed against the [`ucad_dbsim`] engine.
+//! * [`anomaly`] — the A1/A2/A3 anomaly synthesis recipes of §6.1.
+//! * [`mutate`] — the V2 (partial-swap) and V3 (partial-remove) normal
+//!   mutations of §6.1.
+//! * [`dataset`] — train/test assembly, raw (noisy) logs for preprocessing,
+//!   and contaminated training sets for the §6.5 robustness study.
+//! * [`syslog`] — HDFS/BGL/Thunderbird-like log generators for the §6.6
+//!   transferability experiments.
+
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod dataset;
+pub mod mutate;
+pub mod scenario;
+pub mod session;
+pub mod syslog;
+pub mod template;
+
+pub use anomaly::AnomalySynthesizer;
+pub use dataset::{generate_raw_log, RawLog, ScenarioDataset};
+pub use scenario::{AnnotatedSession, ScenarioSpec, SessionGenerator};
+pub use session::{AnomalyKind, LabeledSession, Operation, Session};
+pub use syslog::{EventSession, LogDataset, SyslogSpec};
+pub use template::{PredShape, StatementTemplate, TemplateShape};

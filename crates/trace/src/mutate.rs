@@ -1,0 +1,157 @@
+//! Normal-session mutations V2 (partial swap) and V3 (partial remove).
+//!
+//! §6.1 of the paper builds two extra *normal* test sets from V1 to probe
+//! robustness against heterogeneous access patterns:
+//! * **V2 partial swap** — interchangeable operations are randomly swapped,
+//!   verified not to change the session goal. Our generator records exactly
+//!   which operation runs are order-free ([`AnnotatedSession::swap_spans`]),
+//!   so the mutation permutes only those.
+//! * **V3 partial remove** — repeated goal-irrelevant operations (e.g. the
+//!   same `SELECT` issued several times) are partially removed.
+
+use crate::scenario::AnnotatedSession;
+use crate::session::Session;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// V2: shuffles each interchangeable span of the session.
+pub fn partial_swap(annotated: &AnnotatedSession, rng: &mut impl Rng) -> Session {
+    let mut session = annotated.session.clone();
+    for &(start, len) in &annotated.swap_spans {
+        session.ops[start..start + len].shuffle(rng);
+    }
+    // Timestamps travel with the ops during the shuffle; restore order so
+    // the log remains chronologically valid (swapping execution order of
+    // interchangeable ops swaps their times too).
+    let mut times: Vec<u64> = session.ops.iter().map(|o| o.timestamp).collect();
+    times.sort_unstable();
+    for (op, t) in session.ops.iter_mut().zip(times) {
+        op.timestamp = t;
+    }
+    session.id |= 1 << 61;
+    session
+}
+
+/// V3: removes up to half of the duplicate occurrences of repeated
+/// operations (same abstract statement appearing more than once).
+pub fn partial_remove(annotated: &AnnotatedSession, rng: &mut impl Rng) -> Session {
+    let base = &annotated.session;
+    // Count occurrences per abstract shape; literals differ between
+    // instantiations, so group by the digit-stripped SQL.
+    let strip = |s: &str| -> String { s.chars().filter(|c| !c.is_ascii_digit()).collect() };
+    let mut counts: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
+    for op in &base.ops {
+        *counts.entry(strip(&op.sql)).or_insert(0) += 1;
+    }
+    let mut seen: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
+    let mut ops = Vec::with_capacity(base.ops.len());
+    for op in &base.ops {
+        let key = strip(&op.sql);
+        let total = counts[&key];
+        let so_far = seen.entry(key).or_insert(0);
+        *so_far += 1;
+        // Keep the first occurrence always; later duplicates are dropped
+        // with probability 1/2 (but never drop below one occurrence).
+        if *so_far > 1 && total > 1 && rng.gen_bool(0.5) {
+            continue;
+        }
+        ops.push(op.clone());
+    }
+    // Guard: a session must stay non-trivial.
+    if ops.len() < 4 {
+        ops = base.ops.clone();
+    }
+    Session {
+        id: base.id | (1 << 60),
+        user: base.user.clone(),
+        client_ip: base.client_ip.clone(),
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioSpec, SessionGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> (Vec<AnnotatedSession>, StdRng) {
+        let mut gen = SessionGenerator::new(ScenarioSpec::commenting());
+        let mut rng = StdRng::seed_from_u64(5);
+        let sessions = (0..20).map(|_| gen.normal_session(&mut rng)).collect();
+        (sessions, rng)
+    }
+
+    #[test]
+    fn v2_is_a_permutation_with_same_multiset() {
+        let (sessions, mut rng) = sample();
+        for s in &sessions {
+            let v2 = partial_swap(s, &mut rng);
+            assert_eq!(v2.len(), s.session.len());
+            let mut a: Vec<&str> = s.session.ops.iter().map(|o| o.sql.as_str()).collect();
+            let mut b: Vec<&str> = v2.ops.iter().map(|o| o.sql.as_str()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "V2 must preserve the operation multiset");
+        }
+    }
+
+    #[test]
+    fn v2_only_touches_swap_spans() {
+        let (sessions, mut rng) = sample();
+        for s in &sessions {
+            let v2 = partial_swap(s, &mut rng);
+            let in_span = |i: usize| {
+                s.swap_spans.iter().any(|&(st, len)| i >= st && i < st + len)
+            };
+            for (i, (a, b)) in s.session.ops.iter().zip(v2.ops.iter()).enumerate() {
+                if !in_span(i) {
+                    assert_eq!(a.sql, b.sql, "op {} outside spans changed", i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_timestamps_remain_monotone() {
+        let (sessions, mut rng) = sample();
+        for s in &sessions {
+            let v2 = partial_swap(s, &mut rng);
+            for w in v2.ops.windows(2) {
+                assert!(w[0].timestamp <= w[1].timestamp);
+            }
+        }
+    }
+
+    #[test]
+    fn v3_never_grows_and_keeps_first_occurrences() {
+        let (sessions, mut rng) = sample();
+        for s in &sessions {
+            let v3 = partial_remove(s, &mut rng);
+            assert!(v3.len() <= s.session.len());
+            assert!(v3.len() >= 4);
+            // The set of abstract shapes is preserved (only duplicates drop).
+            let strip = |x: &str| -> String {
+                x.chars().filter(|c| !c.is_ascii_digit()).collect()
+            };
+            let a: std::collections::HashSet<String> =
+                s.session.ops.iter().map(|o| strip(&o.sql)).collect();
+            let b: std::collections::HashSet<String> =
+                v3.ops.iter().map(|o| strip(&o.sql)).collect();
+            assert_eq!(a, b, "V3 must not remove the last instance of any op");
+        }
+    }
+
+    #[test]
+    fn mutated_ids_are_distinct_from_originals() {
+        let (sessions, mut rng) = sample();
+        let v2 = partial_swap(&sessions[0], &mut rng);
+        let v3 = partial_remove(&sessions[0], &mut rng);
+        assert_ne!(v2.id, sessions[0].session.id);
+        assert_ne!(v3.id, sessions[0].session.id);
+        assert_ne!(v2.id, v3.id);
+    }
+}

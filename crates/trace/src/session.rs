@@ -1,0 +1,141 @@
+//! Session types shared by the generators and the downstream pipeline.
+
+use serde::{Deserialize, Serialize};
+use ucad_dbsim::{LogRecord, OpKind};
+
+/// One data-access operation inside a session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operation {
+    /// Raw SQL text.
+    pub sql: String,
+    /// Target table.
+    pub table: String,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Execution time (seconds since epoch).
+    pub timestamp: u64,
+}
+
+/// A user session: the unit the paper evaluates at (§6.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    /// Unique session identifier.
+    pub id: u64,
+    /// Authenticated user.
+    pub user: String,
+    /// Client address.
+    pub client_ip: String,
+    /// Operations in execution order.
+    pub ops: Vec<Operation>,
+}
+
+impl Session {
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the session holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Builds sessions from audit-log records (grouped by `session_id`).
+    pub fn from_log_records(records: &[LogRecord]) -> Vec<Session> {
+        let mut order: Vec<u64> = Vec::new();
+        let mut map: std::collections::HashMap<u64, Session> =
+            std::collections::HashMap::new();
+        for r in records {
+            let s = map.entry(r.session_id).or_insert_with(|| {
+                order.push(r.session_id);
+                Session {
+                    id: r.session_id,
+                    user: r.user.clone(),
+                    client_ip: r.client_ip.clone(),
+                    ops: Vec::new(),
+                }
+            });
+            s.ops.push(Operation {
+                sql: r.sql.clone(),
+                table: r.table.clone(),
+                kind: r.op,
+                timestamp: r.timestamp,
+            });
+        }
+        order.into_iter().map(|id| map.remove(&id).expect("inserted")).collect()
+    }
+}
+
+/// The three anomaly classes of the paper's threat model (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// A1: authorized users abusing their privileges (extra query volume).
+    PrivilegeAbuse,
+    /// A2: stolen credentials hiding a few destructive ops inside normal work.
+    CredentialStealing,
+    /// A3: accidental, logically inconsistent misoperations.
+    Misoperation,
+}
+
+/// A session with ground-truth label (None = normal).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledSession {
+    /// The session.
+    pub session: Session,
+    /// Ground truth; `None` means normal.
+    pub label: Option<AnomalyKind>,
+}
+
+impl LabeledSession {
+    /// Wraps a normal session.
+    pub fn normal(session: Session) -> Self {
+        LabeledSession { session, label: None }
+    }
+
+    /// Wraps an abnormal session.
+    pub fn abnormal(session: Session, kind: AnomalyKind) -> Self {
+        LabeledSession { session, label: Some(kind) }
+    }
+
+    /// True when the ground truth is abnormal.
+    pub fn is_abnormal(&self) -> bool {
+        self.label.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_log_records_groups_sessions() {
+        let rec = |sid: u64, sql: &str, ts: u64| LogRecord {
+            timestamp: ts,
+            user: format!("u{sid}"),
+            client_ip: "ip".into(),
+            session_id: sid,
+            sql: sql.into(),
+            table: "t".into(),
+            op: OpKind::Select,
+            rows: 0,
+        };
+        let records = vec![
+            rec(1, "SELECT * FROM t", 0),
+            rec(2, "SELECT * FROM t WHERE a=1", 1),
+            rec(1, "SELECT * FROM t WHERE b=2", 2),
+        ];
+        let sessions = Session::from_log_records(&records);
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].id, 1);
+        assert_eq!(sessions[0].len(), 2);
+        assert_eq!(sessions[0].ops[1].timestamp, 2);
+        assert_eq!(sessions[1].len(), 1);
+    }
+
+    #[test]
+    fn labels() {
+        let s = Session { id: 0, user: "u".into(), client_ip: "i".into(), ops: vec![] };
+        assert!(!LabeledSession::normal(s.clone()).is_abnormal());
+        assert!(LabeledSession::abnormal(s, AnomalyKind::Misoperation).is_abnormal());
+    }
+}

@@ -1,0 +1,193 @@
+//! Statement templates: the generative counterpart of the paper's
+//! "statement keys".
+//!
+//! UCAD's tokenizer abstracts every literal to `$k`, so two statements map to
+//! the same key iff they share an abstract shape (same command, table,
+//! columns, predicate structure, `IN`-list arity and `VALUES` tuple count).
+//! A [`StatementTemplate`] is exactly one such shape; instantiating it with
+//! random literals yields statements that all tokenize to the same key.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use ucad_dbsim::{Condition, OpKind, Projection, Statement, Value};
+
+/// Shape of one `WHERE` conjunct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredShape {
+    /// `col = $`
+    Eq,
+    /// `col IN ($, ..., $)` with the given arity.
+    In(usize),
+}
+
+/// Abstract statement shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TemplateShape {
+    /// `SELECT (proj) FROM table WHERE ...`; `None` projection means `*`.
+    Select {
+        /// Projected columns, or `None` for `*`.
+        projection: Option<Vec<String>>,
+        /// Predicate shapes.
+        preds: Vec<(String, PredShape)>,
+    },
+    /// `INSERT INTO table (cols) VALUES (...) x tuples`.
+    Insert {
+        /// Inserted columns.
+        cols: Vec<String>,
+        /// Number of `VALUES` tuples.
+        tuples: usize,
+    },
+    /// `UPDATE table SET cols... WHERE ...`.
+    Update {
+        /// Assigned columns.
+        set_cols: Vec<String>,
+        /// Predicate shapes.
+        preds: Vec<(String, PredShape)>,
+    },
+    /// `DELETE FROM table WHERE ...`.
+    Delete {
+        /// Predicate shapes.
+        preds: Vec<(String, PredShape)>,
+    },
+}
+
+/// A statement shape bound to a table, with a usage weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatementTemplate {
+    /// Index into the scenario's template pool.
+    pub id: usize,
+    /// Target table.
+    pub table: String,
+    /// Abstract shape.
+    pub shape: TemplateShape,
+    /// Relative usage frequency; templates with weight below a scenario's
+    /// rarity threshold are the "rarely performed" ops used for A3 synthesis.
+    pub weight: f32,
+}
+
+impl StatementTemplate {
+    /// Operation kind of the shape.
+    pub fn kind(&self) -> OpKind {
+        match self.shape {
+            TemplateShape::Select { .. } => OpKind::Select,
+            TemplateShape::Insert { .. } => OpKind::Insert,
+            TemplateShape::Update { .. } => OpKind::Update,
+            TemplateShape::Delete { .. } => OpKind::Delete,
+        }
+    }
+
+    /// Instantiates the template with random integer literals.
+    pub fn instantiate(&self, rng: &mut impl Rng) -> Statement {
+        let mut value = || Value::Int(rng.gen_range(0..10_000));
+        fn conds(
+            preds: &[(String, PredShape)],
+            value: &mut impl FnMut() -> Value,
+        ) -> Vec<Condition> {
+            preds
+                .iter()
+                .map(|(col, shape)| match shape {
+                    PredShape::Eq => Condition::Eq(col.clone(), value()),
+                    PredShape::In(n) => {
+                        Condition::In(col.clone(), (0..*n).map(|_| value()).collect())
+                    }
+                })
+                .collect()
+        }
+        match &self.shape {
+            TemplateShape::Select { projection, preds } => Statement::Select {
+                table: self.table.clone(),
+                projection: match projection {
+                    None => Projection::All,
+                    Some(cols) => Projection::Columns(cols.clone()),
+                },
+                conditions: conds(preds, &mut value),
+            },
+            TemplateShape::Insert { cols, tuples } => Statement::Insert {
+                table: self.table.clone(),
+                columns: cols.clone(),
+                rows: (0..*tuples)
+                    .map(|_| (0..cols.len()).map(|_| value()).collect())
+                    .collect(),
+            },
+            TemplateShape::Update { set_cols, preds } => Statement::Update {
+                table: self.table.clone(),
+                assignments: set_cols.iter().map(|c| (c.clone(), value())).collect(),
+                conditions: conds(preds, &mut value),
+            },
+            TemplateShape::Delete { preds } => Statement::Delete {
+                table: self.table.clone(),
+                conditions: conds(preds, &mut value),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn select_template() -> StatementTemplate {
+        StatementTemplate {
+            id: 0,
+            table: "t_cell_fp_3".into(),
+            shape: TemplateShape::Select {
+                projection: None,
+                preds: vec![
+                    ("pnci".into(), PredShape::Eq),
+                    ("gridId".into(), PredShape::In(3)),
+                ],
+            },
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn instantiation_matches_shape() {
+        let t = select_template();
+        let mut rng = StdRng::seed_from_u64(0);
+        let stmt = t.instantiate(&mut rng);
+        match stmt {
+            Statement::Select { table, conditions, .. } => {
+                assert_eq!(table, "t_cell_fp_3");
+                assert_eq!(conditions.len(), 2);
+                match &conditions[1] {
+                    Condition::In(_, vs) => assert_eq!(vs.len(), 3),
+                    other => panic!("expected IN, got {other:?}"),
+                }
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_instantiations_differ_in_literals_only() {
+        let t = select_template();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = t.instantiate(&mut rng).to_string();
+        let b = t.instantiate(&mut rng).to_string();
+        assert_ne!(a, b, "literals should differ");
+        // Same abstract shape: equal after crude literal removal.
+        let strip = |s: &str| {
+            s.chars().filter(|c| !c.is_ascii_digit()).collect::<String>()
+        };
+        assert_eq!(strip(&a), strip(&b));
+    }
+
+    #[test]
+    fn insert_tuple_count_respected() {
+        let t = StatementTemplate {
+            id: 1,
+            table: "t".into(),
+            shape: TemplateShape::Insert { cols: vec!["a".into(), "b".into()], tuples: 4 },
+            weight: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        match t.instantiate(&mut rng) {
+            Statement::Insert { rows, .. } => assert_eq!(rows.len(), 4),
+            other => panic!("expected insert, got {other:?}"),
+        }
+        assert_eq!(t.kind(), OpKind::Insert);
+    }
+}

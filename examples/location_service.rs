@@ -1,0 +1,88 @@
+//! Scenario-II walkthrough: the location service.
+//!
+//! Trains a (scaled) Trans-DAS on location-service sessions, evaluates the
+//! six test sets, and prints the attention view of a cell-update session —
+//! the paper's Figure 6 pattern of alternating INSERT/SELECT bursts.
+//!
+//! ```sh
+//! cargo run --release --example location_service
+//! ```
+
+use ucad::{run_transdas, TokenizedDataset};
+use ucad_model::{DetectionMode, DetectorConfig, TransDas, TransDasConfig};
+use ucad_trace::{ScenarioDataset, ScenarioSpec};
+
+fn main() {
+    let spec = ScenarioSpec::location_service();
+    println!(
+        "scenario: {} — {} tables, {} statement keys, avg session length {}",
+        spec.name,
+        spec.tables.len(),
+        spec.templates.len(),
+        spec.avg_session_len
+    );
+
+    // Scaled run (paper scale is 3722 sessions / h=64 / B=6 / L=100; see
+    // the bench harness with UCAD_FULL=1 for that).
+    let ds = ScenarioDataset::generate(&spec, 400, 7);
+    let data = TokenizedDataset::from_dataset(&ds);
+    println!("dataset: train {}, vocabulary {} keys", ds.train.len(), data.vocab.len());
+
+    let cfg = TransDasConfig {
+        hidden: 32,
+        heads: 4,
+        blocks: 3,
+        window: 50,
+        stride: 4,
+        epochs: 6,
+        ..TransDasConfig::scenario2(0)
+    };
+    let det = DetectorConfig { top_p: 10, min_context: 2, mode: DetectionMode::Block };
+    let (row, report) = run_transdas(&data, "Trans-DAS", cfg, det);
+    println!(
+        "trained {} windows in {:.1}s/epoch; final loss {:.4}",
+        report.windows,
+        report.epoch_secs.iter().sum::<f64>() / report.epoch_secs.len().max(1) as f64,
+        report.epoch_losses.last().unwrap_or(&f32::NAN)
+    );
+    println!("{}", row.format_row());
+
+    // Attention probe on one in-window session (the Figure 6 view).
+    let mut probe_cfg = cfg;
+    probe_cfg.vocab_size = data.vocab.key_space();
+    probe_cfg.epochs = 3;
+    let mut model = TransDas::new(probe_cfg);
+    model.train(&data.train);
+    if let Some(session) = data.test_sets[0]
+        .1
+        .iter()
+        .find(|s| s.len() >= 8 && s.len() <= 14 && !s.contains(&0))
+    {
+        println!("\nattention view of a normal session {:?}:", session);
+        let padded = model.pad_window(session);
+        let (_, attn) = model.output_with_attention(&padded);
+        let pad = probe_cfg.window - session.len();
+        for i in 0..session.len() {
+            let row = &attn.row(pad + i)[pad..];
+            let best = row
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(j, _)| j)
+                .unwrap_or(i);
+            println!(
+                "  op {:>2} (k{:<4}) attends most to op {:>2} (k{:<4}) [w={:.3}]  {}",
+                i,
+                session[i],
+                best,
+                session[best],
+                row[best],
+                data.vocab
+                    .template(session[i])
+                    .map(|t| &t[..t.len().min(60)])
+                    .unwrap_or("<unknown>")
+            );
+        }
+    }
+}

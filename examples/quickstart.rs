@@ -1,0 +1,75 @@
+//! Quickstart: train UCAD on a synthetic commenting-application audit log
+//! and detect anomalies in fresh sessions.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ucad::{Ucad, UcadConfig, Verdict};
+use ucad_model::TransDasConfig;
+use ucad_trace::{generate_raw_log, AnomalySynthesizer, ScenarioSpec, SessionGenerator};
+
+fn main() {
+    // 1. A raw audit log: ~400 normal sessions plus 10% mixed noise
+    //    (unknown addresses, structureless sessions, fragments).
+    let spec = ScenarioSpec::commenting();
+    let raw = generate_raw_log(&spec, 400, 0.10, 42);
+    println!(
+        "raw log: {} sessions ({} known noise)",
+        raw.sessions.len(),
+        raw.noise_indices.len()
+    );
+
+    // 2. Offline training: preprocessing (tokenize, policy-filter, cluster)
+    //    then Trans-DAS on the purified sessions.
+    let mut cfg = UcadConfig::scenario1();
+    cfg.model = TransDasConfig { epochs: 8, ..cfg.model };
+    let (system, report) = Ucad::train(&raw.sessions, cfg);
+    println!(
+        "preprocessing: {} policy-rejected, {} clusters, {} purified sessions, vocab {}",
+        report.preprocess.policy_rejected,
+        report.preprocess.clean_stats.clusters,
+        report.purified_sessions,
+        report.preprocess.vocab_size
+    );
+    println!(
+        "training: {} windows, final loss {:.4} ({:.1}s/epoch)",
+        report.model.windows,
+        report.model.epoch_losses.last().unwrap_or(&f32::NAN),
+        report.model.epoch_secs.iter().sum::<f64>() / report.model.epoch_secs.len() as f64
+    );
+
+    // 3. Online detection on fresh traffic.
+    let mut gen = SessionGenerator::new(spec.clone());
+    let synth = AnomalySynthesizer::new(&spec);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let normal = gen.normal_session(&mut rng).session;
+    report_verdict("fresh normal session", system.detect(&normal));
+
+    let base = gen.normal_session(&mut rng).session;
+    let stealthy = synth.credential_stealing(&base, &mut gen, &mut rng);
+    report_verdict(
+        "credential-stealing session (A2: <10% injected deletes)",
+        system.detect(&stealthy.session),
+    );
+
+    let miso = synth.misoperation(&mut gen, &mut rng);
+    report_verdict("misoperation session (A3: rare ops)", system.detect(&miso.session));
+
+    let violating = gen.noise_policy_violation(&mut rng).session;
+    report_verdict("unknown-address session", system.detect(&violating));
+}
+
+fn report_verdict(label: &str, verdict: Verdict) {
+    match verdict {
+        Verdict::Normal => println!("[PASS]  {label}"),
+        Verdict::PolicyViolation(v) => println!("[BLOCK] {label}: policy {v:?}"),
+        Verdict::IntentMismatch(d) => println!(
+            "[ALARM] {label}: intent mismatch at operation {:?}",
+            d.first_anomaly
+        ),
+    }
+}

@@ -1,0 +1,5 @@
+#!/bin/bash
+cd /root/repo
+cargo test --workspace --release 2>&1 | tee /root/repo/test_output.txt
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt
+touch /root/repo/.final_done

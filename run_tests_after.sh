@@ -1,0 +1,5 @@
+#!/bin/bash
+cd /root/repo
+until [ -f /root/repo/.final_done ]; do sleep 15; done
+cargo test --workspace --release 2>&1 | tee /root/repo/test_output.txt
+touch /root/repo/.tests_done

@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the UCAD reproduction workspace.
+pub use ucad as core;
+pub use ucad_baselines as baselines;
+pub use ucad_dbsim as dbsim;
+pub use ucad_model as model;
+pub use ucad_nn as nn;
+pub use ucad_preprocess as preprocess;
+pub use ucad_trace as trace;

@@ -1,0 +1,105 @@
+//! Property tests on the database-engine substrate: executing generated
+//! statement sequences preserves engine invariants.
+
+use proptest::prelude::*;
+use ucad_dbsim::{parse, Condition, Database, ExecResult, Statement, Value};
+
+fn small_int() -> impl Strategy<Value = Value> {
+    (0i64..20).prop_map(Value::Int)
+}
+
+/// A random single-table workload over a fixed two-column schema.
+fn workload() -> impl Strategy<Value = Vec<Statement>> {
+    let insert = prop::collection::vec((small_int(), small_int()), 1..4).prop_map(|rows| {
+        Statement::Insert {
+            table: "t".into(),
+            columns: vec!["a".into(), "b".into()],
+            rows: rows.into_iter().map(|(a, b)| vec![a, b]).collect(),
+        }
+    });
+    let select = small_int().prop_map(|v| Statement::Select {
+        table: "t".into(),
+        projection: ucad_dbsim::Projection::All,
+        conditions: vec![Condition::Eq("a".into(), v)],
+    });
+    let update = (small_int(), small_int()).prop_map(|(v, w)| Statement::Update {
+        table: "t".into(),
+        assignments: vec![("b".into(), w)],
+        conditions: vec![Condition::Eq("a".into(), v)],
+    });
+    let delete = small_int().prop_map(|v| Statement::Delete {
+        table: "t".into(),
+        conditions: vec![Condition::Eq("a".into(), v)],
+    });
+    prop::collection::vec(prop_oneof![insert, select, update, delete], 0..30)
+}
+
+proptest! {
+    /// Row-count accounting: inserts add rows, deletes remove exactly what
+    /// they report, selects and updates never change the count.
+    #[test]
+    fn row_count_accounting(stmts in workload()) {
+        let mut db = Database::new();
+        db.create_table("t", &["a", "b"]);
+        let mut expected = 0i64;
+        for stmt in &stmts {
+            let before = db.table("t").unwrap().row_count() as i64;
+            let result = db.execute(stmt).expect("workload is schema-valid");
+            let after = db.table("t").unwrap().row_count() as i64;
+            match stmt {
+                Statement::Insert { rows, .. } => {
+                    prop_assert_eq!(after - before, rows.len() as i64);
+                    expected += rows.len() as i64;
+                }
+                Statement::Delete { .. } => {
+                    let removed = match result {
+                        ExecResult::Affected(n) => n as i64,
+                        _ => unreachable!(),
+                    };
+                    prop_assert_eq!(before - after, removed);
+                    expected -= removed;
+                }
+                _ => prop_assert_eq!(after, before),
+            }
+            prop_assert_eq!(after, expected);
+        }
+    }
+
+    /// A select after `UPDATE t SET b=w WHERE a=v` sees only `b=w` among
+    /// rows with `a=v`.
+    #[test]
+    fn update_is_visible(v in 0i64..5, w in 100i64..105, seed_rows in prop::collection::vec((0i64..5, 0i64..50), 1..10)) {
+        let mut db = Database::new();
+        db.create_table("t", &["a", "b"]);
+        db.execute(&Statement::Insert {
+            table: "t".into(),
+            columns: vec!["a".into(), "b".into()],
+            rows: seed_rows.iter().map(|(a, b)| vec![Value::Int(*a), Value::Int(*b)]).collect(),
+        }).unwrap();
+        db.execute(&parse(&format!("UPDATE t SET b={w} WHERE a={v}")).unwrap()).unwrap();
+        let rows = match db.execute(&parse(&format!("SELECT b FROM t WHERE a={v}")).unwrap()).unwrap() {
+            ExecResult::Rows(r) => r,
+            _ => unreachable!(),
+        };
+        for row in rows {
+            prop_assert_eq!(&row[0], &Value::Int(w));
+        }
+    }
+
+    /// Delete-then-select of the same predicate returns nothing.
+    #[test]
+    fn delete_then_select_is_empty(v in 0i64..5, seed_rows in prop::collection::vec((0i64..5, 0i64..50), 0..10)) {
+        let mut db = Database::new();
+        db.create_table("t", &["a", "b"]);
+        if !seed_rows.is_empty() {
+            db.execute(&Statement::Insert {
+                table: "t".into(),
+                columns: vec!["a".into(), "b".into()],
+                rows: seed_rows.iter().map(|(a, b)| vec![Value::Int(*a), Value::Int(*b)]).collect(),
+            }).unwrap();
+        }
+        db.execute(&parse(&format!("DELETE FROM t WHERE a={v}")).unwrap()).unwrap();
+        let r = db.execute(&parse(&format!("SELECT * FROM t WHERE a={v}")).unwrap()).unwrap();
+        prop_assert_eq!(r.row_count(), 0);
+    }
+}

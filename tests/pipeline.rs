@@ -1,0 +1,192 @@
+//! Cross-crate integration tests: raw audit log → preprocessing →
+//! Trans-DAS training → online detection, plus the experiment machinery.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ucad::{run_transdas, TokenizedDataset, Ucad, UcadConfig, Verdict};
+use ucad_model::{DetectionMode, DetectorConfig, TransDasConfig};
+use ucad_trace::{
+    generate_raw_log, AnomalySynthesizer, ScenarioDataset, ScenarioSpec, SessionGenerator,
+};
+
+fn fast_cfg() -> UcadConfig {
+    let mut cfg = UcadConfig::scenario1();
+    cfg.model = TransDasConfig {
+        hidden: 8,
+        heads: 2,
+        blocks: 2,
+        window: 12,
+        epochs: 10,
+        ..cfg.model
+    };
+    cfg
+}
+
+#[test]
+fn raw_log_to_verdicts() {
+    let spec = ScenarioSpec::commenting();
+    let raw = generate_raw_log(&spec, 150, 0.1, 500);
+    let (system, report) = Ucad::train(&raw.sessions, fast_cfg());
+    assert!(report.purified_sessions >= 40, "purified {}", report.purified_sessions);
+    assert_eq!(report.preprocess.vocab_size, 20, "all keys reachable");
+
+    // Fresh traffic: normals mostly pass, synthesized anomalies mostly flag.
+    let mut gen = SessionGenerator::new(spec.clone());
+    let synth = AnomalySynthesizer::new(&spec);
+    let mut rng = StdRng::seed_from_u64(501);
+    let mut normal_flags = 0;
+    let mut a2_catches = 0;
+    let n = 25;
+    for _ in 0..n {
+        let normal = gen.normal_session(&mut rng).session;
+        if system.detect(&normal).is_abnormal() {
+            normal_flags += 1;
+        }
+        let base = gen.normal_session(&mut rng).session;
+        let a2 = synth.credential_stealing(&base, &mut gen, &mut rng);
+        if system.detect(&a2.session).is_abnormal() {
+            a2_catches += 1;
+        }
+    }
+    assert!(
+        normal_flags <= n / 3,
+        "too many false alarms on fresh normals: {normal_flags}/{n}"
+    );
+    assert!(a2_catches >= 2 * n / 3, "missed too many A2: caught {a2_catches}/{n}");
+}
+
+#[test]
+fn policy_screen_blocks_known_attack_patterns_before_the_model() {
+    let spec = ScenarioSpec::commenting();
+    let raw = generate_raw_log(&spec, 80, 0.0, 502);
+    let (system, _) = Ucad::train(&raw.sessions, fast_cfg());
+    let mut gen = SessionGenerator::new(spec);
+    let mut rng = StdRng::seed_from_u64(503);
+    for _ in 0..5 {
+        let v = gen.noise_policy_violation(&mut rng).session;
+        assert!(
+            matches!(system.detect(&v), Verdict::PolicyViolation(_)),
+            "policy-violating session reached the model"
+        );
+    }
+}
+
+#[test]
+fn unseen_statements_are_flagged_online() {
+    let spec = ScenarioSpec::commenting();
+    let raw = generate_raw_log(&spec, 80, 0.0, 504);
+    let (system, _) = Ucad::train(&raw.sessions, fast_cfg());
+    let mut gen = SessionGenerator::new(spec);
+    let mut rng = StdRng::seed_from_u64(505);
+    let mut s = gen.normal_session(&mut rng).session;
+    // An attacker touches a table no workload ever uses.
+    let mid = s.len() / 2;
+    s.ops[mid].sql = "DELETE FROM t_secrets WHERE id=1".into();
+    let keys = system.preprocessor.transform(&s);
+    assert!(keys.contains(&0));
+    assert!(system.detect_keys(&keys).is_abnormal());
+}
+
+#[test]
+fn experiment_pipeline_produces_consistent_metrics() {
+    let spec = ScenarioSpec::commenting();
+    let ds = ScenarioDataset::generate(&spec, 60, 506);
+    let data = TokenizedDataset::from_dataset(&ds);
+    let cfg = TransDasConfig {
+        hidden: 8,
+        heads: 2,
+        blocks: 1,
+        window: 10,
+        epochs: 4,
+        ..TransDasConfig::scenario1(0)
+    };
+    let det = DetectorConfig { top_p: 5, min_context: 2, mode: DetectionMode::Block };
+    let (row, _) = run_transdas(&data, "t", cfg, det);
+    // Precision/recall/F1 must be internally consistent.
+    let f1 = 2.0 * row.precision * row.recall / (row.precision + row.recall);
+    assert!((row.f1 - f1).abs() < 1e-9);
+    for v in row.fpr.iter().chain(row.fnr.iter()) {
+        assert!((0.0..=1.0).contains(v));
+    }
+}
+
+#[test]
+fn detection_modes_agree_on_most_sessions() {
+    let spec = ScenarioSpec::commenting();
+    let ds = ScenarioDataset::generate(&spec, 60, 507);
+    let data = TokenizedDataset::from_dataset(&ds);
+    let cfg = TransDasConfig {
+        hidden: 8,
+        heads: 2,
+        blocks: 2,
+        window: 12,
+        epochs: 10,
+        ..TransDasConfig::scenario1(0)
+    };
+    let cfg = TransDasConfig { vocab_size: data.vocab.key_space(), ..cfg };
+    let mut model = ucad_model::TransDas::new(cfg);
+    model.train(&data.train);
+    let mut agree = 0;
+    let mut total = 0;
+    for (_, sessions, _) in &data.test_sets {
+        for keys in sessions.iter().take(10) {
+            let block = ucad_model::Detector::new(
+                &model,
+                DetectorConfig { top_p: 5, min_context: 2, mode: DetectionMode::Block },
+            )
+            .detect_session(keys)
+            .abnormal;
+            let streaming = ucad_model::Detector::new(
+                &model,
+                DetectorConfig { top_p: 5, min_context: 2, mode: DetectionMode::Streaming },
+            )
+            .detect_session(keys)
+            .abnormal;
+            total += 1;
+            if block == streaming {
+                agree += 1;
+            }
+        }
+    }
+    assert!(
+        agree as f64 >= total as f64 * 0.8,
+        "modes agree on only {agree}/{total} sessions"
+    );
+}
+
+#[test]
+fn fine_tuning_reduces_false_alarms_on_drifted_traffic() {
+    // Concept drift: a new workflow pattern appears after deployment.
+    let spec = ScenarioSpec::commenting();
+    let raw = generate_raw_log(&spec, 120, 0.0, 508);
+    let (mut system, _) = Ucad::train(&raw.sessions, fast_cfg());
+
+    // Drifted traffic = sessions built from one rare workflow, repeated.
+    let mut gen = SessionGenerator::new(spec.clone());
+    let mut rng = StdRng::seed_from_u64(509);
+    let rare_ids = spec.rare_template_ids(0.3);
+    let make_drifted = |gen: &mut SessionGenerator, rng: &mut StdRng| {
+        let ids: Vec<usize> =
+            (0..16).map(|i| rare_ids[i % rare_ids.len()]).collect();
+        gen.session_from_templates(rng, &ids).session
+    };
+    let flagged_before: usize = (0..10)
+        .filter(|_| {
+            let s = make_drifted(&mut gen, &mut rng);
+            system.detect(&s).is_abnormal()
+        })
+        .count();
+    // Verified-normal drifted sessions are fed back (§5.2 fine-tuning).
+    let verified: Vec<_> = (0..30).map(|_| make_drifted(&mut gen, &mut rng)).collect();
+    system.fine_tune(&verified, 15);
+    let flagged_after: usize = (0..10)
+        .filter(|_| {
+            let s = make_drifted(&mut gen, &mut rng);
+            system.detect(&s).is_abnormal()
+        })
+        .count();
+    assert!(
+        flagged_after <= flagged_before,
+        "fine-tuning increased false alarms: {flagged_before} -> {flagged_after}"
+    );
+}

@@ -1,0 +1,88 @@
+//! Preprocessing-pipeline invariants at scenario scale.
+
+use ucad_preprocess::{abstract_statement, Preprocessor, PreprocessConfig, Vocabulary};
+use ucad_trace::{generate_raw_log, mutate, ScenarioDataset, ScenarioSpec, SessionGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn every_scenario1_template_gets_a_unique_key() {
+    // Instantiating each template twice must give the same key per template
+    // and distinct keys across templates — the tokenizer's core contract.
+    let spec = ScenarioSpec::commenting();
+    let mut rng = StdRng::seed_from_u64(900);
+    let templates: Vec<String> = spec
+        .templates
+        .iter()
+        .map(|t| abstract_statement(&t.instantiate(&mut rng).to_string()))
+        .collect();
+    let vocab = Vocabulary::from_templates(templates.clone());
+    assert_eq!(vocab.len(), spec.templates.len(), "keys must be unique per template");
+    for (t, template) in spec.templates.iter().zip(&templates) {
+        let again = abstract_statement(&t.instantiate(&mut rng).to_string());
+        assert_eq!(
+            vocab.key_of_template(&again),
+            vocab.key_of_template(template),
+            "re-instantiation changed the key of template {}",
+            t.id
+        );
+    }
+}
+
+#[test]
+fn scenario2_templates_map_to_distinct_keys() {
+    let spec = ScenarioSpec::location_service();
+    let mut rng = StdRng::seed_from_u64(901);
+    let templates: std::collections::HashSet<String> = spec
+        .templates
+        .iter()
+        .map(|t| abstract_statement(&t.instantiate(&mut rng).to_string()))
+        .collect();
+    assert_eq!(templates.len(), 593, "all 593 statement keys must be distinct");
+}
+
+#[test]
+fn v2_swap_preserves_tokenized_multiset() {
+    // The partial-swap mutation must not change which keys a session holds —
+    // only their order. (This is what makes V2 a *normal* test set.)
+    let spec = ScenarioSpec::commenting();
+    let mut gen = SessionGenerator::new(spec.clone());
+    let mut rng = StdRng::seed_from_u64(902);
+    let raw = generate_raw_log(&spec, 60, 0.0, 903);
+    let vocab = Vocabulary::from_sessions(&raw.sessions);
+    for _ in 0..10 {
+        let annotated = gen.normal_session(&mut rng);
+        let v2 = mutate::partial_swap(&annotated, &mut rng);
+        let mut a = vocab.tokenize_session(&annotated.session);
+        let mut b = vocab.tokenize_session(&v2);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn preprocessing_is_deterministic_per_seed() {
+    let spec = ScenarioSpec::commenting();
+    let raw = generate_raw_log(&spec, 80, 0.15, 904);
+    let (_, purified_a, report_a) =
+        Preprocessor::fit(&raw.sessions, PreprocessConfig::default(), 5);
+    let (_, purified_b, report_b) =
+        Preprocessor::fit(&raw.sessions, PreprocessConfig::default(), 5);
+    assert_eq!(purified_a, purified_b);
+    assert_eq!(report_a.policy_rejected, report_b.policy_rejected);
+    assert_eq!(report_a.clean_stats, report_b.clean_stats);
+}
+
+#[test]
+fn contaminated_datasets_keep_test_sets_clean() {
+    // §6.5 contamination goes into the *training* set only; the test sets
+    // must stay identical in size and labeling.
+    let spec = ScenarioSpec::commenting();
+    let clean = ScenarioDataset::generate(&spec, 50, 905);
+    let dirty = ScenarioDataset::generate_hybrid(&spec, 50, 0.15, 905);
+    assert!(dirty.train.len() > clean.train.len());
+    assert_eq!(dirty.v1.len(), clean.v1.len());
+    assert_eq!(dirty.a2.len(), clean.a2.len());
+    assert!(dirty.a1.iter().all(|s| s.is_abnormal()));
+}
