@@ -100,8 +100,10 @@ impl BaselineDetector for DeepLog {
         self.vocab_size = vocab_size;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut store = ParamStore::new();
-        let embedding =
-            store.add("embedding", normal(vocab_size, self.embed_dim, 0.1, &mut rng));
+        let embedding = store.add(
+            "embedding",
+            normal(vocab_size, self.embed_dim, 0.1, &mut rng),
+        );
         let lstm = LstmCell::new(&mut store, "lstm", self.embed_dim, self.hidden, &mut rng);
         let head = Linear::new(&mut store, "head", self.hidden, vocab_size, &mut rng);
 
@@ -176,7 +178,9 @@ mod tests {
 
     /// Rigid cyclic language: exactly what DeepLog is good at.
     fn rigid_sessions(n: usize) -> Vec<Vec<u32>> {
-        (0..n).map(|_| (0..15).map(|j| (j % 4) as u32 + 1).collect()).collect()
+        (0..n)
+            .map(|_| (0..15).map(|j| (j % 4) as u32 + 1).collect())
+            .collect()
     }
 
     #[test]
@@ -193,7 +197,10 @@ mod tests {
         dl.fit(&rigid_sessions(10), 8);
         // Swap two ops: 1 2 3 4 -> 1 3 2 4. Order-dependent models flag it.
         let swapped = vec![1u32, 2, 3, 4, 1, 3, 2, 4, 1, 2, 3, 4];
-        assert!(dl.is_abnormal(&swapped), "DeepLog should punish order changes");
+        assert!(
+            dl.is_abnormal(&swapped),
+            "DeepLog should punish order changes"
+        );
     }
 
     #[test]

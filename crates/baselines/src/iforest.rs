@@ -7,15 +7,27 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 enum Node {
-    Internal { feature: usize, threshold: f32, left: Box<Node>, right: Box<Node> },
-    Leaf { size: usize },
+    Internal {
+        feature: usize,
+        threshold: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+    Leaf {
+        size: usize,
+    },
 }
 
 impl Node {
     fn path_length(&self, x: &[f32], depth: f64) -> f64 {
         match self {
             Node::Leaf { size } => depth + c_factor(*size),
-            Node::Internal { feature, threshold, left, right } => {
+            Node::Internal {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if x[*feature] < *threshold {
                     left.path_length(x, depth + 1.0)
                 } else {
@@ -69,7 +81,9 @@ impl IsolationForest {
 
     fn build(data: &[&Vec<f32>], depth: usize, max_depth: usize, rng: &mut StdRng) -> Node {
         if data.len() <= 1 || depth >= max_depth {
-            return Node::Leaf { size: data.len().max(1) };
+            return Node::Leaf {
+                size: data.len().max(1),
+            };
         }
         let dim = data[0].len();
         // Pick a feature that actually varies; give up after a few tries.
@@ -121,8 +135,7 @@ impl BaselineDetector for IsolationForest {
     fn fit(&mut self, train: &[Vec<u32>], vocab_size: usize) {
         assert!(!train.is_empty(), "isolation forest needs training data");
         self.vocab_size = vocab_size;
-        let feats: Vec<Vec<f32>> =
-            train.iter().map(|s| count_vector(s, vocab_size)).collect();
+        let feats: Vec<Vec<f32>> = train.iter().map(|s| count_vector(s, vocab_size)).collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let sub = self.subsample.min(feats.len());
         let max_depth = (sub as f64).log2().ceil() as usize + 1;

@@ -73,7 +73,10 @@ impl BaselineDetector for Mazzawi {
     }
 
     fn fit(&mut self, train: &[Vec<u32>], vocab_size: usize) {
-        assert!(!train.is_empty(), "behavioral patterning needs training data");
+        assert!(
+            !train.is_empty(),
+            "behavioral patterning needs training data"
+        );
         self.vocab_size = vocab_size;
         let feats: Vec<Vec<f64>> = train.iter().map(|s| self.features(s)).collect();
         let dim = feats[0].len();
@@ -85,14 +88,15 @@ impl BaselineDetector for Mazzawi {
             .collect();
         self.mads = (0..dim)
             .map(|j| {
-                let mut col: Vec<f64> =
-                    feats.iter().map(|f| (f[j] - self.medians[j]).abs()).collect();
+                let mut col: Vec<f64> = feats
+                    .iter()
+                    .map(|f| (f[j] - self.medians[j]).abs())
+                    .collect();
                 median(&mut col) * 1.4826 // MAD → sigma under normality
             })
             .collect();
         let scores: Vec<f64> = train.iter().map(|s| self.deviation(s)).collect();
-        self.threshold = quantile_threshold(scores, self.threshold_quantile)
-            .max(self.z_threshold);
+        self.threshold = quantile_threshold(scores, self.threshold_quantile).max(self.z_threshold);
     }
 
     fn score(&self, session: &[u32]) -> f64 {
@@ -147,7 +151,7 @@ mod tests {
         m.fit(&train, 10);
         let mut stealthy = train[0].clone();
         stealthy.insert(10, 5); // one op of an unused key
-        // A single count of a never-used key: z = 1/0.5 = 2 < threshold.
+                                // A single count of a never-used key: z = 1/0.5 = 2 < threshold.
         assert!(
             !m.is_abnormal(&stealthy),
             "behavioral patterning unexpectedly caught a stealthy injection"

@@ -112,18 +112,17 @@ impl BaselineDetector for OneClassSvm {
                 .map(|_| {
                     (0..vocab_size)
                         .map(|_| {
-                            let s: f32 =
-                                (0..12).map(|_| rng.gen::<f32>()).sum::<f32>() - 6.0;
+                            let s: f32 = (0..12).map(|_| rng.gen::<f32>()).sum::<f32>() - 6.0;
                             s * std
                         })
                         .collect()
                 })
                 .collect();
-            self.rff_b =
-                (0..dims).map(|_| rng.gen::<f32>() * 2.0 * std::f32::consts::PI).collect();
+            self.rff_b = (0..dims)
+                .map(|_| rng.gen::<f32>() * 2.0 * std::f32::consts::PI)
+                .collect();
         }
-        let feats: Vec<Vec<f32>> =
-            train.iter().map(|s| self.features(s)).collect();
+        let feats: Vec<Vec<f32>> = train.iter().map(|s| self.features(s)).collect();
         let dim = feats[0].len();
         self.w = vec![0.0; dim];
         self.rho = 0.0;
@@ -200,13 +199,23 @@ mod tests {
         // Sessions over a disjoint key set.
         let foreign = themed_sessions(6, 10);
         let rejected = foreign.iter().filter(|s| svm.is_abnormal(s)).count();
-        assert!(rejected >= 8, "foreign sessions accepted: {}/10 rejected", rejected);
+        assert!(
+            rejected >= 8,
+            "foreign sessions accepted: {}/10 rejected",
+            rejected
+        );
     }
 
     #[test]
     fn rbf_ocsvm_separates_themes() {
         let train = themed_sessions(1, 40);
-        let mut svm = OneClassSvm::new(0.1, Kernel::Rbf { gamma: 2.0, dims: 128 });
+        let mut svm = OneClassSvm::new(
+            0.1,
+            Kernel::Rbf {
+                gamma: 2.0,
+                dims: 128,
+            },
+        );
         svm.fit(&train, 10);
         let normal_score: f64 =
             train.iter().map(|s| svm.score(s)).sum::<f64>() / train.len() as f64;
@@ -224,9 +233,21 @@ mod tests {
     #[test]
     fn scores_are_deterministic() {
         let train = themed_sessions(1, 20);
-        let mut a = OneClassSvm::new(0.1, Kernel::Rbf { gamma: 1.0, dims: 64 });
+        let mut a = OneClassSvm::new(
+            0.1,
+            Kernel::Rbf {
+                gamma: 1.0,
+                dims: 64,
+            },
+        );
         a.fit(&train, 10);
-        let mut b = OneClassSvm::new(0.1, Kernel::Rbf { gamma: 1.0, dims: 64 });
+        let mut b = OneClassSvm::new(
+            0.1,
+            Kernel::Rbf {
+                gamma: 1.0,
+                dims: 64,
+            },
+        );
         b.fit(&train, 10);
         assert_eq!(a.score(&train[0]), b.score(&train[0]));
     }

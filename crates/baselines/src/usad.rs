@@ -107,13 +107,7 @@ impl Usad {
         (r1, r2)
     }
 
-    fn direct_recon2(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        nets: &Nets,
-        x: Var,
-    ) -> Var {
+    fn direct_recon2(&self, tape: &mut Tape, store: &ParamStore, nets: &Nets, x: Var) -> Var {
         let z = nets.encoder.forward(tape, store, x);
         let zr = tape.relu(z);
         let logits = nets.dec2.forward(tape, store, zr);
@@ -158,8 +152,7 @@ impl BaselineDetector for Usad {
             dec1: Linear::new(&mut store, "dec1", self.latent, dim, &mut rng),
             dec2: Linear::new(&mut store, "dec2", self.latent, dim, &mut rng),
         };
-        let mut windows: Vec<Vec<u32>> =
-            train.iter().flat_map(|s| self.windows_of(s)).collect();
+        let mut windows: Vec<Vec<u32>> = train.iter().flat_map(|s| self.windows_of(s)).collect();
         let mut opt = Adam::new(self.lr, 1e-5);
         for epoch in 1..=self.epochs {
             windows.shuffle(&mut rng);

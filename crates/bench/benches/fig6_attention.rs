@@ -28,9 +28,7 @@ fn main() {
     // Scenario-II sessions are longer than one window; visualize the first
     // 14 operations of a clean session as a single attention map (14 keeps
     // the printed matrix readable).
-    let session_full = s2
-        .data
-        .test_sets[0]
+    let session_full = s2.data.test_sets[0]
         .1
         .iter()
         .find(|s| s.len() >= 10 && !s.contains(&0))

@@ -18,16 +18,28 @@ fn main() {
     cfg.epochs = 20; // sweep budget: 11 trainings (single-core friendly)
 
     let pts = sweep_top_p(&s1.data, cfg, s1.detector, &[1, 3, 5, 10]);
-    print_series("(a) top-p", &pts.iter().map(|p| (p.value, p.f1)).collect::<Vec<_>>());
+    print_series(
+        "(a) top-p",
+        &pts.iter().map(|p| (p.value, p.f1)).collect::<Vec<_>>(),
+    );
 
     let pts = sweep_window(&s1.data, cfg, s1.detector, &[10, 30, 45]);
-    print_series("(b) window L", &pts.iter().map(|p| (p.value, p.f1)).collect::<Vec<_>>());
+    print_series(
+        "(b) window L",
+        &pts.iter().map(|p| (p.value, p.f1)).collect::<Vec<_>>(),
+    );
 
     let pts = sweep_margin(&s1.data, cfg, s1.detector, &[0.1, 0.5, 0.9]);
-    print_series("(c) margin g", &pts.iter().map(|p| (p.value, p.f1)).collect::<Vec<_>>());
+    print_series(
+        "(c) margin g",
+        &pts.iter().map(|p| (p.value, p.f1)).collect::<Vec<_>>(),
+    );
 
     let pts = sweep_hidden(&s1.data, cfg, s1.detector, &[6, 10, 16]);
-    print_series("(d) hidden h", &pts.iter().map(|p| (p.value, p.f1)).collect::<Vec<_>>());
+    print_series(
+        "(d) hidden h",
+        &pts.iter().map(|p| (p.value, p.f1)).collect::<Vec<_>>(),
+    );
 
     println!("  (expected shape: (a) rises then flattens/dips; (b) peaks near avg length;");
     println!("   (c) and (d) stay within a narrow F1 band)");

@@ -3,12 +3,12 @@
 //! detection throughput.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
-use ucad_model::{DetectionMode, Detector, DetectorConfig, TransDas, TransDasConfig};
-use ucad_preprocess::{clean_sessions, CleanerConfig, NgramProfile};
-use ucad_preprocess::abstraction::abstract_statement;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use ucad_model::{DetectionMode, Detector, DetectorConfig, TransDas, TransDasConfig};
+use ucad_preprocess::abstraction::abstract_statement;
+use ucad_preprocess::{clean_sessions, CleanerConfig, NgramProfile};
 
 fn bench_abstraction(c: &mut Criterion) {
     let stmts = [
@@ -31,8 +31,7 @@ fn bench_jaccard(c: &mut Criterion) {
     let sessions: Vec<Vec<u32>> = (0..64)
         .map(|_| (0..30).map(|_| rng.gen_range(1..40u32)).collect())
         .collect();
-    let profiles: Vec<NgramProfile> =
-        sessions.iter().map(|s| NgramProfile::new(s, 2)).collect();
+    let profiles: Vec<NgramProfile> = sessions.iter().map(|s| NgramProfile::new(s, 2)).collect();
     c.bench_function("jaccard_64x64", |b| {
         b.iter(|| {
             let mut acc = 0.0;
@@ -81,7 +80,11 @@ fn bench_model(c: &mut Criterion) {
     });
     let det = Detector::new(
         &model,
-        DetectorConfig { top_p: 5, min_context: 2, mode: DetectionMode::Block },
+        DetectorConfig {
+            top_p: 5,
+            min_context: 2,
+            mode: DetectionMode::Block,
+        },
     );
     let session: Vec<u32> = (0..24).map(|i| (i % 20) as u32 + 1).collect();
     c.bench_function("detect_session_24_ops", |b| {

@@ -6,8 +6,8 @@ use ucad_trace::{ScenarioDataset, ScenarioSpec};
 
 fn describe(spec: &ScenarioSpec, train_sessions: usize, seed: u64) {
     let ds = ScenarioDataset::generate(spec, train_sessions, seed);
-    let avg_len: f64 = ds.train.iter().map(|s| s.len() as f64).sum::<f64>()
-        / ds.train.len().max(1) as f64;
+    let avg_len: f64 =
+        ds.train.iter().map(|s| s.len() as f64).sum::<f64>() / ds.train.len().max(1) as f64;
     let (s, i, u, d) = spec.key_counts();
     println!(
         "  {:<18} train {:>5}  avg-len {:>5.1}  #keys {} ({}, {}, {}, {})  #tables {:>2}  test {}x3 abn + {}x3 norm",
@@ -40,7 +40,11 @@ fn main() {
     // Generating all 3722 long sessions takes a while; Table 1 statistics
     // are shape-accurate at 600 sessions (lengths and key counts are
     // per-session properties).
-    let n = if ucad_bench::full_scale() { s2.default_train_sessions } else { 600 };
+    let n = if ucad_bench::full_scale() {
+        s2.default_train_sessions
+    } else {
+        600
+    };
     describe(&s2, n, 2);
     if n != s2.default_train_sessions {
         println!("  (Scenario-II sampled at {n} sessions; UCAD_FULL=1 generates all 3722.)");

@@ -11,10 +11,7 @@ use ucad_baselines::{
 use ucad_bench::{header, measured_block, paper_block, scenario1, scenario2};
 use ucad_model::{DetectorConfig, TransDasConfig};
 
-fn best_of(
-    data: &TokenizedDataset,
-    candidates: Vec<Box<dyn BaselineDetector>>,
-) -> MethodResult {
+fn best_of(data: &TokenizedDataset, candidates: Vec<Box<dyn BaselineDetector>>) -> MethodResult {
     candidates
         .into_iter()
         .map(|mut det| run_baseline(data, det.as_mut()))
@@ -38,8 +35,7 @@ impl BaselineDetector for SubsampledDeepLog {
         "DeepLog"
     }
     fn fit(&mut self, train: &[Vec<u32>], vocab_size: usize) {
-        let limited: Vec<Vec<u32>> =
-            train.iter().take(self.max_sessions).cloned().collect();
+        let limited: Vec<Vec<u32>> = train.iter().take(self.max_sessions).cloned().collect();
         self.inner.fit(&limited, vocab_size);
     }
     fn score(&self, session: &[u32]) -> f64 {
@@ -63,7 +59,13 @@ fn run_scenario(
     // OneClassSVM: linear on profiles vs RBF on raw counts.
     let mut lin = OneClassSvm::new(0.05, Kernel::Linear);
     lin.normalize = true;
-    let mut rbf = OneClassSvm::new(0.1, Kernel::Rbf { gamma: 0.01, dims: 256 });
+    let mut rbf = OneClassSvm::new(
+        0.1,
+        Kernel::Rbf {
+            gamma: 0.01,
+            dims: 256,
+        },
+    );
     rbf.normalize = false;
     let row = best_of(data, vec![Box::new(lin), Box::new(rbf)]);
     println!("{}", row.format_row());
@@ -82,7 +84,10 @@ fn run_scenario(
     // Mazzawi et al.: sweep the robust-z alarm threshold.
     let row = best_of(
         data,
-        vec![Box::new(Mazzawi::new(2.5, 0.98)), Box::new(Mazzawi::new(3.5, 0.995))],
+        vec![
+            Box::new(Mazzawi::new(2.5, 0.98)),
+            Box::new(Mazzawi::new(3.5, 0.995)),
+        ],
     );
     println!("{}", row.format_row());
 
@@ -92,7 +97,10 @@ fn run_scenario(
         let mut dl = DeepLog::new(10, g);
         if big {
             dl.epochs = 3;
-            candidates.push(Box::new(SubsampledDeepLog { inner: dl, max_sessions: 120 }));
+            candidates.push(Box::new(SubsampledDeepLog {
+                inner: dl,
+                max_sessions: 120,
+            }));
         } else {
             dl.epochs = 5;
             candidates.push(Box::new(dl));
@@ -149,7 +157,13 @@ fn main() {
 
     measured_block();
     let s1 = scenario1(1);
-    run_scenario("Scenario-I (commenting, paper scale)", &s1.data, s1.model, s1.detector, false);
+    run_scenario(
+        "Scenario-I (commenting, paper scale)",
+        &s1.data,
+        s1.model,
+        s1.detector,
+        false,
+    );
     let s2 = scenario2(2);
     let label = if s2.full {
         "Scenario-II (location service, paper scale)"

@@ -36,7 +36,10 @@ fn main() {
         cfg.epochs = 3;
         cfg.stride = 8;
     }
-    println!("Scenario-II ({}):", if s2.full { "paper scale" } else { "scaled" });
+    println!(
+        "Scenario-II ({}):",
+        if s2.full { "paper scale" } else { "scaled" }
+    );
     for (name, cfg) in [
         ("Base Transformer", cfg.into_base_transformer()),
         ("Our embedding layer", cfg.into_embedding_variant()),

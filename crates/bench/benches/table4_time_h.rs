@@ -13,8 +13,11 @@ fn main() {
 
     measured_block();
     let s2 = scenario2(5);
-    let values: Vec<usize> =
-        if full_scale() { vec![16, 32, 64, 128, 256] } else { vec![8, 16, 32, 64] };
+    let values: Vec<usize> = if full_scale() {
+        vec![16, 32, 64, 128, 256]
+    } else {
+        vec![8, 16, 32, 64]
+    };
     let mut cfg = s2.model;
     if !s2.full {
         cfg.epochs = 3;

@@ -13,8 +13,11 @@ fn main() {
 
     measured_block();
     let s2 = scenario2(6);
-    let values: Vec<usize> =
-        if full_scale() { vec![50, 75, 100, 125, 150] } else { vec![25, 40, 50, 65] };
+    let values: Vec<usize> = if full_scale() {
+        vec![50, 75, 100, 125, 150]
+    } else {
+        vec![25, 40, 50, 65]
+    };
     let mut cfg = s2.model;
     if !s2.full {
         cfg.epochs = 3;

@@ -24,25 +24,41 @@ fn main() {
     println!("  Thunderbird: LogCluster P 0.983 R 0.428 F1 0.596 | DeepLog P 0.774 R 1.000 F1 0.873 | Ours P 0.891 R 1.000 F1 0.942");
 
     measured_block();
-    let (n_train, n_test) = if full_scale() { (600, 2000) } else { (200, 600) };
-    for spec in [SyslogSpec::hdfs_like(), SyslogSpec::bgl_like(), SyslogSpec::thunderbird_like()]
-    {
+    let (n_train, n_test) = if full_scale() {
+        (600, 2000)
+    } else {
+        (200, 600)
+    };
+    for spec in [
+        SyslogSpec::hdfs_like(),
+        SyslogSpec::bgl_like(),
+        SyslogSpec::thunderbird_like(),
+    ] {
         let ds = spec.generate(n_train, n_test, 21);
-        println!("  {} ({} train, {} test, {:.1}% abnormal):", ds.name, n_train, n_test, ds.anomaly_rate() * 100.0);
+        println!(
+            "  {} ({} train, {} test, {:.1}% abnormal):",
+            ds.name,
+            n_train,
+            n_test,
+            ds.anomaly_rate() * 100.0
+        );
         let vocab = Vocabulary::from_event_sessions(&ds.train);
-        let train_keys: Vec<Vec<u32>> =
-            ds.train.iter().map(|s| vocab.tokenize_events(s)).collect();
+        let train_keys: Vec<Vec<u32>> = ds.train.iter().map(|s| vocab.tokenize_events(s)).collect();
 
         let mut lc = LogCluster::new(0.9, 0.95);
         lc.fit(&train_keys, vocab.key_space());
-        print_result(&evaluate_log_dataset(&ds, &vocab, "LogCluster", |k| lc.is_abnormal(k)));
+        print_result(&evaluate_log_dataset(&ds, &vocab, "LogCluster", |k| {
+            lc.is_abnormal(k)
+        }));
 
         // g sized to the log vocabulary: rigid app logs still have ~half
         // the vocabulary plausible after bounded reordering.
         let mut dl = DeepLog::new(10, (vocab.len() * 3 / 5).max(3));
         dl.epochs = 4;
         dl.fit(&train_keys, vocab.key_space());
-        print_result(&evaluate_log_dataset(&ds, &vocab, "DeepLog", |k| dl.is_abnormal(k)));
+        print_result(&evaluate_log_dataset(&ds, &vocab, "DeepLog", |k| {
+            dl.is_abnormal(k)
+        }));
 
         // Ours: Trans-DAS with the paper's transfer configuration
         // (L=10, g=0.5, h=64), p sized to the log vocabulary.

@@ -18,7 +18,9 @@ use ucad_trace::{ScenarioDataset, ScenarioSpec};
 
 /// True when `UCAD_FULL=1` requests paper-scale runs.
 pub fn full_scale() -> bool {
-    std::env::var("UCAD_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("UCAD_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Prints a section header.
@@ -76,7 +78,11 @@ pub struct Scenario2Bundle {
 pub fn scenario2(seed: u64) -> Scenario2Bundle {
     let spec = ScenarioSpec::location_service();
     let full = full_scale();
-    let train = if full { spec.default_train_sessions } else { 400 };
+    let train = if full {
+        spec.default_train_sessions
+    } else {
+        400
+    };
     let ds = ScenarioDataset::generate(&spec, train, seed);
     let data = TokenizedDataset::from_dataset(&ds);
     let model = if full {
@@ -97,7 +103,12 @@ pub fn scenario2(seed: u64) -> Scenario2Bundle {
         min_context: 2,
         mode: DetectionMode::Block,
     };
-    Scenario2Bundle { data, model, detector, full }
+    Scenario2Bundle {
+        data,
+        model,
+        detector,
+        full,
+    }
 }
 
 /// Formats a `(value, f1)` series like the paper's figures.

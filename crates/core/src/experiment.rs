@@ -34,7 +34,11 @@ impl TokenizedDataset {
                 .collect();
             (name.to_string(), keys, truth)
         });
-        TokenizedDataset { vocab, train, test_sets }
+        TokenizedDataset {
+            vocab,
+            train,
+            test_sets,
+        }
     }
 
     /// Evaluates a session-level predicate over the six test sets.
@@ -57,7 +61,10 @@ pub fn run_transdas(
     model_cfg: TransDasConfig,
     det_cfg: DetectorConfig,
 ) -> (MethodResult, TrainReport) {
-    let cfg = TransDasConfig { vocab_size: data.vocab.key_space(), ..model_cfg };
+    let cfg = TransDasConfig {
+        vocab_size: data.vocab.key_space(),
+        ..model_cfg
+    };
     let mut model = TransDas::new(cfg);
     let report = model.train(&data.train);
     let detector = Detector::new(&model, det_cfg);
@@ -66,10 +73,7 @@ pub fn run_transdas(
 }
 
 /// Fits a baseline on the tokenized dataset and evaluates it.
-pub fn run_baseline(
-    data: &TokenizedDataset,
-    detector: &mut dyn BaselineDetector,
-) -> MethodResult {
+pub fn run_baseline(data: &TokenizedDataset, detector: &mut dyn BaselineDetector) -> MethodResult {
     detector.fit(&data.train, data.vocab.key_space());
     let confusions = data.evaluate(|keys| detector.is_abnormal(keys));
     MethodResult::from_confusions(detector.name(), &confusions)
@@ -180,16 +184,13 @@ mod tests {
         let spec = SyslogSpec::hdfs_like();
         let ds = spec.generate(100, 300, 7);
         let vocab = Vocabulary::from_event_sessions(&ds.train);
-        let train_keys: Vec<Vec<u32>> =
-            ds.train.iter().map(|s| vocab.tokenize_events(s)).collect();
+        let train_keys: Vec<Vec<u32>> = ds.train.iter().map(|s| vocab.tokenize_events(s)).collect();
         // Normal sessions are permutations of learned skeletons (identical
         // count vectors), so a tight detection threshold keeps precision
         // high while recall stays limited — LogCluster's Table 6 profile.
         let mut lc = LogCluster::new(0.9, 0.95);
         lc.fit(&train_keys, vocab.key_space());
-        let r = evaluate_log_dataset(&ds, &vocab, "LogCluster", |keys| {
-            lc.is_abnormal(keys)
-        });
+        let r = evaluate_log_dataset(&ds, &vocab, "LogCluster", |keys| lc.is_abnormal(keys));
         assert!(r.recall > 0.0, "degenerate result {:?}", r);
         assert!(r.precision > 0.5, "precision should be high: {:?}", r);
     }

@@ -36,6 +36,7 @@
 pub mod experiment;
 pub mod metrics;
 pub mod online;
+pub mod serve;
 pub mod sweep;
 pub mod system;
 
@@ -44,5 +45,6 @@ pub use experiment::{
 };
 pub use metrics::{Confusion, MethodResult};
 pub use online::{Alert, AlertReason, OnlineUcad};
+pub use serve::{ServeConfig, ServeStats, ShardedOnlineUcad, ShutdownReport};
 pub use sweep::{sweep_hidden, sweep_margin, sweep_top_p, sweep_window, SweepPoint};
 pub use system::{Ucad, UcadConfig, UcadTrainReport, Verdict};

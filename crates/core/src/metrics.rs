@@ -184,8 +184,18 @@ mod tests {
     #[test]
     fn method_result_aggregates_across_sets() {
         let mut sets = [Confusion::default(); 6];
-        sets[0] = Confusion { tp: 0, fp: 2, tn: 8, fn_: 0 }; // V1
-        sets[3] = Confusion { tp: 9, fp: 0, tn: 0, fn_: 1 }; // A1
+        sets[0] = Confusion {
+            tp: 0,
+            fp: 2,
+            tn: 8,
+            fn_: 0,
+        }; // V1
+        sets[3] = Confusion {
+            tp: 9,
+            fp: 0,
+            tn: 0,
+            fn_: 1,
+        }; // A1
         let r = MethodResult::from_confusions("m", &sets);
         assert!((r.fpr[0] - 0.2).abs() < 1e-12);
         assert!((r.fnr[0] - 0.1).abs() < 1e-12);
@@ -195,7 +205,12 @@ mod tests {
 
     #[test]
     fn format_row_contains_all_fields() {
-        let sets = [Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 }; 6];
+        let sets = [Confusion {
+            tp: 1,
+            fp: 1,
+            tn: 1,
+            fn_: 1,
+        }; 6];
         let row = MethodResult::from_confusions("demo", &sets).format_row();
         assert!(row.contains("demo"));
         assert!(row.contains("F1"));

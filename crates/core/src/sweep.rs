@@ -25,7 +25,10 @@ pub fn sweep_top_p(
     values: &[usize],
 ) -> Vec<SweepPoint> {
     // p only affects detection: train once, evaluate per p.
-    let cfg = TransDasConfig { vocab_size: data.vocab.key_space(), ..model_cfg };
+    let cfg = TransDasConfig {
+        vocab_size: data.vocab.key_space(),
+        ..model_cfg
+    };
     let mut model = ucad_model::TransDas::new(cfg);
     let report = model.train(&data.train);
     let secs = mean(&report.epoch_secs);
@@ -34,11 +37,18 @@ pub fn sweep_top_p(
         .map(|&p| {
             let det = ucad_model::Detector::new(
                 &model,
-                DetectorConfig { top_p: p, ..det_cfg },
+                DetectorConfig {
+                    top_p: p,
+                    ..det_cfg
+                },
             );
             let confusions = data.evaluate(|keys| det.detect_session(keys).abnormal);
             let row = crate::metrics::MethodResult::from_confusions("p", &confusions);
-            SweepPoint { value: p as f64, f1: row.f1, secs_per_epoch: secs }
+            SweepPoint {
+                value: p as f64,
+                f1: row.f1,
+                secs_per_epoch: secs,
+            }
         })
         .collect()
 }
@@ -53,7 +63,10 @@ pub fn sweep_window(
     values
         .iter()
         .map(|&l| {
-            let cfg = TransDasConfig { window: l, ..model_cfg };
+            let cfg = TransDasConfig {
+                window: l,
+                ..model_cfg
+            };
             let (row, report) = run_transdas(data, "L", cfg, det_cfg);
             SweepPoint {
                 value: l as f64,
@@ -74,7 +87,10 @@ pub fn sweep_margin(
     values
         .iter()
         .map(|&g| {
-            let cfg = TransDasConfig { margin: g, ..model_cfg };
+            let cfg = TransDasConfig {
+                margin: g,
+                ..model_cfg
+            };
             let (row, report) = run_transdas(data, "g", cfg, det_cfg);
             SweepPoint {
                 value: g as f64,
@@ -101,7 +117,11 @@ pub fn sweep_hidden(
                 .rev()
                 .find(|m| h % m == 0)
                 .unwrap_or(1);
-            let cfg = TransDasConfig { hidden: h, heads, ..model_cfg };
+            let cfg = TransDasConfig {
+                hidden: h,
+                heads,
+                ..model_cfg
+            };
             let (row, report) = run_transdas(data, "h", cfg, det_cfg);
             SweepPoint {
                 value: h as f64,
@@ -139,7 +159,11 @@ mod tests {
             mask: MaskMode::TransDas,
             ..TransDasConfig::scenario1(0)
         };
-        let det = DetectorConfig { top_p: 5, min_context: 2, mode: DetectionMode::Block };
+        let det = DetectorConfig {
+            top_p: 5,
+            min_context: 2,
+            mode: DetectionMode::Block,
+        };
         (data, model, det)
     }
 

@@ -71,7 +71,10 @@ pub struct UcadTrainReport {
     pub purified_sessions: usize,
 }
 
-/// A trained UCAD instance.
+/// A trained UCAD instance. `Clone` snapshots the full preprocessing and
+/// model state, so independent serving engines can be built around
+/// identical systems (the determinism tests rely on this).
+#[derive(Clone)]
 pub struct Ucad {
     /// Fitted preprocessing state.
     pub preprocessor: Preprocessor,
@@ -98,7 +101,14 @@ impl Ucad {
             model: model_report,
             purified_sessions: purified.len(),
         };
-        (Ucad { preprocessor, model, detector: cfg.detector }, report)
+        (
+            Ucad {
+                preprocessor,
+                model,
+                detector: cfg.detector,
+            },
+            report,
+        )
     }
 
     /// Trains directly on pre-tokenized purified sessions, bypassing the
@@ -110,11 +120,20 @@ impl Ucad {
         model_cfg: TransDasConfig,
         detector: DetectorConfig,
     ) -> (Ucad, TrainReport) {
-        let model_cfg =
-            TransDasConfig { vocab_size: preprocessor.vocab.key_space(), ..model_cfg };
+        let model_cfg = TransDasConfig {
+            vocab_size: preprocessor.vocab.key_space(),
+            ..model_cfg
+        };
         let mut model = TransDas::new(model_cfg);
         let report = model.train(purified);
-        (Ucad { preprocessor, model, detector }, report)
+        (
+            Ucad {
+                preprocessor,
+                model,
+                detector,
+            },
+            report,
+        )
     }
 
     /// Online detection stage (§5.3): policy screen first, then contextual
@@ -184,7 +203,10 @@ mod tests {
         let mut gen = SessionGenerator::new(spec.clone());
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
         let violating = gen.noise_policy_violation(&mut rng).session;
-        assert!(matches!(ucad.detect(&violating), Verdict::PolicyViolation(_)));
+        assert!(matches!(
+            ucad.detect(&violating),
+            Verdict::PolicyViolation(_)
+        ));
     }
 
     #[test]
@@ -202,10 +224,16 @@ mod tests {
         for _ in 0..n {
             let normal = gen.normal_session(&mut rng).session;
             let abnormal = synth.credential_stealing(&normal, &mut gen, &mut rng);
-            if ucad.detect_keys(&ucad.preprocessor.transform(&abnormal.session)).is_abnormal() {
+            if ucad
+                .detect_keys(&ucad.preprocessor.transform(&abnormal.session))
+                .is_abnormal()
+            {
                 caught += 1;
             }
-            if ucad.detect_keys(&ucad.preprocessor.transform(&normal)).is_abnormal() {
+            if ucad
+                .detect_keys(&ucad.preprocessor.transform(&normal))
+                .is_abnormal()
+            {
                 false_alarms += 1;
             }
         }
@@ -223,8 +251,9 @@ mod tests {
         let (mut ucad, _) = Ucad::train(&raw.sessions, small_cfg());
         let mut gen = SessionGenerator::new(spec);
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
-        let new_normals: Vec<_> =
-            (0..5).map(|_| gen.normal_session(&mut rng).session).collect();
+        let new_normals: Vec<_> = (0..5)
+            .map(|_| gen.normal_session(&mut rng).session)
+            .collect();
         let report = ucad.fine_tune(&new_normals, 2);
         assert_eq!(report.epoch_losses.len(), 2);
     }
@@ -232,7 +261,11 @@ mod tests {
     #[test]
     fn verdict_classification() {
         assert!(!Verdict::Normal.is_abnormal());
-        let d = Detection { abnormal: true, first_anomaly: Some(3), positions_checked: 5 };
+        let d = Detection {
+            abnormal: true,
+            first_anomaly: Some(3),
+            positions_checked: 5,
+        };
         assert!(Verdict::IntentMismatch(d).is_abnormal());
     }
 }

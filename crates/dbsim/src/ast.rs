@@ -173,7 +173,11 @@ impl fmt::Display for Statement {
             Ok(())
         }
         match self {
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 write!(f, "INSERT INTO {table} ({}) VALUES ", columns.join(", "))?;
                 for (i, row) in rows.iter().enumerate() {
                     if i > 0 {
@@ -190,7 +194,11 @@ impl fmt::Display for Statement {
                 }
                 Ok(())
             }
-            Statement::Select { table, projection, conditions } => {
+            Statement::Select {
+                table,
+                projection,
+                conditions,
+            } => {
                 match projection {
                     Projection::All => write!(f, "SELECT * FROM {table}")?,
                     Projection::Columns(cols) => {
@@ -199,7 +207,11 @@ impl fmt::Display for Statement {
                 }
                 write_conds(f, conditions)
             }
-            Statement::Update { table, assignments, conditions } => {
+            Statement::Update {
+                table,
+                assignments,
+                conditions,
+            } => {
                 write!(f, "UPDATE {table} SET ")?;
                 for (i, (c, v)) in assignments.iter().enumerate() {
                     if i > 0 {
@@ -239,7 +251,10 @@ mod tests {
 
     #[test]
     fn op_kind_and_table() {
-        let s = Statement::Delete { table: "t_rm_mac".into(), conditions: vec![] };
+        let s = Statement::Delete {
+            table: "t_rm_mac".into(),
+            conditions: vec![],
+        };
         assert_eq!(s.op_kind(), OpKind::Delete);
         assert_eq!(s.table(), "t_rm_mac");
         assert_eq!(s.to_string(), "DELETE FROM t_rm_mac");
@@ -255,6 +270,9 @@ mod tests {
                 vec![Value::Int(2), Value::Str("y".into())],
             ],
         };
-        assert_eq!(s.to_string(), "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+        assert_eq!(
+            s.to_string(),
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')"
+        );
     }
 }

@@ -75,7 +75,10 @@ impl AuditLog {
             });
             entry.push(r);
         }
-        order.into_iter().map(|id| map.remove(&id).expect("inserted")).collect()
+        order
+            .into_iter()
+            .map(|id| map.remove(&id).expect("inserted"))
+            .collect()
     }
 }
 
@@ -103,7 +106,11 @@ pub struct AuditedDatabase {
 impl AuditedDatabase {
     /// Wraps a database starting the logical clock at `start_time`.
     pub fn new(db: Database, start_time: u64) -> Self {
-        AuditedDatabase { db, log: AuditLog::new(), clock: start_time }
+        AuditedDatabase {
+            db,
+            log: AuditLog::new(),
+            clock: start_time,
+        }
     }
 
     /// Current logical time.
@@ -155,9 +162,11 @@ mod tests {
             client_ip: "10.0.0.1".into(),
             session_id: 7,
         };
-        adb.execute(&ctx, &parse("INSERT INTO t (a) VALUES (1)").unwrap()).unwrap();
+        adb.execute(&ctx, &parse("INSERT INTO t (a) VALUES (1)").unwrap())
+            .unwrap();
         adb.advance_clock(5);
-        adb.execute(&ctx, &parse("SELECT * FROM t").unwrap()).unwrap();
+        adb.execute(&ctx, &parse("SELECT * FROM t").unwrap())
+            .unwrap();
         assert_eq!(adb.log.len(), 2);
         let r = &adb.log.records()[1];
         assert_eq!(r.timestamp, 1005);
@@ -186,12 +195,23 @@ mod tests {
         let mut db_inner = Database::new();
         db_inner.create_table("t", &["a"]);
         adb.db = db_inner;
-        let c1 = SessionContext { user: "u1".into(), client_ip: "a".into(), session_id: 1 };
-        let c2 = SessionContext { user: "u2".into(), client_ip: "b".into(), session_id: 2 };
+        let c1 = SessionContext {
+            user: "u1".into(),
+            client_ip: "a".into(),
+            session_id: 1,
+        };
+        let c2 = SessionContext {
+            user: "u2".into(),
+            client_ip: "b".into(),
+            session_id: 2,
+        };
         // Interleave the two sessions.
-        adb.execute(&c1, &parse("INSERT INTO t (a) VALUES (1)").unwrap()).unwrap();
-        adb.execute(&c2, &parse("INSERT INTO t (a) VALUES (2)").unwrap()).unwrap();
-        adb.execute(&c1, &parse("SELECT * FROM t").unwrap()).unwrap();
+        adb.execute(&c1, &parse("INSERT INTO t (a) VALUES (1)").unwrap())
+            .unwrap();
+        adb.execute(&c2, &parse("INSERT INTO t (a) VALUES (2)").unwrap())
+            .unwrap();
+        adb.execute(&c1, &parse("SELECT * FROM t").unwrap())
+            .unwrap();
         let sessions = adb.log.sessions();
         assert_eq!(sessions.len(), 2);
         assert_eq!(sessions[0].len(), 2);

@@ -48,7 +48,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given columns.
     pub fn new(columns: Vec<String>) -> Self {
-        Table { columns, rows: Vec::new() }
+        Table {
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Column names.
@@ -118,7 +121,11 @@ impl Database {
     /// Executes one statement.
     pub fn execute(&mut self, stmt: &Statement) -> Result<ExecResult, ExecError> {
         match stmt {
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 let t = self
                     .tables
                     .get_mut(table)
@@ -144,7 +151,11 @@ impl Database {
                 }
                 Ok(ExecResult::Affected(rows.len()))
             }
-            Statement::Select { table, projection, conditions } => {
+            Statement::Select {
+                table,
+                projection,
+                conditions,
+            } => {
                 let t = self
                     .tables
                     .get(table)
@@ -176,7 +187,11 @@ impl Database {
                     .collect();
                 Ok(ExecResult::Rows(rows))
             }
-            Statement::Update { table, assignments, conditions } => {
+            Statement::Update {
+                table,
+                assignments,
+                conditions,
+            } => {
                 let t = self
                     .tables
                     .get(table)
@@ -230,12 +245,12 @@ impl Database {
         }
         let mut compiled = Vec::with_capacity(conditions.len());
         for cond in conditions {
-            let idx = t.column_index(cond.column()).ok_or_else(|| {
-                ExecError::UnknownColumn {
+            let idx = t
+                .column_index(cond.column())
+                .ok_or_else(|| ExecError::UnknownColumn {
                     table: table.to_string(),
                     column: cond.column().to_string(),
-                }
-            })?;
+                })?;
             compiled.push(match cond {
                 Condition::Eq(_, v) => Compiled::Eq(idx, v.clone()),
                 Condition::In(_, vs) => Compiled::In(idx, vs.clone()),
@@ -258,8 +273,13 @@ mod tests {
     fn db() -> Database {
         let mut db = Database::new();
         db.create_table("t", &["id", "name", "count"]);
-        db.execute(&parse("INSERT INTO t (id, name, count) VALUES (1, 'a', 10), (2, 'b', 20), (3, 'a', 30)").unwrap())
-            .unwrap();
+        db.execute(
+            &parse(
+                "INSERT INTO t (id, name, count) VALUES (1, 'a', 10), (2, 'b', 20), (3, 'a', 30)",
+            )
+            .unwrap(),
+        )
+        .unwrap();
         db
     }
 
@@ -307,7 +327,9 @@ mod tests {
     #[test]
     fn delete_removes_rows() {
         let mut db = db();
-        let r = db.execute(&parse("DELETE FROM t WHERE id=2").unwrap()).unwrap();
+        let r = db
+            .execute(&parse("DELETE FROM t WHERE id=2").unwrap())
+            .unwrap();
         assert_eq!(r, ExecResult::Affected(1));
         assert_eq!(db.table("t").unwrap().row_count(), 2);
     }
@@ -316,9 +338,13 @@ mod tests {
     fn insert_respects_column_order() {
         let mut db = Database::new();
         db.create_table("t", &["a", "b"]);
-        db.execute(&parse("INSERT INTO t (b, a) VALUES (2, 1)").unwrap()).unwrap();
+        db.execute(&parse("INSERT INTO t (b, a) VALUES (2, 1)").unwrap())
+            .unwrap();
         let r = db.execute(&parse("SELECT a, b FROM t").unwrap()).unwrap();
-        assert_eq!(r, ExecResult::Rows(vec![vec![Value::Int(1), Value::Int(2)]]));
+        assert_eq!(
+            r,
+            ExecResult::Rows(vec![vec![Value::Int(1), Value::Int(2)]])
+        );
     }
 
     #[test]

@@ -130,16 +130,23 @@ impl Parser {
     }
 
     fn next(&mut self) -> Result<Token, ParseError> {
-        let t = self.tokens.get(self.pos).cloned().ok_or_else(|| ParseError {
-            message: "unexpected end of statement".into(),
-            at: self.pos,
-        })?;
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| ParseError {
+                message: "unexpected end of statement".into(),
+                at: self.pos,
+            })?;
         self.pos += 1;
         Ok(t)
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), at: self.pos }
+        ParseError {
+            message: message.into(),
+            at: self.pos,
+        }
     }
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
@@ -232,7 +239,11 @@ impl Parser {
             self.expect_keyword("from")?;
             let table = self.expect_ident()?;
             let conditions = self.conditions()?;
-            Statement::Select { table, projection, conditions }
+            Statement::Select {
+                table,
+                projection,
+                conditions,
+            }
         } else if head.eq_ignore_ascii_case("insert") {
             self.expect_keyword("into")?;
             let table = self.expect_ident()?;
@@ -249,7 +260,11 @@ impl Parser {
                 self.pos += 1;
                 rows.push(self.tuple(columns.len())?);
             }
-            Statement::Insert { table, columns, rows }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            }
         } else if head.eq_ignore_ascii_case("update") {
             let table = self.expect_ident()?;
             self.expect_keyword("set")?;
@@ -265,7 +280,11 @@ impl Parser {
                 }
             }
             let conditions = self.conditions()?;
-            Statement::Update { table, assignments, conditions }
+            Statement::Update {
+                table,
+                assignments,
+                conditions,
+            }
         } else if head.eq_ignore_ascii_case("delete") {
             self.expect_keyword("from")?;
             let table = self.expect_ident()?;
@@ -297,7 +316,10 @@ impl Parser {
 pub fn parse(sql: &str) -> Result<Statement, ParseError> {
     let tokens = lex(sql)?;
     if tokens.is_empty() {
-        return Err(ParseError { message: "empty statement".into(), at: 0 });
+        return Err(ParseError {
+            message: "empty statement".into(),
+            at: 0,
+        });
     }
     Parser { tokens, pos: 0 }.statement()
 }
@@ -311,7 +333,11 @@ mod tests {
     fn parses_select_star_with_in() {
         let s = parse("SELECT * FROM t_cell_fp_9 WHERE pnci=1 and gridId IN (2, 36)").unwrap();
         match &s {
-            Statement::Select { table, projection, conditions } => {
+            Statement::Select {
+                table,
+                projection,
+                conditions,
+            } => {
                 assert_eq!(table, "t_cell_fp_9");
                 assert_eq!(*projection, Projection::All);
                 assert_eq!(conditions.len(), 2);
@@ -323,10 +349,8 @@ mod tests {
 
     #[test]
     fn parses_multi_row_insert() {
-        let s = parse(
-            "INSERT INTO t_cell_fp_3 (pnci, gridId, fps) VALUES (1, 2, 3), (4, 5, 6)",
-        )
-        .unwrap();
+        let s = parse("INSERT INTO t_cell_fp_3 (pnci, gridId, fps) VALUES (1, 2, 3), (4, 5, 6)")
+            .unwrap();
         match &s {
             Statement::Insert { columns, rows, .. } => {
                 assert_eq!(columns.len(), 3);
@@ -340,7 +364,11 @@ mod tests {
     fn parses_update_with_string_values() {
         let s = parse("Update T_content set count=23, tag='hot' where danmuKey=94").unwrap();
         match &s {
-            Statement::Update { assignments, conditions, .. } => {
+            Statement::Update {
+                assignments,
+                conditions,
+                ..
+            } => {
                 assert_eq!(assignments.len(), 2);
                 assert_eq!(assignments[1].1, Value::Str("hot".into()));
                 assert_eq!(conditions.len(), 1);
@@ -353,7 +381,13 @@ mod tests {
     #[test]
     fn parses_delete_without_where() {
         let s = parse("DELETE FROM t_rm_mac").unwrap();
-        assert_eq!(s, Statement::Delete { table: "t_rm_mac".into(), conditions: vec![] });
+        assert_eq!(
+            s,
+            Statement::Delete {
+                table: "t_rm_mac".into(),
+                conditions: vec![]
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Context-score memoization for online serving.
+//!
+//! Evaluation-mode scoring is a pure function of the padded key window
+//! ([`TransDas::position_scores`] runs with dropout disabled), and production
+//! sessions draw from one or two workflows, so the same windows recur
+//! constantly. [`ScoreCache`] memoizes the full `L x vocab` score matrix
+//! under the *exact* window key — full-key equality, not a hash digest — so
+//! a hit returns bit-identical scores and memoized detection is provably
+//! equivalent to unmemoized detection.
+//!
+//! The cache is shared across serving shards: lookups take a [`Mutex`] on
+//! the map while hit/miss counters are lock-free atomics. Eviction is
+//! least-recently-used via per-entry use stamps; the `O(capacity)` eviction
+//! scan only runs on a miss at capacity and is negligible next to the
+//! transformer forward pass it replaces.
+//!
+//! [`TransDas::position_scores`]: crate::TransDas::position_scores
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use ucad_nn::Tensor;
+
+/// Counter snapshot for benchmarking and capacity tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a memoized score matrix.
+    pub hits: u64,
+    /// Lookups that fell through to a forward pass.
+    pub misses: u64,
+    /// Windows currently resident.
+    pub len: usize,
+    /// Maximum resident windows.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups; 0 before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    scores: Arc<Tensor>,
+    last_used: u64,
+}
+
+struct Lru {
+    map: HashMap<Vec<u32>, Entry>,
+    clock: u64,
+    capacity: usize,
+}
+
+/// Thread-safe LRU memo of `padded window -> position-score matrix`.
+pub struct ScoreCache {
+    inner: Mutex<Lru>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScoreCache {
+    /// Creates a cache holding at most `capacity` windows.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero (a disabled cache is expressed as
+    /// `Option::None` at the call sites, not as a zero-capacity cache).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        ScoreCache {
+            inner: Mutex::new(Lru {
+                map: HashMap::new(),
+                clock: 0,
+                capacity,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a padded window, refreshing its recency on a hit.
+    pub fn get(&self, window: &[u32]) -> Option<Arc<Tensor>> {
+        let mut lru = self.inner.lock().expect("score cache poisoned");
+        lru.clock += 1;
+        let clock = lru.clock;
+        match lru.map.get_mut(window) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.scores))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly computed score matrix, evicting the least recently
+    /// used window when at capacity.
+    pub fn insert(&self, window: Vec<u32>, scores: Arc<Tensor>) {
+        let mut lru = self.inner.lock().expect("score cache poisoned");
+        lru.clock += 1;
+        let clock = lru.clock;
+        if !lru.map.contains_key(&window) && lru.map.len() >= lru.capacity {
+            if let Some(oldest) = lru
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                lru.map.remove(&oldest);
+            }
+        }
+        lru.map.insert(
+            window,
+            Entry {
+                scores,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Windows currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("score cache poisoned").map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let lru = self.inner.lock().expect("score cache poisoned");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len: lru.map.len(),
+            capacity: lru.capacity,
+        }
+    }
+
+    /// Hits over total lookups; 0 before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        self.stats().hit_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores(v: f32) -> Arc<Tensor> {
+        Arc::new(Tensor::full(2, 3, v))
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_tensor() {
+        let cache = ScoreCache::new(4);
+        assert!(cache.get(&[1, 2, 3]).is_none());
+        cache.insert(vec![1, 2, 3], scores(0.5));
+        let hit = cache.get(&[1, 2, 3]).expect("hit");
+        assert_eq!(*hit, Tensor::full(2, 3, 0.5));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        let cache = ScoreCache::new(2);
+        cache.insert(vec![1], scores(1.0));
+        cache.insert(vec![2], scores(2.0));
+        // Touch window [1] so [2] becomes the LRU victim.
+        assert!(cache.get(&[1]).is_some());
+        cache.insert(vec![3], scores(3.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&[2]).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(&[1]).is_some());
+        assert!(cache.get(&[3]).is_some());
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let cache = ScoreCache::new(2);
+        cache.insert(vec![1], scores(1.0));
+        cache.insert(vec![2], scores(2.0));
+        cache.insert(vec![1], scores(9.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(*cache.get(&[1]).unwrap(), Tensor::full(2, 3, 9.0));
+        assert!(cache.get(&[2]).is_some());
+    }
+
+    #[test]
+    fn empty_cache_reports_zero_rate() {
+        let cache = ScoreCache::new(1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.hit_rate(), 0.0);
+    }
+}

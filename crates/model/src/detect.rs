@@ -7,6 +7,7 @@
 //! vocabulary (`k0`) are abnormal by definition (their embedding is the
 //! constant zero vector, so they carry no learned semantics).
 
+use crate::cache::ScoreCache;
 use crate::model::TransDas;
 use serde::{Deserialize, Serialize};
 
@@ -38,12 +39,20 @@ pub struct DetectorConfig {
 impl DetectorConfig {
     /// Paper defaults for Scenario-I (`p = 5`).
     pub fn scenario1() -> Self {
-        DetectorConfig { top_p: 5, min_context: 2, mode: DetectionMode::Block }
+        DetectorConfig {
+            top_p: 5,
+            min_context: 2,
+            mode: DetectionMode::Block,
+        }
     }
 
     /// Paper defaults for Scenario-II (`p = 10`).
     pub fn scenario2() -> Self {
-        DetectorConfig { top_p: 10, min_context: 2, mode: DetectionMode::Block }
+        DetectorConfig {
+            top_p: 10,
+            min_context: 2,
+            mode: DetectionMode::Block,
+        }
     }
 }
 
@@ -56,6 +65,33 @@ pub struct Detection {
     pub first_anomaly: Option<usize>,
     /// Number of operations actually scored.
     pub positions_checked: usize,
+}
+
+/// Outcome for a single scored operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpVerdict {
+    /// Key ranked within the top-*p* for its context.
+    Normal,
+    /// Key was never seen in training (`k0`): abnormal by definition.
+    UnknownStatement,
+    /// Key fell outside the top-*p* contextual intent.
+    IntentMismatch,
+}
+
+impl OpVerdict {
+    /// True for either abnormal outcome.
+    pub fn is_abnormal(self) -> bool {
+        !matches!(self, OpVerdict::Normal)
+    }
+}
+
+/// One scored position of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PositionVerdict {
+    /// Operation index within the session.
+    pub position: usize,
+    /// Scoring outcome.
+    pub verdict: OpVerdict,
 }
 
 /// Top-*p* detector over a trained Trans-DAS model.
@@ -74,9 +110,22 @@ impl<'a> Detector<'a> {
 
     /// Detects anomalies in one tokenized session.
     pub fn detect_session(&self, keys: &[u32]) -> Detection {
-        match self.cfg.mode {
-            DetectionMode::Streaming => self.detect_streaming(keys),
-            DetectionMode::Block => self.detect_block(keys),
+        self.detect_session_cached(keys, None)
+    }
+
+    /// [`Detector::detect_session`] with an optional score memo. The cache
+    /// key is the exact padded window, so the result is identical to the
+    /// uncached path.
+    pub fn detect_session_cached(&self, keys: &[u32], cache: Option<&ScoreCache>) -> Detection {
+        let verdicts = self.run_verdicts(keys, 0, cache);
+        let abnormal = verdicts
+            .last()
+            .map(|v| v.verdict.is_abnormal())
+            .unwrap_or(false);
+        Detection {
+            abnormal,
+            first_anomaly: abnormal.then(|| verdicts.last().expect("non-empty").position),
+            positions_checked: verdicts.len(),
         }
     }
 
@@ -91,52 +140,91 @@ impl<'a> Detector<'a> {
             .count()
     }
 
-    fn verdict_at(&self, scores: &[f32], actual: u32) -> bool {
+    fn verdict_at(&self, scores: &[f32], actual: u32) -> OpVerdict {
         if actual == 0 {
-            return true; // unseen statement
+            return OpVerdict::UnknownStatement;
         }
-        Self::rank_of(scores, actual) >= self.cfg.top_p
+        if Self::rank_of(scores, actual) >= self.cfg.top_p {
+            OpVerdict::IntentMismatch
+        } else {
+            OpVerdict::Normal
+        }
     }
 
-    fn detect_streaming(&self, keys: &[u32]) -> Detection {
-        let mut checked = 0;
-        for t in self.cfg.min_context..keys.len() {
-            checked += 1;
-            if keys[t] == 0 {
-                return Detection {
-                    abnormal: true,
-                    first_anomaly: Some(t),
-                    positions_checked: checked,
-                };
-            }
-            let scores = self.model.next_scores(&keys[..t]);
-            if self.verdict_at(&scores, keys[t]) {
-                return Detection {
-                    abnormal: true,
-                    first_anomaly: Some(t),
-                    positions_checked: checked,
-                };
-            }
+    /// Scores one position under streaming semantics (§5.3's `O_L` rule):
+    /// the verdict for `keys[t]` given the preceding context `keys[..t]`.
+    /// This is the exact per-operation rule of the online deployment loop.
+    pub fn streaming_verdict(
+        &self,
+        keys: &[u32],
+        t: usize,
+        cache: Option<&ScoreCache>,
+    ) -> OpVerdict {
+        if keys[t] == 0 {
+            return OpVerdict::UnknownStatement;
         }
-        Detection { abnormal: false, first_anomaly: None, positions_checked: checked }
+        let scores = self.model.next_scores_cached(&keys[..t], cache);
+        self.verdict_at(&scores, keys[t])
     }
 
-    fn detect_block(&self, keys: &[u32]) -> Detection {
+    /// Scores positions `from..` of a session in order, stopping after the
+    /// first abnormal verdict (the paper flags a session on its first
+    /// abnormal operation). Positions below the configured minimum context
+    /// are skipped. In [`DetectionMode::Block`] each forward pass scores a
+    /// whole window of positions; in [`DetectionMode::Streaming`] each
+    /// position gets its own backward-context pass.
+    ///
+    /// The walk over a suffix is prefix-stable: scoring `from..m` and then
+    /// `m..` in a second call yields the same verdicts as one `from..` call,
+    /// provided each Block-mode call ends on a window boundary (`m - from` a
+    /// multiple of the model window, the invariant the serving engine
+    /// maintains) — the property that makes incremental serving output
+    /// independent of batch timing.
+    pub fn run_verdicts(
+        &self,
+        keys: &[u32],
+        from: usize,
+        cache: Option<&ScoreCache>,
+    ) -> Vec<PositionVerdict> {
+        match self.cfg.mode {
+            DetectionMode::Streaming => self.run_streaming(keys, from, cache),
+            DetectionMode::Block => self.run_block(keys, from, cache),
+        }
+    }
+
+    fn run_streaming(
+        &self,
+        keys: &[u32],
+        from: usize,
+        cache: Option<&ScoreCache>,
+    ) -> Vec<PositionVerdict> {
+        let mut out = Vec::new();
+        for t in from.max(self.cfg.min_context)..keys.len() {
+            let verdict = self.streaming_verdict(keys, t, cache);
+            out.push(PositionVerdict {
+                position: t,
+                verdict,
+            });
+            if verdict.is_abnormal() {
+                break;
+            }
+        }
+        out
+    }
+
+    fn run_block(
+        &self,
+        keys: &[u32],
+        from: usize,
+        cache: Option<&ScoreCache>,
+    ) -> Vec<PositionVerdict> {
         let l = self.model.cfg.window;
         // Position 0 has no predecessor and cannot be predicted.
         let min_context = self.cfg.min_context.max(1);
-        if keys.len() <= min_context {
-            return Detection { abnormal: false, first_anomaly: None, positions_checked: 0 };
-        }
-        // Fast path for unseen statements.
-        for (t, &k) in keys.iter().enumerate().skip(min_context) {
-            if k == 0 {
-                return Detection {
-                    abnormal: true,
-                    first_anomaly: Some(t),
-                    positions_checked: t - min_context + 1,
-                };
-            }
+        let first = from.max(min_context);
+        let mut out = Vec::new();
+        if keys.len() <= first {
+            return out;
         }
         // Front-pad so window rows line up with session positions; row i of
         // a window starting at `start` predicts padded position start+i+1.
@@ -145,13 +233,12 @@ impl<'a> Detector<'a> {
         padded.extend_from_slice(keys);
         let n = padded.len();
         debug_assert!(n > l);
-        let mut checked = 0;
-        let mut next_t = min_context; // watermark: each position scored once
+        let mut next_t = first; // watermark: each position scored once
         while next_t < keys.len() {
             let tp = next_t + pad;
             let start = (tp - 1).min(n - l);
             let window = &padded[start..start + l];
-            let scores = self.model.position_scores(window);
+            let scores = self.model.position_scores_cached(window, cache);
             for i in 0..l {
                 let t_padded = start + i + 1;
                 if t_padded >= n {
@@ -164,18 +251,18 @@ impl<'a> Detector<'a> {
                 if t < next_t {
                     continue;
                 }
-                checked += 1;
                 next_t = t + 1;
-                if self.verdict_at(scores.row(i), keys[t]) {
-                    return Detection {
-                        abnormal: true,
-                        first_anomaly: Some(t),
-                        positions_checked: checked,
-                    };
+                let verdict = self.verdict_at(scores.row(i), keys[t]);
+                out.push(PositionVerdict {
+                    position: t,
+                    verdict,
+                });
+                if verdict.is_abnormal() {
+                    return out;
                 }
             }
         }
-        Detection { abnormal: false, first_anomaly: None, positions_checked: checked }
+        out
     }
 }
 
@@ -225,10 +312,18 @@ mod tests {
         let model = trained_model();
         let det = Detector::new(
             &model,
-            DetectorConfig { top_p: 3, min_context: 2, mode: DetectionMode::Streaming },
+            DetectorConfig {
+                top_p: 3,
+                min_context: 2,
+                mode: DetectionMode::Streaming,
+            },
         );
         let d = det.detect_session(&[1, 2, 3, 1, 2, 3, 1, 2, 3, 1]);
-        assert!(!d.abnormal, "normal session flagged at {:?}", d.first_anomaly);
+        assert!(
+            !d.abnormal,
+            "normal session flagged at {:?}",
+            d.first_anomaly
+        );
         assert_eq!(d.positions_checked, 8);
     }
 
@@ -237,7 +332,11 @@ mod tests {
         let model = trained_model();
         let det = Detector::new(
             &model,
-            DetectorConfig { top_p: 3, min_context: 2, mode: DetectionMode::Streaming },
+            DetectorConfig {
+                top_p: 3,
+                min_context: 2,
+                mode: DetectionMode::Streaming,
+            },
         );
         // Key 5 is in the vocabulary but belongs to the other theme: its
         // semantics do not match this session's contextual intent.
@@ -252,7 +351,11 @@ mod tests {
         for mode in [DetectionMode::Streaming, DetectionMode::Block] {
             let det = Detector::new(
                 &model,
-                DetectorConfig { top_p: 4, min_context: 2, mode },
+                DetectorConfig {
+                    top_p: 4,
+                    min_context: 2,
+                    mode,
+                },
             );
             let d = det.detect_session(&[1, 2, 0, 4]);
             assert!(d.abnormal, "mode {:?}", mode);
@@ -267,7 +370,11 @@ mod tests {
         let flag = |p: usize| {
             Detector::new(
                 &model,
-                DetectorConfig { top_p: p, min_context: 2, mode: DetectionMode::Streaming },
+                DetectorConfig {
+                    top_p: p,
+                    min_context: 2,
+                    mode: DetectionMode::Streaming,
+                },
             )
             .detect_session(&keys)
             .abnormal
@@ -285,7 +392,11 @@ mod tests {
             for mode in [DetectionMode::Streaming, DetectionMode::Block] {
                 let det = Detector::new(
                     &model,
-                    DetectorConfig { top_p: 3, min_context: 2, mode },
+                    DetectorConfig {
+                        top_p: 3,
+                        min_context: 2,
+                        mode,
+                    },
                 );
                 assert_eq!(
                     det.detect_session(keys).abnormal,
@@ -312,7 +423,11 @@ mod tests {
         let model = trained_model();
         let det = Detector::new(
             &model,
-            DetectorConfig { top_p: 7, min_context: 2, mode: DetectionMode::Block },
+            DetectorConfig {
+                top_p: 7,
+                min_context: 2,
+                mode: DetectionMode::Block,
+            },
         );
         // 20 ops with window 6: all positions >= 2 must be scored.
         let keys: Vec<u32> = (0..20).map(|j| (j % 4) as u32 + 1).collect();

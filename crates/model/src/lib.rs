@@ -19,14 +19,16 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod detect;
 pub mod mask;
 pub mod model;
 pub mod persist;
 
+pub use cache::{CacheStats, ScoreCache};
 pub use config::{MaskMode, TransDasConfig};
-pub use detect::{Detection, DetectionMode, Detector, DetectorConfig};
+pub use detect::{Detection, DetectionMode, Detector, DetectorConfig, OpVerdict, PositionVerdict};
 pub use mask::{build_mask, NEG_INF};
 pub use model::{TrainReport, TransDas, Window};
 pub use persist::PersistError;

@@ -52,7 +52,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let t = normal(100, 100, 0.5, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / t.len() as f32;
         assert!(mean.abs() < 0.02, "mean {}", mean);
         assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());

@@ -32,7 +32,12 @@ impl Linear {
     ) -> Self {
         let w = store.add(format!("{name}.w"), xavier_uniform(in_dim, out_dim, rng));
         let b = store.add(format!("{name}.b"), Tensor::zeros(1, out_dim));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Applies the layer to an `n x in_dim` input.
@@ -60,7 +65,11 @@ impl LayerNorm {
     pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
         let gain = store.add(format!("{name}.gain"), Tensor::full(1, dim, 1.0));
         let bias = store.add(format!("{name}.bias"), Tensor::zeros(1, dim));
-        LayerNorm { gain, bias, eps: 1e-5 }
+        LayerNorm {
+            gain,
+            bias,
+            eps: 1e-5,
+        }
     }
 
     /// Normalizes each row of `x`.
@@ -96,26 +105,31 @@ impl LstmCell {
         hidden: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let wx = store.add(format!("{name}.wx"), xavier_uniform(in_dim, 4 * hidden, rng));
-        let wh = store.add(format!("{name}.wh"), xavier_uniform(hidden, 4 * hidden, rng));
+        let wx = store.add(
+            format!("{name}.wx"),
+            xavier_uniform(in_dim, 4 * hidden, rng),
+        );
+        let wh = store.add(
+            format!("{name}.wh"),
+            xavier_uniform(hidden, 4 * hidden, rng),
+        );
         let mut bias = Tensor::zeros(1, 4 * hidden);
         for c in hidden..2 * hidden {
             bias.set(0, c, 1.0);
         }
         let b = store.add(format!("{name}.b"), bias);
-        LstmCell { wx, wh, b, in_dim, hidden }
+        LstmCell {
+            wx,
+            wh,
+            b,
+            in_dim,
+            hidden,
+        }
     }
 
     /// One step: consumes `(h, c)` state and a `1 x in_dim` input, produces
     /// the next `(h, c)`.
-    pub fn step(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        x: Var,
-        h: Var,
-        c: Var,
-    ) -> (Var, Var) {
+    pub fn step(&self, tape: &mut Tape, store: &ParamStore, x: Var, h: Var, c: Var) -> (Var, Var) {
         let wx = tape.param(store, self.wx);
         let wh = tape.param(store, self.wh);
         let b = tape.param(store, self.b);
@@ -210,7 +224,12 @@ mod tests {
         let y = ln.forward(&mut tape, &store, x);
         let out = tape.value(y);
         let mean = out.mean();
-        let var = out.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+        let var = out
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 8.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

@@ -38,7 +38,11 @@ impl ParamStore {
     /// Registers a new parameter and returns its handle.
     pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let grad = Tensor::zeros(value.rows(), value.cols());
-        self.params.push(Param { name: name.into(), value, grad });
+        self.params.push(Param {
+            name: name.into(),
+            value,
+            grad,
+        });
         ParamId(self.params.len() - 1)
     }
 

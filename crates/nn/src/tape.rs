@@ -91,7 +91,9 @@ impl Default for Tape {
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::with_capacity(128) }
+        Tape {
+            nodes: Vec::with_capacity(128),
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -245,8 +247,7 @@ impl Tape {
         for r in 0..rows {
             let row = xv.row(r);
             let mu: f32 = row.iter().sum::<f32>() / cols as f32;
-            let var: f32 =
-                row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / cols as f32;
+            let var: f32 = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / cols as f32;
             let is = 1.0 / (var + eps).sqrt();
             inv_std.push(is);
             for c in 0..cols {
@@ -257,7 +258,13 @@ impl Tape {
         }
         self.push(
             out,
-            Op::LayerNorm { x: x.0, gain: gain.0, bias: bias.0, xhat, inv_std },
+            Op::LayerNorm {
+                x: x.0,
+                gain: gain.0,
+                bias: bias.0,
+                xhat,
+                inv_std,
+            },
         )
     }
 
@@ -298,7 +305,13 @@ impl Tape {
     /// Row gather: `out[i] = table[indices[i]]` (embedding lookup).
     pub fn gather_rows(&mut self, table: Var, indices: &[usize]) -> Var {
         let out = self.value(table).gather_rows(indices);
-        self.push(out, Op::GatherRows { table: table.0, indices: indices.to_vec() })
+        self.push(
+            out,
+            Op::GatherRows {
+                table: table.0,
+                indices: indices.to_vec(),
+            },
+        )
     }
 
     /// Summed cross entropy of row-wise softmax(logits) against integer
@@ -313,7 +326,11 @@ impl Tape {
         }
         self.push(
             Tensor::scalar(loss),
-            Op::CrossEntropyRows { logits: logits.0, targets: targets.to_vec(), probs },
+            Op::CrossEntropyRows {
+                logits: logits.0,
+                targets: targets.to_vec(),
+                probs,
+            },
         )
     }
 
@@ -328,7 +345,9 @@ impl Tape {
         grads[loss.0] = Some(Tensor::scalar(1.0));
 
         for i in (0..=loss.0).rev() {
-            let Some(grad) = grads[i].take() else { continue };
+            let Some(grad) = grads[i].take() else {
+                continue;
+            };
             self.propagate(i, &grad, &mut grads, store);
         }
         loss_value
@@ -435,9 +454,19 @@ impl Tape {
             Op::MeanAll(x) => {
                 let xv = &self.nodes[*x].value;
                 let n = xv.len().max(1) as f32;
-                Self::accum(grads, *x, Tensor::full(xv.rows(), xv.cols(), grad.item() / n));
+                Self::accum(
+                    grads,
+                    *x,
+                    Tensor::full(xv.rows(), xv.cols(), grad.item() / n),
+                );
             }
-            Op::LayerNorm { x, gain, bias, xhat, inv_std } => {
+            Op::LayerNorm {
+                x,
+                gain,
+                bias,
+                xhat,
+                inv_std,
+            } => {
                 let g = &self.nodes[*gain].value;
                 let (rows, cols) = xhat.shape();
                 let mut dgain = Tensor::zeros(1, cols);
@@ -451,15 +480,10 @@ impl Tape {
                         dbias.data_mut()[c] += gr[c];
                     }
                     // dxhat = dy * gain; then the standard per-row LN backward.
-                    let dxhat: Vec<f32> =
-                        (0..cols).map(|c| gr[c] * g.get(0, c)).collect();
+                    let dxhat: Vec<f32> = (0..cols).map(|c| gr[c] * g.get(0, c)).collect();
                     let mean_dxhat: f32 = dxhat.iter().sum::<f32>() / cols as f32;
-                    let mean_dxhat_xhat: f32 = dxhat
-                        .iter()
-                        .zip(xh.iter())
-                        .map(|(a, b)| a * b)
-                        .sum::<f32>()
-                        / cols as f32;
+                    let mean_dxhat_xhat: f32 =
+                        dxhat.iter().zip(xh.iter()).map(|(a, b)| a * b).sum::<f32>() / cols as f32;
                     for c in 0..cols {
                         dx.set(
                             r,
@@ -502,7 +526,11 @@ impl Tape {
                 }
                 Self::accum(grads, *table, dt);
             }
-            Op::CrossEntropyRows { logits, targets, probs } => {
+            Op::CrossEntropyRows {
+                logits,
+                targets,
+                probs,
+            } => {
                 let scale = grad.item();
                 let mut dl = probs.clone();
                 for (r, &t) in targets.iter().enumerate() {
@@ -524,11 +552,7 @@ mod tests {
     /// Finite-difference gradient check for a scalar function of one
     /// parameter tensor.
     #[allow(clippy::needless_range_loop)]
-    fn grad_check(
-        shape: (usize, usize),
-        init: &[f32],
-        f: &dyn Fn(&mut Tape, Var) -> Var,
-    ) {
+    fn grad_check(shape: (usize, usize), init: &[f32], f: &dyn Fn(&mut Tape, Var) -> Var) {
         let mut store = ParamStore::new();
         let id = store.add("x", Tensor::from_vec(shape.0, shape.1, init.to_vec()));
 
@@ -570,11 +594,7 @@ mod tests {
     #[test]
     fn grad_matmul() {
         grad_check((2, 3), &[0.5, -0.2, 0.3, 0.1, 0.9, -0.4], &|t, x| {
-            let w = t.constant(Tensor::from_vec(
-                3,
-                2,
-                vec![0.2, -0.1, 0.4, 0.3, -0.5, 0.6],
-            ));
+            let w = t.constant(Tensor::from_vec(3, 2, vec![0.2, -0.1, 0.4, 0.3, -0.5, 0.6]));
             let y = t.matmul(x, w);
             let s = t.hadamard(y, y);
             t.sum_all(s)
@@ -602,13 +622,17 @@ mod tests {
 
     #[test]
     fn grad_layer_norm() {
-        grad_check((2, 4), &[0.5, 1.5, -0.3, 0.2, 0.9, -0.8, 0.1, 0.4], &|t, x| {
-            let g = t.constant(Tensor::from_vec(1, 4, vec![1.2, 0.8, 1.0, 0.9]));
-            let b = t.constant(Tensor::from_vec(1, 4, vec![0.1, -0.1, 0.0, 0.2]));
-            let y = t.layer_norm(x, g, b, 1e-5);
-            let sq = t.hadamard(y, y);
-            t.sum_all(sq)
-        });
+        grad_check(
+            (2, 4),
+            &[0.5, 1.5, -0.3, 0.2, 0.9, -0.8, 0.1, 0.4],
+            &|t, x| {
+                let g = t.constant(Tensor::from_vec(1, 4, vec![1.2, 0.8, 1.0, 0.9]));
+                let b = t.constant(Tensor::from_vec(1, 4, vec![0.1, -0.1, 0.0, 0.2]));
+                let y = t.layer_norm(x, g, b, 1e-5);
+                let sq = t.hadamard(y, y);
+                t.sum_all(sq)
+            },
+        );
     }
 
     #[test]
@@ -646,13 +670,17 @@ mod tests {
 
     #[test]
     fn grad_concat_slice() {
-        grad_check((2, 4), &[0.5, -0.2, 0.3, 0.1, 0.9, -0.4, 0.2, 0.8], &|t, x| {
-            let a = t.slice_cols(x, 0, 2);
-            let b = t.slice_cols(x, 2, 4);
-            let c = t.concat_cols(&[b, a]);
-            let sq = t.hadamard(c, c);
-            t.sum_all(sq)
-        });
+        grad_check(
+            (2, 4),
+            &[0.5, -0.2, 0.3, 0.1, 0.9, -0.4, 0.2, 0.8],
+            &|t, x| {
+                let a = t.slice_cols(x, 0, 2);
+                let b = t.slice_cols(x, 2, 4);
+                let c = t.concat_cols(&[b, a]);
+                let sq = t.hadamard(c, c);
+                t.sum_all(sq)
+            },
+        );
     }
 
     #[test]
@@ -667,9 +695,11 @@ mod tests {
 
     #[test]
     fn grad_cross_entropy() {
-        grad_check((2, 4), &[0.5, -0.2, 0.3, 0.1, 0.9, -0.4, 0.2, 0.8], &|t, x| {
-            t.cross_entropy_rows(x, &[2, 0])
-        });
+        grad_check(
+            (2, 4),
+            &[0.5, -0.2, 0.3, 0.1, 0.9, -0.4, 0.2, 0.8],
+            &|t, x| t.cross_entropy_rows(x, &[2, 0]),
+        );
     }
 
     #[test]
@@ -698,7 +728,11 @@ mod tests {
         let x = tape.constant(Tensor::full(100, 100, 1.0));
         let y = tape.dropout(x, 0.8, &mut rng);
         let mean = tape.value(y).mean();
-        assert!((mean - 1.0).abs() < 0.05, "dropout mean {} far from 1.0", mean);
+        assert!(
+            (mean - 1.0).abs() < 0.05,
+            "dropout mean {} far from 1.0",
+            mean
+        );
     }
 
     #[test]

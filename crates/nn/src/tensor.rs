@@ -30,12 +30,20 @@ impl fmt::Debug for Tensor {
 impl Tensor {
     /// Creates a `rows x cols` tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Tensor { rows, cols, data: vec![value; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a tensor from a flat row-major buffer.
@@ -57,12 +65,20 @@ impl Tensor {
     /// Creates a `1 x n` row vector.
     pub fn row_vector(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Tensor { rows: 1, cols, data }
+        Tensor {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Creates a scalar (`1 x 1`) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { rows: 1, cols: 1, data: vec![value] }
+        Tensor {
+            rows: 1,
+            cols: 1,
+            data: vec![value],
+        }
     }
 
     /// Number of rows.
@@ -287,7 +303,11 @@ impl Tensor {
     /// Dot product of two equally shaped tensors viewed as flat vectors.
     pub fn dot(&self, rhs: &Tensor) -> f32 {
         assert_eq!(self.shape(), rhs.shape(), "dot shape mismatch");
-        self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a * b).sum()
+        self.data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
     }
 
     /// Horizontal concatenation of tensors with equal row counts.
@@ -306,8 +326,7 @@ impl Tensor {
         for r in 0..rows {
             let mut offset = 0;
             for p in parts {
-                out.data[r * cols + offset..r * cols + offset + p.cols]
-                    .copy_from_slice(p.row(r));
+                out.data[r * cols + offset..r * cols + offset + p.cols].copy_from_slice(p.row(r));
                 offset += p.cols;
             }
         }
@@ -320,8 +339,7 @@ impl Tensor {
         let cols = end - start;
         let mut out = Tensor::zeros(self.rows, cols);
         for r in 0..self.rows {
-            out.row_mut(r)
-                .copy_from_slice(&self.row(r)[start..end]);
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
         }
         out
     }
@@ -430,7 +448,10 @@ mod tests {
     fn gather_rows_copies() {
         let m = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let g = m.gather_rows(&[2, 0, 2]);
-        assert_eq!(g, Tensor::from_vec(3, 2, vec![5.0, 6.0, 1.0, 2.0, 5.0, 6.0]));
+        assert_eq!(
+            g,
+            Tensor::from_vec(3, 2, vec![5.0, 6.0, 1.0, 2.0, 5.0, 6.0])
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub fn abstract_parsed(stmt: &Statement) -> String {
             .collect()
     };
     let abstracted = match stmt {
-        Statement::Insert { table, columns, rows } => Statement::Insert {
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => Statement::Insert {
             table: table.clone(),
             columns: columns.clone(),
             rows: rows
@@ -44,17 +48,22 @@ pub fn abstract_parsed(stmt: &Statement) -> String {
                 .map(|r| r.iter().map(|_| ph()).collect())
                 .collect(),
         },
-        Statement::Select { table, projection, conditions } => Statement::Select {
+        Statement::Select {
+            table,
+            projection,
+            conditions,
+        } => Statement::Select {
             table: table.clone(),
             projection: projection.clone(),
             conditions: conds(conditions, &mut ph),
         },
-        Statement::Update { table, assignments, conditions } => Statement::Update {
+        Statement::Update {
+            table,
+            assignments,
+            conditions,
+        } => Statement::Update {
             table: table.clone(),
-            assignments: assignments
-                .iter()
-                .map(|(c, _)| (c.clone(), ph()))
-                .collect(),
+            assignments: assignments.iter().map(|(c, _)| (c.clone(), ph())).collect(),
             conditions: conds(conditions, &mut ph),
         },
         Statement::Delete { table, conditions } => Statement::Delete {
@@ -86,7 +95,8 @@ pub fn abstract_literals(text: &str) -> String {
             out.push_str(&format!("${counter}"));
             i = (j + 1).min(bytes.len());
         } else if c.is_ascii_digit()
-            && (i == 0 || !(bytes[i - 1] as char).is_ascii_alphanumeric() && bytes[i - 1] as char != '_')
+            && (i == 0
+                || !(bytes[i - 1] as char).is_ascii_alphanumeric() && bytes[i - 1] as char != '_')
         {
             let mut j = i + 1;
             while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
@@ -172,7 +182,10 @@ mod tests {
         // Table names like t_cell_fp_3 must keep their digits: they are part
         // of the identifier, not literals.
         let a = abstract_literals("SELECT broken FROM t_cell_fp_3 WHERE ???=5");
-        assert!(a.contains("t_cell_fp_3"), "identifier digits must survive: {a}");
+        assert!(
+            a.contains("t_cell_fp_3"),
+            "identifier digits must survive: {a}"
+        );
         assert!(!a.contains("=5"));
     }
 

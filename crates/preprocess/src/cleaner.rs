@@ -90,8 +90,10 @@ pub fn clean_sessions(
         return (outcome, stats);
     }
 
-    let profiles: Vec<NgramProfile> =
-        key_sessions.iter().map(|s| NgramProfile::new(s, cfg.ngram)).collect();
+    let profiles: Vec<NgramProfile> = key_sessions
+        .iter()
+        .map(|s| NgramProfile::new(s, cfg.ngram))
+        .collect();
     let (assignments, k) = dbscan(n, cfg.dbscan, |a, b| profiles[a].distance(&profiles[b]));
     stats.clusters = k;
 
@@ -212,14 +214,20 @@ mod tests {
         }
         // The dominant cluster is reduced to the keep floor
         // (max(median, 0.4 * 40) = 16), not left at full size.
-        let kept_big = outcome[..40].iter().filter(|&&o| o == CleanOutcome::Kept).count();
+        let kept_big = outcome[..40]
+            .iter()
+            .filter(|&&o| o == CleanOutcome::Kept)
+            .count();
         assert!(kept_big <= 16, "dominant cluster not balanced: {kept_big}");
     }
 
     #[test]
     fn disabling_balance_keeps_everything_in_one_pattern() {
         let sessions = pattern_sessions(&[1, 2, 3, 4, 1, 2, 3, 4], 20);
-        let cfg = CleanerConfig { balance: false, ..CleanerConfig::default() };
+        let cfg = CleanerConfig {
+            balance: false,
+            ..CleanerConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let (_, stats) = clean_sessions(&sessions, &cfg, &mut rng);
         assert_eq!(stats.kept, 20);
@@ -241,11 +249,8 @@ mod tests {
         sessions.push(vec![1]);
         let mut rng = StdRng::seed_from_u64(5);
         let (outcome, stats) = clean_sessions(&sessions, &CleanerConfig::default(), &mut rng);
-        let total = stats.kept
-            + stats.noise
-            + stats.small_cluster
-            + stats.too_short
-            + stats.undersampled;
+        let total =
+            stats.kept + stats.noise + stats.small_cluster + stats.too_short + stats.undersampled;
         assert_eq!(total, outcome.len());
     }
 }

@@ -27,7 +27,10 @@ impl Default for DbscanParams {
         // sharing only part of their task mix sit beyond ~0.5 — eps between
         // the two separates task patterns instead of density-chaining them
         // into one giant cluster.
-        DbscanParams { eps: 0.3, min_pts: 3 }
+        DbscanParams {
+            eps: 0.3,
+            min_pts: 3,
+        }
     }
 }
 
@@ -43,9 +46,8 @@ pub fn dbscan(
     let mut labels = vec![UNVISITED; n];
     let mut cluster = 0usize;
 
-    let neighbors = |p: usize| -> Vec<usize> {
-        (0..n).filter(|&q| dist(p, q) <= params.eps).collect()
-    };
+    let neighbors =
+        |p: usize| -> Vec<usize> { (0..n).filter(|&q| dist(p, q) <= params.eps).collect() };
 
     for p in 0..n {
         if labels[p] != UNVISITED {
@@ -80,7 +82,13 @@ pub fn dbscan(
 
     let assignments = labels
         .into_iter()
-        .map(|l| if l == NOISE { Assignment::Noise } else { Assignment::Cluster(l) })
+        .map(|l| {
+            if l == NOISE {
+                Assignment::Noise
+            } else {
+                Assignment::Cluster(l)
+            }
+        })
         .collect();
     (assignments, cluster)
 }

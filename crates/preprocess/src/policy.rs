@@ -101,7 +101,9 @@ impl AccessPolicy {
         let mut hour_counts: Map<u8, usize> = Map::new();
         let mut max_gap = 1u64;
         for s in sessions {
-            *ip_counts.entry((s.user.clone(), s.client_ip.clone())).or_insert(0) += 1;
+            *ip_counts
+                .entry((s.user.clone(), s.client_ip.clone()))
+                .or_insert(0) += 1;
             let mut seen_tables = HashSet::new();
             for op in &s.ops {
                 seen_tables.insert(op.table.clone());
@@ -110,7 +112,9 @@ impl AccessPolicy {
                 *table_counts.entry((s.user.clone(), t)).or_insert(0) += 1;
             }
             if let Some(first) = s.ops.first() {
-                *hour_counts.entry(((first.timestamp % 86_400) / 3_600) as u8).or_insert(0) += 1;
+                *hour_counts
+                    .entry(((first.timestamp % 86_400) / 3_600) as u8)
+                    .or_insert(0) += 1;
             }
             for w in s.ops.windows(2) {
                 max_gap = max_gap.max(w[1].timestamp - w[0].timestamp);
@@ -157,7 +161,10 @@ impl AccessPolicy {
         let mut max_hour = 0u8;
         let mut max_gap = 1u64;
         for s in sessions {
-            known_ips.entry(s.user.clone()).or_default().insert(s.client_ip.clone());
+            known_ips
+                .entry(s.user.clone())
+                .or_default()
+                .insert(s.client_ip.clone());
             let tables = known_tables.entry(s.user.clone()).or_default();
             for op in &s.ops {
                 tables.insert(op.table.clone());
@@ -334,9 +341,17 @@ mod tests {
     #[test]
     fn deny_rules_take_priority() {
         let mut p = trained();
-        p.add_deny_rule(DenyRule::Table { name: "no-secrets".into(), table: "a".into() });
+        p.add_deny_rule(DenyRule::Table {
+            name: "no-secrets".into(),
+            table: "a".into(),
+        });
         let v = p.check(&session("u1", "10.0.0.1", 10 * 3600, &["a"]));
-        assert_eq!(v, Some(PolicyViolation::DenyRule { rule: "no-secrets".into() }));
+        assert_eq!(
+            v,
+            Some(PolicyViolation::DenyRule {
+                rule: "no-secrets".into()
+            })
+        );
     }
 
     #[test]

@@ -91,7 +91,11 @@ impl Vocabulary {
 
     /// Tokenizes a raw SQL session into a key sequence.
     pub fn tokenize_session(&self, session: &Session) -> Vec<u32> {
-        session.ops.iter().map(|op| self.key_of_sql(&op.sql)).collect()
+        session
+            .ops
+            .iter()
+            .map(|op| self.key_of_sql(&op.sql))
+            .collect()
     }
 
     /// Tokenizes a templated event sequence.
@@ -130,9 +134,9 @@ mod tests {
 
     #[test]
     fn sql_statements_with_same_shape_share_a_key() {
-        let v = Vocabulary::from_templates(vec![
-            crate::abstraction::abstract_statement("SELECT * FROM t WHERE a=1"),
-        ]);
+        let v = Vocabulary::from_templates(vec![crate::abstraction::abstract_statement(
+            "SELECT * FROM t WHERE a=1",
+        )]);
         assert_eq!(v.key_of_sql("SELECT * FROM t WHERE a=1"), 1);
         assert_eq!(v.key_of_sql("SELECT * FROM t WHERE a=42"), 1);
         assert_eq!(v.key_of_sql("SELECT * FROM t WHERE b=42"), UNKNOWN_KEY);

@@ -104,11 +104,7 @@ impl<'a> AnomalySynthesizer<'a> {
 
     /// A3: misoperations. Builds a session purely out of rarely performed
     /// operations combined at random.
-    pub fn misoperation(
-        &self,
-        gen: &mut SessionGenerator,
-        rng: &mut impl Rng,
-    ) -> LabeledSession {
+    pub fn misoperation(&self, gen: &mut SessionGenerator, rng: &mut impl Rng) -> LabeledSession {
         let len = (self.spec.avg_session_len / 2).max(6);
         let ids: Vec<usize> = (0..len)
             .map(|_| *self.rare_pool.choose(rng).expect("rare pool non-empty"))
@@ -197,8 +193,12 @@ mod tests {
         assert!(added >= 6);
         // All added ops are selects.
         let selects_before = base.ops.iter().filter(|o| o.kind == OpKind::Select).count();
-        let selects_after =
-            a1.session.ops.iter().filter(|o| o.kind == OpKind::Select).count();
+        let selects_after = a1
+            .session
+            .ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Select)
+            .count();
         assert_eq!(selects_after - selects_before, added);
     }
 
@@ -219,8 +219,12 @@ mod tests {
             );
             // At least one injected op is a delete.
             let del_before = base.ops.iter().filter(|o| o.kind == OpKind::Delete).count();
-            let del_after =
-                a2.session.ops.iter().filter(|o| o.kind == OpKind::Delete).count();
+            let del_after = a2
+                .session
+                .ops
+                .iter()
+                .filter(|o| o.kind == OpKind::Delete)
+                .count();
             assert!(del_after > del_before);
         }
     }

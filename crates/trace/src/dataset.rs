@@ -54,7 +54,10 @@ impl ScenarioDataset {
         contamination: f64,
         seed: u64,
     ) -> Self {
-        assert!((0.0..1.0).contains(&contamination), "contamination in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&contamination),
+            "contamination in [0,1)"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut gen = SessionGenerator::new(spec.clone());
         let test_sessions = (train_sessions as f64 / 4.0).round().max(1.0) as usize;
@@ -63,14 +66,17 @@ impl ScenarioDataset {
         let normals: Vec<AnnotatedSession> =
             (0..total).map(|_| gen.normal_session(&mut rng)).collect();
         let (train_part, test_part) = normals.split_at(train_sessions);
-        let mut train: Vec<Session> =
-            train_part.iter().map(|a| a.session.clone()).collect();
+        let mut train: Vec<Session> = train_part.iter().map(|a| a.session.clone()).collect();
 
         let v1: Vec<Session> = test_part.iter().map(|a| a.session.clone()).collect();
-        let v2: Vec<Session> =
-            test_part.iter().map(|a| partial_swap(a, &mut rng)).collect();
-        let v3: Vec<Session> =
-            test_part.iter().map(|a| partial_remove(a, &mut rng)).collect();
+        let v2: Vec<Session> = test_part
+            .iter()
+            .map(|a| partial_swap(a, &mut rng))
+            .collect();
+        let v3: Vec<Session> = test_part
+            .iter()
+            .map(|a| partial_remove(a, &mut rng))
+            .collect();
 
         let synth = AnomalySynthesizer::new(spec);
         let a1: Vec<LabeledSession> = test_part
@@ -81,14 +87,13 @@ impl ScenarioDataset {
             .iter()
             .map(|a| synth.credential_stealing(&a.session, &mut gen, &mut rng))
             .collect();
-        let a3: Vec<LabeledSession> =
-            (0..test_sessions).map(|_| synth.misoperation(&mut gen, &mut rng)).collect();
+        let a3: Vec<LabeledSession> = (0..test_sessions)
+            .map(|_| synth.misoperation(&mut gen, &mut rng))
+            .collect();
 
         // Contaminate the training set with fresh anomalies.
         if contamination > 0.0 {
-            let k = ((train.len() as f64 * contamination)
-                / (1.0 - contamination))
-                .round() as usize;
+            let k = ((train.len() as f64 * contamination) / (1.0 - contamination)).round() as usize;
             for i in 0..k {
                 let s = match i % 3 {
                     0 => {
@@ -122,8 +127,7 @@ impl ScenarioDataset {
     /// Full labeled test set: V1-3 as negatives, A1-3 as positives, in the
     /// order `(v1, v2, v3, a1, a2, a3)`.
     pub fn test_sets(&self) -> [(&'static str, Vec<LabeledSession>); 6] {
-        let norm =
-            |v: &[Session]| v.iter().cloned().map(LabeledSession::normal).collect();
+        let norm = |v: &[Session]| v.iter().cloned().map(LabeledSession::normal).collect();
         [
             ("V1", norm(&self.v1)),
             ("V2", norm(&self.v2)),
@@ -180,7 +184,10 @@ pub fn generate_raw_log(
         .filter(|(_, s)| ids.contains(&s.id))
         .map(|(i, _)| i)
         .collect();
-    RawLog { sessions, noise_indices }
+    RawLog {
+        sessions,
+        noise_indices,
+    }
 }
 
 #[cfg(test)]
@@ -236,10 +243,16 @@ mod tests {
         let ds = ScenarioDataset::generate(&spec, 20, 5);
         let sets = ds.test_sets();
         for (name, set) in &sets[..3] {
-            assert!(set.iter().all(|s| !s.is_abnormal()), "{name} must be normal");
+            assert!(
+                set.iter().all(|s| !s.is_abnormal()),
+                "{name} must be normal"
+            );
         }
         for (name, set) in &sets[3..] {
-            assert!(set.iter().all(|s| s.is_abnormal()), "{name} must be abnormal");
+            assert!(
+                set.iter().all(|s| s.is_abnormal()),
+                "{name} must be abnormal"
+            );
         }
     }
 

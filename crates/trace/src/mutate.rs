@@ -39,13 +39,11 @@ pub fn partial_remove(annotated: &AnnotatedSession, rng: &mut impl Rng) -> Sessi
     // Count occurrences per abstract shape; literals differ between
     // instantiations, so group by the digit-stripped SQL.
     let strip = |s: &str| -> String { s.chars().filter(|c| !c.is_ascii_digit()).collect() };
-    let mut counts: std::collections::HashMap<String, usize> =
-        std::collections::HashMap::new();
+    let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
     for op in &base.ops {
         *counts.entry(strip(&op.sql)).or_insert(0) += 1;
     }
-    let mut seen: std::collections::HashMap<String, usize> =
-        std::collections::HashMap::new();
+    let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
     let mut ops = Vec::with_capacity(base.ops.len());
     for op in &base.ops {
         let key = strip(&op.sql);
@@ -105,7 +103,9 @@ mod tests {
         for s in &sessions {
             let v2 = partial_swap(s, &mut rng);
             let in_span = |i: usize| {
-                s.swap_spans.iter().any(|&(st, len)| i >= st && i < st + len)
+                s.swap_spans
+                    .iter()
+                    .any(|&(st, len)| i >= st && i < st + len)
             };
             for (i, (a, b)) in s.session.ops.iter().zip(v2.ops.iter()).enumerate() {
                 if !in_span(i) {
@@ -134,9 +134,7 @@ mod tests {
             assert!(v3.len() <= s.session.len());
             assert!(v3.len() >= 4);
             // The set of abstract shapes is preserved (only duplicates drop).
-            let strip = |x: &str| -> String {
-                x.chars().filter(|c| !c.is_ascii_digit()).collect()
-            };
+            let strip = |x: &str| -> String { x.chars().filter(|c| !c.is_ascii_digit()).collect() };
             let a: std::collections::HashSet<String> =
                 s.session.ops.iter().map(|o| strip(&o.sql)).collect();
             let b: std::collections::HashSet<String> =

@@ -121,13 +121,34 @@ impl ScenarioSpec {
     /// short sessions (avg 24).
     pub fn commenting() -> Self {
         let tables = vec![
-            TableSpec { name: "t_content".into(), columns: svec(&["danmuKey", "count", "userId", "ts"]) },
-            TableSpec { name: "danmu_display".into(), columns: svec(&["videoId", "danmuId", "ts"]) },
-            TableSpec { name: "t_user".into(), columns: svec(&["userId", "name", "level"]) },
-            TableSpec { name: "t_video".into(), columns: svec(&["videoId", "title", "views"]) },
-            TableSpec { name: "t_like".into(), columns: svec(&["danmuKey", "userId"]) },
-            TableSpec { name: "t_task".into(), columns: svec(&["userId", "done"]) },
-            TableSpec { name: "t_reward".into(), columns: svec(&["userId", "coins"]) },
+            TableSpec {
+                name: "t_content".into(),
+                columns: svec(&["danmuKey", "count", "userId", "ts"]),
+            },
+            TableSpec {
+                name: "danmu_display".into(),
+                columns: svec(&["videoId", "danmuId", "ts"]),
+            },
+            TableSpec {
+                name: "t_user".into(),
+                columns: svec(&["userId", "name", "level"]),
+            },
+            TableSpec {
+                name: "t_video".into(),
+                columns: svec(&["videoId", "title", "views"]),
+            },
+            TableSpec {
+                name: "t_like".into(),
+                columns: svec(&["danmuKey", "userId"]),
+            },
+            TableSpec {
+                name: "t_task".into(),
+                columns: svec(&["userId", "done"]),
+            },
+            TableSpec {
+                name: "t_reward".into(),
+                columns: svec(&["userId", "coins"]),
+            },
         ];
         let mut b = TemplateBuilder::new();
         // 7 selects
@@ -302,8 +323,14 @@ impl ScenarioSpec {
                 columns: svec(&["pnci", "pi", "cn"]),
             });
         }
-        tables.push(TableSpec { name: "loc_rm".into(), columns: svec(&["devId", "lat", "lon", "ts"]) });
-        tables.push(TableSpec { name: "loc_rmf".into(), columns: svec(&["devId", "lat", "lon", "ts"]) });
+        tables.push(TableSpec {
+            name: "loc_rm".into(),
+            columns: svec(&["devId", "lat", "lon", "ts"]),
+        });
+        tables.push(TableSpec {
+            name: "loc_rmf".into(),
+            columns: svec(&["devId", "lat", "lon", "ts"]),
+        });
 
         let mut b = TemplateBuilder::new();
         // --- Selects: 10x22 on fp tables + 6 on picn + 12 on loc_* = 238.
@@ -312,25 +339,50 @@ impl ScenarioSpec {
             for arity in 2..=23usize {
                 // Small IN-lists dominate; very large ones are rare.
                 let weight = 1.0 / (1.0 + 0.4 * (arity as f32 - 2.0));
-                b.select(&t, None, &[("pnci", PredShape::Eq), ("gridId", PredShape::In(arity))], weight);
+                b.select(
+                    &t,
+                    None,
+                    &[("pnci", PredShape::Eq), ("gridId", PredShape::In(arity))],
+                    weight,
+                );
             }
         }
         for j in 0..3 {
             let t = format!("t_cell_picn_{j}");
             b.select(&t, None, &[("pnci", PredShape::Eq)], 1.0);
-            b.select(&t, None, &[("pnci", PredShape::Eq), ("pi", PredShape::Eq)], 0.4);
+            b.select(
+                &t,
+                None,
+                &[("pnci", PredShape::Eq), ("pi", PredShape::Eq)],
+                0.4,
+            );
         }
         b.select("loc_rm", None, &[("devId", PredShape::Eq)], 1.0);
-        b.select("loc_rm", None, &[("devId", PredShape::Eq), ("ts", PredShape::Eq)], 0.6);
+        b.select(
+            "loc_rm",
+            None,
+            &[("devId", PredShape::Eq), ("ts", PredShape::Eq)],
+            0.6,
+        );
         b.select("loc_rm", None, &[("ts", PredShape::Eq)], 0.3);
-        b.select("loc_rm", Some(&["lat", "lon"]), &[("devId", PredShape::Eq)], 0.8);
+        b.select(
+            "loc_rm",
+            Some(&["lat", "lon"]),
+            &[("devId", PredShape::Eq)],
+            0.8,
+        );
         b.select("loc_rm", None, &[("devId", PredShape::In(2))], 0.3);
         b.select("loc_rm", None, &[("devId", PredShape::In(3))], 0.2);
         b.select("loc_rm", None, &[("ts", PredShape::In(2))], 0.05);
         b.select("loc_rm", Some(&["ts"]), &[("devId", PredShape::Eq)], 0.3);
         b.select("loc_rmf", None, &[("devId", PredShape::Eq)], 0.8);
         b.select("loc_rmf", None, &[("ts", PredShape::Eq)], 0.1);
-        b.select("loc_rmf", Some(&["lat", "lon"]), &[("devId", PredShape::Eq)], 0.4);
+        b.select(
+            "loc_rmf",
+            Some(&["lat", "lon"]),
+            &[("devId", PredShape::Eq)],
+            0.4,
+        );
         b.select("loc_rmf", None, &[("devId", PredShape::In(2))], 0.05);
         // --- Inserts: 10x18 on fp + 3x5 on picn + 5 + 5 on loc_* = 205.
         for i in 0..10 {
@@ -347,24 +399,49 @@ impl ScenarioSpec {
             }
         }
         for tuples in 1..=5usize {
-            b.insert("loc_rm", &["devId", "lat", "lon", "ts"], tuples, 1.0 / tuples as f32);
+            b.insert(
+                "loc_rm",
+                &["devId", "lat", "lon", "ts"],
+                tuples,
+                1.0 / tuples as f32,
+            );
         }
         for tuples in 1..=5usize {
-            b.insert("loc_rmf", &["devId", "lat", "lon", "ts"], tuples, 0.8 / tuples as f32);
+            b.insert(
+                "loc_rmf",
+                &["devId", "lat", "lon", "ts"],
+                tuples,
+                0.8 / tuples as f32,
+            );
         }
         // --- Updates: 10x14 on fp + 6 on picn = 146.
         for i in 0..10 {
             let t = format!("t_cell_fp_{i}");
-            b.update(&t, &["fps"], &[("pnci", PredShape::Eq), ("gridId", PredShape::Eq)], 1.0);
+            b.update(
+                &t,
+                &["fps"],
+                &[("pnci", PredShape::Eq), ("gridId", PredShape::Eq)],
+                1.0,
+            );
             for arity in 2..=13usize {
                 let weight = 0.6 / (1.0 + 0.4 * (arity as f32 - 2.0));
-                b.update(&t, &["fps"], &[("pnci", PredShape::Eq), ("gridId", PredShape::In(arity))], weight);
+                b.update(
+                    &t,
+                    &["fps"],
+                    &[("pnci", PredShape::Eq), ("gridId", PredShape::In(arity))],
+                    weight,
+                );
             }
             b.update(&t, &["fps", "gridId"], &[("pnci", PredShape::Eq)], 0.08);
         }
         for j in 0..3 {
             let t = format!("t_cell_picn_{j}");
-            b.update(&t, &["cn"], &[("pnci", PredShape::Eq), ("pi", PredShape::Eq)], 0.6);
+            b.update(
+                &t,
+                &["cn"],
+                &[("pnci", PredShape::Eq), ("pi", PredShape::Eq)],
+                0.6,
+            );
             b.update(&t, &["pi", "cn"], &[("pnci", PredShape::Eq)], 0.1);
         }
         // --- Deletes: 4 total, all rare.
@@ -432,14 +509,16 @@ impl ScenarioSpec {
                     && matches!(&t.shape, TemplateShape::Update { .. })
             })
         };
-        let loc_rm_sel_common = b.ids(|t| {
-            t.table == "loc_rm" && t.kind() == OpKind::Select && t.weight >= 0.5
-        });
-        let loc_rm_sel_rare = b.ids(|t| {
-            t.table == "loc_rm" && t.kind() == OpKind::Select && t.weight < 0.5
-        });
+        let loc_rm_sel_common =
+            b.ids(|t| t.table == "loc_rm" && t.kind() == OpKind::Select && t.weight >= 0.5);
+        let loc_rm_sel_rare =
+            b.ids(|t| t.table == "loc_rm" && t.kind() == OpKind::Select && t.weight < 0.5);
         let loc_rmf_sel = b.ids(|t| t.table == "loc_rmf" && t.kind() == OpKind::Select);
-        let loc_ins_range = |b: &TemplateBuilder, table: &str, lo: usize, hi: usize| -> Vec<usize> {
+        let loc_ins_range = |b: &TemplateBuilder,
+                             table: &str,
+                             lo: usize,
+                             hi: usize|
+         -> Vec<usize> {
             let table = table.to_string();
             b.ids(|t| {
                 t.table == table
@@ -571,7 +650,9 @@ impl ScenarioSpec {
             weight: 0.05,
             groups: vec![
                 group(
-                    b.ids(|t| t.table == "loc_rmf" && t.kind() == OpKind::Select && t.weight >= 0.5),
+                    b.ids(|t| {
+                        t.table == "loc_rmf" && t.kind() == OpKind::Select && t.weight >= 0.5
+                    }),
                     1,
                     1,
                     false,
@@ -606,7 +687,9 @@ struct TemplateBuilder {
 
 impl TemplateBuilder {
     fn new() -> Self {
-        TemplateBuilder { templates: Vec::new() }
+        TemplateBuilder {
+            templates: Vec::new(),
+        }
     }
 
     fn push(&mut self, table: &str, shape: TemplateShape, weight: f32) -> usize {
@@ -638,7 +721,14 @@ impl TemplateBuilder {
     }
 
     fn insert(&mut self, table: &str, cols: &[&str], tuples: usize, weight: f32) -> usize {
-        self.push(table, TemplateShape::Insert { cols: svec(cols), tuples }, weight)
+        self.push(
+            table,
+            TemplateShape::Insert {
+                cols: svec(cols),
+                tuples,
+            },
+            weight,
+        )
     }
 
     fn update(
@@ -669,7 +759,11 @@ impl TemplateBuilder {
     }
 
     fn ids(&self, pred: impl Fn(&StatementTemplate) -> bool) -> Vec<usize> {
-        self.templates.iter().filter(|t| pred(t)).map(|t| t.id).collect()
+        self.templates
+            .iter()
+            .filter(|t| pred(t))
+            .map(|t| t.id)
+            .collect()
     }
 }
 
@@ -744,8 +838,9 @@ impl SessionGenerator {
         let n = self.spec.avg_session_len.max(8);
         let len = rng.gen_range(n / 2..=n);
         let pool: Vec<usize> = (0..self.spec.templates.len()).collect();
-        let ids: Vec<usize> =
-            (0..len).map(|_| *pool.choose(rng).expect("non-empty pool")).collect();
+        let ids: Vec<usize> = (0..len)
+            .map(|_| *pool.choose(rng).expect("non-empty pool"))
+            .collect();
         self.emit(rng, &user, &ip, &ids, Vec::new(), BUSINESS_HOURS)
     }
 
@@ -803,7 +898,11 @@ impl SessionGenerator {
             }
             x -= w.weight;
         }
-        self.spec.workflows.last().expect("workflows non-empty").clone()
+        self.spec
+            .workflows
+            .last()
+            .expect("workflows non-empty")
+            .clone()
     }
 
     fn session_from_workflows(
@@ -825,7 +924,11 @@ impl SessionGenerator {
         // stays near the top-p detection budget, as in the paper's traces.
         let n_types = {
             let x: f64 = rng.gen();
-            let n = if x < 1.0 - self.spec.multi_task_rate { 1 } else { 2 };
+            let n = if x < 1.0 - self.spec.multi_task_rate {
+                1
+            } else {
+                2
+            };
             n.min(self.spec.workflows.len())
         };
         let mut theme: Vec<WorkflowSpec> = Vec::new();
@@ -850,8 +953,11 @@ impl SessionGenerator {
                 let start = ids.len();
                 for _ in 0..picks {
                     // Weighted draw from the group pool.
-                    let total: f32 =
-                        g.pool.iter().map(|&id| self.spec.templates[id].weight).sum();
+                    let total: f32 = g
+                        .pool
+                        .iter()
+                        .map(|&id| self.spec.templates[id].weight)
+                        .sum();
                     let mut x = rng.gen_range(0.0..total.max(f32::MIN_POSITIVE));
                     let mut chosen = g.pool[g.pool.len() - 1];
                     for &id in &g.pool {
@@ -929,11 +1035,13 @@ impl SessionGenerator {
 
     /// Engine-level maintenance (not audited): keeps table scans bounded.
     fn truncate_large_tables(&mut self) {
-        let names: Vec<String> =
-            self.adb.db.table_names().map(str::to_string).collect();
+        let names: Vec<String> = self.adb.db.table_names().map(str::to_string).collect();
         for name in names {
             if self.adb.db.table(&name).map(Table::row_count).unwrap_or(0) > TABLE_ROW_CAP {
-                let stmt = ucad_dbsim::Statement::Delete { table: name, conditions: vec![] };
+                let stmt = ucad_dbsim::Statement::Delete {
+                    table: name,
+                    conditions: vec![],
+                };
                 let _ = self.adb.db.execute(&stmt);
             }
         }
@@ -1023,8 +1131,8 @@ mod tests {
         let mut g = SessionGenerator::new(ScenarioSpec::commenting());
         let mut rng = StdRng::seed_from_u64(7);
         let sessions: Vec<_> = (0..50).map(|_| g.normal_session(&mut rng)).collect();
-        let avg: f32 = sessions.iter().map(|s| s.session.len() as f32).sum::<f32>()
-            / sessions.len() as f32;
+        let avg: f32 =
+            sessions.iter().map(|s| s.session.len() as f32).sum::<f32>() / sessions.len() as f32;
         assert!(
             (avg - 24.0).abs() < 8.0,
             "average session length {} too far from 24",
@@ -1033,7 +1141,11 @@ mod tests {
         // Sessions execute real SQL: every op parses.
         for s in &sessions {
             for op in &s.session.ops {
-                assert!(ucad_dbsim::parse(&op.sql).is_ok(), "unparseable op: {}", op.sql);
+                assert!(
+                    ucad_dbsim::parse(&op.sql).is_ok(),
+                    "unparseable op: {}",
+                    op.sql
+                );
             }
         }
     }
@@ -1059,7 +1171,11 @@ mod tests {
         for w in s.ops.windows(2) {
             assert!(w[0].timestamp <= w[1].timestamp);
         }
-        assert!(s.len() >= 60, "location sessions should be long, got {}", s.len());
+        assert!(
+            s.len() >= 60,
+            "location sessions should be long, got {}",
+            s.len()
+        );
     }
 
     #[test]
@@ -1067,7 +1183,11 @@ mod tests {
         let mut g = SessionGenerator::new(ScenarioSpec::commenting());
         let mut rng = StdRng::seed_from_u64(10);
         let s = g.noise_policy_violation(&mut rng).session;
-        assert!(s.client_ip.starts_with("198.51.100."), "unexpected noise ip {}", s.client_ip);
+        assert!(
+            s.client_ip.starts_with("198.51.100."),
+            "unexpected noise ip {}",
+            s.client_ip
+        );
         let hour = (s.ops[0].timestamp % 86_400) / 3_600;
         assert!(hour < 6, "expected off-hours start, got hour {hour}");
     }

@@ -43,8 +43,7 @@ impl Session {
     /// Builds sessions from audit-log records (grouped by `session_id`).
     pub fn from_log_records(records: &[LogRecord]) -> Vec<Session> {
         let mut order: Vec<u64> = Vec::new();
-        let mut map: std::collections::HashMap<u64, Session> =
-            std::collections::HashMap::new();
+        let mut map: std::collections::HashMap<u64, Session> = std::collections::HashMap::new();
         for r in records {
             let s = map.entry(r.session_id).or_insert_with(|| {
                 order.push(r.session_id);
@@ -62,7 +61,10 @@ impl Session {
                 timestamp: r.timestamp,
             });
         }
-        order.into_iter().map(|id| map.remove(&id).expect("inserted")).collect()
+        order
+            .into_iter()
+            .map(|id| map.remove(&id).expect("inserted"))
+            .collect()
     }
 }
 
@@ -89,12 +91,18 @@ pub struct LabeledSession {
 impl LabeledSession {
     /// Wraps a normal session.
     pub fn normal(session: Session) -> Self {
-        LabeledSession { session, label: None }
+        LabeledSession {
+            session,
+            label: None,
+        }
     }
 
     /// Wraps an abnormal session.
     pub fn abnormal(session: Session, kind: AnomalyKind) -> Self {
-        LabeledSession { session, label: Some(kind) }
+        LabeledSession {
+            session,
+            label: Some(kind),
+        }
     }
 
     /// True when the ground truth is abnormal.
@@ -134,7 +142,12 @@ mod tests {
 
     #[test]
     fn labels() {
-        let s = Session { id: 0, user: "u".into(), client_ip: "i".into(), ops: vec![] };
+        let s = Session {
+            id: 0,
+            user: "u".into(),
+            client_ip: "i".into(),
+            ops: vec![],
+        };
         assert!(!LabeledSession::normal(s.clone()).is_abnormal());
         assert!(LabeledSession::abnormal(s, AnomalyKind::Misoperation).is_abnormal());
     }

@@ -70,16 +70,16 @@ impl SyslogSpec {
     pub fn hdfs_like() -> Self {
         let t = |s: &str| s.to_string();
         let normal_templates = vec![
-            t("BLOCK* NameSystem.allocateBlock: <*>"),                       // 0
-            t("Receiving block <*> src: <*> dest: <*>"),                     // 1
-            t("PacketResponder <*> for block <*> terminating"),              // 2
-            t("Received block <*> of size <*> from <*>"),                    // 3
-            t("BLOCK* NameSystem.addStoredBlock: blockMap updated: <*>"),    // 4
-            t("Verification succeeded for <*>"),                             // 5
-            t("BLOCK* ask <*> to replicate <*> to datanode(s) <*>"),         // 6
-            t("Starting thread to transfer block <*> to <*>"),               // 7
-            t("Received block <*> src: <*> dest: <*> of size <*>"),          // 8
-            t("Deleting block <*> file <*>"),                                // 9
+            t("BLOCK* NameSystem.allocateBlock: <*>"),          // 0
+            t("Receiving block <*> src: <*> dest: <*>"),        // 1
+            t("PacketResponder <*> for block <*> terminating"), // 2
+            t("Received block <*> of size <*> from <*>"),       // 3
+            t("BLOCK* NameSystem.addStoredBlock: blockMap updated: <*>"), // 4
+            t("Verification succeeded for <*>"),                // 5
+            t("BLOCK* ask <*> to replicate <*> to datanode(s) <*>"), // 6
+            t("Starting thread to transfer block <*> to <*>"),  // 7
+            t("Received block <*> src: <*> dest: <*> of size <*>"), // 8
+            t("Deleting block <*> file <*>"),                   // 9
         ];
         // The real HDFS trace has several dozen templates; blocks go
         // through distinct lifecycles (write, replicate, read, delete,
@@ -88,20 +88,20 @@ impl SyslogSpec {
         // negative sampling its signal.
         let mut normal_templates = normal_templates;
         normal_templates.extend([
-            t("BLOCK* ask <*> to delete <*>"),                               // 10
-            t("BLOCK* NameSystem.delete: <*> is added to invalidSet of <*>"),// 11
-            t("Served block <*> to <*>"),                                    // 12
-            t("Read block <*> from <*>"),                                    // 13
-            t("Verification succeeded for checksum of <*>"),                 // 14
-            t("BLOCK* NameSystem.internalReleaseLease: <*>"),                // 15
+            t("BLOCK* ask <*> to delete <*>"), // 10
+            t("BLOCK* NameSystem.delete: <*> is added to invalidSet of <*>"), // 11
+            t("Served block <*> to <*>"),      // 12
+            t("Read block <*> from <*>"),      // 13
+            t("Verification succeeded for checksum of <*>"), // 14
+            t("BLOCK* NameSystem.internalReleaseLease: <*>"), // 15
             t("commitBlockSynchronization(lastblock=<*>, newgenerationstamp=<*>)"), // 16
-            t("Recovering lease=<*>, src=<*>"),                              // 17
-            t("Starting balancing round <*>"),                               // 18
-            t("Moving block <*> from <*> to <*>"),                           // 19
-            t("Balancing round <*> finished"),                               // 20
-            t("Registering datanode <*>"),                                   // 21
-            t("BLOCK* NameSystem.registerDatanode: node <*> is added"),      // 22
-            t("Heartbeat check from <*> ok"),                                // 23
+            t("Recovering lease=<*>, src=<*>"), // 17
+            t("Starting balancing round <*>"), // 18
+            t("Moving block <*> from <*> to <*>"), // 19
+            t("Balancing round <*> finished"), // 20
+            t("Registering datanode <*>"),     // 21
+            t("BLOCK* NameSystem.registerDatanode: node <*> is added"), // 22
+            t("Heartbeat check from <*> ok"),  // 23
         ]);
         let anomaly_templates = vec![
             t("Exception in receiveBlock for block <*>"),
@@ -279,17 +279,26 @@ impl SyslogSpec {
     /// `n_test` test sessions at the spec's anomaly rate.
     pub fn generate(&self, n_train: usize, n_test: usize, seed: u64) -> LogDataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        let train = (0..n_train).map(|_| self.normal_session(&mut rng)).collect();
+        let train = (0..n_train)
+            .map(|_| self.normal_session(&mut rng))
+            .collect();
         let n_abnormal = ((n_test as f64 * self.anomaly_rate).round() as usize).max(1);
         let mut test: Vec<EventSession> = (0..n_test - n_abnormal)
-            .map(|_| EventSession { events: self.normal_session(&mut rng), abnormal: false })
+            .map(|_| EventSession {
+                events: self.normal_session(&mut rng),
+                abnormal: false,
+            })
             .collect();
         test.extend((0..n_abnormal).map(|_| EventSession {
             events: self.abnormal_session(&mut rng),
             abnormal: true,
         }));
         test.shuffle(&mut rng);
-        LogDataset { name: self.name, train, test }
+        LogDataset {
+            name: self.name,
+            train,
+            test,
+        }
     }
 }
 
@@ -339,7 +348,11 @@ mod tests {
                 .events
                 .iter()
                 .any(|e| spec.anomaly_templates.contains(e) || s.events.len() < 6);
-            assert!(has_anomaly, "abnormal session without anomaly signal: {:?}", s.events);
+            assert!(
+                has_anomaly,
+                "abnormal session without anomaly signal: {:?}",
+                s.events
+            );
         }
     }
 
@@ -368,8 +381,7 @@ mod tests {
             spec.order_rigidity = rigidity;
             spec.skeletons.truncate(1);
             let ds = spec.generate(200, 1, 4);
-            let set: std::collections::HashSet<Vec<String>> =
-                ds.train.into_iter().collect();
+            let set: std::collections::HashSet<Vec<String>> = ds.train.into_iter().collect();
             set.len()
         };
         assert!(distinct(0.99) < distinct(0.5));

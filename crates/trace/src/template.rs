@@ -149,7 +149,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let stmt = t.instantiate(&mut rng);
         match stmt {
-            Statement::Select { table, conditions, .. } => {
+            Statement::Select {
+                table, conditions, ..
+            } => {
                 assert_eq!(table, "t_cell_fp_3");
                 assert_eq!(conditions.len(), 2);
                 match &conditions[1] {
@@ -170,7 +172,9 @@ mod tests {
         assert_ne!(a, b, "literals should differ");
         // Same abstract shape: equal after crude literal removal.
         let strip = |s: &str| {
-            s.chars().filter(|c| !c.is_ascii_digit()).collect::<String>()
+            s.chars()
+                .filter(|c| !c.is_ascii_digit())
+                .collect::<String>()
         };
         assert_eq!(strip(&a), strip(&b));
     }
@@ -180,7 +184,10 @@ mod tests {
         let t = StatementTemplate {
             id: 1,
             table: "t".into(),
-            shape: TemplateShape::Insert { cols: vec!["a".into(), "b".into()], tuples: 4 },
+            shape: TemplateShape::Insert {
+                cols: vec!["a".into(), "b".into()],
+                tuples: 4,
+            },
             weight: 1.0,
         };
         let mut rng = StdRng::seed_from_u64(2);

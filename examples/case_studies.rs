@@ -13,9 +13,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ucad::{Ucad, UcadConfig, Verdict};
+use ucad_dbsim::OpKind;
 use ucad_model::TransDasConfig;
 use ucad_trace::{generate_raw_log, ScenarioSpec, SessionGenerator};
-use ucad_dbsim::OpKind;
 
 fn main() {
     case_danmu_bot();
@@ -29,7 +29,10 @@ fn case_danmu_bot() {
     let spec = ScenarioSpec::commenting();
     let raw = generate_raw_log(&spec, 400, 0.05, 61);
     let mut cfg = UcadConfig::scenario1();
-    cfg.model = TransDasConfig { epochs: 25, ..cfg.model };
+    cfg.model = TransDasConfig {
+        epochs: 25,
+        ..cfg.model
+    };
     let (system, _) = Ucad::train(&raw.sessions, cfg);
 
     let mut gen = SessionGenerator::new(spec.clone());
@@ -43,10 +46,20 @@ fn case_danmu_bot() {
     let upd_content = spec.ids_for("t_content", OpKind::Update)[0];
     let ins_content = spec.ids_for("t_content", OpKind::Insert)[0];
     let bot_ids = vec![
-        sel_video, sel_video, ins_content, ins_like, upd_content, ins_like, upd_content,
-        sel_video, ins_like, upd_content,
+        sel_video,
+        sel_video,
+        ins_content,
+        ins_like,
+        upd_content,
+        ins_like,
+        upd_content,
+        sel_video,
+        ins_like,
+        upd_content,
     ];
-    let bot = gen.session_for_user(&mut rng, "user3", "10.0.3.1", &bot_ids).session;
+    let bot = gen
+        .session_for_user(&mut rng, "user3", "10.0.3.1", &bot_ids)
+        .session;
 
     println!("bot session ({} ops):", bot.len());
     for (i, op) in bot.ops.iter().enumerate() {
@@ -94,13 +107,27 @@ fn case_repackaged_app() {
     let sel_fp = spec.ids_for("t_cell_fp_0", OpKind::Select)[0];
     let sel_rm = spec.ids_for("loc_rm", OpKind::Select)[0];
     let ins_rm_single = spec.ids_for("loc_rm", OpKind::Insert)[0];
-    let ins_rm_bulk = *spec.ids_for("loc_rm", OpKind::Insert).last().expect("bulk insert");
+    let ins_rm_bulk = *spec
+        .ids_for("loc_rm", OpKind::Insert)
+        .last()
+        .expect("bulk insert");
     let flood: Vec<usize> = vec![
-        sel_picn, sel_fp, sel_rm, ins_rm_single, // looks like a normal cycle...
-        ins_rm_bulk, ins_rm_bulk, ins_rm_bulk, ins_rm_bulk, // ...then the flood
-        ins_rm_bulk, ins_rm_bulk, ins_rm_bulk, ins_rm_bulk,
+        sel_picn,
+        sel_fp,
+        sel_rm,
+        ins_rm_single, // looks like a normal cycle...
+        ins_rm_bulk,
+        ins_rm_bulk,
+        ins_rm_bulk,
+        ins_rm_bulk, // ...then the flood
+        ins_rm_bulk,
+        ins_rm_bulk,
+        ins_rm_bulk,
+        ins_rm_bulk,
     ];
-    let rogue = gen.session_for_user(&mut rng, "svc7", "10.1.7.1", &flood).session;
+    let rogue = gen
+        .session_for_user(&mut rng, "svc7", "10.1.7.1", &flood)
+        .session;
 
     println!(
         "rogue session ({} ops): one authenticated report cycle followed by {} bulk inserts into loc_rm",

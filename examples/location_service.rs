@@ -26,7 +26,11 @@ fn main() {
     // the bench harness with UCAD_FULL=1 for that).
     let ds = ScenarioDataset::generate(&spec, 400, 7);
     let data = TokenizedDataset::from_dataset(&ds);
-    println!("dataset: train {}, vocabulary {} keys", ds.train.len(), data.vocab.len());
+    println!(
+        "dataset: train {}, vocabulary {} keys",
+        ds.train.len(),
+        data.vocab.len()
+    );
 
     let cfg = TransDasConfig {
         hidden: 32,
@@ -37,7 +41,11 @@ fn main() {
         epochs: 6,
         ..TransDasConfig::scenario2(0)
     };
-    let det = DetectorConfig { top_p: 10, min_context: 2, mode: DetectionMode::Block };
+    let det = DetectorConfig {
+        top_p: 10,
+        min_context: 2,
+        mode: DetectionMode::Block,
+    };
     let (row, report) = run_transdas(&data, "Trans-DAS", cfg, det);
     println!(
         "trained {} windows in {:.1}s/epoch; final loss {:.4}",

@@ -25,7 +25,10 @@ fn main() {
     // 2. Offline training: preprocessing (tokenize, policy-filter, cluster)
     //    then Trans-DAS on the purified sessions.
     let mut cfg = UcadConfig::scenario1();
-    cfg.model = TransDasConfig { epochs: 8, ..cfg.model };
+    cfg.model = TransDasConfig {
+        epochs: 20,
+        ..cfg.model
+    };
     let (system, report) = Ucad::train(&raw.sessions, cfg);
     println!(
         "preprocessing: {} policy-rejected, {} clusters, {} purified sessions, vocab {}",
@@ -44,7 +47,7 @@ fn main() {
     // 3. Online detection on fresh traffic.
     let mut gen = SessionGenerator::new(spec.clone());
     let synth = AnomalySynthesizer::new(&spec);
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = StdRng::seed_from_u64(25);
 
     let normal = gen.normal_session(&mut rng).session;
     report_verdict("fresh normal session", system.detect(&normal));
@@ -57,7 +60,10 @@ fn main() {
     );
 
     let miso = synth.misoperation(&mut gen, &mut rng);
-    report_verdict("misoperation session (A3: rare ops)", system.detect(&miso.session));
+    report_verdict(
+        "misoperation session (A3: rare ops)",
+        system.detect(&miso.session),
+    );
 
     let violating = gen.noise_policy_violation(&mut rng).session;
     report_verdict("unknown-address session", system.detect(&violating));

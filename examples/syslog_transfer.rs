@@ -23,20 +23,25 @@ fn main() {
         ds.anomaly_rate() * 100.0
     );
     let vocab = Vocabulary::from_event_sessions(&ds.train);
-    let train_keys: Vec<Vec<u32>> =
-        ds.train.iter().map(|s| vocab.tokenize_events(s)).collect();
+    let train_keys: Vec<Vec<u32>> = ds.train.iter().map(|s| vocab.tokenize_events(s)).collect();
     println!("log-template vocabulary: {} keys", vocab.len());
 
     let mut lc = LogCluster::new(0.9, 0.95);
     lc.fit(&train_keys, vocab.key_space());
     let r = evaluate_log_dataset(&ds, &vocab, "LogCluster", |k| lc.is_abnormal(k));
-    println!("{:<12} P {:.3}  R {:.3}  F1 {:.3}", r.method, r.precision, r.recall, r.f1);
+    println!(
+        "{:<12} P {:.3}  R {:.3}  F1 {:.3}",
+        r.method, r.precision, r.recall, r.f1
+    );
 
     let mut dl = DeepLog::new(10, 3);
     dl.epochs = 4;
     dl.fit(&train_keys, vocab.key_space());
     let r = evaluate_log_dataset(&ds, &vocab, "DeepLog", |k| dl.is_abnormal(k));
-    println!("{:<12} P {:.3}  R {:.3}  F1 {:.3}", r.method, r.precision, r.recall, r.f1);
+    println!(
+        "{:<12} P {:.3}  R {:.3}  F1 {:.3}",
+        r.method, r.precision, r.recall, r.f1
+    );
 
     // Trans-DAS with the paper's transfer configuration (L=10, g=0.5, h=64).
     let mut cfg = TransDasConfig::syslog(vocab.key_space());
@@ -51,7 +56,12 @@ fn main() {
             mode: DetectionMode::Block,
         },
     );
-    let r = evaluate_log_dataset(&ds, &vocab, "Ours (UCAD)", |k| det.detect_session(k).abnormal);
-    println!("{:<12} P {:.3}  R {:.3}  F1 {:.3}", r.method, r.precision, r.recall, r.f1);
+    let r = evaluate_log_dataset(&ds, &vocab, "Ours (UCAD)", |k| {
+        det.detect_session(k).abnormal
+    });
+    println!(
+        "{:<12} P {:.3}  R {:.3}  F1 {:.3}",
+        r.method, r.precision, r.recall, r.f1
+    );
     println!("\n(expected: LogCluster precise but low recall; UCAD/DeepLog high recall)");
 }

@@ -27,7 +27,11 @@ fn raw_log_to_verdicts() {
     let spec = ScenarioSpec::commenting();
     let raw = generate_raw_log(&spec, 150, 0.1, 500);
     let (system, report) = Ucad::train(&raw.sessions, fast_cfg());
-    assert!(report.purified_sessions >= 40, "purified {}", report.purified_sessions);
+    assert!(
+        report.purified_sessions >= 40,
+        "purified {}",
+        report.purified_sessions
+    );
     assert_eq!(report.preprocess.vocab_size, 20, "all keys reachable");
 
     // Fresh traffic: normals mostly pass, synthesized anomalies mostly flag.
@@ -52,7 +56,10 @@ fn raw_log_to_verdicts() {
         normal_flags <= n / 3,
         "too many false alarms on fresh normals: {normal_flags}/{n}"
     );
-    assert!(a2_catches >= 2 * n / 3, "missed too many A2: caught {a2_catches}/{n}");
+    assert!(
+        a2_catches >= 2 * n / 3,
+        "missed too many A2: caught {a2_catches}/{n}"
+    );
 }
 
 #[test]
@@ -100,7 +107,11 @@ fn experiment_pipeline_produces_consistent_metrics() {
         epochs: 4,
         ..TransDasConfig::scenario1(0)
     };
-    let det = DetectorConfig { top_p: 5, min_context: 2, mode: DetectionMode::Block };
+    let det = DetectorConfig {
+        top_p: 5,
+        min_context: 2,
+        mode: DetectionMode::Block,
+    };
     let (row, _) = run_transdas(&data, "t", cfg, det);
     // Precision/recall/F1 must be internally consistent.
     let f1 = 2.0 * row.precision * row.recall / (row.precision + row.recall);
@@ -123,7 +134,10 @@ fn detection_modes_agree_on_most_sessions() {
         epochs: 10,
         ..TransDasConfig::scenario1(0)
     };
-    let cfg = TransDasConfig { vocab_size: data.vocab.key_space(), ..cfg };
+    let cfg = TransDasConfig {
+        vocab_size: data.vocab.key_space(),
+        ..cfg
+    };
     let mut model = ucad_model::TransDas::new(cfg);
     model.train(&data.train);
     let mut agree = 0;
@@ -132,13 +146,21 @@ fn detection_modes_agree_on_most_sessions() {
         for keys in sessions.iter().take(10) {
             let block = ucad_model::Detector::new(
                 &model,
-                DetectorConfig { top_p: 5, min_context: 2, mode: DetectionMode::Block },
+                DetectorConfig {
+                    top_p: 5,
+                    min_context: 2,
+                    mode: DetectionMode::Block,
+                },
             )
             .detect_session(keys)
             .abnormal;
             let streaming = ucad_model::Detector::new(
                 &model,
-                DetectorConfig { top_p: 5, min_context: 2, mode: DetectionMode::Streaming },
+                DetectorConfig {
+                    top_p: 5,
+                    min_context: 2,
+                    mode: DetectionMode::Streaming,
+                },
             )
             .detect_session(keys)
             .abnormal;
@@ -166,8 +188,7 @@ fn fine_tuning_reduces_false_alarms_on_drifted_traffic() {
     let mut rng = StdRng::seed_from_u64(509);
     let rare_ids = spec.rare_template_ids(0.3);
     let make_drifted = |gen: &mut SessionGenerator, rng: &mut StdRng| {
-        let ids: Vec<usize> =
-            (0..16).map(|i| rare_ids[i % rare_ids.len()]).collect();
+        let ids: Vec<usize> = (0..16).map(|i| rare_ids[i % rare_ids.len()]).collect();
         gen.session_from_templates(rng, &ids).session
     };
     let flagged_before: usize = (0..10)

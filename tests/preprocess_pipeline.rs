@@ -1,9 +1,9 @@
 //! Preprocessing-pipeline invariants at scenario scale.
 
-use ucad_preprocess::{abstract_statement, Preprocessor, PreprocessConfig, Vocabulary};
-use ucad_trace::{generate_raw_log, mutate, ScenarioDataset, ScenarioSpec, SessionGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use ucad_preprocess::{abstract_statement, PreprocessConfig, Preprocessor, Vocabulary};
+use ucad_trace::{generate_raw_log, mutate, ScenarioDataset, ScenarioSpec, SessionGenerator};
 
 #[test]
 fn every_scenario1_template_gets_a_unique_key() {
@@ -17,7 +17,11 @@ fn every_scenario1_template_gets_a_unique_key() {
         .map(|t| abstract_statement(&t.instantiate(&mut rng).to_string()))
         .collect();
     let vocab = Vocabulary::from_templates(templates.clone());
-    assert_eq!(vocab.len(), spec.templates.len(), "keys must be unique per template");
+    assert_eq!(
+        vocab.len(),
+        spec.templates.len(),
+        "keys must be unique per template"
+    );
     for (t, template) in spec.templates.iter().zip(&templates) {
         let again = abstract_statement(&t.instantiate(&mut rng).to_string());
         assert_eq!(
@@ -38,7 +42,11 @@ fn scenario2_templates_map_to_distinct_keys() {
         .iter()
         .map(|t| abstract_statement(&t.instantiate(&mut rng).to_string()))
         .collect();
-    assert_eq!(templates.len(), 593, "all 593 statement keys must be distinct");
+    assert_eq!(
+        templates.len(),
+        593,
+        "all 593 statement keys must be distinct"
+    );
 }
 
 #[test]

@@ -22,8 +22,7 @@ fn value() -> impl Strategy<Value = Value> {
 fn condition() -> impl Strategy<Value = Condition> {
     prop_oneof![
         (ident(), value()).prop_map(|(c, v)| Condition::Eq(c, v)),
-        (ident(), prop::collection::vec(value(), 1..5))
-            .prop_map(|(c, vs)| Condition::In(c, vs)),
+        (ident(), prop::collection::vec(value(), 1..5)).prop_map(|(c, vs)| Condition::In(c, vs)),
     ]
 }
 

@@ -1,0 +1,127 @@
+//! Cache-equivalence wall: score memoization must be invisible. For a
+//! thousand Scenario-I sessions, cached and uncached scoring must agree
+//! exactly — same per-position score vectors, same top-*p* verdicts, in
+//! both detection modes — and eviction at tiny capacity must never corrupt
+//! a result.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use ucad::{Ucad, UcadConfig};
+use ucad_model::{DetectionMode, Detector, DetectorConfig, ScoreCache, TransDasConfig};
+use ucad_trace::{generate_raw_log, AnomalySynthesizer, ScenarioSpec, SessionGenerator};
+
+fn trained() -> &'static (Ucad, ScenarioSpec) {
+    static SYSTEM: OnceLock<(Ucad, ScenarioSpec)> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let spec = ScenarioSpec::commenting();
+        let raw = generate_raw_log(&spec, 80, 0.0, 811);
+        let mut cfg = UcadConfig::scenario1();
+        cfg.model = TransDasConfig {
+            hidden: 8,
+            heads: 2,
+            blocks: 2,
+            window: 12,
+            epochs: 6,
+            ..cfg.model
+        };
+        let (system, _) = Ucad::train(&raw.sessions, cfg);
+        (system, spec)
+    })
+}
+
+/// One thousand tokenized Scenario-I sessions, every fourth one anomalous.
+fn thousand_sessions() -> Vec<Vec<u32>> {
+    let (system, spec) = trained();
+    let mut gen = SessionGenerator::new(spec.clone());
+    let synth = AnomalySynthesizer::new(spec);
+    let mut rng = StdRng::seed_from_u64(812);
+    (0..1000)
+        .map(|i| {
+            let normal = gen.normal_session(&mut rng).session;
+            let s = if i % 4 == 3 {
+                synth
+                    .credential_stealing(&normal, &mut gen, &mut rng)
+                    .session
+            } else {
+                normal
+            };
+            system.preprocessor.transform(&s)
+        })
+        .collect()
+}
+
+#[test]
+fn memoized_detection_is_exact_over_a_thousand_sessions() {
+    let (system, _) = trained();
+    let sessions = thousand_sessions();
+    for mode in [DetectionMode::Streaming, DetectionMode::Block] {
+        let det_cfg = DetectorConfig {
+            mode,
+            ..system.detector
+        };
+        let detector = Detector::new(&system.model, det_cfg);
+        let cache = ScoreCache::new(512);
+        let mut abnormal = 0usize;
+        for keys in &sessions {
+            let cached = detector.detect_session_cached(keys, Some(&cache));
+            let plain = detector.detect_session(keys);
+            assert_eq!(cached, plain, "memoization changed a {mode:?} verdict");
+            abnormal += usize::from(plain.abnormal);
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.hits > 0,
+            "{mode:?}: no cache hits over 1000 sessions — the wall is vacuous"
+        );
+        assert!(
+            abnormal > 0,
+            "{mode:?}: no abnormal verdicts — the wall is vacuous"
+        );
+        assert!(
+            abnormal < sessions.len(),
+            "{mode:?}: everything flagged — the wall is vacuous"
+        );
+    }
+}
+
+#[test]
+fn cached_score_vectors_are_bitwise_identical() {
+    let (system, _) = trained();
+    let sessions = thousand_sessions();
+    let cache = ScoreCache::new(256);
+    for keys in sessions.iter().take(50) {
+        for t in 1..keys.len() {
+            let cached = system.model.next_scores_cached(&keys[..t], Some(&cache));
+            let plain = system.model.next_scores(&keys[..t]);
+            assert_eq!(cached, plain, "cached scores diverged at position {t}");
+            // A repeat lookup must hit and return the very same vector.
+            let again = system.model.next_scores_cached(&keys[..t], Some(&cache));
+            assert_eq!(again, plain);
+        }
+    }
+    let stats = cache.stats();
+    assert!(
+        stats.hits >= stats.misses,
+        "repeat lookups should mostly hit"
+    );
+}
+
+#[test]
+fn eviction_at_tiny_capacity_never_corrupts_scores() {
+    let (system, _) = trained();
+    let sessions = thousand_sessions();
+    // Capacity 2 forces constant eviction; every answer must still be exact.
+    let cache = ScoreCache::new(2);
+    let detector = Detector::new(&system.model, system.detector);
+    for keys in sessions.iter().take(100) {
+        assert_eq!(
+            detector.detect_session_cached(keys, Some(&cache)),
+            detector.detect_session(keys),
+            "eviction churn changed a verdict"
+        );
+    }
+    let stats = cache.stats();
+    assert!(stats.len <= 2, "cache exceeded its capacity: {}", stats.len);
+    assert!(stats.misses > 0);
+}

@@ -1,0 +1,147 @@
+//! Vendored offline stand-in for the slice of the `criterion` API this
+//! workspace uses: named benchmark functions with `iter`/`iter_batched`
+//! timing loops and the `criterion_group!`/`criterion_main!` entry points.
+//!
+//! Measurement is deliberately simple — warm up, pick an iteration count
+//! that fills a fixed measurement window, report mean wall time per
+//! iteration — with none of upstream criterion's outlier analysis or HTML
+//! reports. Numbers print to stdout.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver; collects and prints per-benchmark timings.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// How `iter_batched` amortizes setup cost (accepted for API compatibility;
+/// this stand-in times each routine invocation individually either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Set up once per routine call.
+    PerIteration,
+}
+
+const WARMUP: Duration = Duration::from_millis(200);
+const MEASUREMENT: Duration = Duration::from_millis(600);
+
+impl Criterion {
+    /// Runs and reports one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{name}: no iterations recorded");
+            return self;
+        }
+        let per_iter = b.total.as_nanos() as f64 / b.iters as f64;
+        println!(
+            "{name}: {} per iter ({} iters)",
+            format_ns(per_iter),
+            b.iters
+        );
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Timing loop handle passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up while estimating the per-call cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let n = ((MEASUREMENT.as_secs_f64() / per_call) as u64).clamp(1, 100_000_000);
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = n;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm up and estimate cost with setup excluded.
+        let mut warm_spent = Duration::ZERO;
+        let mut warm_iters: u64 = 0;
+        while warm_spent < WARMUP {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            warm_spent += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_call = warm_spent.as_secs_f64() / warm_iters as f64;
+        let n = ((MEASUREMENT.as_secs_f64() / per_call) as u64).clamp(1, 100_000_000);
+        let mut total = Duration::ZERO;
+        for _ in 0..n {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.total = total;
+        self.iters = n;
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

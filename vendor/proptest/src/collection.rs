@@ -1,0 +1,112 @@
+//! Collection strategies: vectors and hash sets of generated elements.
+
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::{Strategy, TestRng};
+
+/// Inclusive size bounds for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length.
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+/// Strategy for vectors of `element` values (see [`vec`]).
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vectors with lengths drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for hash sets of `element` values (see [`hash_set`]).
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut set = HashSet::with_capacity(target);
+        // Duplicates do not grow the set; cap the attempts so a small value
+        // domain cannot loop forever (the set may then end up short, which
+        // mirrors upstream proptest's behavior of giving up on dense sets).
+        let max_attempts = 20 * target + 100;
+        for _ in 0..max_attempts {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+/// Hash sets with sizes drawn from `size`.
+pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}

@@ -1,0 +1,166 @@
+//! Regex-subset string generation.
+//!
+//! Supports the fragment of regex syntax the workspace's properties use:
+//! literal characters, character classes (`[a-z0-9_ ]`, with ranges and
+//! literals, no negation), and counted quantifiers `{n}` / `{m,n}` plus
+//! `?`, `*` and `+` (the unbounded forms are capped at 8 repetitions).
+//! Anything else panics with the offending pattern, which turns an
+//! unsupported strategy into a loud test error rather than wrong data.
+
+use rand::Rng;
+
+use crate::TestRng;
+
+/// One pattern element and its repetition bounds.
+struct Atom {
+    /// Candidate characters (a single literal or an expanded class).
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generates a string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let count = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..count {
+            let i = rng.gen_range(0..atom.choices.len());
+            out.push(atom.choices[i]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(pattern, &chars, i + 1);
+                i = next;
+                class
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                vec![c]
+            }
+            c @ ('(' | ')' | '|' | '.' | '^' | '$') => {
+                panic!("unsupported regex syntax {c:?} in pattern {pattern:?}")
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max, next) = parse_quantifier(pattern, &chars, i);
+        i = next;
+        assert!(
+            !choices.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut class = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            *chars
+                .get(i)
+                .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"))
+        } else {
+            chars[i]
+        };
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&e| e != ']') {
+            let end = chars[i + 2];
+            assert!(c <= end, "inverted range {c}-{end} in pattern {pattern:?}");
+            class.extend(c..=end);
+            i += 3;
+        } else {
+            class.push(c);
+            i += 1;
+        }
+    }
+    assert!(
+        chars.get(i) == Some(&']'),
+        "unterminated character class in pattern {pattern:?}"
+    );
+    (class, i + 1)
+}
+
+fn parse_quantifier(pattern: &str, chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("quantifier lower bound"),
+                    hi.parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.parse().expect("quantifier count");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+            (min, max, close + 1)
+        }
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn patterns_used_by_the_workspace_generate_matches() {
+        let mut rng = TestRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!((1..=9).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+
+            let t = generate_matching("[A-Z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&t.len()), "{t:?}");
+            assert!(t.chars().all(|c| c.is_ascii_uppercase()));
+
+            let u = generate_matching("[a-zA-Z0-9 _]{0,10}", &mut rng);
+            assert!(u.len() <= 10, "{u:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let mut rng = TestRng::seed_from_u64(12);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        assert_eq!(generate_matching(r"a\[b", &mut rng), "a[b");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn alternation_is_rejected() {
+        let mut rng = TestRng::seed_from_u64(13);
+        generate_matching("a|b", &mut rng);
+    }
+}

@@ -1,0 +1,69 @@
+//! Helpers called by `serde_derive`-generated `Deserialize` impls.
+
+use crate::{DeError, Deserialize, Value};
+
+/// Asserts `v` is an object and borrows its fields.
+pub fn expect_object(v: &Value) -> Result<&[(String, Value)], DeError> {
+    v.as_object().ok_or_else(|| DeError::expected("object", v))
+}
+
+/// Asserts `v` is an array and borrows its elements.
+pub fn expect_array(v: &Value) -> Result<&[Value], DeError> {
+    v.as_array().ok_or_else(|| DeError::expected("array", v))
+}
+
+/// Asserts `v` is an array of exactly `n` elements.
+pub fn expect_tuple(v: &Value, n: usize) -> Result<&[Value], DeError> {
+    let items = expect_array(v)?;
+    if items.len() != n {
+        return Err(DeError(format!(
+            "expected tuple of {n}, found array of {}",
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+/// Looks up a named field and deserializes it, attaching the field name to
+/// any error.
+pub fn field<T: Deserialize>(fields: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    let v = fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{name}`")))?;
+    T::deserialize(v).map_err(|e| DeError(format!("field `{name}`: {e}")))
+}
+
+/// Splits an externally-tagged enum value into `(tag, payload)`.
+///
+/// A bare string is a unit variant (`payload = None`); a single-entry object
+/// is a data-carrying variant.
+pub fn variant(v: &Value) -> Result<(&str, Option<&Value>), DeError> {
+    match v {
+        Value::Str(tag) => Ok((tag, None)),
+        Value::Object(fields) if fields.len() == 1 => {
+            Ok((fields[0].0.as_str(), Some(&fields[0].1)))
+        }
+        _ => Err(DeError::expected(
+            "variant tag string or single-key object",
+            v,
+        )),
+    }
+}
+
+/// Asserts a unit variant carries no payload.
+pub fn expect_unit(payload: Option<&Value>, tag: &str) -> Result<(), DeError> {
+    match payload {
+        None | Some(Value::Null) => Ok(()),
+        Some(other) => Err(DeError(format!(
+            "unit variant `{tag}` cannot carry a {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Asserts a data-carrying variant actually has a payload.
+pub fn expect_payload<'v>(payload: Option<&'v Value>, tag: &str) -> Result<&'v Value, DeError> {
+    payload.ok_or_else(|| DeError(format!("variant `{tag}` is missing its payload")))
+}

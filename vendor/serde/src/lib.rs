@@ -1,0 +1,430 @@
+//! Vendored offline stand-in for the slice of `serde` this workspace uses.
+//!
+//! The build environment has no network route to crates.io, so the
+//! workspace vendors a value-tree serialization framework with the same
+//! spelling as serde: `Serialize`/`Deserialize` traits, derive macros (from
+//! the sibling `serde_derive` proc-macro crate) and a JSON-shaped [`Value`]
+//! intermediate representation that `serde_json` renders and parses.
+//!
+//! Representation conventions match serde's JSON defaults: structs are
+//! objects in field-declaration order, newtype structs are transparent,
+//! enums are externally tagged (`"Variant"`, `{"Variant": ...}`), `Option`
+//! is `null`/inner. Map and set entries are emitted in sorted key order so
+//! serialized output is deterministic.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+
+/// JSON-shaped intermediate value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// One-word description used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization to the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization error: a human-readable path plus expectation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error describing a type mismatch.
+    pub fn expected(what: &str, got: &Value) -> DeError {
+        DeError(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let wide = *self as i128;
+                if wide >= 0 && wide > i64::MAX as i128 {
+                    Value::UInt(*self as u64)
+                } else {
+                    Value::Int(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    _ => return Err(DeError::expected("integer", v)),
+                };
+                if wide < <$t>::MIN as i128 || wide > <$t>::MAX as i128 {
+                    return Err(DeError(format!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(wide as $t)
+            }
+        }
+    )*};
+}
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    _ => Err(DeError::expected("number", v)),
+                }
+            }
+        }
+    )*};
+}
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+        if items.len() != N {
+            return Err(DeError(format!(
+                "expected array of {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        Ok(parsed.try_into().expect("length checked above"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(Box::new(T::deserialize(v)?))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Value {
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        fields
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::deserialize(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        fields
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::deserialize(val)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for HashSet<T> {
+    fn serialize(&self) -> Value {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Array(items.into_iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($idx:tt $name:ident),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("array", v))?;
+                let want = [$( $idx ),+].len();
+                if items.len() != want {
+                    return Err(DeError(format!(
+                        "expected tuple of {want}, found array of {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()), Ok(42));
+        assert_eq!(i32::deserialize(&(-7i32).serialize()), Ok(-7));
+        assert_eq!(f32::deserialize(&0.1f32.serialize()), Ok(0.1f32));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(Option::<u8>::deserialize(&Value::Null), Ok(None));
+        assert_eq!(Option::<u8>::deserialize(&3u8.serialize()), Ok(Some(3)));
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::deserialize(&Value::Int(300)).is_err());
+        assert!(u32::deserialize(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()), Ok(v));
+        let arr = [1.5f64, 2.5];
+        assert_eq!(<[f64; 2]>::deserialize(&arr.serialize()), Ok(arr));
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), 1u32);
+        m.insert("b".to_string(), 2u32);
+        assert_eq!(HashMap::<String, u32>::deserialize(&m.serialize()), Ok(m));
+        let t = (1u8, "x".to_string());
+        assert_eq!(<(u8, String)>::deserialize(&t.serialize()), Ok(t));
+    }
+
+    #[test]
+    fn map_serialization_is_sorted() {
+        let mut m = HashMap::new();
+        m.insert("zz".to_string(), 1u32);
+        m.insert("aa".to_string(), 2u32);
+        let Value::Object(fields) = m.serialize() else {
+            panic!()
+        };
+        assert_eq!(fields[0].0, "aa");
+        assert_eq!(fields[1].0, "zz");
+    }
+}

@@ -1,0 +1,407 @@
+//! Vendored offline derive macros for the workspace's serde stand-in.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! non-generic structs and enums by walking the raw token stream (the
+//! offline build has no `syn`/`quote`). Generated impls target the
+//! value-tree model in the sibling `serde` crate and mirror serde's JSON
+//! conventions: structs as objects in declaration order, newtype structs
+//! transparent, enums externally tagged.
+//!
+//! Field *types* are never parsed: generated code leans on type inference
+//! through generic helpers (`serde::de::field`, `Serialize::serialize`), so
+//! the parser only needs names and arities.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// Struct with named fields.
+    Named(Vec<String>),
+    /// Tuple struct with the given arity.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum over the given variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let input = parse_input(item);
+    gen_serialize(&input)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let input = parse_input(item);
+    gen_deserialize(&input)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn strip_raw(ident: &str) -> String {
+    ident.strip_prefix("r#").unwrap_or(ident).to_string()
+}
+
+/// Skips leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis<I: Iterator<Item = TokenTree>>(toks: &mut Peekable<I>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("expected attribute body, found {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_input(item: TokenStream) -> Input {
+    let mut toks = item.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => strip_raw(&id.to_string()),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored) does not support generic type `{name}`");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Input { name, shape }
+}
+
+/// Parses `name: Type, ...` field lists, returning the names. Types are
+/// skipped with angle-bracket depth tracking so nested generics and commas
+/// inside them do not end a field early (parenthesized types arrive as
+/// atomic groups and need no handling).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => strip_raw(&id.to_string()),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        let mut depth = 0i32;
+        for tok in toks.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the types in a tuple-struct/-variant body.
+fn count_tuple_arity(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut arity = 0usize;
+    let mut pending = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    arity + usize::from(pending)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => strip_raw(&id.to_string()),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_arity(g.stream());
+                toks.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume up to and including the variant separator (tolerating an
+        // explicit discriminant, which never appears with data variants).
+        for tok in toks.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---- codegen ---------------------------------------------------------------
+
+/// `Vec::from([a, b, ...])`, with the empty case typed explicitly.
+fn vec_expr(items: &[String], elem_ty: &str) -> String {
+    if items.is_empty() {
+        format!("::std::vec::Vec::from([] as [{elem_ty}; 0])")
+    } else {
+        format!("::std::vec::Vec::from([{}])", items.join(", "))
+    }
+}
+
+const PAIR_TY: &str = "(::std::string::String, ::serde::Value)";
+
+fn object_expr(pairs: &[(String, String)]) -> String {
+    let items: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!("::serde::Value::Object({})", vec_expr(&items, PAIR_TY))
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::serialize(&self.{f})"),
+                    )
+                })
+                .collect();
+            object_expr(&pairs)
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::Value::Array({})",
+                vec_expr(&items, "::serde::Value")
+            )
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!(
+                                "::serde::Value::Array({})",
+                                vec_expr(&items, "::serde::Value")
+                            )
+                        };
+                        let tagged = object_expr(&[(vname.clone(), payload)]);
+                        let _ = write!(arms, "{name}::{vname}({}) => {tagged},", binds.join(", "));
+                    }
+                    VariantKind::Named(fields) => {
+                        let pairs: Vec<(String, String)> = fields
+                            .iter()
+                            .map(|f| (f.clone(), format!("::serde::Serialize::serialize({f})")))
+                            .collect();
+                        let tagged = object_expr(&[(vname.clone(), object_expr(&pairs))]);
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {} }} => {tagged},",
+                            fields.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            if fields.is_empty() {
+                format!(
+                    "let _ = ::serde::de::expect_object(v)?;\n\
+                     ::std::result::Result::Ok({name} {{}})"
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de::field(fields, \"{f}\")?"))
+                    .collect();
+                format!(
+                    "let fields = ::serde::de::expect_object(v)?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}usize])?"))
+                .collect();
+            format!(
+                "let items = ::serde::de::expect_tuple(v, {n}usize)?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Unit => format!("let _ = v;\n::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let arm_body = match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{{ ::serde::de::expect_unit(payload, \"{vname}\")?; \
+                           ::std::result::Result::Ok({name}::{vname}) }}"
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{{ let p = ::serde::de::expect_payload(payload, \"{vname}\")?; \
+                           ::std::result::Result::Ok({name}::{vname}(\
+                               ::serde::Deserialize::deserialize(p)?)) }}"
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize(&items[{i}usize])?")
+                            })
+                            .collect();
+                        format!(
+                            "{{ let p = ::serde::de::expect_payload(payload, \"{vname}\")?; \
+                               let items = ::serde::de::expect_tuple(p, {n}usize)?; \
+                               ::std::result::Result::Ok({name}::{vname}({})) }}",
+                            inits.join(", ")
+                        )
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de::field(fields, \"{f}\")?"))
+                            .collect();
+                        format!(
+                            "{{ let p = ::serde::de::expect_payload(payload, \"{vname}\")?; \
+                               let fields = ::serde::de::expect_object(p)?; \
+                               ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                            inits.join(", ")
+                        )
+                    }
+                };
+                let _ = write!(arms, "\"{vname}\" => {arm_body},");
+            }
+            format!(
+                "let (tag, payload) = ::serde::de::variant(v)?;\n\
+                 match tag {{ {arms} other => ::std::result::Result::Err(\
+                     ::serde::DeError(::std::format!(\
+                         \"unknown variant `{{other}}` for {name}\"))) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
