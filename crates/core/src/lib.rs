@@ -48,3 +48,4 @@ pub use online::{Alert, AlertReason, OnlineUcad};
 pub use serve::{ServeConfig, ServeStats, ShardedOnlineUcad, ShutdownReport};
 pub use sweep::{sweep_hidden, sweep_margin, sweep_top_p, sweep_window, SweepPoint};
 pub use system::{Ucad, UcadConfig, UcadTrainReport, Verdict};
+pub use ucad_obs::FlightEntry;

@@ -55,6 +55,20 @@ struct ActiveSession {
     alerted: bool,
 }
 
+/// An [`Alert`] bundled with the diagnostics the serve flight recorder
+/// captures: the arrival sequence of the trigger, the top-*p* rank and raw
+/// score behind the verdict, whether the scoring forward hit the score memo,
+/// and the padded key window that ends at the triggering position. Policy
+/// alerts carry no rank/score/cache-hit (no scoring ran).
+pub(crate) struct RaisedAlert {
+    pub(crate) seq: u64,
+    pub(crate) alert: Alert,
+    pub(crate) rank: Option<usize>,
+    pub(crate) score: Option<f64>,
+    pub(crate) cache_hit: Option<bool>,
+    pub(crate) key_window: Vec<u32>,
+}
+
 /// Scoring and alerting engine around one partition of sessions: the shared
 /// core of [`OnlineUcad`] (a single partition holding every session) and the
 /// sharded serving engine in [`crate::serve`] (one partition per worker
@@ -92,19 +106,29 @@ impl SessionTracker {
         self.verified_normals.len()
     }
 
-    fn alert_for(entry: &mut ActiveSession, position: usize, reason: AlertReason) -> (u64, Alert) {
+    fn alert_for(
+        system: &Ucad,
+        entry: &mut ActiveSession,
+        position: usize,
+        reason: AlertReason,
+        detail: Option<&ucad_model::VerdictDetail>,
+    ) -> RaisedAlert {
         entry.alerted = true;
         let op = &entry.session.ops[position];
-        (
-            entry.seqs[position],
-            Alert {
+        RaisedAlert {
+            seq: entry.seqs[position],
+            alert: Alert {
                 session_id: entry.session.id,
                 user: entry.session.user.clone(),
                 reason,
                 sql: Some(op.sql.clone()),
                 position: Some(position),
             },
-        )
+            rank: detail.and_then(|d| d.rank),
+            score: detail.and_then(|d| d.score).map(f64::from),
+            cache_hit: detail.and_then(|d| d.cache_hit),
+            key_window: system.model.pad_window(&entry.keys[..=position]),
+        }
     }
 
     /// Scores every pending position whose verdict is already determined
@@ -116,7 +140,7 @@ impl SessionTracker {
         cache: Option<&ScoreCache>,
         session_id: u64,
         closing: bool,
-    ) -> Option<(u64, Alert)> {
+    ) -> Option<RaisedAlert> {
         let entry = self.active.get_mut(&session_id)?;
         if entry.alerted {
             return None;
@@ -141,7 +165,7 @@ impl SessionTracker {
         if until <= from && !closing {
             return None;
         }
-        let verdicts = detector.run_verdicts(&entry.keys[..until], from, cache);
+        let verdicts = detector.run_verdicts_detail(&entry.keys[..until], from, cache);
         entry.scored = until;
         let bad = verdicts.last().filter(|v| v.verdict.is_abnormal())?;
         let reason = match bad.verdict {
@@ -149,7 +173,13 @@ impl SessionTracker {
             OpVerdict::IntentMismatch => AlertReason::IntentMismatch,
             OpVerdict::Normal => unreachable!("filtered to abnormal"),
         };
-        Some(Self::alert_for(entry, bad.position, reason))
+        Some(Self::alert_for(
+            system,
+            entry,
+            bad.position,
+            reason,
+            Some(bad),
+        ))
     }
 
     /// Feeds one audit record into its session; returns the alert raised by
@@ -162,7 +192,7 @@ impl SessionTracker {
         cache: Option<&ScoreCache>,
         record: &LogRecord,
         seq: u64,
-    ) -> Option<(u64, Alert)> {
+    ) -> Option<RaisedAlert> {
         let entry = self
             .active
             .entry(record.session_id)
@@ -195,9 +225,11 @@ impl SessionTracker {
         if let Some(v) = system.preprocessor.screen(&entry.session) {
             let position = entry.session.ops.len() - 1;
             return Some(Self::alert_for(
+                system,
                 entry,
                 position,
                 AlertReason::Policy(format!("{v:?}")),
+                None,
             ));
         }
 
@@ -214,13 +246,13 @@ impl SessionTracker {
                 }
                 entry.scored = t + 1;
                 let detector = Detector::new(&system.model, system.detector);
-                let verdict = detector.streaming_verdict(&entry.keys, t, cache);
-                let reason = match verdict {
+                let detail = detector.streaming_verdict_detail(&entry.keys, t, cache);
+                let reason = match detail.verdict {
                     OpVerdict::Normal => return None,
                     OpVerdict::UnknownStatement => AlertReason::UnknownStatement,
                     OpVerdict::IntentMismatch => AlertReason::IntentMismatch,
                 };
-                Some(Self::alert_for(entry, t, reason))
+                Some(Self::alert_for(system, entry, t, reason, Some(&detail)))
             }
             DetectionMode::Block => self.score_pending(system, cache, record.session_id, false),
         }
@@ -234,7 +266,7 @@ impl SessionTracker {
         system: &Ucad,
         cache: Option<&ScoreCache>,
         session_id: u64,
-    ) -> Option<(u64, Alert)> {
+    ) -> Option<RaisedAlert> {
         let alert = match self.mode {
             DetectionMode::Streaming => None,
             DetectionMode::Block => self.score_pending(system, cache, session_id, true),
@@ -307,17 +339,17 @@ impl OnlineUcad {
     pub fn observe(&mut self, record: &LogRecord) -> Option<Alert> {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let (_, alert) = self.tracker.ingest(&self.system, None, record, seq)?;
-        self.alerts.push(alert.clone());
-        Some(alert)
+        let raised = self.tracker.ingest(&self.system, None, record, seq)?;
+        self.alerts.push(raised.alert.clone());
+        Some(raised.alert)
     }
 
     /// Closes a session. Unalerted sessions are verified normal by the
     /// system itself and join the feedback buffer; alerted sessions await
     /// DBA diagnosis (see [`OnlineUcad::confirm_false_alarm`]).
     pub fn close_session(&mut self, session_id: u64) {
-        if let Some((_, alert)) = self.tracker.close(&self.system, None, session_id) {
-            self.alerts.push(alert);
+        if let Some(raised) = self.tracker.close(&self.system, None, session_id) {
+            self.alerts.push(raised.alert);
         }
     }
 

@@ -29,14 +29,18 @@
 //! [`OnlineUcad`]: crate::online::OnlineUcad
 //! [`SessionTracker`]: crate::online::SessionTracker
 
-use crate::online::{Alert, SessionTracker};
+use crate::online::{Alert, RaisedAlert, SessionTracker};
 use crate::system::Ucad;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 use ucad_dbsim::LogRecord;
 use ucad_model::{CacheStats, DetectionMode, ScoreCache};
+use ucad_obs::{
+    Counter, FlightEntry, FlightRecorder, Gauge, Histogram, MetricKind, Registry,
+    DEFAULT_LATENCY_BUCKETS,
+};
 
 /// Configuration of the sharded serving engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +59,9 @@ pub struct ServeConfig {
     /// Seed of the session-to-shard hash, so shard assignment (and with it
     /// queue interleaving) is reproducible run to run.
     pub seed: u64,
+    /// Capacity of the flight recorder's alert ring buffer; 0 disables
+    /// flight recording.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +72,7 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             mode: DetectionMode::Streaming,
             seed: 0x5EED,
+            flight_capacity: 256,
         }
     }
 }
@@ -96,16 +104,30 @@ pub struct ShutdownReport {
     /// Verified-normal sessions accumulated by the workers' feedback
     /// buffers (grouped by shard), ready for the next fine-tuning round.
     pub verified_normals: Vec<Vec<u32>>,
+    /// Worker threads that died of a panic instead of returning their
+    /// tracker, as `(shard id, panic message)`. A panicked shard loses its
+    /// partition's verified-normal feedback but nothing else: alerts it
+    /// already raised were drained, and other shards are unaffected.
+    pub worker_panics: Vec<(usize, String)>,
+    /// The flight recorder's resident entries (per-alert diagnostics),
+    /// oldest first.
+    pub flight: Vec<FlightEntry>,
 }
 
 enum Msg {
-    Record(Box<LogRecord>, u64),
-    Close(u64),
+    /// A routed record with its global arrival sequence number and the
+    /// shard queue depth observed at enqueue time.
+    Record(Box<LogRecord>, u64, usize),
+    Close(u64, usize),
     FalseAlarm(u64),
     /// Barrier: every message sent before this one has been processed once
     /// the acknowledgement arrives (per-shard queues are FIFO).
     Flush(SyncSender<()>),
     Shutdown,
+    /// Test hook: makes the worker panic, exercising the shutdown
+    /// panic-capture path.
+    #[cfg(test)]
+    Panic,
 }
 
 #[derive(Default)]
@@ -116,7 +138,8 @@ struct Outbox {
 struct Shard {
     tx: SyncSender<Msg>,
     outbox: Arc<Mutex<Outbox>>,
-    records: Arc<AtomicU64>,
+    records: Counter,
+    queue_depth: Gauge,
     handle: Option<JoinHandle<SessionTracker>>,
 }
 
@@ -128,34 +151,88 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-fn worker(
-    rx: Receiver<Msg>,
+/// Everything a worker thread needs: the shared system plus this shard's
+/// registry handles (pre-fetched at spawn time, so the hot loop never takes
+/// the registry mutex).
+struct ShardCtx {
+    shard: usize,
     system: Arc<Ucad>,
     cache: Option<Arc<ScoreCache>>,
     outbox: Arc<Mutex<Outbox>>,
-    records: Arc<AtomicU64>,
+    records: Counter,
+    alerts: Counter,
+    queue_depth: Gauge,
+    score_latency: Histogram,
+    flight: Arc<FlightRecorder>,
     mode: DetectionMode,
-) -> SessionTracker {
-    let mut tracker = SessionTracker::new(mode);
-    let cache = cache.as_deref();
+}
+
+impl ShardCtx {
+    /// Books a raised alert: the outbox (for deterministic draining), the
+    /// alert counter, the flight recorder, and — when `UCAD_OBS` is on — a
+    /// structured event line.
+    fn raise(&self, raised: RaisedAlert, queue_depth: usize) {
+        self.alerts.inc();
+        let reason = format!("{:?}", raised.alert.reason);
+        self.flight.record(FlightEntry {
+            seq: raised.seq,
+            session_id: raised.alert.session_id,
+            shard: self.shard,
+            reason: reason.clone(),
+            position: raised.alert.position,
+            rank: raised.rank,
+            score: raised.score,
+            cache_hit: raised.cache_hit,
+            queue_depth,
+            key_window: raised.key_window,
+        });
+        ucad_obs::event(
+            "serve.alert",
+            &[
+                ("session_id", raised.alert.session_id.to_string()),
+                ("shard", self.shard.to_string()),
+                ("reason", reason),
+                ("seq", raised.seq.to_string()),
+            ],
+        );
+        self.outbox
+            .lock()
+            .expect("outbox poisoned")
+            .alerts
+            .push((raised.seq, raised.alert));
+    }
+}
+
+fn worker(rx: Receiver<Msg>, ctx: ShardCtx) -> SessionTracker {
+    let mut tracker = SessionTracker::new(ctx.mode);
     while let Ok(msg) = rx.recv() {
         match msg {
-            Msg::Record(record, seq) => {
-                records.fetch_add(1, Ordering::Relaxed);
-                if let Some(alert) = tracker.ingest(&system, cache, &record, seq) {
-                    outbox.lock().expect("outbox poisoned").alerts.push(alert);
+            Msg::Record(record, seq, depth) => {
+                ctx.records.inc();
+                ctx.queue_depth.add(-1.0);
+                let start = Instant::now();
+                let raised = tracker.ingest(&ctx.system, ctx.cache.as_deref(), &record, seq);
+                ctx.score_latency.observe(start.elapsed().as_secs_f64());
+                if let Some(raised) = raised {
+                    ctx.raise(raised, depth);
                 }
             }
-            Msg::Close(session_id) => {
-                if let Some(alert) = tracker.close(&system, cache, session_id) {
-                    outbox.lock().expect("outbox poisoned").alerts.push(alert);
+            Msg::Close(session_id, depth) => {
+                ctx.queue_depth.add(-1.0);
+                if let Some(raised) = tracker.close(&ctx.system, ctx.cache.as_deref(), session_id) {
+                    ctx.raise(raised, depth);
                 }
             }
-            Msg::FalseAlarm(session_id) => tracker.confirm_false_alarm(session_id),
+            Msg::FalseAlarm(session_id) => {
+                ctx.queue_depth.add(-1.0);
+                tracker.confirm_false_alarm(session_id);
+            }
             Msg::Flush(ack) => {
                 let _ = ack.send(());
             }
             Msg::Shutdown => break,
+            #[cfg(test)]
+            Msg::Panic => panic!("injected worker panic"),
         }
     }
     tracker
@@ -163,9 +240,18 @@ fn worker(
 
 /// The sharded, memoizing serving engine. See the module docs for the
 /// architecture and the determinism guarantee.
+///
+/// Every engine owns its own metrics [`Registry`] (exposed via
+/// [`ShardedOnlineUcad::registry`] / [`ShardedOnlineUcad::render_metrics`]),
+/// so concurrent engines — common in tests — never pollute each other's
+/// counters. [`ServeStats`] and [`CacheStats`] are views over the same
+/// registry cells, so snapshots and the Prometheus exposition always agree.
 pub struct ShardedOnlineUcad {
     system: Arc<Ucad>,
     cache: Option<Arc<ScoreCache>>,
+    registry: Arc<Registry>,
+    flight: Arc<FlightRecorder>,
+    worker_panics: Counter,
     shards: Vec<Shard>,
     cfg: ServeConfig,
     next_seq: u64,
@@ -180,22 +266,70 @@ impl ShardedOnlineUcad {
         assert!(cfg.shards >= 1, "at least one shard required");
         let system = Arc::new(system);
         let cache = (cfg.cache_capacity > 0).then(|| Arc::new(ScoreCache::new(cfg.cache_capacity)));
+        let registry = Arc::new(Registry::new());
+        registry.describe(
+            "ucad_serve_records_total",
+            MetricKind::Counter,
+            "Records accepted per shard",
+        );
+        registry.describe(
+            "ucad_serve_alerts_total",
+            MetricKind::Counter,
+            "Alerts raised per shard",
+        );
+        registry.describe(
+            "ucad_serve_queue_depth",
+            MetricKind::Gauge,
+            "Messages enqueued on a shard but not yet processed",
+        );
+        registry.describe(
+            "ucad_serve_score_duration_seconds",
+            MetricKind::Histogram,
+            "Per-record scoring latency (policy screen + model forward)",
+        );
+        registry.describe(
+            "ucad_serve_worker_panics_total",
+            MetricKind::Counter,
+            "Worker threads that died of a panic, observed at shutdown",
+        );
+        let flight = Arc::new(FlightRecorder::new(cfg.flight_capacity));
+        flight.register_metrics(&registry);
+        if let Some(cache) = &cache {
+            cache.register_metrics(&registry, &[]);
+        }
+        let worker_panics = registry.counter("ucad_serve_worker_panics_total", &[]);
         let shards = (0..cfg.shards)
-            .map(|_| {
+            .map(|i| {
                 let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
                 let outbox = Arc::new(Mutex::new(Outbox::default()));
-                let records = Arc::new(AtomicU64::new(0));
-                let handle = {
-                    let system = Arc::clone(&system);
-                    let cache = cache.clone();
-                    let outbox = Arc::clone(&outbox);
-                    let records = Arc::clone(&records);
-                    std::thread::spawn(move || worker(rx, system, cache, outbox, records, cfg.mode))
+                let shard_label = i.to_string();
+                let labels: &[(&str, &str)] = &[("shard", shard_label.as_str())];
+                let records = registry.counter("ucad_serve_records_total", labels);
+                let alerts = registry.counter("ucad_serve_alerts_total", labels);
+                let queue_depth = registry.gauge("ucad_serve_queue_depth", labels);
+                let score_latency = registry.histogram(
+                    "ucad_serve_score_duration_seconds",
+                    labels,
+                    &DEFAULT_LATENCY_BUCKETS,
+                );
+                let ctx = ShardCtx {
+                    shard: i,
+                    system: Arc::clone(&system),
+                    cache: cache.clone(),
+                    outbox: Arc::clone(&outbox),
+                    records: records.clone(),
+                    alerts,
+                    queue_depth: queue_depth.clone(),
+                    score_latency,
+                    flight: Arc::clone(&flight),
+                    mode: cfg.mode,
                 };
+                let handle = std::thread::spawn(move || worker(rx, ctx));
                 Shard {
                     tx,
                     outbox,
                     records,
+                    queue_depth,
                     handle: Some(handle),
                 }
             })
@@ -203,6 +337,9 @@ impl ShardedOnlineUcad {
         ShardedOnlineUcad {
             system,
             cache,
+            registry,
+            flight,
+            worker_panics,
             shards,
             cfg,
             next_seq: 0,
@@ -219,9 +356,16 @@ impl ShardedOnlineUcad {
         (splitmix64(self.cfg.seed ^ session_id) % self.cfg.shards as u64) as usize
     }
 
-    fn send(&self, session_id: u64, msg: Msg) {
+    /// Enqueues a message on a session's shard, tracking the queue-depth
+    /// gauge; the closure receives the depth observed at enqueue time
+    /// (messages already queued ahead of this one).
+    fn send(&self, session_id: u64, make: impl FnOnce(usize) -> Msg) {
         let shard = &self.shards[self.shard_of(session_id)];
-        shard.tx.send(msg).expect("serving shard terminated");
+        let depth = (shard.queue_depth.add(1.0) - 1.0).max(0.0) as usize;
+        shard
+            .tx
+            .send(make(depth))
+            .expect("serving shard terminated");
     }
 
     /// Routes one audit record to its session's shard, blocking when that
@@ -230,41 +374,38 @@ impl ShardedOnlineUcad {
     pub fn submit(&mut self, record: &LogRecord) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.send(
-            record.session_id,
-            Msg::Record(Box::new(record.clone()), seq),
-        );
+        let boxed = Box::new(record.clone());
+        self.send(record.session_id, move |depth| {
+            Msg::Record(boxed, seq, depth)
+        });
     }
 
     /// Closes a session on its shard (Block mode scores the pending tail,
     /// which can itself raise an alert); unalerted sessions join the
     /// shard's verified-normal feedback buffer.
     pub fn close_session(&mut self, session_id: u64) {
-        self.send(session_id, Msg::Close(session_id));
+        self.send(session_id, move |depth| Msg::Close(session_id, depth));
     }
 
     /// DBA feedback: the alert on `session_id` was a false alarm.
     pub fn confirm_false_alarm(&mut self, session_id: u64) {
-        self.send(session_id, Msg::FalseAlarm(session_id));
+        self.send(session_id, move |_| Msg::FalseAlarm(session_id));
     }
 
     /// Barrier: returns once every record submitted so far has been fully
-    /// processed by its shard.
-    pub fn flush(&mut self) {
+    /// processed by its shard. A shard whose worker has died is skipped
+    /// (there is nothing left to flush on it).
+    pub fn flush(&self) {
         let acks: Vec<Receiver<()>> = self
             .shards
             .iter()
-            .map(|shard| {
+            .filter_map(|shard| {
                 let (ack_tx, ack_rx) = sync_channel(1);
-                shard
-                    .tx
-                    .send(Msg::Flush(ack_tx))
-                    .expect("serving shard terminated");
-                ack_rx
+                shard.tx.send(Msg::Flush(ack_tx)).ok().map(|()| ack_rx)
             })
             .collect();
         for ack in acks {
-            ack.recv().expect("serving shard terminated");
+            let _ = ack.recv();
         }
     }
 
@@ -283,15 +424,13 @@ impl ShardedOnlineUcad {
         tagged.into_iter().map(|(_, alert)| alert).collect()
     }
 
-    /// Flushes, then snapshots the throughput and cache counters.
-    pub fn stats(&mut self) -> ServeStats {
+    /// Flushes, then snapshots the throughput and cache counters — a view
+    /// over the same registry cells [`ShardedOnlineUcad::render_metrics`]
+    /// exposes, readable through `&self` (the handles are atomics).
+    pub fn stats(&self) -> ServeStats {
         self.flush();
         ServeStats {
-            records_per_shard: self
-                .shards
-                .iter()
-                .map(|s| s.records.load(Ordering::Relaxed))
-                .collect(),
+            records_per_shard: self.shards.iter().map(|s| s.records.get()).collect(),
             pending_alerts: self
                 .shards
                 .iter()
@@ -301,24 +440,65 @@ impl ShardedOnlineUcad {
         }
     }
 
-    /// Stops the workers and hands back the system, the remaining alerts
-    /// and the accumulated verified-normal feedback.
+    /// The engine's metrics registry (serve shards, score cache, flight
+    /// recorder).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Prometheus text exposition of the engine registry.
+    pub fn render_metrics(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// The flight recorder's resident per-alert diagnostics, oldest first.
+    pub fn flight_entries(&self) -> Vec<FlightEntry> {
+        self.flight.entries()
+    }
+
+    /// The flight recorder's resident entries as a JSON array.
+    pub fn dump_flight_json(&self) -> String {
+        self.flight.dump_json()
+    }
+
+    /// Sends a panic to a shard's worker (exercises the shutdown
+    /// panic-capture path).
+    #[cfg(test)]
+    fn inject_worker_panic(&self, shard: usize) {
+        let _ = self.shards[shard].tx.send(Msg::Panic);
+    }
+
+    /// Stops the workers and hands back the system, the remaining alerts,
+    /// the accumulated verified-normal feedback, any worker panics, and the
+    /// flight recorder's entries. A panicked worker is reported in
+    /// [`ShutdownReport::worker_panics`] (and counted on
+    /// `ucad_serve_worker_panics_total`) instead of propagating the panic.
     pub fn shutdown(mut self) -> ShutdownReport {
         let alerts = self.drain_alerts();
         let mut verified_normals = Vec::new();
-        for shard in &mut self.shards {
-            shard
-                .tx
-                .send(Msg::Shutdown)
-                .expect("serving shard terminated");
-            let mut tracker = shard
-                .handle
-                .take()
-                .expect("shard joined twice")
-                .join()
-                .expect("serving shard panicked");
-            verified_normals.append(&mut tracker.take_verified_normals());
+        let mut worker_panics = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let _ = shard.tx.send(Msg::Shutdown);
+            match shard.handle.take().expect("shard joined twice").join() {
+                Ok(mut tracker) => {
+                    verified_normals.append(&mut tracker.take_verified_normals());
+                }
+                Err(panic) => {
+                    let message = panic
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    self.worker_panics.inc();
+                    ucad_obs::event(
+                        "serve.worker_panic",
+                        &[("shard", i.to_string()), ("message", message.clone())],
+                    );
+                    worker_panics.push((i, message));
+                }
+            }
         }
+        let flight = self.flight.entries();
         self.cache = None;
         self.shards.clear();
         let system_arc = Arc::clone(&self.system);
@@ -328,6 +508,8 @@ impl ShardedOnlineUcad {
             system,
             alerts,
             verified_normals,
+            worker_panics,
+            flight,
         }
     }
 }
@@ -377,5 +559,44 @@ mod tests {
         assert!(cfg.shards >= 1);
         assert!(cfg.queue_capacity >= 1);
         assert_eq!(cfg.mode, DetectionMode::Streaming);
+        assert!(cfg.flight_capacity >= 1);
+    }
+
+    #[test]
+    fn shutdown_reports_worker_panics_instead_of_propagating() {
+        use crate::system::{Ucad, UcadConfig};
+        use ucad_model::TransDasConfig;
+        use ucad_trace::{generate_raw_log, ScenarioSpec};
+
+        let raw = generate_raw_log(&ScenarioSpec::commenting(), 30, 0.0, 9);
+        let mut cfg = UcadConfig::scenario1();
+        cfg.model = TransDasConfig {
+            hidden: 8,
+            heads: 2,
+            blocks: 1,
+            window: 8,
+            epochs: 1,
+            ..cfg.model
+        };
+        let (system, _) = Ucad::train(&raw.sessions, cfg);
+        let engine = ShardedOnlineUcad::new(
+            system,
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        );
+        engine.inject_worker_panic(0);
+        let metrics_before = engine.render_metrics();
+        assert!(metrics_before.contains("ucad_serve_worker_panics_total 0"));
+        let report = engine.shutdown();
+        assert_eq!(report.worker_panics.len(), 1);
+        assert_eq!(report.worker_panics[0].0, 0);
+        assert!(
+            report.worker_panics[0].1.contains("injected worker panic"),
+            "panic message lost: {:?}",
+            report.worker_panics[0].1
+        );
+        assert!(report.alerts.is_empty());
     }
 }

@@ -9,17 +9,20 @@
 //! equivalent to unmemoized detection.
 //!
 //! The cache is shared across serving shards: lookups take a [`Mutex`] on
-//! the map while hit/miss counters are lock-free atomics. Eviction is
-//! least-recently-used via per-entry use stamps; the `O(capacity)` eviction
-//! scan only runs on a miss at capacity and is negligible next to the
-//! transformer forward pass it replaces.
+//! the map while hit/miss/eviction counters are lock-free [`ucad_obs`]
+//! handles — [`CacheStats`] is a view over those handles, and
+//! [`ScoreCache::register_metrics`] exposes the same cells on a metrics
+//! registry (`ucad_cache_*`), so the snapshot API and the exposition can
+//! never disagree. Eviction is least-recently-used via per-entry use
+//! stamps; the `O(capacity)` eviction scan only runs on a miss at capacity
+//! and is negligible next to the transformer forward pass it replaces.
 //!
 //! [`TransDas::position_scores`]: crate::TransDas::position_scores
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use ucad_nn::Tensor;
+use ucad_obs::{Counter, Gauge, Registry};
 
 /// Counter snapshot for benchmarking and capacity tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +31,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that fell through to a forward pass.
     pub misses: u64,
+    /// Windows evicted by the LRU bound.
+    pub evictions: u64,
     /// Windows currently resident.
     pub len: usize,
     /// Maximum resident windows.
@@ -60,8 +65,10 @@ struct Lru {
 /// Thread-safe LRU memo of `padded window -> position-score matrix`.
 pub struct ScoreCache {
     inner: Mutex<Lru>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    resident: Gauge,
 }
 
 impl ScoreCache {
@@ -78,9 +85,22 @@ impl ScoreCache {
                 clock: 0,
                 capacity,
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+            resident: Gauge::new(),
         }
+    }
+
+    /// Exposes this cache's counters on a metrics registry under
+    /// `ucad_cache_{hits,misses,evictions}_total` and `ucad_cache_len`,
+    /// tagged with the given labels. The registry adopts the cache's own
+    /// cells, so [`ScoreCache::stats`] and the exposition always agree.
+    pub fn register_metrics(&self, registry: &Registry, labels: &[(&str, &str)]) {
+        registry.register_counter("ucad_cache_hits_total", labels, &self.hits);
+        registry.register_counter("ucad_cache_misses_total", labels, &self.misses);
+        registry.register_counter("ucad_cache_evictions_total", labels, &self.evictions);
+        registry.register_gauge("ucad_cache_len", labels, &self.resident);
     }
 
     /// Looks up a padded window, refreshing its recency on a hit.
@@ -91,11 +111,11 @@ impl ScoreCache {
         match lru.map.get_mut(window) {
             Some(entry) => {
                 entry.last_used = clock;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(Arc::clone(&entry.scores))
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -115,6 +135,7 @@ impl ScoreCache {
                 .map(|(k, _)| k.clone())
             {
                 lru.map.remove(&oldest);
+                self.evictions.inc();
             }
         }
         lru.map.insert(
@@ -124,6 +145,7 @@ impl ScoreCache {
                 last_used: clock,
             },
         );
+        self.resident.set(lru.map.len() as f64);
     }
 
     /// Windows currently resident.
@@ -136,12 +158,14 @@ impl ScoreCache {
         self.len() == 0
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot (a view over the same cells
+    /// [`ScoreCache::register_metrics`] exposes).
     pub fn stats(&self) -> CacheStats {
         let lru = self.inner.lock().expect("score cache poisoned");
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
             len: lru.map.len(),
             capacity: lru.capacity,
         }
@@ -185,6 +209,21 @@ mod tests {
         assert!(cache.get(&[2]).is_none(), "LRU entry must be evicted");
         assert!(cache.get(&[1]).is_some());
         assert!(cache.get(&[3]).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn registered_metrics_mirror_stats() {
+        let reg = Registry::new();
+        let cache = ScoreCache::new(2);
+        cache.register_metrics(&reg, &[("cache", "score")]);
+        cache.insert(vec![1], scores(1.0));
+        assert!(cache.get(&[1]).is_some());
+        assert!(cache.get(&[2]).is_none());
+        let text = reg.render_prometheus();
+        assert!(text.contains("ucad_cache_hits_total{cache=\"score\"} 1"));
+        assert!(text.contains("ucad_cache_misses_total{cache=\"score\"} 1"));
+        assert!(text.contains("ucad_cache_len{cache=\"score\"} 1"));
     }
 
     #[test]

@@ -94,6 +94,36 @@ pub struct PositionVerdict {
     pub verdict: OpVerdict,
 }
 
+/// One scored position with the diagnostic context behind the verdict —
+/// what the serve flight recorder captures per alert. The fields fall out
+/// of work the detector already does (the rank scan and the score lookup),
+/// so carrying them costs nothing extra.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerdictDetail {
+    /// Operation index within the session.
+    pub position: usize,
+    /// Scoring outcome.
+    pub verdict: OpVerdict,
+    /// 0-based rank of the actual key among keys `1..V` (`None` for
+    /// unknown statements, which are never ranked).
+    pub rank: Option<usize>,
+    /// Raw similarity score of the actual key.
+    pub score: Option<f32>,
+    /// Whether the scoring forward hit the score memo (`None` when caching
+    /// is disabled or no forward ran).
+    pub cache_hit: Option<bool>,
+}
+
+impl VerdictDetail {
+    /// Drops the diagnostics, keeping the plain verdict.
+    pub fn position_verdict(&self) -> PositionVerdict {
+        PositionVerdict {
+            position: self.position,
+            verdict: self.verdict,
+        }
+    }
+}
+
 /// Top-*p* detector over a trained Trans-DAS model.
 pub struct Detector<'a> {
     model: &'a TransDas,
@@ -140,15 +170,19 @@ impl<'a> Detector<'a> {
             .count()
     }
 
-    fn verdict_at(&self, scores: &[f32], actual: u32) -> OpVerdict {
+    /// Verdict plus the rank and score that produced it. Unknown statements
+    /// carry no rank or score (they are never ranked).
+    fn verdict_at(&self, scores: &[f32], actual: u32) -> (OpVerdict, Option<usize>, Option<f32>) {
         if actual == 0 {
-            return OpVerdict::UnknownStatement;
+            return (OpVerdict::UnknownStatement, None, None);
         }
-        if Self::rank_of(scores, actual) >= self.cfg.top_p {
+        let rank = Self::rank_of(scores, actual);
+        let verdict = if rank >= self.cfg.top_p {
             OpVerdict::IntentMismatch
         } else {
             OpVerdict::Normal
-        }
+        };
+        (verdict, Some(rank), Some(scores[actual as usize]))
     }
 
     /// Scores one position under streaming semantics (§5.3's `O_L` rule):
@@ -160,11 +194,35 @@ impl<'a> Detector<'a> {
         t: usize,
         cache: Option<&ScoreCache>,
     ) -> OpVerdict {
+        self.streaming_verdict_detail(keys, t, cache).verdict
+    }
+
+    /// [`Detector::streaming_verdict`] with rank/score/cache-hit diagnostics.
+    pub fn streaming_verdict_detail(
+        &self,
+        keys: &[u32],
+        t: usize,
+        cache: Option<&ScoreCache>,
+    ) -> VerdictDetail {
         if keys[t] == 0 {
-            return OpVerdict::UnknownStatement;
+            return VerdictDetail {
+                position: t,
+                verdict: OpVerdict::UnknownStatement,
+                rank: None,
+                score: None,
+                cache_hit: None,
+            };
         }
-        let scores = self.model.next_scores_cached(&keys[..t], cache);
-        self.verdict_at(&scores, keys[t])
+        let (scores, cache_hit) = self.model.position_scores_cached_flagged(&keys[..t], cache);
+        let row = scores.row(scores.rows() - 1);
+        let (verdict, rank, score) = self.verdict_at(row, keys[t]);
+        VerdictDetail {
+            position: t,
+            verdict,
+            rank,
+            score,
+            cache_hit,
+        }
     }
 
     /// Scores positions `from..` of a session in order, stopping after the
@@ -186,6 +244,20 @@ impl<'a> Detector<'a> {
         from: usize,
         cache: Option<&ScoreCache>,
     ) -> Vec<PositionVerdict> {
+        self.run_verdicts_detail(keys, from, cache)
+            .iter()
+            .map(VerdictDetail::position_verdict)
+            .collect()
+    }
+
+    /// [`Detector::run_verdicts`] with rank/score/cache-hit diagnostics per
+    /// position. Same walk, same stop-on-first-abnormal rule.
+    pub fn run_verdicts_detail(
+        &self,
+        keys: &[u32],
+        from: usize,
+        cache: Option<&ScoreCache>,
+    ) -> Vec<VerdictDetail> {
         match self.cfg.mode {
             DetectionMode::Streaming => self.run_streaming(keys, from, cache),
             DetectionMode::Block => self.run_block(keys, from, cache),
@@ -197,15 +269,12 @@ impl<'a> Detector<'a> {
         keys: &[u32],
         from: usize,
         cache: Option<&ScoreCache>,
-    ) -> Vec<PositionVerdict> {
+    ) -> Vec<VerdictDetail> {
         let mut out = Vec::new();
         for t in from.max(self.cfg.min_context)..keys.len() {
-            let verdict = self.streaming_verdict(keys, t, cache);
-            out.push(PositionVerdict {
-                position: t,
-                verdict,
-            });
-            if verdict.is_abnormal() {
+            let detail = self.streaming_verdict_detail(keys, t, cache);
+            out.push(detail);
+            if detail.verdict.is_abnormal() {
                 break;
             }
         }
@@ -217,7 +286,7 @@ impl<'a> Detector<'a> {
         keys: &[u32],
         from: usize,
         cache: Option<&ScoreCache>,
-    ) -> Vec<PositionVerdict> {
+    ) -> Vec<VerdictDetail> {
         let l = self.model.cfg.window;
         // Position 0 has no predecessor and cannot be predicted.
         let min_context = self.cfg.min_context.max(1);
@@ -238,7 +307,7 @@ impl<'a> Detector<'a> {
             let tp = next_t + pad;
             let start = (tp - 1).min(n - l);
             let window = &padded[start..start + l];
-            let scores = self.model.position_scores_cached(window, cache);
+            let (scores, cache_hit) = self.model.position_scores_cached_flagged(window, cache);
             for i in 0..l {
                 let t_padded = start + i + 1;
                 if t_padded >= n {
@@ -252,10 +321,13 @@ impl<'a> Detector<'a> {
                     continue;
                 }
                 next_t = t + 1;
-                let verdict = self.verdict_at(scores.row(i), keys[t]);
-                out.push(PositionVerdict {
+                let (verdict, rank, score) = self.verdict_at(scores.row(i), keys[t]);
+                out.push(VerdictDetail {
                     position: t,
                     verdict,
+                    rank,
+                    score,
+                    cache_hit: if keys[t] == 0 { None } else { cache_hit },
                 });
                 if verdict.is_abnormal() {
                     return out;

@@ -28,7 +28,9 @@ pub mod persist;
 
 pub use cache::{CacheStats, ScoreCache};
 pub use config::{MaskMode, TransDasConfig};
-pub use detect::{Detection, DetectionMode, Detector, DetectorConfig, OpVerdict, PositionVerdict};
+pub use detect::{
+    Detection, DetectionMode, Detector, DetectorConfig, OpVerdict, PositionVerdict, VerdictDetail,
+};
 pub use mask::{build_mask, NEG_INF};
 pub use model::{TrainReport, TransDas, Window};
 pub use persist::PersistError;

@@ -10,7 +10,7 @@ use crate::mask::build_mask;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 use ucad_nn::init::{normal, xavier_uniform};
 use ucad_nn::layers::{LayerNorm, Linear};
@@ -46,6 +46,13 @@ pub struct Window {
 
 /// Global gradient-norm clip applied per optimizer step.
 const GRAD_CLIP: f32 = 5.0;
+
+/// Process-wide forward-pass counter (`ucad_model_forward_total`); the
+/// handle is cached so the hot path never takes the registry mutex.
+fn forward_counter() -> &'static ucad_obs::Counter {
+    static C: OnceLock<ucad_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| ucad_obs::global().counter("ucad_model_forward_total", &[]))
+}
 
 /// Per-training-run report.
 #[derive(Debug, Clone, Default)]
@@ -173,6 +180,8 @@ impl TransDas {
             self.cfg.window,
             "inputs must be one full window"
         );
+        let _forward_span = ucad_obs::span!("model.forward");
+        forward_counter().inc();
         let keep = if train { self.cfg.dropout_keep } else { 1.0 };
         let idx: Vec<usize> = inputs.iter().map(|&k| k as usize).collect();
         let emb = tape.param(store, self.embedding);
@@ -200,6 +209,7 @@ impl TransDas {
         let mask = tape.constant(mask_t);
         for (bi, block) in self.blocks.iter().enumerate() {
             // Multi-head attention with masking.
+            let attention_span = ucad_obs::span!("model.attention");
             let mut heads = Vec::with_capacity(self.cfg.heads);
             for h in 0..self.cfg.heads {
                 let wq = tape.param(store, block.wq[h]);
@@ -234,7 +244,9 @@ impl TransDas {
             let dropped = tape.dropout(projected, keep, rng);
             let res = tape.add(x, dropped);
             let normed = block.ln1.forward(tape, store, res);
+            drop(attention_span);
             // Point-wise feed forward, Eq. 7, with the same regularization.
+            let _ffn_span = ucad_obs::span!("model.ffn");
             let f1 = block.ffn1.forward(tape, store, normed);
             let act = tape.relu(f1);
             let f2 = block.ffn2.forward(tape, store, act);
@@ -298,17 +310,31 @@ impl TransDas {
         inputs: &[u32],
         cache: Option<&ScoreCache>,
     ) -> Arc<Tensor> {
+        self.position_scores_cached_flagged(inputs, cache).0
+    }
+
+    /// [`TransDas::position_scores_cached`] that also reports whether the
+    /// lookup hit the memo (`None` when no cache is in play). The flight
+    /// recorder attaches this flag to alerts without a second lookup, so
+    /// hit/miss counters stay exact.
+    pub fn position_scores_cached_flagged(
+        &self,
+        inputs: &[u32],
+        cache: Option<&ScoreCache>,
+    ) -> (Arc<Tensor>, Option<bool>) {
         let padded = self.pad_window(inputs);
         if let Some(cache) = cache {
             if let Some(hit) = cache.get(&padded) {
-                return hit;
+                return (hit, Some(true));
             }
         }
         let scores = Arc::new(self.position_scores(&padded));
         if let Some(cache) = cache {
             cache.insert(padded, Arc::clone(&scores));
+            (scores, Some(false))
+        } else {
+            (scores, None)
         }
-        scores
     }
 
     /// [`TransDas::next_scores`] memoized through an optional [`ScoreCache`].
@@ -489,15 +515,31 @@ impl TransDas {
         if windows.is_empty() {
             return report;
         }
+        // Registry handles fetched once so the training loop never takes the
+        // registry mutex; Counter/Gauge/Histogram ops are lock-free.
+        let obs = ucad_obs::global();
+        let epochs_total = obs.counter("ucad_train_epochs_total", &[]);
+        let steps_total = obs.counter("ucad_train_steps_total", &[]);
+        let windows_total = obs.counter("ucad_train_windows_total", &[]);
+        let epoch_loss = obs.gauge("ucad_train_epoch_loss", &[]);
+        let grad_norm_gauge = obs.gauge("ucad_train_grad_norm", &[]);
+        let step_latency = obs.histogram(
+            "ucad_train_step_duration_seconds",
+            &[],
+            &ucad_obs::DEFAULT_LATENCY_BUCKETS,
+        );
+        windows_total.add(windows.len() as u64);
         let mut opt = Adam::new(lr, self.cfg.weight_decay);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
         for epoch in 0..epochs {
+            let _epoch_span = ucad_obs::span!("train.epoch");
             let start = Instant::now();
             // Mild 1/t learning-rate decay stabilizes the late epochs.
             opt.lr = lr / (1.0 + 0.15 * epoch as f32);
             windows.shuffle(&mut rng);
             let mut total = 0.0f64;
             for (bi, batch) in windows.chunks(self.cfg.batch_size).enumerate() {
+                let step_start = Instant::now();
                 self.store.zero_grad();
                 let batch_seed = self
                     .cfg
@@ -517,6 +559,7 @@ impl TransDas {
                     }
                 }
                 let norm = norm_sq.sqrt() as f32;
+                grad_norm_gauge.set(norm as f64);
                 if norm > GRAD_CLIP {
                     let scale = GRAD_CLIP / norm;
                     for p in self.store.iter_mut() {
@@ -533,11 +576,21 @@ impl TransDas {
                     .row_mut(0)
                     .iter_mut()
                     .for_each(|v| *v = 0.0);
+                steps_total.inc();
+                step_latency.observe(step_start.elapsed().as_secs_f64());
             }
-            report
-                .epoch_losses
-                .push((total / windows.len() as f64) as f32);
+            let mean_loss = (total / windows.len() as f64) as f32;
+            report.epoch_losses.push(mean_loss);
             report.epoch_secs.push(start.elapsed().as_secs_f64());
+            epochs_total.inc();
+            epoch_loss.set(mean_loss as f64);
+            ucad_obs::event(
+                "train.epoch",
+                &[
+                    ("epoch", epoch.to_string()),
+                    ("loss", mean_loss.to_string()),
+                ],
+            );
         }
         report
     }

@@ -103,6 +103,7 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, store: &mut ParamStore) {
+        let _step_span = ucad_obs::span!("nn.optim.step");
         if self.m.len() != store.len() {
             self.m = store
                 .iter()

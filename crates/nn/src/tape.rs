@@ -340,6 +340,7 @@ impl Tape {
     /// # Panics
     /// Panics if `loss` is not `1 x 1`.
     pub fn backward(&self, loss: Var, store: &mut ParamStore) -> f32 {
+        let _backward_span = ucad_obs::span!("nn.backward");
         let loss_value = self.value(loss).item();
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::scalar(1.0));

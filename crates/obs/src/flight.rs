@@ -1,0 +1,246 @@
+//! The serve flight recorder: a bounded ring buffer of per-alert context,
+//! the "why did this alert fire" black box of the serving engine.
+//!
+//! Every alert raised by a serving shard records one [`FlightEntry`]
+//! capturing the triggering key window, the top-*p* rank and raw score of
+//! the offending key, whether the scoring forward hit the score memo, the
+//! shard id and the shard queue depth when the record was enqueued. The
+//! buffer is bounded: old entries are dropped (and counted) rather than
+//! growing without limit. Dump as JSON on demand or at engine shutdown.
+
+use crate::registry::{escape_json, Counter, Registry};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One recorded alert, with the context needed to diagnose it after the
+/// fact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEntry {
+    /// Global arrival sequence number of the triggering record.
+    pub seq: u64,
+    /// Session that alerted.
+    pub session_id: u64,
+    /// Shard that scored the record.
+    pub shard: usize,
+    /// Alert reason (e.g. `IntentMismatch`, `UnknownStatement`,
+    /// `Policy(...)`).
+    pub reason: String,
+    /// Operation index within the session, when applicable.
+    pub position: Option<usize>,
+    /// 0-based rank of the offending key among the model's predictions
+    /// (`None` for unknown statements and policy alerts).
+    pub rank: Option<usize>,
+    /// Raw similarity score of the offending key.
+    pub score: Option<f64>,
+    /// Whether the scoring forward hit the score memo (`None` when caching
+    /// is disabled or no forward ran).
+    pub cache_hit: Option<bool>,
+    /// Shard queue depth when the triggering record was enqueued.
+    pub queue_depth: usize,
+    /// The padded key window that ends at the triggering position.
+    pub key_window: Vec<u32>,
+}
+
+impl FlightEntry {
+    /// Renders one entry as a JSON object.
+    pub fn to_json(&self) -> String {
+        fn opt_usize(v: Option<usize>) -> String {
+            v.map(|x| x.to_string()).unwrap_or_else(|| "null".into())
+        }
+        let window: Vec<String> = self.key_window.iter().map(u32::to_string).collect();
+        format!(
+            "{{\"seq\":{},\"session_id\":{},\"shard\":{},\"reason\":\"{}\",\"position\":{},\
+             \"rank\":{},\"score\":{},\"cache_hit\":{},\"queue_depth\":{},\"key_window\":[{}]}}",
+            self.seq,
+            self.session_id,
+            self.shard,
+            escape_json(&self.reason),
+            opt_usize(self.position),
+            opt_usize(self.rank),
+            self.score
+                .map(|s| format!("{s}"))
+                .unwrap_or_else(|| "null".into()),
+            self.cache_hit
+                .map(|h| h.to_string())
+                .unwrap_or_else(|| "null".into()),
+            self.queue_depth,
+            window.join(",")
+        )
+    }
+}
+
+struct Ring {
+    entries: VecDeque<FlightEntry>,
+}
+
+/// Bounded, thread-safe ring buffer of [`FlightEntry`]s.
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<Ring>,
+    recorded: Counter,
+    dropped: Counter,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` entries (0 disables
+    /// recording entirely).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity,
+            ring: Mutex::new(Ring {
+                entries: VecDeque::new(),
+            }),
+            recorded: Counter::new(),
+            dropped: Counter::new(),
+        }
+    }
+
+    /// Maximum resident entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an entry, evicting the oldest when full. No-op at capacity 0.
+    pub fn record(&self, entry: FlightEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("flight recorder poisoned");
+        if ring.entries.len() >= self.capacity {
+            ring.entries.pop_front();
+            self.dropped.inc();
+        }
+        ring.entries.push_back(entry);
+        self.recorded.inc();
+    }
+
+    /// Entries currently resident, oldest first.
+    pub fn entries(&self) -> Vec<FlightEntry> {
+        self.ring
+            .lock()
+            .expect("flight recorder poisoned")
+            .entries
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.ring
+            .lock()
+            .expect("flight recorder poisoned")
+            .entries
+            .len()
+    }
+
+    /// True when nothing has been recorded (or everything aged out).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entries ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.get()
+    }
+
+    /// Entries evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Renders the resident entries as a JSON array.
+    pub fn dump_json(&self) -> String {
+        let entries = self.entries();
+        let body: Vec<String> = entries.iter().map(FlightEntry::to_json).collect();
+        format!("[{}]", body.join(","))
+    }
+
+    /// Exposes the recorder's counters on `registry` as
+    /// `ucad_serve_flight_entries_total` / `ucad_serve_flight_dropped_total`.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter("ucad_serve_flight_entries_total", &[], &self.recorded);
+        registry.register_counter("ucad_serve_flight_dropped_total", &[], &self.dropped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64) -> FlightEntry {
+        FlightEntry {
+            seq,
+            session_id: 100 + seq,
+            shard: 1,
+            reason: "IntentMismatch".into(),
+            position: Some(3),
+            rank: Some(7),
+            score: Some(-0.25),
+            cache_hit: Some(true),
+            queue_depth: 2,
+            key_window: vec![0, 0, 5, 6],
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_drops_oldest() {
+        let rec = FlightRecorder::new(3);
+        for seq in 0..5 {
+            rec.record(entry(seq));
+        }
+        let e = rec.entries();
+        assert_eq!(e.len(), 3);
+        assert_eq!(e[0].seq, 2, "oldest entries must age out first");
+        assert_eq!(rec.recorded(), 5);
+        assert_eq!(rec.dropped(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let rec = FlightRecorder::new(0);
+        rec.record(entry(1));
+        assert!(rec.is_empty());
+        assert_eq!(rec.recorded(), 0);
+    }
+
+    #[test]
+    fn dump_json_renders_every_field() {
+        let rec = FlightRecorder::new(4);
+        rec.record(entry(9));
+        let json = rec.dump_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        for needle in [
+            "\"seq\":9",
+            "\"session_id\":109",
+            "\"shard\":1",
+            "\"reason\":\"IntentMismatch\"",
+            "\"rank\":7",
+            "\"score\":-0.25",
+            "\"cache_hit\":true",
+            "\"queue_depth\":2",
+            "\"key_window\":[0,0,5,6]",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        let none = FlightEntry {
+            rank: None,
+            score: None,
+            cache_hit: None,
+            position: None,
+            ..entry(1)
+        };
+        assert!(none.to_json().contains("\"rank\":null"));
+    }
+
+    #[test]
+    fn metrics_registration_exposes_counters() {
+        let reg = Registry::new();
+        let rec = FlightRecorder::new(2);
+        rec.register_metrics(&reg);
+        rec.record(entry(0));
+        assert!(reg
+            .render_prometheus()
+            .contains("ucad_serve_flight_entries_total 1"));
+    }
+}

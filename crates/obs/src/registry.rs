@@ -1,0 +1,685 @@
+//! The metrics registry: atomic counters, gauges and fixed-bucket
+//! histograms with labels, plus Prometheus text exposition and a JSON
+//! snapshot for tests.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s over plain
+//! atomics and can exist standalone — a subsystem may own its counters for
+//! exact per-instance statistics (the score cache does) and *register* the
+//! same handles into a registry for exposition. Registration and rendering
+//! take the registry mutex; every increment on a handle is lock-free.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotone event counter.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous value (stored as `f64` bits; integral gauges like queue
+/// depths simply use whole numbers).
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative) and returns the new value.
+    pub fn add(&self, d: f64) -> f64 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = f64::from_bits(cur) + d;
+            match self.bits.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return next,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramCore {
+    /// Strictly increasing upper bounds; an implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts; `len = bounds.len()+1`.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+/// Fixed-bucket histogram with `le` (less-or-equal) bucket semantics: an
+/// observation lands in the first bucket whose upper bound is `>= value`;
+/// anything above the last bound lands in the implicit `+Inf` bucket.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+/// Point-in-time copy of one histogram's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds (`+Inf` excluded).
+    pub bounds: Vec<f64>,
+    /// Non-cumulative per-bucket counts, `bounds.len() + 1` entries (the
+    /// last is the `+Inf` bucket).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// Creates a standalone histogram over the given upper bounds.
+    ///
+    /// # Panics
+    /// Panics when `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            core: Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let c = &self.core;
+        let idx = c
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(c.bounds.len());
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = c.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = f64::from_bits(cur) + v;
+            match c.sum_bits.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies out bounds, buckets, count and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.core.bounds.clone(),
+            buckets: self
+                .core
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.core.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// What a metric family is, for `# TYPE` lines and snapshot consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Instantaneous gauge.
+    Gauge,
+    /// Fixed-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Handle {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Handle::Counter(_) => MetricKind::Counter,
+            Handle::Gauge(_) => MetricKind::Gauge,
+            Handle::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+struct Family {
+    kind: MetricKind,
+    help: Option<&'static str>,
+    /// Rendered label set (`{k="v",...}` or empty) -> handle. BTreeMap so
+    /// exposition order is deterministic.
+    series: BTreeMap<String, Handle>,
+}
+
+/// One series in a [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Metric family name (e.g. `ucad_cache_hits_total`).
+    pub name: String,
+    /// Rendered label set, `{k="v",...}` or empty.
+    pub labels: String,
+    /// Family kind.
+    pub kind: MetricKind,
+    /// Counter value (counters only).
+    pub counter: Option<u64>,
+    /// Gauge value (gauges only).
+    pub gauge: Option<f64>,
+    /// Histogram state (histograms only).
+    pub histogram: Option<HistogramSnapshot>,
+}
+
+/// A set of named metric families. Cheap to create; engines own private
+/// registries while process-wide instrumentation uses [`crate::global`].
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+/// Escapes a label value per the Prometheus text format: backslash, double
+/// quote and newline.
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a sorted, escaped label set: `{a="x",b="y"}`, or `""` when empty.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(b.0));
+    let body: Vec<String> = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Inserts extra labels (e.g. `le`) into a rendered label set.
+fn labels_with(rendered: &str, extra: &str) -> String {
+    if rendered.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{},{extra}}}", &rendered[..rendered.len() - 1])
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn with_family<R>(&self, name: &str, kind: MetricKind, f: impl FnOnce(&mut Family) -> R) -> R {
+        let mut families = self.families.lock().expect("metrics registry poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: None,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric `{name}` registered as {:?} and requested as {kind:?}",
+            family.kind
+        );
+        f(family)
+    }
+
+    /// Gets or creates a counter series.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = render_labels(labels);
+        self.with_family(name, MetricKind::Counter, |fam| {
+            match fam
+                .series
+                .entry(key)
+                .or_insert_with(|| Handle::Counter(Counter::new()))
+            {
+                Handle::Counter(c) => c.clone(),
+                _ => unreachable!("kind checked by with_family"),
+            }
+        })
+    }
+
+    /// Gets or creates a gauge series.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = render_labels(labels);
+        self.with_family(name, MetricKind::Gauge, |fam| {
+            match fam
+                .series
+                .entry(key)
+                .or_insert_with(|| Handle::Gauge(Gauge::new()))
+            {
+                Handle::Gauge(g) => g.clone(),
+                _ => unreachable!("kind checked by with_family"),
+            }
+        })
+    }
+
+    /// Gets or creates a histogram series over `bounds` (used only when the
+    /// series does not exist yet).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64]) -> Histogram {
+        let key = render_labels(labels);
+        self.with_family(name, MetricKind::Histogram, |fam| {
+            match fam
+                .series
+                .entry(key)
+                .or_insert_with(|| Handle::Histogram(Histogram::new(bounds)))
+            {
+                Handle::Histogram(h) => h.clone(),
+                _ => unreachable!("kind checked by with_family"),
+            }
+        })
+    }
+
+    /// Registers an existing counter handle under `name{labels}` (replacing
+    /// any previous series with the same name and labels). Lets a subsystem
+    /// own its counters for exact per-instance stats while still exposing
+    /// them here.
+    pub fn register_counter(&self, name: &str, labels: &[(&str, &str)], handle: &Counter) {
+        let key = render_labels(labels);
+        self.with_family(name, MetricKind::Counter, |fam| {
+            fam.series.insert(key, Handle::Counter(handle.clone()));
+        });
+    }
+
+    /// Registers an existing gauge handle (see [`Registry::register_counter`]).
+    pub fn register_gauge(&self, name: &str, labels: &[(&str, &str)], handle: &Gauge) {
+        let key = render_labels(labels);
+        self.with_family(name, MetricKind::Gauge, |fam| {
+            fam.series.insert(key, Handle::Gauge(handle.clone()));
+        });
+    }
+
+    /// Registers an existing histogram handle (see [`Registry::register_counter`]).
+    pub fn register_histogram(&self, name: &str, labels: &[(&str, &str)], handle: &Histogram) {
+        let key = render_labels(labels);
+        self.with_family(name, MetricKind::Histogram, |fam| {
+            fam.series.insert(key, Handle::Histogram(handle.clone()));
+        });
+    }
+
+    /// Attaches a `# HELP` line to a metric family (creating it if needed
+    /// with the given kind).
+    pub fn describe(&self, name: &str, kind: MetricKind, help: &'static str) {
+        self.with_family(name, kind, |fam| fam.help = Some(help));
+    }
+
+    /// Copies out every series.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        let mut out = Vec::new();
+        for (name, fam) in families.iter() {
+            for (labels, handle) in fam.series.iter() {
+                out.push(MetricSnapshot {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    kind: handle.kind(),
+                    counter: match handle {
+                        Handle::Counter(c) => Some(c.get()),
+                        _ => None,
+                    },
+                    gauge: match handle {
+                        Handle::Gauge(g) => Some(g.get()),
+                        _ => None,
+                    },
+                    histogram: match handle {
+                        Handle::Histogram(h) => Some(h.snapshot()),
+                        _ => None,
+                    },
+                });
+            }
+        }
+        out
+    }
+
+    /// Renders the Prometheus text exposition format (`# TYPE`/`# HELP`
+    /// comments, cumulative `_bucket{le=...}` histogram series, `_sum` and
+    /// `_count`).
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, fam) in families.iter() {
+            if let Some(help) = fam.help {
+                out.push_str(&format!("# HELP {name} {help}\n"));
+            }
+            out.push_str(&format!("# TYPE {name} {}\n", fam.kind.as_str()));
+            for (labels, handle) in fam.series.iter() {
+                match handle {
+                    Handle::Counter(c) => {
+                        out.push_str(&format!("{name}{labels} {}\n", c.get()));
+                    }
+                    Handle::Gauge(g) => {
+                        out.push_str(&format!("{name}{labels} {}\n", fmt_f64(g.get())));
+                    }
+                    Handle::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cum = 0u64;
+                        for (i, b) in snap.buckets.iter().enumerate() {
+                            cum += b;
+                            let le = snap
+                                .bounds
+                                .get(i)
+                                .copied()
+                                .map(fmt_f64)
+                                .unwrap_or_else(|| "+Inf".to_string());
+                            let ls = labels_with(labels, &format!("le=\"{le}\""));
+                            out.push_str(&format!("{name}_bucket{ls} {cum}\n"));
+                        }
+                        out.push_str(&format!("{name}_sum{labels} {}\n", fmt_f64(snap.sum)));
+                        out.push_str(&format!("{name}_count{labels} {}\n", snap.count));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a JSON array of series snapshots, e.g.
+    /// `[{"name":"...","labels":"...","kind":"counter","value":3}, ...]`.
+    /// Histograms carry `buckets`, `bounds`, `count` and `sum`.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, m) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"labels\":\"{}\",\"kind\":\"{}\"",
+                escape_json(&m.name),
+                escape_json(&m.labels),
+                m.kind.as_str()
+            ));
+            if let Some(v) = m.counter {
+                out.push_str(&format!(",\"value\":{v}"));
+            }
+            if let Some(v) = m.gauge {
+                out.push_str(&format!(",\"value\":{}", json_f64(v)));
+            }
+            if let Some(h) = &m.histogram {
+                let bounds: Vec<String> = h.bounds.iter().map(|&b| json_f64(b)).collect();
+                let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+                out.push_str(&format!(
+                    ",\"bounds\":[{}],\"buckets\":[{}],\"count\":{},\"sum\":{}",
+                    bounds.join(","),
+                    buckets.join(","),
+                    h.count,
+                    json_f64(h.sum)
+                ));
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no Inf/NaN literals; quote them.
+        format!("\"{v}\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = Registry::new();
+        let c = reg.counter("ucad_test_total", &[("shard", "0")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name+labels resolves to the same cell.
+        assert_eq!(reg.counter("ucad_test_total", &[("shard", "0")]).get(), 5);
+        let g = reg.gauge("ucad_test_depth", &[]);
+        g.set(3.0);
+        assert_eq!(g.add(-1.0), 2.0);
+        assert_eq!(g.get(), 2.0);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let reg = Registry::new();
+        reg.counter("m", &[("a", "1"), ("b", "2")]).inc();
+        reg.counter("m", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(reg.counter("m", &[("a", "1"), ("b", "2")]).get(), 2);
+    }
+
+    // -- Histogram bucketing edge cases (satellite coverage) ---------------
+
+    #[test]
+    fn histogram_underflow_lands_in_first_bucket() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(-100.0);
+        h.observe(0.0);
+        h.observe(0.999);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![3, 0, 0, 0]);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn histogram_overflow_lands_in_inf_bucket_only() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(4.0001);
+        h.observe(1e300);
+        h.observe(f64::INFINITY);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![0, 0, 0, 3]);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn histogram_exact_boundary_is_le_inclusive() {
+        // `le` semantics: a value exactly on a bound belongs to that bucket.
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(4.0);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![1, 1, 1, 0]);
+        assert!((s.sum - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_cumulative_rendering_is_monotone_and_complete() {
+        let reg = Registry::new();
+        let h = reg.histogram("ucad_test_seconds", &[("span", "x")], &[0.5, 1.0]);
+        for v in [0.1, 0.6, 0.7, 5.0] {
+            h.observe(v);
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE ucad_test_seconds histogram"));
+        assert!(text.contains("ucad_test_seconds_bucket{span=\"x\",le=\"0.5\"} 1"));
+        assert!(text.contains("ucad_test_seconds_bucket{span=\"x\",le=\"1\"} 3"));
+        assert!(text.contains("ucad_test_seconds_bucket{span=\"x\",le=\"+Inf\"} 4"));
+        assert!(text.contains("ucad_test_seconds_count{span=\"x\"} 4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[1.0, 1.0]);
+    }
+
+    // -- Prometheus text-format escaping (satellite coverage) --------------
+
+    #[test]
+    fn label_values_are_escaped_in_exposition() {
+        let reg = Registry::new();
+        reg.counter("m_total", &[("sql", "a\"b\\c\nd")]).inc();
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("m_total{sql=\"a\\\"b\\\\c\\nd\"} 1"),
+            "bad escaping in: {text}"
+        );
+    }
+
+    #[test]
+    fn escape_label_handles_each_special_char() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn snapshot_json_is_wellformed_enough_to_grep() {
+        let reg = Registry::new();
+        reg.counter("c_total", &[]).add(7);
+        reg.gauge("g", &[("k", "v")]).set(1.5);
+        reg.histogram("h_seconds", &[], &[1.0]).observe(0.5);
+        let json = reg.snapshot_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(
+            json.contains("\"name\":\"c_total\",\"labels\":\"\",\"kind\":\"counter\",\"value\":7")
+        );
+        assert!(json.contains("\"kind\":\"gauge\",\"value\":1.5"));
+        assert!(json.contains("\"buckets\":[1,0]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_conflicts_panic() {
+        let reg = Registry::new();
+        reg.counter("m", &[]);
+        reg.gauge("m", &[]);
+    }
+
+    #[test]
+    fn registered_external_handle_is_exposed() {
+        let reg = Registry::new();
+        let mine = Counter::new();
+        mine.add(9);
+        reg.register_counter("ucad_cache_hits_total", &[("cache", "score")], &mine);
+        mine.inc();
+        assert!(reg
+            .render_prometheus()
+            .contains("ucad_cache_hits_total{cache=\"score\"} 10"));
+    }
+}

@@ -1,0 +1,112 @@
+//! RAII timing spans: `let _s = span!("train.epoch");` measures the
+//! enclosing scope and feeds the per-span latency histogram
+//! `ucad_span_duration_seconds{span="train.epoch"}` in the [`crate::global`]
+//! registry. When the `UCAD_OBS` event log is enabled, each completed span
+//! also emits one structured JSON line.
+//!
+//! The macro caches the histogram handle in a per-call-site `OnceLock`, so
+//! the registry mutex is taken once per call site for the lifetime of the
+//! process — hot paths pay two `Instant::now()` calls and a few relaxed
+//! atomic increments per span.
+
+use crate::registry::Histogram;
+use std::time::Instant;
+
+/// Default latency buckets for span histograms: 1µs .. 10s, roughly
+/// exponential. Wide enough for a single attention matmul and a whole
+/// training epoch alike.
+pub const DEFAULT_LATENCY_BUCKETS: [f64; 12] = [
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// Live timing guard; observes its histogram on drop. Construct through
+/// [`crate::span!`] (or [`SpanGuard::new`] with a hand-built histogram).
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+    hist: Histogram,
+}
+
+impl SpanGuard {
+    /// Starts a span feeding `hist`.
+    pub fn new(name: &'static str, hist: Histogram) -> Self {
+        SpanGuard {
+            name,
+            start: Instant::now(),
+            hist,
+        }
+    }
+
+    /// Span name (as passed to `span!`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let secs = self.start.elapsed().as_secs_f64();
+        self.hist.observe(secs);
+        if crate::obs_enabled() {
+            crate::event(
+                "span",
+                &[
+                    ("name", self.name.to_string()),
+                    ("us", format!("{:.1}", secs * 1e6)),
+                ],
+            );
+        }
+    }
+}
+
+/// Opens an RAII timing span: `let _guard = span!("model.forward");`.
+/// The span name must be a string literal (it labels the
+/// `ucad_span_duration_seconds` series and keys the per-call-site handle
+/// cache).
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static HIST: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        let hist = HIST.get_or_init(|| {
+            $crate::global().histogram(
+                "ucad_span_duration_seconds",
+                &[("span", $name)],
+                &$crate::DEFAULT_LATENCY_BUCKETS,
+            )
+        });
+        $crate::SpanGuard::new($name, hist.clone())
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_its_histogram() {
+        let hist = Histogram::new(&DEFAULT_LATENCY_BUCKETS);
+        {
+            let _g = SpanGuard::new("test.scope", hist.clone());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.sum >= 0.001, "span measured {}s", snap.sum);
+    }
+
+    #[test]
+    fn span_macro_feeds_the_global_registry() {
+        {
+            let _g = crate::span!("obs.test.macro");
+        }
+        {
+            let _g = crate::span!("obs.test.macro");
+        }
+        let snaps = crate::global().snapshot();
+        let series = snaps
+            .iter()
+            .find(|m| m.name == "ucad_span_duration_seconds" && m.labels.contains("obs.test.macro"))
+            .expect("span series registered");
+        assert_eq!(series.histogram.as_ref().unwrap().count, 2);
+    }
+}

@@ -90,11 +90,17 @@ pub fn clean_sessions(
         return (outcome, stats);
     }
 
-    let profiles: Vec<NgramProfile> = key_sessions
-        .iter()
-        .map(|s| NgramProfile::new(s, cfg.ngram))
-        .collect();
-    let (assignments, k) = dbscan(n, cfg.dbscan, |a, b| profiles[a].distance(&profiles[b]));
+    let profiles: Vec<NgramProfile> = {
+        let _s = ucad_obs::span!("preprocess.ngram");
+        key_sessions
+            .iter()
+            .map(|s| NgramProfile::new(s, cfg.ngram))
+            .collect()
+    };
+    let (assignments, k) = {
+        let _s = ucad_obs::span!("preprocess.dbscan");
+        dbscan(n, cfg.dbscan, |a, b| profiles[a].distance(&profiles[b]))
+    };
     stats.clusters = k;
 
     // Collect members per cluster; noise is removed outright.

@@ -85,13 +85,19 @@ impl Preprocessor {
         config: PreprocessConfig,
         seed: u64,
     ) -> (Self, Vec<Vec<u32>>, PreprocessReport) {
+        let _fit_span = ucad_obs::span!("preprocess.fit");
         let mut report = PreprocessReport::default();
-        let policy = AccessPolicy::learn_with_support(raw_sessions, config.policy_min_support);
-        let (passing, rejected) = policy.filter(raw_sessions);
+        let (policy, passing, rejected) = {
+            let _s = ucad_obs::span!("preprocess.policy");
+            let policy = AccessPolicy::learn_with_support(raw_sessions, config.policy_min_support);
+            let (passing, rejected) = policy.filter(raw_sessions);
+            (policy, passing, rejected)
+        };
         report.policy_rejected = rejected.len();
 
         // The vocabulary is built from policy-passing sessions only, so
         // statements seen exclusively in filtered noise stay unknown (k0).
+        let _tokenize_span = ucad_obs::span!("preprocess.tokenize");
         let passing_owned: Vec<Session> = passing.iter().map(|&s| s.clone()).collect();
         let vocab = Vocabulary::from_sessions(&passing_owned);
         report.vocab_size = vocab.len();
@@ -100,6 +106,7 @@ impl Preprocessor {
             .iter()
             .map(|s| vocab.tokenize_session(s))
             .collect();
+        drop(_tokenize_span);
         let purified = if config.clean {
             let mut rng = StdRng::seed_from_u64(seed);
             let (outcome, stats) = clean_sessions(&tokenized, &config.cleaner, &mut rng);
@@ -114,6 +121,31 @@ impl Preprocessor {
             report.clean_stats.kept = tokenized.len();
             tokenized
         };
+
+        // Session fates land on the global registry as
+        // `ucad_preprocess_sessions_total{outcome=...}` — one increment per
+        // input session, so the label sum equals the raw-log size.
+        let obs = ucad_obs::global();
+        let fate = |outcome: &str, n: usize| {
+            obs.counter("ucad_preprocess_sessions_total", &[("outcome", outcome)])
+                .add(n as u64);
+        };
+        fate("kept", purified.len());
+        fate("policy_rejected", report.policy_rejected);
+        fate("noise_cluster", report.clean_stats.noise);
+        fate("small_cluster", report.clean_stats.small_cluster);
+        fate("too_short", report.clean_stats.too_short);
+        fate("undersampled", report.clean_stats.undersampled);
+        obs.counter("ucad_preprocess_policy_rejected_total", &[])
+            .add(report.policy_rejected as u64);
+        ucad_obs::event(
+            "preprocess.fit",
+            &[
+                ("raw_sessions", raw_sessions.len().to_string()),
+                ("purified", purified.len().to_string()),
+                ("vocab_size", report.vocab_size.to_string()),
+            ],
+        );
 
         (
             Preprocessor {

@@ -114,7 +114,18 @@ fn main() {
             .unwrap_or_else(|| "n/a".into())
     );
 
-    // 5. Shutdown hands back the system plus the sessions verified normal,
+    // 5. Observability: the whole pipeline self-reports. The global registry
+    //    carries preprocess/train/model metrics; the engine registry carries
+    //    serve/cache metrics; the flight recorder holds per-alert context.
+    //    Set UCAD_OBS=1 to additionally stream structured JSON events.
+    println!("\n# --- global metrics (preprocess / train / model) ---");
+    print!("{}", ucad_obs::global().render_prometheus());
+    println!("\n# --- engine metrics (serve / cache / flight) ---");
+    print!("{}", engine.render_metrics());
+    println!("\n# --- flight recorder (per-alert context) ---");
+    println!("{}", engine.dump_flight_json());
+
+    // 6. Shutdown hands back the system plus the sessions verified normal,
     //    ready for the §5.2 concept-drift fine-tuning loop.
     let report = engine.shutdown();
     println!(
