@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 use ucad::{OnlineUcad, ServeConfig, ShardedOnlineUcad, Ucad, UcadConfig};
-use ucad_bench::{full_scale, header, measured_block};
+use ucad_bench::{full_scale, header, measured_block, ServeBenchRow};
 use ucad_dbsim::LogRecord;
 use ucad_model::{DetectionMode, TransDasConfig};
 use ucad_trace::{generate_raw_log, ScenarioSpec, Session, SessionGenerator};
@@ -137,6 +137,8 @@ fn main() {
     );
 
     // Sharded engine: Block-batched scoring + shared score memo.
+    let mut rps_x1 = 0.0;
+    let mut rps_x4 = 0.0;
     for shards in [1usize, 2, 4, 8] {
         let serve_cfg = ServeConfig {
             shards,
@@ -173,7 +175,11 @@ fn main() {
             rps / base_rps,
             alerts.len()
         );
+        if shards == 1 {
+            rps_x1 = rps;
+        }
         if shards == 4 {
+            rps_x4 = rps;
             let speedup = rps / base_rps;
             assert!(
                 speedup >= 3.0,
@@ -182,4 +188,20 @@ fn main() {
             println!("  -> acceptance met: {speedup:.2}x >= 3x at 4 shards");
         }
     }
+
+    // Record this thread count's row in the BENCH_parallel.json ledger.
+    let threads = ucad_pool::current().threads();
+    let mut ledger = ucad_bench::load_parallel_ledger();
+    ledger.upsert_serve(ServeBenchRow {
+        threads,
+        base_rps,
+        sharded_rps_x1: rps_x1,
+        sharded_rps_x4: rps_x4,
+        speedup_x4: rps_x4 / base_rps,
+    });
+    ucad_bench::store_parallel_ledger(&ledger);
+    println!(
+        "ledger updated: {} (threads={threads})",
+        ucad_bench::parallel_ledger_path().display()
+    );
 }

@@ -1,0 +1,52 @@
+//! Training-step throughput at the current `UCAD_THREADS` setting.
+//!
+//! Training's hot loop is the tape forward/backward, whose matmuls now run
+//! on the shared compute pool; this harness measures windows/s over a full
+//! Scenario-I training run and records the row in `BENCH_parallel.json`.
+//! Because the blocked kernels are bit-identical to the scalar ones, the
+//! final loss printed here must not move with the thread count — the CI
+//! bench-smoke job diffs it across `UCAD_THREADS=1` and `4`.
+
+use std::time::Instant;
+use ucad_bench::{header, measured_block, scenario1, TrainBenchRow};
+use ucad_model::{TransDas, TransDasConfig};
+
+fn main() {
+    header("Training-step throughput (pooled intra-step kernels)");
+    let threads = ucad_pool::current().threads();
+    let bundle = scenario1(11);
+    let cfg = TransDasConfig {
+        vocab_size: bundle.data.vocab.key_space(),
+        epochs: 4,
+        threads: 1,
+        ..bundle.model
+    };
+
+    measured_block();
+    let mut model = TransDas::new(cfg);
+    let t0 = Instant::now();
+    let report = model.train(&bundle.data.train);
+    let secs = t0.elapsed().as_secs_f64();
+    let total_windows = report.windows * report.epoch_losses.len();
+    let windows_per_s = total_windows as f64 / secs;
+    let final_loss = *report
+        .epoch_losses
+        .last()
+        .expect("training ran at least one epoch");
+    println!(
+        "pool threads {threads}: {secs:6.2}s for {total_windows} windows \
+         ({windows_per_s:8.1} windows/s), final loss {final_loss:.6}"
+    );
+
+    let mut ledger = ucad_bench::load_parallel_ledger();
+    ledger.upsert_train(TrainBenchRow {
+        threads,
+        windows_per_s,
+        final_loss,
+    });
+    ucad_bench::store_parallel_ledger(&ledger);
+    println!(
+        "ledger updated: {} (threads={threads})",
+        ucad_bench::parallel_ledger_path().display()
+    );
+}

@@ -45,7 +45,29 @@ pub use experiment::{
 };
 pub use metrics::{Confusion, MethodResult};
 pub use online::{Alert, AlertReason, OnlineUcad};
-pub use serve::{ServeConfig, ServeStats, ShardedOnlineUcad, ShutdownReport};
+pub use serve::{ServeConfig, ServeConfigBuilder, ServeStats, ShardedOnlineUcad, ShutdownReport};
 pub use sweep::{sweep_hidden, sweep_margin, sweep_top_p, sweep_window, SweepPoint};
 pub use system::{Ucad, UcadConfig, UcadTrainReport, Verdict};
+pub use ucad_model::{
+    Detection, DetectionMode, Detector, DetectorConfig, DetectorConfigBuilder, ScoreCache,
+    TransDas, TransDasConfig, UcadError,
+};
 pub use ucad_obs::FlightEntry;
+
+/// One-stop imports for the common UCAD workflow: train a system, detect
+/// against sessions, and serve online traffic.
+///
+/// ```no_run
+/// use ucad::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::online::{Alert, AlertReason, OnlineUcad};
+    pub use crate::serve::{
+        ServeConfig, ServeConfigBuilder, ServeStats, ShardedOnlineUcad, ShutdownReport,
+    };
+    pub use crate::system::{Ucad, UcadConfig, UcadTrainReport, Verdict};
+    pub use ucad_model::{
+        Detection, DetectionMode, Detector, DetectorConfig, DetectorConfigBuilder, ScoreCache,
+        TransDas, TransDasConfig, UcadError,
+    };
+}

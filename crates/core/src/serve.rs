@@ -36,7 +36,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use ucad_dbsim::LogRecord;
-use ucad_model::{CacheStats, DetectionMode, ScoreCache};
+use ucad_model::{CacheStats, DetectionMode, ScoreCache, UcadError};
 use ucad_obs::{
     Counter, FlightEntry, FlightRecorder, Gauge, Histogram, MetricKind, Registry,
     DEFAULT_LATENCY_BUCKETS,
@@ -74,6 +74,73 @@ impl Default for ServeConfig {
             seed: 0x5EED,
             flight_capacity: 256,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Fluent builder starting from [`ServeConfig::default`].
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`ServeConfig`]; validates on [`ServeConfigBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the worker shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard queue bound.
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.cfg.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Sets the score-memo capacity (0 disables caching).
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cfg.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Sets the scoring discipline.
+    pub fn mode(mut self, mode: DetectionMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Sets the shard-routing hash seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the flight-recorder ring capacity (0 disables flight recording).
+    pub fn flight_capacity(mut self, flight_capacity: usize) -> Self {
+        self.cfg.flight_capacity = flight_capacity;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ServeConfig, UcadError> {
+        if self.cfg.shards == 0 {
+            return Err(UcadError::invalid("shards", "at least one shard required"));
+        }
+        if self.cfg.queue_capacity == 0 {
+            return Err(UcadError::invalid(
+                "queue_capacity",
+                "a zero-capacity queue would deadlock submission",
+            ));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -261,9 +328,19 @@ impl ShardedOnlineUcad {
     /// Wraps a trained system and spawns the worker shards.
     ///
     /// # Panics
-    /// Panics when `cfg.shards` is zero.
+    /// Panics when `cfg.shards` is zero. Use
+    /// [`ShardedOnlineUcad::try_new`] to handle invalid configurations
+    /// without panicking.
     pub fn new(system: Ucad, cfg: ServeConfig) -> Self {
-        assert!(cfg.shards >= 1, "at least one shard required");
+        Self::try_new(system, cfg).expect("invalid serve configuration")
+    }
+
+    /// Fallible constructor: rejects structurally invalid configurations
+    /// with an [`UcadError`] instead of panicking.
+    pub fn try_new(system: Ucad, cfg: ServeConfig) -> Result<Self, UcadError> {
+        if cfg.shards == 0 {
+            return Err(UcadError::invalid("shards", "at least one shard required"));
+        }
         let system = Arc::new(system);
         let cache = (cfg.cache_capacity > 0).then(|| Arc::new(ScoreCache::new(cfg.cache_capacity)));
         let registry = Arc::new(Registry::new());
@@ -334,7 +411,7 @@ impl ShardedOnlineUcad {
                 }
             })
             .collect();
-        ShardedOnlineUcad {
+        Ok(ShardedOnlineUcad {
             system,
             cache,
             registry,
@@ -343,7 +420,7 @@ impl ShardedOnlineUcad {
             shards,
             cfg,
             next_seq: 0,
-        }
+        })
     }
 
     /// Read access to the wrapped system.
@@ -560,6 +637,25 @@ mod tests {
         assert!(cfg.queue_capacity >= 1);
         assert_eq!(cfg.mode, DetectionMode::Streaming);
         assert!(cfg.flight_capacity >= 1);
+    }
+
+    #[test]
+    fn builder_roundtrips_and_rejects_degenerate_configs() {
+        let cfg = ServeConfig::builder()
+            .shards(2)
+            .queue_capacity(64)
+            .cache_capacity(0)
+            .mode(DetectionMode::Block)
+            .seed(7)
+            .flight_capacity(0)
+            .build()
+            .expect("valid config rejected");
+        assert_eq!((cfg.shards, cfg.queue_capacity), (2, 64));
+        assert_eq!((cfg.cache_capacity, cfg.flight_capacity), (0, 0));
+        assert_eq!(cfg.mode, DetectionMode::Block);
+        assert_eq!(cfg.seed, 7);
+        assert!(ServeConfig::builder().shards(0).build().is_err());
+        assert!(ServeConfig::builder().queue_capacity(0).build().is_err());
     }
 
     #[test]

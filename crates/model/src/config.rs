@@ -1,6 +1,7 @@
 //! Trans-DAS model configuration, including the paper's per-scenario
 //! defaults and the ablation toggles of Table 3.
 
+use crate::error::UcadError;
 use serde::{Deserialize, Serialize};
 
 /// Attention masking mode (§4.3).
@@ -149,27 +150,42 @@ impl TransDasConfig {
     }
 
     /// Validates structural constraints.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), UcadError> {
         if self.vocab_size < 2 {
-            return Err("vocab_size must include k0 plus at least one key".into());
+            return Err(UcadError::invalid(
+                "vocab_size",
+                "must include k0 plus at least one key",
+            ));
         }
         if self.hidden == 0 || self.heads == 0 || self.blocks == 0 || self.window < 2 {
-            return Err("hidden/heads/blocks must be positive, window >= 2".into());
+            return Err(UcadError::invalid(
+                "hidden/heads/blocks/window",
+                "hidden/heads/blocks must be positive, window >= 2",
+            ));
         }
         if !self.hidden.is_multiple_of(self.heads) {
-            return Err(format!(
-                "heads ({}) must divide hidden ({})",
-                self.heads, self.hidden
+            return Err(UcadError::invalid(
+                "heads",
+                format!(
+                    "heads ({}) must divide hidden ({})",
+                    self.heads, self.hidden
+                ),
             ));
         }
         if !(0.0 < self.dropout_keep && self.dropout_keep <= 1.0) {
-            return Err("dropout_keep must be in (0, 1]".into());
+            return Err(UcadError::invalid("dropout_keep", "must be in (0, 1]"));
         }
         if self.stride == 0 || self.batch_size == 0 || self.threads == 0 {
-            return Err("stride/batch_size/threads must be positive".into());
+            return Err(UcadError::invalid(
+                "stride/batch_size/threads",
+                "must be positive",
+            ));
         }
         if self.negatives == 0 {
-            return Err("need at least one negative sample per position".into());
+            return Err(UcadError::invalid(
+                "negatives",
+                "need at least one negative sample per position",
+            ));
         }
         Ok(())
     }

@@ -10,6 +10,9 @@
 use crate::cache::ScoreCache;
 use crate::model::TransDas;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use ucad_nn::Tensor;
 
 /// How positions are scored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,6 +56,50 @@ impl DetectorConfig {
             min_context: 2,
             mode: DetectionMode::Block,
         }
+    }
+
+    /// Fluent builder starting from the Scenario-I defaults.
+    pub fn builder() -> DetectorConfigBuilder {
+        DetectorConfigBuilder {
+            cfg: Self::scenario1(),
+        }
+    }
+}
+
+/// Builder for [`DetectorConfig`]; validates on [`DetectorConfigBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct DetectorConfigBuilder {
+    cfg: DetectorConfig,
+}
+
+impl DetectorConfigBuilder {
+    /// Sets the top-*p* rank threshold.
+    pub fn top_p(mut self, top_p: usize) -> Self {
+        self.cfg.top_p = top_p;
+        self
+    }
+
+    /// Sets the minimum preceding context before detection starts.
+    pub fn min_context(mut self, min_context: usize) -> Self {
+        self.cfg.min_context = min_context;
+        self
+    }
+
+    /// Sets the scoring mode.
+    pub fn mode(mut self, mode: DetectionMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<DetectorConfig, crate::error::UcadError> {
+        if self.cfg.top_p == 0 {
+            return Err(crate::error::UcadError::invalid(
+                "top_p",
+                "an operation can never rank in the top 0",
+            ));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -143,11 +190,10 @@ impl<'a> Detector<'a> {
         self.detect_session_cached(keys, None)
     }
 
-    /// [`Detector::detect_session`] with an optional score memo. The cache
-    /// key is the exact padded window, so the result is identical to the
-    /// uncached path.
-    pub fn detect_session_cached(&self, keys: &[u32], cache: Option<&ScoreCache>) -> Detection {
-        let verdicts = self.run_verdicts(keys, 0, cache);
+    /// Collapses a stop-on-first-abnormal verdict walk into the session
+    /// verdict. The walk stops at the first abnormal position, so the last
+    /// verdict is abnormal iff any position was.
+    fn detection_from(verdicts: &[VerdictDetail]) -> Detection {
         let abnormal = verdicts
             .last()
             .map(|v| v.verdict.is_abnormal())
@@ -156,6 +202,45 @@ impl<'a> Detector<'a> {
             abnormal,
             first_anomaly: abnormal.then(|| verdicts.last().expect("non-empty").position),
             positions_checked: verdicts.len(),
+        }
+    }
+
+    /// [`Detector::detect_session`] with an optional score memo. The cache
+    /// key is the exact padded window, so the result is identical to the
+    /// uncached path.
+    pub fn detect_session_cached(&self, keys: &[u32], cache: Option<&ScoreCache>) -> Detection {
+        Self::detection_from(&self.run_verdicts_detail(keys, 0, cache))
+    }
+
+    /// Detects anomalies in many sessions at once, packing the model
+    /// forwards of every session's windows into batched passes
+    /// ([`TransDas::position_scores_batch`]) so weight traversal is
+    /// amortised across sessions.
+    ///
+    /// Verdict-equivalent to calling [`Detector::detect_session_cached`]
+    /// per session: the per-session window walk and stop-on-first-abnormal
+    /// rule are the same code, and batched scores are bit-identical to
+    /// single-window scores. Cache interaction uses the same
+    /// exact-padded-window keys as the streaming path (one entry per unique
+    /// window, no duplicates); the only difference is that windows past a
+    /// session's first abnormal position may be scored speculatively, which
+    /// can only *add* pure cache entries, never change a verdict.
+    ///
+    /// In [`DetectionMode::Streaming`] each position needs its own
+    /// backward-context forward and sessions early-exit position by
+    /// position, so batching would be almost entirely speculative; the
+    /// sessions are simply walked one at a time.
+    pub fn detect_batch(
+        &self,
+        sessions: &[Vec<u32>],
+        cache: Option<&ScoreCache>,
+    ) -> Vec<Detection> {
+        match self.cfg.mode {
+            DetectionMode::Streaming => sessions
+                .iter()
+                .map(|s| self.detect_session_cached(s, cache))
+                .collect(),
+            DetectionMode::Block => self.detect_batch_block(sessions, cache),
         }
     }
 
@@ -188,6 +273,11 @@ impl<'a> Detector<'a> {
     /// Scores one position under streaming semantics (§5.3's `O_L` rule):
     /// the verdict for `keys[t]` given the preceding context `keys[..t]`.
     /// This is the exact per-operation rule of the online deployment loop.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `streaming_verdict_detail(keys, t, cache).verdict`; the detail \
+                variant carries rank/score/cache-hit diagnostics at no extra cost"
+    )]
     pub fn streaming_verdict(
         &self,
         keys: &[u32],
@@ -238,6 +328,11 @@ impl<'a> Detector<'a> {
     /// multiple of the model window, the invariant the serving engine
     /// maintains) — the property that makes incremental serving output
     /// independent of batch timing.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run_verdicts_detail` and map with `VerdictDetail::position_verdict` \
+                if only the plain verdicts are needed"
+    )]
     pub fn run_verdicts(
         &self,
         keys: &[u32],
@@ -288,53 +383,231 @@ impl<'a> Detector<'a> {
         cache: Option<&ScoreCache>,
     ) -> Vec<VerdictDetail> {
         let l = self.model.cfg.window;
-        // Position 0 has no predecessor and cannot be predicted.
-        let min_context = self.cfg.min_context.max(1);
-        let first = from.max(min_context);
+        let Some(walk) = BlockWalk::plan(keys, from, self.cfg.min_context, l) else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
-        if keys.len() <= first {
-            return out;
-        }
-        // Front-pad so window rows line up with session positions; row i of
-        // a window starting at `start` predicts padded position start+i+1.
-        let pad = (l + 1).saturating_sub(keys.len());
-        let mut padded = vec![0u32; pad];
-        padded.extend_from_slice(keys);
-        let n = padded.len();
-        debug_assert!(n > l);
-        let mut next_t = first; // watermark: each position scored once
+        let mut next_t = walk.first; // watermark: each position scored once
         while next_t < keys.len() {
-            let tp = next_t + pad;
-            let start = (tp - 1).min(n - l);
-            let window = &padded[start..start + l];
+            let start = walk.window_start(next_t);
+            let window = &walk.padded[start..start + l];
             let (scores, cache_hit) = self.model.position_scores_cached_flagged(window, cache);
-            for i in 0..l {
-                let t_padded = start + i + 1;
-                if t_padded >= n {
-                    break;
-                }
-                if t_padded < pad {
-                    continue;
-                }
-                let t = t_padded - pad;
-                if t < next_t {
-                    continue;
-                }
-                next_t = t + 1;
-                let (verdict, rank, score) = self.verdict_at(scores.row(i), keys[t]);
-                out.push(VerdictDetail {
-                    position: t,
-                    verdict,
-                    rank,
-                    score,
-                    cache_hit: if keys[t] == 0 { None } else { cache_hit },
-                });
-                if verdict.is_abnormal() {
-                    return out;
-                }
+            if self.scan_block_window(
+                keys,
+                &walk,
+                start,
+                &scores,
+                cache_hit,
+                &mut next_t,
+                &mut out,
+            ) {
+                return out;
             }
         }
         out
+    }
+
+    /// Scans the rows of one scored block window, pushing verdicts in
+    /// position order and advancing the `next_t` watermark; returns true
+    /// when an abnormal verdict ends the session walk. Shared by the
+    /// sequential walk ([`Detector::run_verdicts_detail`]) and the batched
+    /// walk ([`Detector::detect_batch`]) so the two cannot diverge.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_block_window(
+        &self,
+        keys: &[u32],
+        walk: &BlockWalk,
+        start: usize,
+        scores: &Tensor,
+        cache_hit: Option<bool>,
+        next_t: &mut usize,
+        out: &mut Vec<VerdictDetail>,
+    ) -> bool {
+        let l = self.model.cfg.window;
+        let (pad, n) = (walk.pad, walk.padded.len());
+        // Row i of a window starting at `start` predicts padded position
+        // start + i + 1.
+        for i in 0..l {
+            let t_padded = start + i + 1;
+            if t_padded >= n {
+                break;
+            }
+            if t_padded < pad {
+                continue;
+            }
+            let t = t_padded - pad;
+            if t < *next_t {
+                continue;
+            }
+            *next_t = t + 1;
+            let (verdict, rank, score) = self.verdict_at(scores.row(i), keys[t]);
+            out.push(VerdictDetail {
+                position: t,
+                verdict,
+                rank,
+                score,
+                cache_hit: if keys[t] == 0 { None } else { cache_hit },
+            });
+            if verdict.is_abnormal() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Block-mode batched detection: plan every session's window walk,
+    /// resolve scores for all windows (cache lookups first, then one
+    /// batched forward for the unique misses), then run the standard
+    /// per-session verdict scan over the precomputed scores.
+    fn detect_batch_block(
+        &self,
+        sessions: &[Vec<u32>],
+        cache: Option<&ScoreCache>,
+    ) -> Vec<Detection> {
+        let l = self.model.cfg.window;
+        let plans: Vec<Option<(BlockWalk, Vec<usize>)>> = sessions
+            .iter()
+            .map(|keys| {
+                let walk = BlockWalk::plan(keys, 0, self.cfg.min_context, l)?;
+                let starts = walk.window_starts(keys.len());
+                Some((walk, starts))
+            })
+            .collect();
+        // Resolve scores in walk order: cache hits directly, misses through
+        // one batched forward. Misses are deduplicated by their exact padded
+        // window — the same key the streaming path uses — so a shared cache
+        // never receives duplicate entries for one window.
+        let mut tables: Vec<Vec<Option<Arc<Tensor>>>> = plans
+            .iter()
+            .map(|p| vec![None; p.as_ref().map_or(0, |(_, s)| s.len())])
+            .collect();
+        let mut unique: Vec<Vec<u32>> = Vec::new();
+        let mut key_to_idx: HashMap<Vec<u32>, usize> = HashMap::new();
+        let mut misses: Vec<(usize, usize, usize)> = Vec::new(); // (session, window, unique)
+        for (si, plan) in plans.iter().enumerate() {
+            let Some((walk, starts)) = plan else { continue };
+            for (wi, &start) in starts.iter().enumerate() {
+                let key = self.model.pad_window(&walk.padded[start..start + l]);
+                if let Some(cache) = cache {
+                    if let Some(hit) = cache.get(&key) {
+                        tables[si][wi] = Some(hit);
+                        continue;
+                    }
+                }
+                let idx = *key_to_idx.entry(key.clone()).or_insert_with(|| {
+                    unique.push(key);
+                    unique.len() - 1
+                });
+                misses.push((si, wi, idx));
+            }
+        }
+        let refs: Vec<&[u32]> = unique.iter().map(Vec::as_slice).collect();
+        let computed: Vec<Arc<Tensor>> = self
+            .model
+            .position_scores_batch(&refs)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        if let Some(cache) = cache {
+            for (key, scores) in unique.iter().zip(&computed) {
+                cache.insert(key.clone(), Arc::clone(scores));
+            }
+        }
+        for (si, wi, idx) in misses {
+            tables[si][wi] = Some(Arc::clone(&computed[idx]));
+        }
+        // Per-session verdict walk over the precomputed scores — the same
+        // scan (and therefore the same verdicts) as the sequential path.
+        sessions
+            .iter()
+            .zip(plans)
+            .zip(tables)
+            .map(|((keys, plan), table)| {
+                let Some((walk, starts)) = plan else {
+                    return Detection {
+                        abnormal: false,
+                        first_anomaly: None,
+                        positions_checked: 0,
+                    };
+                };
+                let mut out = Vec::new();
+                let mut next_t = walk.first;
+                for (wi, &start) in starts.iter().enumerate() {
+                    let scores = table[wi].as_ref().expect("window scores resolved");
+                    // Batch-resolved windows cannot report per-lookup hit
+                    // flags; diagnostics are a streaming-path concern.
+                    if self.scan_block_window(
+                        keys,
+                        &walk,
+                        start,
+                        scores,
+                        None,
+                        &mut next_t,
+                        &mut out,
+                    ) {
+                        break;
+                    }
+                }
+                Self::detection_from(&out)
+            })
+            .collect()
+    }
+}
+
+/// The front-padded layout of one session's block-mode walk.
+struct BlockWalk {
+    /// Session keys with `pad` leading `k0`s.
+    padded: Vec<u32>,
+    /// Number of leading padding keys.
+    pad: usize,
+    /// First session position to score.
+    first: usize,
+    /// Model window length.
+    window: usize,
+}
+
+impl BlockWalk {
+    /// Plans the walk for `keys`; `None` when the session is too short to
+    /// score any position.
+    fn plan(keys: &[u32], from: usize, min_context: usize, window: usize) -> Option<BlockWalk> {
+        // Position 0 has no predecessor and cannot be predicted.
+        let first = from.max(min_context.max(1));
+        if keys.len() <= first {
+            return None;
+        }
+        // Front-pad so window rows line up with session positions.
+        let pad = (window + 1).saturating_sub(keys.len());
+        let mut padded = vec![0u32; pad];
+        padded.extend_from_slice(keys);
+        debug_assert!(padded.len() > window);
+        Some(BlockWalk {
+            padded,
+            pad,
+            first,
+            window,
+        })
+    }
+
+    /// Start of the window that scores position `next_t` next.
+    fn window_start(&self, next_t: usize) -> usize {
+        let tp = next_t + self.pad;
+        (tp - 1).min(self.padded.len() - self.window)
+    }
+
+    /// The full sequence of window starts the watermark walk visits. The
+    /// walk depends only on the session length (never on scores), which is
+    /// what lets the batched path plan every forward up front.
+    fn window_starts(&self, keys_len: usize) -> Vec<usize> {
+        let n = self.padded.len();
+        let mut starts = Vec::new();
+        let mut next_t = self.first;
+        while next_t < keys_len {
+            let start = self.window_start(next_t);
+            starts.push(start);
+            // The scan consumes padded positions start+1 ..= min(start+window, n-1).
+            next_t = (start + self.window).min(n - 1) - self.pad + 1;
+        }
+        starts
     }
 }
 

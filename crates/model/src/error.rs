@@ -1,0 +1,72 @@
+//! The unified error type surfaced at UCAD crate boundaries.
+//!
+//! Fallible public entry points (configuration validation, builders, the
+//! serving engine's `try_new`) all return [`UcadError`] instead of ad-hoc
+//! `String`s or panics, so callers match on one enum regardless of which
+//! layer rejected the request.
+
+use crate::persist::PersistError;
+
+/// Errors surfaced by the UCAD public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UcadError {
+    /// A configuration value violates a structural constraint.
+    InvalidConfig {
+        /// The offending field (or field group).
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A persisted model snapshot could not be restored.
+    Snapshot(String),
+}
+
+impl UcadError {
+    /// Shorthand for an [`UcadError::InvalidConfig`].
+    pub fn invalid(field: &'static str, reason: impl Into<String>) -> Self {
+        UcadError::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for UcadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UcadError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration: {field}: {reason}")
+            }
+            UcadError::Snapshot(m) => write!(f, "snapshot error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for UcadError {}
+
+impl From<PersistError> for UcadError {
+    fn from(e: PersistError) -> Self {
+        UcadError::Snapshot(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = UcadError::invalid("heads", "must divide hidden");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration: heads: must divide hidden"
+        );
+    }
+
+    #[test]
+    fn persist_errors_convert() {
+        let e: UcadError = PersistError::Malformed("not json".into()).into();
+        assert!(matches!(&e, UcadError::Snapshot(m) if m.contains("not json")));
+    }
+}

@@ -22,6 +22,7 @@
 pub mod cache;
 pub mod config;
 pub mod detect;
+pub mod error;
 pub mod mask;
 pub mod model;
 pub mod persist;
@@ -29,8 +30,10 @@ pub mod persist;
 pub use cache::{CacheStats, ScoreCache};
 pub use config::{MaskMode, TransDasConfig};
 pub use detect::{
-    Detection, DetectionMode, Detector, DetectorConfig, OpVerdict, PositionVerdict, VerdictDetail,
+    Detection, DetectionMode, Detector, DetectorConfig, DetectorConfigBuilder, OpVerdict,
+    PositionVerdict, VerdictDetail,
 };
+pub use error::UcadError;
 pub use mask::{build_mask, NEG_INF};
 pub use model::{TrainReport, TransDas, Window};
 pub use persist::PersistError;

@@ -195,18 +195,8 @@ impl TransDas {
                                                            // information (zero embedding, logit 0) and would otherwise soak up
                                                            // most of the softmax mass in short, front-padded windows, washing
                                                            // out the real context. Each row keeps itself unmasked so the
-                                                           // softmax always has support.
-        let mut mask_t = self.mask.clone();
-        for (j, &key) in inputs.iter().enumerate() {
-            if key == 0 {
-                for i in 0..self.cfg.window {
-                    if i != j {
-                        mask_t.set(i, j, crate::mask::NEG_INF);
-                    }
-                }
-            }
-        }
-        let mask = tape.constant(mask_t);
+                                                           // softmax always has support. Shared with the tape-free eval path.
+        let mask = tape.constant(self.eval_mask(inputs));
         for (bi, block) in self.blocks.iter().enumerate() {
             // Multi-head attention with masking.
             let attention_span = ucad_obs::span!("model.attention");
@@ -257,13 +247,170 @@ impl TransDas {
         x
     }
 
+    /// The combined mode + padding mask for one padded window: `k0` columns
+    /// are disconnected (except the diagonal) exactly as in the tape
+    /// forward.
+    fn eval_mask(&self, inputs: &[u32]) -> Tensor {
+        let mut mask_t = self.mask.clone();
+        for (j, &key) in inputs.iter().enumerate() {
+            if key == 0 {
+                for i in 0..self.cfg.window {
+                    if i != j {
+                        mask_t.set(i, j, crate::mask::NEG_INF);
+                    }
+                }
+            }
+        }
+        mask_t
+    }
+
+    /// Copy of rows `[r0, r1)`.
+    fn slice_rows(t: &Tensor, r0: usize, r1: usize) -> Tensor {
+        let c = t.cols();
+        Tensor::from_vec(r1 - r0, c, t.data()[r0 * c..r1 * c].to_vec())
+    }
+
+    /// Tape-free evaluation forward over `windows` (each one padded window),
+    /// stacked as a `(B * L) x hidden` tensor with window `w` in rows
+    /// `[w * L, (w + 1) * L)`.
+    ///
+    /// Bit-identical per window to the tape forward in evaluation mode: all
+    /// row-wise stages (embedding gather, projections, FFN, residuals, layer
+    /// norm via [`Tensor::layer_norm_forward`], bias via
+    /// [`Tensor::add_row_broadcast`]) are batched across windows, which
+    /// cannot change per-row f32 results, and attention runs per
+    /// (window, head) through [`Tensor::matmul_bt`], itself bit-identical to
+    /// the tape's `matmul(q, transpose(k))`. Eval dropout (`keep = 1.0`) is
+    /// the identity and is skipped.
+    fn forward_eval_batch(&self, windows: &[&[u32]]) -> Tensor {
+        let l = self.cfg.window;
+        let b = windows.len();
+        for w in windows {
+            assert_eq!(w.len(), l, "inputs must be full windows");
+        }
+        let _forward_span = ucad_obs::span!("model.forward");
+        forward_counter().add(b as u64);
+        let store = &self.store;
+        let emb = store.value(self.embedding);
+        let idx: Vec<usize> = windows
+            .iter()
+            .flat_map(|w| w.iter().map(|&k| k as usize))
+            .collect();
+        let mut x = emb.gather_rows(&idx);
+        if let Some(pos) = self.positional {
+            let p = store.value(pos);
+            for w in 0..b {
+                for i in 0..l {
+                    for (xc, pc) in x.row_mut(w * l + i).iter_mut().zip(p.row(i)) {
+                        *xc += *pc;
+                    }
+                }
+            }
+        }
+        let scale = 1.0 / (self.cfg.hidden as f32).sqrt();
+        let masks: Vec<Tensor> = windows.iter().map(|w| self.eval_mask(w)).collect();
+        for block in &self.blocks {
+            let attention_span = ucad_obs::span!("model.attention");
+            let mut heads = Vec::with_capacity(self.cfg.heads);
+            for h in 0..self.cfg.heads {
+                // Projections are row-wise: batching them across windows is
+                // exactly the per-window computation.
+                let q_all = x.matmul(store.value(block.wq[h]));
+                let k_all = x.matmul(store.value(block.wk[h]));
+                let v_all = x.matmul(store.value(block.wv[h]));
+                let mut head_out = Tensor::zeros(b * l, q_all.cols());
+                // Attention mixes rows, so it runs block-diagonally: each
+                // window only attends within its own L rows.
+                for (w, mask) in masks.iter().enumerate() {
+                    let q = Self::slice_rows(&q_all, w * l, (w + 1) * l);
+                    let k = Self::slice_rows(&k_all, w * l, (w + 1) * l);
+                    let v = Self::slice_rows(&v_all, w * l, (w + 1) * l);
+                    let a = q.matmul_bt(&k).scale(scale).add(mask).softmax_rows();
+                    let av = a.matmul(&v);
+                    for i in 0..l {
+                        head_out.row_mut(w * l + i).copy_from_slice(av.row(i));
+                    }
+                }
+                heads.push(head_out);
+            }
+            let head_refs: Vec<&Tensor> = heads.iter().collect();
+            let mh = Tensor::concat_cols(&head_refs);
+            let projected = mh.matmul(store.value(block.wo));
+            let res = x.add(&projected);
+            let (normed, _, _) = res.layer_norm_forward(
+                store.value(block.ln1.gain),
+                store.value(block.ln1.bias),
+                block.ln1.eps,
+            );
+            drop(attention_span);
+            let _ffn_span = ucad_obs::span!("model.ffn");
+            let f1 = normed
+                .matmul(store.value(block.ffn1.w))
+                .add_row_broadcast(store.value(block.ffn1.b));
+            let act = f1.map(|v| v.max(0.0));
+            let f2 = act
+                .matmul(store.value(block.ffn2.w))
+                .add_row_broadcast(store.value(block.ffn2.b));
+            let res2 = normed.add(&f2);
+            let (ln2_out, _, _) = res2.layer_norm_forward(
+                store.value(block.ln2.gain),
+                store.value(block.ln2.bias),
+                block.ln2.eps,
+            );
+            x = ln2_out;
+        }
+        x
+    }
+
     /// Evaluation-mode output `O^(B)` for a padded window.
     pub fn output(&self, inputs: &[u32]) -> Tensor {
+        let padded = self.pad_window(inputs);
+        self.forward_eval_batch(&[&padded])
+    }
+
+    /// The tape-based evaluation forward, kept as the reference
+    /// implementation the tape-free path is tested bit-identical against.
+    /// Prefer [`TransDas::output`], which avoids the tape allocation.
+    pub fn output_reference(&self, inputs: &[u32]) -> Tensor {
         let padded = self.pad_window(inputs);
         let mut rng = StdRng::seed_from_u64(0);
         let mut tape = Tape::new();
         let o = self.forward(&mut tape, &padded, &self.store, false, &mut rng, None);
         tape.value(o).clone()
+    }
+
+    /// Batched evaluation: pads every window and packs all of them into one
+    /// stacked forward, returning one `L x hidden` output per window.
+    /// Bit-identical per window to [`TransDas::output`]; one forward pass is
+    /// counted per window so `ucad_model_forward_total` is batch-invariant.
+    pub fn forward_batch(&self, windows: &[&[u32]]) -> Vec<Tensor> {
+        if windows.is_empty() {
+            return Vec::new();
+        }
+        let padded: Vec<Vec<u32>> = windows.iter().map(|w| self.pad_window(w)).collect();
+        let refs: Vec<&[u32]> = padded.iter().map(Vec::as_slice).collect();
+        let stacked = self.forward_eval_batch(&refs);
+        let l = self.cfg.window;
+        (0..windows.len())
+            .map(|w| Self::slice_rows(&stacked, w * l, (w + 1) * l))
+            .collect()
+    }
+
+    /// Batched [`TransDas::position_scores`]: one `L x vocab` score matrix
+    /// per window, computed from a single stacked forward.
+    pub fn position_scores_batch(&self, windows: &[&[u32]]) -> Vec<Tensor> {
+        if windows.is_empty() {
+            return Vec::new();
+        }
+        let padded: Vec<Vec<u32>> = windows.iter().map(|w| self.pad_window(w)).collect();
+        let refs: Vec<&[u32]> = padded.iter().map(Vec::as_slice).collect();
+        let stacked = self.forward_eval_batch(&refs);
+        let m = self.store.value(self.embedding);
+        let scores = stacked.matmul_bt(m);
+        let l = self.cfg.window;
+        (0..windows.len())
+            .map(|w| Self::slice_rows(&scores, w * l, (w + 1) * l))
+            .collect()
     }
 
     /// Evaluation forward that also returns the first block's head-averaged
@@ -290,7 +437,7 @@ impl TransDas {
     pub fn position_scores(&self, inputs: &[u32]) -> Tensor {
         let o = self.output(inputs);
         let m = self.store.value(self.embedding);
-        o.matmul(&m.transpose())
+        o.matmul_bt(m)
     }
 
     /// Scores the *next* operation after `context` against all keys
@@ -338,6 +485,12 @@ impl TransDas {
     }
 
     /// [`TransDas::next_scores`] memoized through an optional [`ScoreCache`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "duplicate entry point: take the last row of \
+                `position_scores_cached(context, cache)` instead, which shares \
+                the memo and avoids re-deriving the padded window"
+    )]
     pub fn next_scores_cached(&self, context: &[u32], cache: Option<&ScoreCache>) -> Vec<f32> {
         let scores = self.position_scores_cached(context, cache);
         scores.row(scores.rows() - 1).to_vec()
@@ -880,6 +1033,48 @@ mod tests {
                 i + 1,
                 attn.get(i, i + 1)
             );
+        }
+    }
+
+    #[test]
+    fn eval_forward_is_bit_identical_to_tape_reference() {
+        let mut model = TransDas::new(tiny_config(10));
+        model.cfg.epochs = 2;
+        model.train(&cyclic_sessions(4, 10));
+        for ctx in [
+            vec![1, 2, 3],
+            vec![],
+            vec![4, 1, 2, 3, 4, 1, 2, 3, 4],
+            vec![9, 9, 9],
+        ] {
+            assert_eq!(model.output(&ctx), model.output_reference(&ctx));
+        }
+        // The positional-embedding variant exercises the broadcast add.
+        let cfg = TransDasConfig {
+            positional: true,
+            ..tiny_config(10)
+        };
+        let m2 = TransDas::new(cfg);
+        assert_eq!(m2.output(&[1, 2, 3]), m2.output_reference(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn forward_batch_matches_per_window_output() {
+        let model = TransDas::new(tiny_config(12));
+        let wins: Vec<Vec<u32>> = vec![
+            vec![1, 2, 3],
+            vec![],
+            vec![5, 6, 7, 8, 9, 10, 11],
+            vec![1; 20],
+        ];
+        let refs: Vec<&[u32]> = wins.iter().map(|w| w.as_slice()).collect();
+        let batched = model.forward_batch(&refs);
+        for (w, out) in refs.iter().zip(&batched) {
+            assert_eq!(out, &model.output(w));
+        }
+        let scores = model.position_scores_batch(&refs);
+        for (w, s) in refs.iter().zip(&scores) {
+            assert_eq!(s, &model.position_scores(w));
         }
     }
 

@@ -68,7 +68,7 @@ impl TransDas {
         snapshot
             .config
             .validate()
-            .map_err(PersistError::Incompatible)?;
+            .map_err(|e| PersistError::Incompatible(e.to_string()))?;
         let mut model = TransDas::new(snapshot.config);
         if model.store.len() != snapshot.params.len() {
             return Err(PersistError::Incompatible(format!(

@@ -153,15 +153,7 @@ impl Tape {
 
     /// Adds a `1 x c` row vector to every row of an `r x c` matrix.
     pub fn add_row(&mut self, m: Var, row: Var) -> Var {
-        let (rows, cols) = self.value(m).shape();
-        assert_eq!(self.value(row).shape(), (1, cols), "add_row shape mismatch");
-        let mut out = self.value(m).clone();
-        for r in 0..rows {
-            let rv = self.nodes[row.0].value.row(0).to_vec();
-            for (o, b) in out.row_mut(r).iter_mut().zip(rv.iter()) {
-                *o += *b;
-            }
-        }
+        let out = self.value(m).add_row_broadcast(self.value(row));
         self.push(out, Op::AddRow(m.0, row.0))
     }
 
@@ -232,30 +224,12 @@ impl Tape {
     }
 
     /// Row-wise layer normalization with learnable gain and bias (both
-    /// `1 x c`), as in Eq. 6 of the UCAD paper.
-    #[allow(clippy::needless_range_loop)] // parallel-buffer numeric kernel
+    /// `1 x c`), as in Eq. 6 of the UCAD paper. Forward math lives in
+    /// [`Tensor::layer_norm_forward`], shared with the tape-free eval path.
     pub fn layer_norm(&mut self, x: Var, gain: Var, bias: Var, eps: f32) -> Var {
-        let xv = self.value(x).clone();
-        let (rows, cols) = xv.shape();
-        assert_eq!(self.value(gain).shape(), (1, cols), "layer_norm gain shape");
-        assert_eq!(self.value(bias).shape(), (1, cols), "layer_norm bias shape");
-        let g = self.value(gain).clone();
-        let b = self.value(bias).clone();
-        let mut xhat = Tensor::zeros(rows, cols);
-        let mut inv_std = Vec::with_capacity(rows);
-        let mut out = Tensor::zeros(rows, cols);
-        for r in 0..rows {
-            let row = xv.row(r);
-            let mu: f32 = row.iter().sum::<f32>() / cols as f32;
-            let var: f32 = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / cols as f32;
-            let is = 1.0 / (var + eps).sqrt();
-            inv_std.push(is);
-            for c in 0..cols {
-                let xh = (row[c] - mu) * is;
-                xhat.set(r, c, xh);
-                out.set(r, c, g.get(0, c) * xh + b.get(0, c));
-            }
-        }
+        let (out, xhat, inv_std) =
+            self.value(x)
+                .layer_norm_forward(self.value(gain), self.value(bias), eps);
         self.push(
             out,
             Op::LayerNorm {
@@ -376,8 +350,10 @@ impl Tape {
             Op::MatMul(a, b) => {
                 let av = &self.nodes[*a].value;
                 let bv = &self.nodes[*b].value;
-                Self::accum(grads, *a, grad.matmul(&bv.transpose()));
-                Self::accum(grads, *b, av.transpose().matmul(grad));
+                // Transpose-packed kernels: bit-identical to
+                // grad * B^T and A^T * grad without the transpose copies.
+                Self::accum(grads, *a, grad.matmul_bt(bv));
+                Self::accum(grads, *b, av.matmul_at(grad));
             }
             Op::Transpose(x) => Self::accum(grads, *x, grad.transpose()),
             Op::Add(a, b) => {

@@ -9,6 +9,45 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Mutable base pointer of an output buffer, handed to pool chunks that
+/// write *disjoint* row ranges. Sound because `run_rows` partitions
+/// `0..rows` into non-overlapping chunks and the kernel for rows
+/// `[r0, r1)` only touches `out[r0 * cols .. r1 * cols]`.
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// `Sync` wrapper, not the raw pointer, under disjoint capture rules.
+    #[inline]
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Below this many multiply-adds a matmul is not worth dispatching to the
+/// pool: the fork/join handshake would dominate. Chosen so the scenario-I
+/// toy configs stay inline while serving/training shapes engage the pool.
+const PAR_MIN_FLOPS: usize = 32 * 1024;
+
+/// Runs `body(r0, r1)` over a disjoint cover of `0..rows`, in parallel on
+/// the current pool when the work is large enough, inline otherwise. The
+/// per-row computation must be independent across rows; under that
+/// contract results are bit-identical at any thread count because
+/// partitioning only decides *who* computes each output row, never the
+/// order of the summation inside it.
+fn run_rows(rows: usize, flops: usize, body: impl Fn(usize, usize) + Sync) {
+    if rows >= 2 && flops >= PAR_MIN_FLOPS {
+        let pool = ucad_pool::current();
+        if pool.threads() > 1 {
+            pool.parallel_for(rows, 1, body);
+            return;
+        }
+    }
+    body(0, rows);
+}
+
 /// A dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
@@ -162,8 +201,11 @@ impl Tensor {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses the cache-friendly i-k-j loop order; at UCAD model sizes
-    /// (`h <= 256`, `L <= 200`, vocab <= ~1000) this is more than fast enough.
+    /// Uses the cache-friendly i-k-j loop order, partitioned across output
+    /// rows on the current [`ucad_pool`] pool when the product is large
+    /// enough. Each output row is produced by exactly one thread with the
+    /// same k-ascending accumulation as the sequential loop, so the result
+    /// is bit-identical at any thread count.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -175,19 +217,113 @@ impl Tensor {
         );
         let mut out = Tensor::zeros(self.rows, rhs.cols);
         let n = rhs.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * n..(k + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a * b_row[j];
+        let out_ptr = SendPtr(out.data.as_mut_ptr());
+        run_rows(self.rows, self.rows * self.cols * n, |r0, r1| {
+            // SAFETY: chunks cover disjoint row ranges of `out` (see SendPtr).
+            let out_rows =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(r0 * n), (r1 - r0) * n) };
+            for i in r0..r1 {
+                let a_row = self.row(i);
+                let out_row = &mut out_rows[(i - r0) * n..(i - r0 + 1) * n];
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &rhs.data[k * n..(k + 1) * n];
+                    for j in 0..n {
+                        out_row[j] += a * b_row[j];
+                    }
                 }
             }
-        }
+        });
+        out
+    }
+
+    /// Transpose-packed product `self * rhs^T` without materializing the
+    /// transpose: `out[i][j] = Σ_k self[i,k] * rhs[j,k]`, i.e. a dot product
+    /// of two contiguous rows per output element.
+    ///
+    /// Bit-identical to `self.matmul(&rhs.transpose())`: per output element
+    /// the accumulation runs k-ascending with the same
+    /// `self[i,k] == 0.0` skip, so the f32 rounding sequence is unchanged —
+    /// only the memory access pattern (and the `rhs.rows * rhs.cols`
+    /// transpose copy) differs. Partitioned across output rows like
+    /// [`Tensor::matmul`].
+    ///
+    /// # Panics
+    /// Panics unless `self.cols == rhs.cols`.
+    pub fn matmul_bt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_bt shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let m = rhs.rows;
+        let inner = self.cols;
+        let mut out = Tensor::zeros(self.rows, m);
+        let out_ptr = SendPtr(out.data.as_mut_ptr());
+        run_rows(self.rows, self.rows * inner * m, |r0, r1| {
+            // SAFETY: chunks cover disjoint row ranges of `out` (see SendPtr).
+            let out_rows =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(r0 * m), (r1 - r0) * m) };
+            for i in r0..r1 {
+                let a_row = self.row(i);
+                let out_row = &mut out_rows[(i - r0) * m..(i - r0 + 1) * m];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &rhs.data[j * inner..(j + 1) * inner];
+                    let mut acc = 0.0f32;
+                    for (k, &a) in a_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        acc += a * b_row[k];
+                    }
+                    *o = acc;
+                }
+            }
+        });
+        out
+    }
+
+    /// Transpose-packed product `self^T * rhs` without materializing the
+    /// transpose: `out[i][j] = Σ_k self[k,i] * rhs[k,j]`.
+    ///
+    /// Bit-identical to `self.transpose().matmul(rhs)`: the k-outer,
+    /// j-inner loop shape and the `self[k,i] == 0.0` skip are exactly those
+    /// of [`Tensor::matmul`] applied to the transposed operand, so each
+    /// output element sees the same k-ascending f32 additions. Partitioned
+    /// across output rows (columns of `self`).
+    ///
+    /// # Panics
+    /// Panics unless `self.rows == rhs.rows`.
+    pub fn matmul_at(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_at shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let n = rhs.cols;
+        let inner = self.rows;
+        let mut out = Tensor::zeros(self.cols, n);
+        let out_ptr = SendPtr(out.data.as_mut_ptr());
+        run_rows(self.cols, self.cols * inner * n, |r0, r1| {
+            // SAFETY: chunks cover disjoint row ranges of `out` (see SendPtr).
+            let out_rows =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(r0 * n), (r1 - r0) * n) };
+            for i in r0..r1 {
+                let out_row = &mut out_rows[(i - r0) * n..(i - r0 + 1) * n];
+                for k in 0..inner {
+                    let a = self.data[k * self.cols + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &rhs.data[k * n..(k + 1) * n];
+                    for j in 0..n {
+                        out_row[j] += a * b_row[j];
+                    }
+                }
+            }
+        });
         out
     }
 
@@ -352,6 +488,60 @@ impl Tensor {
             out.row_mut(i).copy_from_slice(self.row(idx));
         }
         out
+    }
+
+    /// Row-broadcast sum: `out[r] = self[r] + row` with `row` a `1 x c`
+    /// vector. Shared by the tape `AddRow` op and the tape-free evaluation
+    /// path so the two cannot drift numerically.
+    ///
+    /// # Panics
+    /// Panics unless `row` is `1 x self.cols()`.
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
+        assert_eq!(row.shape(), (1, self.cols), "add_row shape mismatch");
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for (o, b) in out.row_mut(r).iter_mut().zip(row.data.iter()) {
+                *o += *b;
+            }
+        }
+        out
+    }
+
+    /// Row-wise layer normalization forward (Eq. 6 of the UCAD paper):
+    /// `out = gain * (x - mu) / sqrt(var + eps) + bias` per row, returning
+    /// `(out, xhat, inv_std)` where `xhat` is the normalized input and
+    /// `inv_std[r] = 1 / sqrt(var_r + eps)` — the quantities the backward
+    /// pass needs. Shared by the tape `LayerNorm` op and the tape-free
+    /// evaluation path so the two cannot drift numerically.
+    ///
+    /// # Panics
+    /// Panics unless `gain` and `bias` are `1 x self.cols()`.
+    #[allow(clippy::needless_range_loop)] // parallel-buffer numeric kernel
+    pub fn layer_norm_forward(
+        &self,
+        gain: &Tensor,
+        bias: &Tensor,
+        eps: f32,
+    ) -> (Tensor, Tensor, Vec<f32>) {
+        let (rows, cols) = self.shape();
+        assert_eq!(gain.shape(), (1, cols), "layer_norm gain shape");
+        assert_eq!(bias.shape(), (1, cols), "layer_norm bias shape");
+        let mut xhat = Tensor::zeros(rows, cols);
+        let mut inv_std = Vec::with_capacity(rows);
+        let mut out = Tensor::zeros(rows, cols);
+        for r in 0..rows {
+            let row = self.row(r);
+            let mu: f32 = row.iter().sum::<f32>() / cols as f32;
+            let var: f32 = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / cols as f32;
+            let is = 1.0 / (var + eps).sqrt();
+            inv_std.push(is);
+            for c in 0..cols {
+                let xh = (row[c] - mu) * is;
+                xhat.set(r, c, xh);
+                out.set(r, c, gain.get(0, c) * xh + bias.get(0, c));
+            }
+        }
+        (out, xhat, inv_std)
     }
 
     /// Largest absolute element (0.0 for empty tensors).

@@ -7,8 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ucad::{Ucad, UcadConfig, Verdict};
-use ucad_model::TransDasConfig;
+use ucad::prelude::*;
 use ucad_trace::{generate_raw_log, AnomalySynthesizer, ScenarioSpec, SessionGenerator};
 
 fn main() {

@@ -7,9 +7,8 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ucad::{ServeConfig, ShardedOnlineUcad, Ucad, UcadConfig};
+use ucad::prelude::*;
 use ucad_dbsim::LogRecord;
-use ucad_model::{DetectionMode, TransDasConfig};
 use ucad_trace::{generate_raw_log, AnomalySynthesizer, ScenarioSpec, Session, SessionGenerator};
 
 fn records_of(session: &Session) -> Vec<LogRecord> {

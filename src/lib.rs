@@ -1,5 +1,6 @@
 //! Umbrella crate re-exporting the UCAD reproduction workspace.
 pub use ucad as core;
+pub use ucad::prelude;
 pub use ucad_baselines as baselines;
 pub use ucad_dbsim as dbsim;
 pub use ucad_model as model;

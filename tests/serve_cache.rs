@@ -92,11 +92,17 @@ fn cached_score_vectors_are_bitwise_identical() {
     let cache = ScoreCache::new(256);
     for keys in sessions.iter().take(50) {
         for t in 1..keys.len() {
-            let cached = system.model.next_scores_cached(&keys[..t], Some(&cache));
+            let scores = system
+                .model
+                .position_scores_cached(&keys[..t], Some(&cache));
+            let cached = scores.row(scores.rows() - 1).to_vec();
             let plain = system.model.next_scores(&keys[..t]);
             assert_eq!(cached, plain, "cached scores diverged at position {t}");
             // A repeat lookup must hit and return the very same vector.
-            let again = system.model.next_scores_cached(&keys[..t], Some(&cache));
+            let scores = system
+                .model
+                .position_scores_cached(&keys[..t], Some(&cache));
+            let again = scores.row(scores.rows() - 1).to_vec();
             assert_eq!(again, plain);
         }
     }
