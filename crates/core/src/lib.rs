@@ -44,7 +44,7 @@ pub use experiment::{
     evaluate_log_dataset, run_baseline, run_transdas, TokenizedDataset, TransferResult,
 };
 pub use metrics::{Confusion, MethodResult};
-pub use online::{Alert, AlertReason, OnlineUcad};
+pub use online::{Alert, AlertReason, OnlineUcad, ServeObserver};
 pub use serve::{ServeConfig, ServeConfigBuilder, ServeStats, ShardedOnlineUcad, ShutdownReport};
 pub use sweep::{sweep_hidden, sweep_margin, sweep_top_p, sweep_window, SweepPoint};
 pub use system::{Ucad, UcadConfig, UcadTrainReport, Verdict};
@@ -61,7 +61,7 @@ pub use ucad_obs::FlightEntry;
 /// use ucad::prelude::*;
 /// ```
 pub mod prelude {
-    pub use crate::online::{Alert, AlertReason, OnlineUcad};
+    pub use crate::online::{Alert, AlertReason, OnlineUcad, ServeObserver};
     pub use crate::serve::{
         ServeConfig, ServeConfigBuilder, ServeStats, ShardedOnlineUcad, ShutdownReport,
     };

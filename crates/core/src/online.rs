@@ -43,6 +43,44 @@ pub enum AlertReason {
     IntentMismatch,
 }
 
+/// Passive hooks onto the serving engine's detection stream, the feed a
+/// drift monitor (or any other telemetry consumer) subscribes to via
+/// [`crate::ShardedOnlineUcad::try_new_observed`].
+///
+/// Implementations must be cheap and non-blocking: hooks run inline on the
+/// shard worker threads, inside the scoring hot loop. With more than one
+/// shard the interleaving of calls across sessions follows worker timing —
+/// only the per-session ordering is deterministic — so observers that need
+/// reproducible aggregate statistics should be driven by a single-shard
+/// engine.
+///
+/// Every hook has a no-op default, so observers implement only what they
+/// consume.
+pub trait ServeObserver: Send + Sync {
+    /// A record arrived and was tokenized; `key` is the statement key under
+    /// the frozen serving vocabulary (`0` = never seen in training).
+    fn on_record(&self, key: u32) {
+        let _ = key;
+    }
+
+    /// A position was scored. `rank` is the operation's top-*p* rank within
+    /// its context scores (`None` when the statement is unknown and no rank
+    /// exists); `abnormal` is the resulting verdict.
+    fn on_score(&self, rank: Option<usize>, abnormal: bool) {
+        let _ = (rank, abnormal);
+    }
+
+    /// An alert was raised.
+    fn on_alert(&self, alert: &Alert) {
+        let _ = alert;
+    }
+
+    /// A session closed; `alerted` tells whether it ever raised an alert.
+    fn on_session_close(&self, alerted: bool) {
+        let _ = alerted;
+    }
+}
+
 struct ActiveSession {
     session: Session,
     keys: Vec<u32>,
@@ -138,6 +176,7 @@ impl SessionTracker {
         &mut self,
         system: &Ucad,
         cache: Option<&ScoreCache>,
+        observer: Option<&dyn ServeObserver>,
         session_id: u64,
         closing: bool,
     ) -> Option<RaisedAlert> {
@@ -167,6 +206,11 @@ impl SessionTracker {
         }
         let verdicts = detector.run_verdicts_detail(&entry.keys[..until], from, cache);
         entry.scored = until;
+        if let Some(observer) = observer {
+            for v in &verdicts {
+                observer.on_score(v.rank, v.verdict.is_abnormal());
+            }
+        }
         let bad = verdicts.last().filter(|v| v.verdict.is_abnormal())?;
         let reason = match bad.verdict {
             OpVerdict::UnknownStatement => AlertReason::UnknownStatement,
@@ -190,6 +234,7 @@ impl SessionTracker {
         &mut self,
         system: &Ucad,
         cache: Option<&ScoreCache>,
+        observer: Option<&dyn ServeObserver>,
         record: &LogRecord,
         seq: u64,
     ) -> Option<RaisedAlert> {
@@ -217,6 +262,9 @@ impl SessionTracker {
         let key = system.preprocessor.vocab.key_of_sql(&record.sql);
         entry.keys.push(key);
         entry.seqs.push(seq);
+        if let Some(observer) = observer {
+            observer.on_record(key);
+        }
         if entry.alerted {
             return None;
         }
@@ -247,6 +295,9 @@ impl SessionTracker {
                 entry.scored = t + 1;
                 let detector = Detector::new(&system.model, system.detector);
                 let detail = detector.streaming_verdict_detail(&entry.keys, t, cache);
+                if let Some(observer) = observer {
+                    observer.on_score(detail.rank, detail.verdict.is_abnormal());
+                }
                 let reason = match detail.verdict {
                     OpVerdict::Normal => return None,
                     OpVerdict::UnknownStatement => AlertReason::UnknownStatement,
@@ -254,7 +305,9 @@ impl SessionTracker {
                 };
                 Some(Self::alert_for(system, entry, t, reason, Some(&detail)))
             }
-            DetectionMode::Block => self.score_pending(system, cache, record.session_id, false),
+            DetectionMode::Block => {
+                self.score_pending(system, cache, observer, record.session_id, false)
+            }
         }
     }
 
@@ -265,13 +318,17 @@ impl SessionTracker {
         &mut self,
         system: &Ucad,
         cache: Option<&ScoreCache>,
+        observer: Option<&dyn ServeObserver>,
         session_id: u64,
     ) -> Option<RaisedAlert> {
         let alert = match self.mode {
             DetectionMode::Streaming => None,
-            DetectionMode::Block => self.score_pending(system, cache, session_id, true),
+            DetectionMode::Block => self.score_pending(system, cache, observer, session_id, true),
         };
         if let Some(entry) = self.active.remove(&session_id) {
+            if let Some(observer) = observer {
+                observer.on_session_close(entry.alerted);
+            }
             if !entry.alerted {
                 self.verified_normals.push(entry.keys);
             }
@@ -339,7 +396,7 @@ impl OnlineUcad {
     pub fn observe(&mut self, record: &LogRecord) -> Option<Alert> {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let raised = self.tracker.ingest(&self.system, None, record, seq)?;
+        let raised = self.tracker.ingest(&self.system, None, None, record, seq)?;
         self.alerts.push(raised.alert.clone());
         Some(raised.alert)
     }
@@ -348,7 +405,7 @@ impl OnlineUcad {
     /// system itself and join the feedback buffer; alerted sessions await
     /// DBA diagnosis (see [`OnlineUcad::confirm_false_alarm`]).
     pub fn close_session(&mut self, session_id: u64) {
-        if let Some(raised) = self.tracker.close(&self.system, None, session_id) {
+        if let Some(raised) = self.tracker.close(&self.system, None, None, session_id) {
             self.alerts.push(raised.alert);
         }
     }

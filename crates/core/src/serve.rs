@@ -29,14 +29,14 @@
 //! [`OnlineUcad`]: crate::online::OnlineUcad
 //! [`SessionTracker`]: crate::online::SessionTracker
 
-use crate::online::{Alert, RaisedAlert, SessionTracker};
+use crate::online::{Alert, RaisedAlert, ServeObserver, SessionTracker};
 use crate::system::Ucad;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use ucad_dbsim::LogRecord;
-use ucad_model::{CacheStats, DetectionMode, ScoreCache, UcadError};
+use ucad_model::{CacheStats, DetectionMode, ScoreCache, TransDas, UcadError};
 use ucad_obs::{
     Counter, FlightEntry, FlightRecorder, Gauge, Histogram, MetricKind, Registry,
     DEFAULT_LATENCY_BUCKETS,
@@ -190,6 +190,13 @@ enum Msg {
     /// Barrier: every message sent before this one has been processed once
     /// the acknowledgement arrives (per-shard queues are FIFO).
     Flush(SyncSender<()>),
+    /// Model hot-swap: the worker replaces its shared system handle. Sent
+    /// after a flush barrier, so everything submitted before the swap was
+    /// scored by the old model and (FIFO) everything after it by the new.
+    Swap(Arc<Ucad>),
+    /// Hands back (and clears) the shard's verified-normal feedback buffer
+    /// without stopping the worker.
+    TakeFeedback(SyncSender<Vec<Vec<u32>>>),
     Shutdown,
     /// Test hook: makes the worker panic, exercising the shutdown
     /// panic-capture path.
@@ -232,6 +239,7 @@ struct ShardCtx {
     score_latency: Histogram,
     flight: Arc<FlightRecorder>,
     mode: DetectionMode,
+    observer: Option<Arc<dyn ServeObserver>>,
 }
 
 impl ShardCtx {
@@ -262,6 +270,9 @@ impl ShardCtx {
                 ("seq", raised.seq.to_string()),
             ],
         );
+        if let Some(observer) = &self.observer {
+            observer.on_alert(&raised.alert);
+        }
         self.outbox
             .lock()
             .expect("outbox poisoned")
@@ -270,15 +281,18 @@ impl ShardCtx {
     }
 }
 
-fn worker(rx: Receiver<Msg>, ctx: ShardCtx) -> SessionTracker {
+fn worker(rx: Receiver<Msg>, mut ctx: ShardCtx) -> SessionTracker {
     let mut tracker = SessionTracker::new(ctx.mode);
+    let observer = ctx.observer.clone();
+    let observer = observer.as_deref();
     while let Ok(msg) = rx.recv() {
         match msg {
             Msg::Record(record, seq, depth) => {
                 ctx.records.inc();
                 ctx.queue_depth.add(-1.0);
                 let start = Instant::now();
-                let raised = tracker.ingest(&ctx.system, ctx.cache.as_deref(), &record, seq);
+                let raised =
+                    tracker.ingest(&ctx.system, ctx.cache.as_deref(), observer, &record, seq);
                 ctx.score_latency.observe(start.elapsed().as_secs_f64());
                 if let Some(raised) = raised {
                     ctx.raise(raised, depth);
@@ -286,7 +300,9 @@ fn worker(rx: Receiver<Msg>, ctx: ShardCtx) -> SessionTracker {
             }
             Msg::Close(session_id, depth) => {
                 ctx.queue_depth.add(-1.0);
-                if let Some(raised) = tracker.close(&ctx.system, ctx.cache.as_deref(), session_id) {
+                if let Some(raised) =
+                    tracker.close(&ctx.system, ctx.cache.as_deref(), observer, session_id)
+                {
                     ctx.raise(raised, depth);
                 }
             }
@@ -296,6 +312,12 @@ fn worker(rx: Receiver<Msg>, ctx: ShardCtx) -> SessionTracker {
             }
             Msg::Flush(ack) => {
                 let _ = ack.send(());
+            }
+            Msg::Swap(system) => {
+                ctx.system = system;
+            }
+            Msg::TakeFeedback(ack) => {
+                let _ = ack.send(tracker.take_verified_normals());
             }
             Msg::Shutdown => break,
             #[cfg(test)]
@@ -319,9 +341,14 @@ pub struct ShardedOnlineUcad {
     registry: Arc<Registry>,
     flight: Arc<FlightRecorder>,
     worker_panics: Counter,
+    swaps: Counter,
+    epoch_gauge: Gauge,
     shards: Vec<Shard>,
     cfg: ServeConfig,
     next_seq: u64,
+    /// Model epoch: 0 for the model the engine started with, +1 per
+    /// completed [`ShardedOnlineUcad::swap_model`].
+    epoch: u64,
 }
 
 impl ShardedOnlineUcad {
@@ -338,6 +365,18 @@ impl ShardedOnlineUcad {
     /// Fallible constructor: rejects structurally invalid configurations
     /// with an [`UcadError`] instead of panicking.
     pub fn try_new(system: Ucad, cfg: ServeConfig) -> Result<Self, UcadError> {
+        Self::try_new_observed(system, cfg, None)
+    }
+
+    /// Like [`ShardedOnlineUcad::try_new`], additionally attaching a
+    /// [`ServeObserver`] whose hooks run inline on the shard workers for
+    /// every record, score, alert and session close — the feed a drift
+    /// monitor subscribes to.
+    pub fn try_new_observed(
+        system: Ucad,
+        cfg: ServeConfig,
+        observer: Option<Arc<dyn ServeObserver>>,
+    ) -> Result<Self, UcadError> {
         if cfg.shards == 0 {
             return Err(UcadError::invalid("shards", "at least one shard required"));
         }
@@ -369,12 +408,24 @@ impl ShardedOnlineUcad {
             MetricKind::Counter,
             "Worker threads that died of a panic, observed at shutdown",
         );
+        registry.describe(
+            "ucad_serve_swaps_total",
+            MetricKind::Counter,
+            "Completed model hot-swaps",
+        );
+        registry.describe(
+            "ucad_serve_model_epoch",
+            MetricKind::Gauge,
+            "Model epoch currently serving (0 = the model the engine started with)",
+        );
         let flight = Arc::new(FlightRecorder::new(cfg.flight_capacity));
         flight.register_metrics(&registry);
         if let Some(cache) = &cache {
             cache.register_metrics(&registry, &[]);
         }
         let worker_panics = registry.counter("ucad_serve_worker_panics_total", &[]);
+        let swaps = registry.counter("ucad_serve_swaps_total", &[]);
+        let epoch_gauge = registry.gauge("ucad_serve_model_epoch", &[]);
         let shards = (0..cfg.shards)
             .map(|i| {
                 let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
@@ -400,6 +451,7 @@ impl ShardedOnlineUcad {
                     score_latency,
                     flight: Arc::clone(&flight),
                     mode: cfg.mode,
+                    observer: observer.clone(),
                 };
                 let handle = std::thread::spawn(move || worker(rx, ctx));
                 Shard {
@@ -417,9 +469,12 @@ impl ShardedOnlineUcad {
             registry,
             flight,
             worker_panics,
+            swaps,
+            epoch_gauge,
             shards,
             cfg,
             next_seq: 0,
+            epoch: 0,
         })
     }
 
@@ -467,6 +522,85 @@ impl ShardedOnlineUcad {
     /// DBA feedback: the alert on `session_id` was a false alarm.
     pub fn confirm_false_alarm(&mut self, session_id: u64) {
         self.send(session_id, move |_| Msg::FalseAlarm(session_id));
+    }
+
+    /// Atomically hot-swaps the serving model, returning the new model
+    /// epoch. The swap happens at a global cut in the submission order:
+    ///
+    /// 1. a flush barrier completes every record submitted so far against
+    ///    the **old** model,
+    /// 2. the shared [`ScoreCache`] advances its epoch, marking every score
+    ///    memoized from the old weights stale (they are dropped on their
+    ///    next lookup, never served),
+    /// 3. each shard receives the new system on its FIFO queue, ahead of
+    ///    anything submitted afterwards.
+    ///
+    /// Because `&mut self` serializes submission against the swap and the
+    /// per-shard queues are FIFO, every record is scored by exactly the
+    /// model that was current when it was submitted — for any shard count.
+    /// Sessions opened after the swap produce verdicts byte-identical to a
+    /// freshly started engine on the new model; sessions straddling the cut
+    /// finish deterministically, with positions scored under the model
+    /// current at their scoring time.
+    ///
+    /// The candidate must share the serving vocabulary (the preprocessor's
+    /// statement keys index its embedding table); a mismatched `vocab_size`
+    /// is rejected with [`UcadError::InvalidConfig`] and leaves the engine
+    /// untouched.
+    pub fn swap_model(&mut self, model: TransDas) -> Result<u64, UcadError> {
+        let serving = self.system.model.cfg.vocab_size;
+        if model.cfg.vocab_size != serving {
+            return Err(UcadError::invalid(
+                "vocab_size",
+                format!(
+                    "candidate model indexes {} statement keys, the serving \
+                     vocabulary has {serving}",
+                    model.cfg.vocab_size
+                ),
+            ));
+        }
+        self.flush();
+        if let Some(cache) = &self.cache {
+            cache.advance_epoch();
+        }
+        let mut system = (*self.system).clone();
+        system.model = model;
+        let system = Arc::new(system);
+        for shard in &self.shards {
+            // A dead worker's partition is lost either way; skip it like
+            // flush does.
+            let _ = shard.tx.send(Msg::Swap(Arc::clone(&system)));
+        }
+        self.system = system;
+        self.epoch += 1;
+        self.swaps.inc();
+        self.epoch_gauge.set(self.epoch as f64);
+        ucad_obs::event("serve.model_swap", &[("epoch", self.epoch.to_string())]);
+        Ok(self.epoch)
+    }
+
+    /// The model epoch currently serving: 0 until the first
+    /// [`ShardedOnlineUcad::swap_model`], +1 per swap.
+    pub fn model_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Flushes, then hands over (and clears) every shard's verified-normal
+    /// feedback buffer — the §5.2 retraining corpus — without stopping the
+    /// engine. Sessions appear in close order within a shard, shards in
+    /// index order.
+    pub fn drain_feedback(&mut self) -> Vec<Vec<u32>> {
+        self.flush();
+        let mut sessions = Vec::new();
+        for shard in &self.shards {
+            let (ack_tx, ack_rx) = sync_channel(1);
+            if shard.tx.send(Msg::TakeFeedback(ack_tx)).is_ok() {
+                if let Ok(mut batch) = ack_rx.recv() {
+                    sessions.append(&mut batch);
+                }
+            }
+        }
+        sessions
     }
 
     /// Barrier: returns once every record submitted so far has been fully
@@ -658,13 +792,12 @@ mod tests {
         assert!(ServeConfig::builder().queue_capacity(0).build().is_err());
     }
 
-    #[test]
-    fn shutdown_reports_worker_panics_instead_of_propagating() {
-        use crate::system::{Ucad, UcadConfig};
+    fn tiny_system(seed: u64) -> Ucad {
+        use crate::system::UcadConfig;
         use ucad_model::TransDasConfig;
         use ucad_trace::{generate_raw_log, ScenarioSpec};
 
-        let raw = generate_raw_log(&ScenarioSpec::commenting(), 30, 0.0, 9);
+        let raw = generate_raw_log(&ScenarioSpec::commenting(), 30, 0.0, seed);
         let mut cfg = UcadConfig::scenario1();
         cfg.model = TransDasConfig {
             hidden: 8,
@@ -674,7 +807,12 @@ mod tests {
             epochs: 1,
             ..cfg.model
         };
-        let (system, _) = Ucad::train(&raw.sessions, cfg);
+        Ucad::train(&raw.sessions, cfg).0
+    }
+
+    #[test]
+    fn shutdown_reports_worker_panics_instead_of_propagating() {
+        let system = tiny_system(9);
         let engine = ShardedOnlineUcad::new(
             system,
             ServeConfig {
@@ -694,5 +832,88 @@ mod tests {
             report.worker_panics[0].1
         );
         assert!(report.alerts.is_empty());
+    }
+
+    #[test]
+    fn swap_validates_vocab_and_bumps_epoch_and_metrics() {
+        let system = tiny_system(11);
+        let mut bad_cfg = system.model.cfg;
+        bad_cfg.vocab_size += 3;
+        let mut engine = ShardedOnlineUcad::new(
+            system,
+            ServeConfig {
+                shards: 3,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(engine.model_epoch(), 0);
+        let err = engine
+            .swap_model(TransDas::new(bad_cfg))
+            .expect_err("vocab mismatch must be rejected");
+        assert!(matches!(
+            err,
+            UcadError::InvalidConfig {
+                field: "vocab_size",
+                ..
+            }
+        ));
+        assert_eq!(engine.model_epoch(), 0, "rejected swap must not advance");
+
+        let candidate = engine.system().model.clone();
+        assert_eq!(engine.swap_model(candidate).expect("compatible swap"), 1);
+        assert_eq!(engine.model_epoch(), 1);
+        let metrics = engine.render_metrics();
+        assert!(metrics.contains("ucad_serve_swaps_total 1"));
+        assert!(metrics.contains("ucad_serve_model_epoch 1"));
+        // The shared score memo was invalidated at the cut.
+        assert!(metrics.contains("ucad_cache_stale_drops_total 0"));
+        engine.flush();
+    }
+
+    #[test]
+    fn drain_feedback_collects_unalerted_sessions_without_stopping() {
+        use rand::SeedableRng;
+        use ucad_trace::{ScenarioSpec, SessionGenerator};
+
+        let system = tiny_system(13);
+        let mut engine = ShardedOnlineUcad::new(
+            system,
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let mut gen = SessionGenerator::new(ScenarioSpec::commenting());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let mut submitted = 0;
+        for _ in 0..4 {
+            let s = gen.normal_session(&mut rng).session;
+            for op in &s.ops {
+                engine.submit(&LogRecord {
+                    timestamp: op.timestamp,
+                    user: s.user.clone(),
+                    client_ip: s.client_ip.clone(),
+                    session_id: s.id,
+                    sql: op.sql.clone(),
+                    table: op.table.clone(),
+                    op: op.kind,
+                    rows: 0,
+                });
+            }
+            engine.close_session(s.id);
+            submitted += 1;
+        }
+        let alerted: std::collections::HashSet<u64> =
+            engine.drain_alerts().iter().map(|a| a.session_id).collect();
+        let feedback = engine.drain_feedback();
+        assert_eq!(feedback.len(), submitted - alerted.len());
+        assert!(
+            engine.drain_feedback().is_empty(),
+            "drain must clear the buffers"
+        );
+        // The engine keeps serving after a drain.
+        engine.flush();
+        let report = engine.shutdown();
+        assert!(report.verified_normals.is_empty());
     }
 }

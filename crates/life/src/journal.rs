@@ -1,0 +1,112 @@
+//! Rolling journal of verified-normal sessions — the retraining corpus.
+//!
+//! The serving engine's feedback channel (`drain_feedback` plus DBA
+//! false-alarm confirmations) yields tokenized sessions the system believes
+//! are normal; §5.2 retrains on exactly this stream. The journal keeps the
+//! most recent `capacity` of them in arrival order and hands out
+//! deterministic train/holdout splits for the promotion gate.
+
+use std::collections::VecDeque;
+
+/// Bounded FIFO of tokenized (key-sequence) sessions.
+#[derive(Debug, Clone)]
+pub struct SessionJournal {
+    capacity: usize,
+    sessions: VecDeque<Vec<u32>>,
+}
+
+impl SessionJournal {
+    /// Creates a journal keeping at most `capacity` sessions.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "journal capacity must be at least 1");
+        SessionJournal {
+            capacity,
+            sessions: VecDeque::new(),
+        }
+    }
+
+    /// Appends sessions, evicting the oldest beyond capacity.
+    pub fn extend(&mut self, sessions: impl IntoIterator<Item = Vec<u32>>) {
+        for s in sessions {
+            if self.sessions.len() == self.capacity {
+                self.sessions.pop_front();
+            }
+            self.sessions.push_back(s);
+        }
+    }
+
+    /// Sessions currently resident.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no sessions are journaled.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The resident sessions in arrival order.
+    pub fn snapshot(&self) -> Vec<Vec<u32>> {
+        self.sessions.iter().cloned().collect()
+    }
+
+    /// Splits the journal into a training slice and a held-out validation
+    /// slice for the shadow gate: every `holdout_every`-th session (in a
+    /// canonical sorted order) is held out, the rest train.
+    ///
+    /// The split sorts lexicographically before slicing, so it is invariant
+    /// to how feedback interleaved across serving shards — the same journal
+    /// *contents* always produce the same candidate model and the same gate
+    /// verdict, regardless of shard count.
+    pub fn split_holdout(&self, holdout_every: usize) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        assert!(holdout_every >= 2, "holdout_every must be at least 2");
+        let mut all = self.snapshot();
+        all.sort_unstable();
+        let mut train = Vec::new();
+        let mut holdout = Vec::new();
+        for (i, s) in all.into_iter().enumerate() {
+            if (i + 1) % holdout_every == 0 {
+                holdout.push(s);
+            } else {
+                train.push(s);
+            }
+        }
+        (train, holdout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let mut j = SessionJournal::new(3);
+        j.extend((0..5u32).map(|i| vec![i]));
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.snapshot(), vec![vec![2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn split_is_invariant_to_arrival_order() {
+        let mut a = SessionJournal::new(8);
+        a.extend([vec![3u32], vec![1], vec![4], vec![2]]);
+        let mut b = SessionJournal::new(8);
+        b.extend([vec![2u32], vec![4], vec![1], vec![3]]);
+        assert_eq!(a.split_holdout(3), b.split_holdout(3));
+        let (train, holdout) = a.split_holdout(3);
+        assert_eq!(train.len() + holdout.len(), 4);
+        assert_eq!(holdout, vec![vec![3]]);
+    }
+
+    #[test]
+    fn empty_journal_splits_empty() {
+        let j = SessionJournal::new(4);
+        assert!(j.is_empty());
+        let (train, holdout) = j.split_holdout(2);
+        assert!(train.is_empty() && holdout.is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! Versioned, integrity-checked checkpoint store.
+//!
+//! A checkpoint is the [`TransDas::to_json`] snapshot wrapped in a small
+//! binary envelope:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "UCADCKP1"
+//! 8       4     payload length, u32 little-endian
+//! 12      4     CRC-32 (IEEE) of the payload, u32 little-endian
+//! 16      n     payload: the model snapshot JSON
+//! ```
+//!
+//! Version identifiers are **content hashes** (FNV-1a 64 of the payload), so
+//! saving the same weights twice is idempotent and a checkpoint can never be
+//! silently overwritten with different content. A `MANIFEST.json` in the
+//! store directory indexes the versions in commit order.
+//!
+//! Durability discipline: both checkpoint files and the manifest are written
+//! to a temporary name and atomically renamed into place, so a crash mid-save
+//! leaves the store exactly as it was — the manifest never references a
+//! partially written file. [`CheckpointStore::load`] re-validates the whole
+//! envelope (magic, exact length, CRC) and returns
+//! [`UcadError::Corrupt`] for any damage — truncation, bit flips, trailing
+//! garbage, or a payload the model codec rejects — and never panics.
+//! Retention is enforced on save: the oldest versions beyond the configured
+//! count are dropped from the manifest and their files deleted.
+
+use crate::crc32::crc32;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use ucad_model::{TransDas, UcadError};
+
+const MAGIC: &[u8; 8] = b"UCADCKP1";
+const HEADER_LEN: usize = 16;
+const MANIFEST_FILE: &str = "MANIFEST.json";
+const MANIFEST_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit: the content hash behind version identifiers.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ManifestEntry {
+    /// Content-hash version id (`v` + 16 hex digits).
+    id: String,
+    /// Size of the checkpoint file in bytes.
+    bytes: u64,
+    /// CRC-32 of the payload, duplicated here so a reader can audit the
+    /// store without opening every file.
+    crc32: u32,
+    /// Commit sequence number (monotonic per store).
+    seq: u64,
+}
+
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct Manifest {
+    version: u32,
+    next_seq: u64,
+    /// Versions in commit order, oldest first.
+    entries: Vec<ManifestEntry>,
+}
+
+/// A directory of versioned model checkpoints with a manifest index.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    retention: usize,
+    manifest: Manifest,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint store at `dir`, keeping at
+    /// most `retention` versions. An existing manifest is loaded and
+    /// validated; a damaged one is reported as [`UcadError::Corrupt`]
+    /// rather than silently reset, so no checkpoints are garbage-collected
+    /// off a lie.
+    pub fn open(dir: impl Into<PathBuf>, retention: usize) -> Result<Self, UcadError> {
+        if retention == 0 {
+            return Err(UcadError::invalid(
+                "retention",
+                "a store keeping zero checkpoints cannot serve reloads",
+            ));
+        }
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| UcadError::io(dir.display().to_string(), &e))?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest = if manifest_path.exists() {
+            let text = std::fs::read_to_string(&manifest_path)
+                .map_err(|e| UcadError::io(manifest_path.display().to_string(), &e))?;
+            let manifest: Manifest = serde_json::from_str(&text).map_err(|e| {
+                UcadError::corrupt(
+                    manifest_path.display().to_string(),
+                    format!("manifest is not valid JSON: {e}"),
+                )
+            })?;
+            if manifest.version != MANIFEST_VERSION {
+                return Err(UcadError::corrupt(
+                    manifest_path.display().to_string(),
+                    format!(
+                        "manifest version {} (supported: {MANIFEST_VERSION})",
+                        manifest.version
+                    ),
+                ));
+            }
+            manifest
+        } else {
+            Manifest {
+                version: MANIFEST_VERSION,
+                ..Manifest::default()
+            }
+        };
+        Ok(CheckpointStore {
+            dir,
+            retention,
+            manifest,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Version ids in commit order, oldest first.
+    pub fn versions(&self) -> Vec<String> {
+        self.manifest.entries.iter().map(|e| e.id.clone()).collect()
+    }
+
+    /// The most recently committed version id, if any.
+    pub fn latest(&self) -> Option<String> {
+        self.manifest.entries.last().map(|e| e.id.clone())
+    }
+
+    /// Path of a version's checkpoint file.
+    pub fn path_of(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.ckpt"))
+    }
+
+    /// Commits a model snapshot and returns its version id.
+    ///
+    /// Saving weights that are already the content of a resident version is
+    /// idempotent: the existing version is re-committed as latest (no file
+    /// is rewritten). Otherwise the envelope is written to a temporary file
+    /// and renamed into place, the manifest is updated the same way, and
+    /// versions beyond the retention count are garbage-collected oldest
+    /// first.
+    pub fn save(&mut self, model: &TransDas) -> Result<String, UcadError> {
+        let payload = model.to_json().into_bytes();
+        let id = format!("v{:016x}", fnv1a64(&payload));
+        let seq = self.manifest.next_seq;
+        self.manifest.next_seq += 1;
+        if let Some(pos) = self.manifest.entries.iter().position(|e| e.id == id) {
+            // Content already committed: refresh its recency only.
+            let mut entry = self.manifest.entries.remove(pos);
+            entry.seq = seq;
+            self.manifest.entries.push(entry);
+            self.write_manifest()?;
+            return Ok(id);
+        }
+
+        let crc = crc32(&payload);
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        let final_path = self.path_of(&id);
+        let tmp_path = self.dir.join(format!(".tmp-{id}"));
+        std::fs::write(&tmp_path, &bytes)
+            .map_err(|e| UcadError::io(tmp_path.display().to_string(), &e))?;
+        std::fs::rename(&tmp_path, &final_path)
+            .map_err(|e| UcadError::io(final_path.display().to_string(), &e))?;
+
+        self.manifest.entries.push(ManifestEntry {
+            id: id.clone(),
+            bytes: bytes.len() as u64,
+            crc32: crc,
+            seq,
+        });
+        while self.manifest.entries.len() > self.retention {
+            let dropped = self.manifest.entries.remove(0);
+            // Best-effort file removal: the version is gone from the
+            // manifest either way, and an orphaned file is harmless.
+            let _ = std::fs::remove_file(self.path_of(&dropped.id));
+        }
+        self.write_manifest()?;
+        ucad_obs::event(
+            "life.checkpoint",
+            &[
+                ("id", id.clone()),
+                ("bytes", bytes.len().to_string()),
+                ("resident", self.manifest.entries.len().to_string()),
+            ],
+        );
+        Ok(id)
+    }
+
+    /// Commits the manifest with the same tmp-then-rename discipline as the
+    /// checkpoint files.
+    fn write_manifest(&self) -> Result<(), UcadError> {
+        let path = self.dir.join(MANIFEST_FILE);
+        let tmp = self.dir.join(".tmp-manifest");
+        let text =
+            serde_json::to_string(&self.manifest).expect("manifest serialization cannot fail");
+        std::fs::write(&tmp, text).map_err(|e| UcadError::io(tmp.display().to_string(), &e))?;
+        std::fs::rename(&tmp, &path).map_err(|e| UcadError::io(path.display().to_string(), &e))?;
+        Ok(())
+    }
+
+    /// Loads and fully validates a version. Every failure mode — missing
+    /// file, short read, bad magic, wrong length, CRC mismatch, undecodable
+    /// payload — comes back as [`UcadError::Io`] or [`UcadError::Corrupt`];
+    /// this path never panics.
+    pub fn load(&self, id: &str) -> Result<TransDas, UcadError> {
+        let path = self.path_of(id);
+        let bytes =
+            std::fs::read(&path).map_err(|e| UcadError::io(path.display().to_string(), &e))?;
+        Self::decode(&bytes, &path.display().to_string())
+    }
+
+    /// Loads the latest version, or `None` on an empty store.
+    pub fn load_latest(&self) -> Result<Option<TransDas>, UcadError> {
+        match self.latest() {
+            Some(id) => self.load(&id).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Decodes a checkpoint envelope from raw bytes; `origin` labels the
+    /// byte source in errors. Public so robustness tests (and external
+    /// tooling) can validate envelopes without a store.
+    pub fn decode(bytes: &[u8], origin: &str) -> Result<TransDas, UcadError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(UcadError::corrupt(
+                origin,
+                format!(
+                    "truncated header: {} bytes, envelope header is {HEADER_LEN}",
+                    bytes.len()
+                ),
+            ));
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(UcadError::corrupt(
+                origin,
+                "bad magic (not a UCAD checkpoint)",
+            ));
+        }
+        let declared = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+        let actual = bytes.len() - HEADER_LEN;
+        if declared != actual {
+            return Err(UcadError::corrupt(
+                origin,
+                format!("payload length mismatch: header declares {declared}, file holds {actual}"),
+            ));
+        }
+        let stored_crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+        let payload = &bytes[HEADER_LEN..];
+        let computed = crc32(payload);
+        if stored_crc != computed {
+            return Err(UcadError::corrupt(
+                origin,
+                format!("CRC mismatch: stored {stored_crc:#010x}, computed {computed:#010x}"),
+            ));
+        }
+        let json = std::str::from_utf8(payload)
+            .map_err(|e| UcadError::corrupt(origin, format!("payload is not UTF-8: {e}")))?;
+        TransDas::from_json(json).map_err(|e| {
+            UcadError::corrupt(origin, format!("payload rejected by model codec: {e}"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucad_model::{MaskMode, TransDasConfig};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ucad-life-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_model(seed_epochs: usize) -> TransDas {
+        let cfg = TransDasConfig {
+            vocab_size: 8,
+            hidden: 8,
+            heads: 2,
+            blocks: 1,
+            window: 6,
+            epochs: seed_epochs,
+            dropout_keep: 1.0,
+            threads: 1,
+            mask: MaskMode::TransDas,
+            ..TransDasConfig::scenario1(8)
+        };
+        let mut model = TransDas::new(cfg);
+        let sessions: Vec<Vec<u32>> = (0..4)
+            .map(|i| (0..8).map(|j| ((i + j) % 4) as u32 + 1).collect())
+            .collect();
+        model.train(&sessions);
+        model
+    }
+
+    #[test]
+    fn save_load_roundtrips_and_is_content_addressed() {
+        let dir = tmp_dir("roundtrip");
+        let mut store = CheckpointStore::open(&dir, 4).expect("open");
+        let model = tiny_model(2);
+        let id = store.save(&model).expect("save");
+        assert!(id.starts_with('v') && id.len() == 17);
+        // Saving identical content is idempotent.
+        assert_eq!(store.save(&model).expect("resave"), id);
+        assert_eq!(store.versions(), vec![id.clone()]);
+        let restored = store.load(&id).expect("load");
+        assert_eq!(restored.to_json(), model.to_json());
+        // A reopened store sees the committed version.
+        let reopened = CheckpointStore::open(&dir, 4).expect("reopen");
+        assert_eq!(reopened.latest(), Some(id));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_keeps_exactly_the_configured_count() {
+        let dir = tmp_dir("retention");
+        let mut store = CheckpointStore::open(&dir, 2).expect("open");
+        let ids: Vec<String> = (1..=4)
+            .map(|epochs| store.save(&tiny_model(epochs)).expect("save"))
+            .collect();
+        assert_eq!(store.versions(), ids[2..].to_vec());
+        // GC removed the evicted files, kept the resident ones.
+        assert!(!store.path_of(&ids[0]).exists());
+        assert!(!store.path_of(&ids[1]).exists());
+        assert!(store.path_of(&ids[2]).exists());
+        assert!(store.path_of(&ids[3]).exists());
+        assert!(store.load(&ids[3]).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damage_is_reported_as_corrupt_never_panics() {
+        let dir = tmp_dir("damage");
+        let mut store = CheckpointStore::open(&dir, 2).expect("open");
+        let id = store.save(&tiny_model(1)).expect("save");
+        let path = store.path_of(&id);
+        let good = std::fs::read(&path).expect("read");
+
+        // Truncation.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(matches!(store.load(&id), Err(UcadError::Corrupt { .. })));
+        // Bit flip in the payload.
+        let mut flipped = good.clone();
+        let mid = HEADER_LEN + (flipped.len() - HEADER_LEN) / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(store.load(&id), Err(UcadError::Corrupt { .. })));
+        // Wrong magic.
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        std::fs::write(&path, &bad_magic).unwrap();
+        assert!(matches!(store.load(&id), Err(UcadError::Corrupt { .. })));
+        // Trailing garbage.
+        let mut padded = good.clone();
+        padded.extend_from_slice(b"xx");
+        std::fs::write(&path, &padded).unwrap();
+        assert!(matches!(store.load(&id), Err(UcadError::Corrupt { .. })));
+        // Missing file.
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(store.load(&id), Err(UcadError::Io { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_rejected_on_open() {
+        let dir = tmp_dir("manifest");
+        let mut store = CheckpointStore::open(&dir, 2).expect("open");
+        store.save(&tiny_model(1)).expect("save");
+        std::fs::write(dir.join(MANIFEST_FILE), b"{broken").unwrap();
+        assert!(matches!(
+            CheckpointStore::open(&dir, 2),
+            Err(UcadError::Corrupt { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_retention_is_rejected() {
+        assert!(matches!(
+            CheckpointStore::open(tmp_dir("zero"), 0),
+            Err(UcadError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -33,6 +33,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Windows evicted by the LRU bound.
     pub evictions: u64,
+    /// Entries dropped on lookup because their model epoch was stale
+    /// (memoized before a hot-swap).
+    pub stale_drops: u64,
     /// Windows currently resident.
     pub len: usize,
     /// Maximum resident windows.
@@ -54,12 +57,18 @@ impl CacheStats {
 struct Entry {
     scores: Arc<Tensor>,
     last_used: u64,
+    /// Model epoch the scores were computed under. Entries from an older
+    /// epoch are dropped on lookup instead of served: after a model
+    /// hot-swap their memoized scores describe the *previous* weights.
+    epoch: u64,
 }
 
 struct Lru {
     map: HashMap<Vec<u32>, Entry>,
     clock: u64,
     capacity: usize,
+    /// Current model epoch; bumped by [`ScoreCache::advance_epoch`].
+    epoch: u64,
 }
 
 /// Thread-safe LRU memo of `padded window -> position-score matrix`.
@@ -68,6 +77,7 @@ pub struct ScoreCache {
     hits: Counter,
     misses: Counter,
     evictions: Counter,
+    stale_drops: Counter,
     resident: Gauge,
 }
 
@@ -84,12 +94,31 @@ impl ScoreCache {
                 map: HashMap::new(),
                 clock: 0,
                 capacity,
+                epoch: 0,
             }),
             hits: Counter::new(),
             misses: Counter::new(),
             evictions: Counter::new(),
+            stale_drops: Counter::new(),
             resident: Gauge::new(),
         }
+    }
+
+    /// Marks every resident entry stale by advancing the model epoch: the
+    /// serving engine calls this when it hot-swaps the model, so scores
+    /// memoized from the previous weights are never served against the new
+    /// ones. Stale entries are dropped lazily on their next lookup (counted
+    /// on `ucad_cache_stale_drops_total`) or displaced by fresh inserts.
+    /// Returns the new epoch.
+    pub fn advance_epoch(&self) -> u64 {
+        let mut lru = self.inner.lock().expect("score cache poisoned");
+        lru.epoch += 1;
+        lru.epoch
+    }
+
+    /// The current model epoch (0 until the first swap).
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().expect("score cache poisoned").epoch
     }
 
     /// Exposes this cache's counters on a metrics registry under
@@ -100,19 +129,31 @@ impl ScoreCache {
         registry.register_counter("ucad_cache_hits_total", labels, &self.hits);
         registry.register_counter("ucad_cache_misses_total", labels, &self.misses);
         registry.register_counter("ucad_cache_evictions_total", labels, &self.evictions);
+        registry.register_counter("ucad_cache_stale_drops_total", labels, &self.stale_drops);
         registry.register_gauge("ucad_cache_len", labels, &self.resident);
     }
 
-    /// Looks up a padded window, refreshing its recency on a hit.
+    /// Looks up a padded window, refreshing its recency on a hit. An entry
+    /// memoized under an older model epoch is removed and reported as a
+    /// miss — a hot-swapped model must never be served its predecessor's
+    /// scores.
     pub fn get(&self, window: &[u32]) -> Option<Arc<Tensor>> {
         let mut lru = self.inner.lock().expect("score cache poisoned");
         lru.clock += 1;
         let clock = lru.clock;
+        let epoch = lru.epoch;
         match lru.map.get_mut(window) {
-            Some(entry) => {
+            Some(entry) if entry.epoch == epoch => {
                 entry.last_used = clock;
                 self.hits.inc();
                 Some(Arc::clone(&entry.scores))
+            }
+            Some(_) => {
+                lru.map.remove(window);
+                self.stale_drops.inc();
+                self.misses.inc();
+                self.resident.set(lru.map.len() as f64);
+                None
             }
             None => {
                 self.misses.inc();
@@ -138,11 +179,13 @@ impl ScoreCache {
                 self.evictions.inc();
             }
         }
+        let epoch = lru.epoch;
         lru.map.insert(
             window,
             Entry {
                 scores,
                 last_used: clock,
+                epoch,
             },
         );
         self.resident.set(lru.map.len() as f64);
@@ -166,6 +209,7 @@ impl ScoreCache {
             hits: self.hits.get(),
             misses: self.misses.get(),
             evictions: self.evictions.get(),
+            stale_drops: self.stale_drops.get(),
             len: lru.map.len(),
             capacity: lru.capacity,
         }
@@ -235,6 +279,40 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(*cache.get(&[1]).unwrap(), Tensor::full(2, 3, 9.0));
         assert!(cache.get(&[2]).is_some());
+    }
+
+    #[test]
+    fn advance_epoch_invalidates_resident_entries() {
+        let cache = ScoreCache::new(4);
+        cache.insert(vec![1, 2], scores(1.0));
+        assert!(cache.get(&[1, 2]).is_some());
+        assert_eq!(cache.advance_epoch(), 1);
+        // The pre-swap entry must not be served against the new epoch.
+        assert!(
+            cache.get(&[1, 2]).is_none(),
+            "stale entry served after swap"
+        );
+        let s = cache.stats();
+        assert_eq!(s.stale_drops, 1);
+        assert_eq!(s.len, 0, "stale entry must be dropped, not retained");
+        // A fresh insert under the new epoch hits normally.
+        cache.insert(vec![1, 2], scores(2.0));
+        assert_eq!(*cache.get(&[1, 2]).unwrap(), Tensor::full(2, 3, 2.0));
+        assert_eq!(cache.epoch(), 1);
+    }
+
+    #[test]
+    fn stale_drop_counts_as_miss_in_metrics() {
+        let reg = Registry::new();
+        let cache = ScoreCache::new(2);
+        cache.register_metrics(&reg, &[("cache", "score")]);
+        cache.insert(vec![7], scores(1.0));
+        cache.advance_epoch();
+        assert!(cache.get(&[7]).is_none());
+        let text = reg.render_prometheus();
+        assert!(text.contains("ucad_cache_stale_drops_total{cache=\"score\"} 1"));
+        assert!(text.contains("ucad_cache_misses_total{cache=\"score\"} 1"));
+        assert!(text.contains("ucad_cache_len{cache=\"score\"} 0"));
     }
 
     #[test]

@@ -20,6 +20,22 @@ pub enum UcadError {
     },
     /// A persisted model snapshot could not be restored.
     Snapshot(String),
+    /// A checkpoint file is structurally damaged (truncated, bit-flipped,
+    /// or not a checkpoint at all). Loading never panics on damage — it
+    /// returns this variant with the failed integrity check spelled out.
+    Corrupt {
+        /// The damaged file (or a description of the byte source).
+        path: String,
+        /// Which integrity check failed.
+        reason: String,
+    },
+    /// An I/O operation on the checkpoint store failed.
+    Io {
+        /// The file or directory the operation targeted.
+        path: String,
+        /// The underlying OS error, stringified.
+        reason: String,
+    },
 }
 
 impl UcadError {
@@ -28,6 +44,22 @@ impl UcadError {
         UcadError::InvalidConfig {
             field,
             reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for an [`UcadError::Corrupt`].
+    pub fn corrupt(path: impl Into<String>, reason: impl Into<String>) -> Self {
+        UcadError::Corrupt {
+            path: path.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for an [`UcadError::Io`].
+    pub fn io(path: impl Into<String>, e: &std::io::Error) -> Self {
+        UcadError::Io {
+            path: path.into(),
+            reason: e.to_string(),
         }
     }
 }
@@ -39,6 +71,10 @@ impl std::fmt::Display for UcadError {
                 write!(f, "invalid configuration: {field}: {reason}")
             }
             UcadError::Snapshot(m) => write!(f, "snapshot error: {m}"),
+            UcadError::Corrupt { path, reason } => {
+                write!(f, "corrupt checkpoint {path}: {reason}")
+            }
+            UcadError::Io { path, reason } => write!(f, "checkpoint io {path}: {reason}"),
         }
     }
 }

@@ -50,7 +50,7 @@ impl TransDas {
         let snapshot = Snapshot {
             version: FORMAT_VERSION,
             config: self.cfg,
-            params: self.store.iter().map(|(_, p)| p.value.clone()).collect(),
+            params: self.store.export_values(),
         };
         serde_json::to_string(&snapshot).expect("snapshot serialization cannot fail")
     }
@@ -70,25 +70,10 @@ impl TransDas {
             .validate()
             .map_err(|e| PersistError::Incompatible(e.to_string()))?;
         let mut model = TransDas::new(snapshot.config);
-        if model.store.len() != snapshot.params.len() {
-            return Err(PersistError::Incompatible(format!(
-                "snapshot holds {} parameters, architecture expects {}",
-                snapshot.params.len(),
-                model.store.len()
-            )));
-        }
-        for (i, value) in snapshot.params.into_iter().enumerate() {
-            let param = model.store.get_mut(ucad_nn::ParamId(i));
-            if param.value.shape() != value.shape() {
-                return Err(PersistError::Incompatible(format!(
-                    "parameter {i} ({}) has shape {:?}, snapshot has {:?}",
-                    param.name,
-                    param.value.shape(),
-                    value.shape()
-                )));
-            }
-            param.value = value;
-        }
+        model
+            .store
+            .import_values(snapshot.params)
+            .map_err(|e| PersistError::Incompatible(e.to_string()))?;
         Ok(model)
     }
 }

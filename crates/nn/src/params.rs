@@ -98,6 +98,39 @@ impl ParamStore {
         self.params.iter_mut()
     }
 
+    /// Snapshots every parameter value in registration order — the
+    /// serialization half of the persistence contract: registration order is
+    /// deterministic given a configuration, so the flat list plus the
+    /// configuration reconstructs the model.
+    pub fn export_values(&self) -> Vec<Tensor> {
+        self.params.iter().map(|p| p.value.clone()).collect()
+    }
+
+    /// Overwrites every parameter value from an [`ParamStore::export_values`]
+    /// snapshot, checking count and per-parameter shape before any write (so
+    /// a rejected import leaves the store untouched).
+    pub fn import_values(&mut self, values: Vec<Tensor>) -> Result<(), ImportError> {
+        if values.len() != self.params.len() {
+            return Err(ImportError::Count {
+                expected: self.params.len(),
+                got: values.len(),
+            });
+        }
+        for (p, v) in self.params.iter().zip(&values) {
+            if p.value.shape() != v.shape() {
+                return Err(ImportError::Shape {
+                    name: p.name.clone(),
+                    expected: p.value.shape(),
+                    got: v.shape(),
+                });
+            }
+        }
+        for (p, v) in self.params.iter_mut().zip(values) {
+            p.value = v;
+        }
+        Ok(())
+    }
+
     /// Sum of squared weights, the `||theta||_2^2` term reported in training
     /// diagnostics (the optimizer applies the matching decoupled decay).
     pub fn l2_norm_sq(&self) -> f32 {
@@ -107,6 +140,50 @@ impl ParamStore {
             .sum()
     }
 }
+
+/// Why an [`ParamStore::import_values`] snapshot was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// The snapshot holds the wrong number of parameters.
+    Count {
+        /// Parameters the architecture registers.
+        expected: usize,
+        /// Parameters the snapshot holds.
+        got: usize,
+    },
+    /// A parameter's shape does not match the architecture.
+    Shape {
+        /// Name of the offending parameter.
+        name: String,
+        /// Shape the architecture registers.
+        expected: (usize, usize),
+        /// Shape the snapshot holds.
+        got: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Count { expected, got } => {
+                write!(
+                    f,
+                    "snapshot holds {got} parameters, architecture expects {expected}"
+                )
+            }
+            ImportError::Shape {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "parameter {name} has shape {expected:?}, snapshot has {got:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
 
 #[cfg(test)]
 mod tests {
@@ -124,6 +201,35 @@ mod tests {
         assert_eq!(store.get(id).grad.data()[0], 4.0);
         store.zero_grad();
         assert_eq!(store.get(id).grad.data()[0], 0.0);
+    }
+
+    #[test]
+    fn export_import_roundtrips_and_rejects_mismatches() {
+        let mut store = ParamStore::new();
+        store.add("a", Tensor::full(2, 2, 1.0));
+        store.add("b", Tensor::full(1, 3, 2.0));
+        let mut values = store.export_values();
+        values[0] = Tensor::full(2, 2, 9.0);
+        let mut restored = store.clone();
+        restored.import_values(values).expect("compatible snapshot");
+        assert_eq!(restored.value(ParamId(0)).data()[0], 9.0);
+        assert_eq!(restored.value(ParamId(1)).data()[0], 2.0);
+
+        assert_eq!(
+            store.import_values(vec![Tensor::full(2, 2, 0.0)]),
+            Err(ImportError::Count {
+                expected: 2,
+                got: 1
+            })
+        );
+        let bad = vec![Tensor::full(2, 2, 0.0), Tensor::full(3, 1, 0.0)];
+        let before = store.export_values();
+        assert!(matches!(
+            store.import_values(bad),
+            Err(ImportError::Shape { .. })
+        ));
+        // A rejected import must leave the store untouched.
+        assert_eq!(store.export_values(), before);
     }
 
     #[test]

@@ -3,6 +3,7 @@ pub use ucad as core;
 pub use ucad::prelude;
 pub use ucad_baselines as baselines;
 pub use ucad_dbsim as dbsim;
+pub use ucad_life as life;
 pub use ucad_model as model;
 pub use ucad_nn as nn;
 pub use ucad_preprocess as preprocess;
