@@ -18,6 +18,7 @@ pub mod features;
 pub mod iforest;
 pub mod logcluster;
 pub mod mazzawi;
+pub mod ngram_lm;
 pub mod ocsvm;
 pub mod usad;
 
@@ -27,5 +28,6 @@ pub use features::{cosine, count_vector, normalized_count_vector};
 pub use iforest::IsolationForest;
 pub use logcluster::LogCluster;
 pub use mazzawi::Mazzawi;
+pub use ngram_lm::NgramLm;
 pub use ocsvm::{Kernel, OneClassSvm};
 pub use usad::Usad;

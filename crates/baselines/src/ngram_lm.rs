@@ -1,0 +1,207 @@
+//! Count-based n-gram next-key model — the cheap degraded-mode scorer.
+//!
+//! The serving engine's `Degrade` overload policy needs a detector that
+//! costs microseconds, not a transformer forward: when a shard queue is
+//! saturated, records are scored caller-side with this model instead of
+//! being dropped. An [`NgramLm`] counts `(context, next-key)` transitions
+//! over the training sessions for every context length from 1 up to
+//! `order − 1` and admits a transition when the observed next key ranks in
+//! the top-`g` continuations of the longest context it has seen (unseen
+//! contexts back off to shorter ones; when even the length-1 context is
+//! novel the model abstains and reports normal).
+//!
+//! Determinism contract: counts live in ordered maps and ranking breaks
+//! ties by (count descending, key ascending), so two fits on the same
+//! corpus produce identical verdicts — the chaos wall's reconciliation
+//! checks depend on that.
+
+use crate::detector::BaselineDetector;
+use std::collections::BTreeMap;
+
+/// Count-based n-gram next-key predictor with top-`g` membership checking.
+#[derive(Debug, Clone, Default)]
+pub struct NgramLm {
+    /// N-gram order: contexts of length `1..order` are counted (order 3 ⇒
+    /// length-1 and length-2 contexts).
+    pub order: usize,
+    /// A transition is normal when the next key ranks in the top-`g`
+    /// continuations of its longest known context.
+    pub top_g: usize,
+    /// Transition counts per context, keyed by the context key slice.
+    counts: BTreeMap<Vec<u32>, BTreeMap<u32, u64>>,
+    vocab_size: usize,
+}
+
+impl NgramLm {
+    /// Creates an untrained model. `order ≥ 2`; with no length-1 contexts
+    /// to count, `order = 1` degenerates to a pure unknown-key (`k0`)
+    /// filter.
+    pub fn new(order: usize, top_g: usize) -> Self {
+        NgramLm {
+            order: order.max(1),
+            top_g: top_g.max(1),
+            counts: BTreeMap::new(),
+            vocab_size: 0,
+        }
+    }
+
+    /// True once [`BaselineDetector::fit`] has been called.
+    pub fn is_fitted(&self) -> bool {
+        !self.counts.is_empty()
+    }
+
+    /// Number of distinct contexts the model holds (all lengths).
+    pub fn contexts(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether `next` is an admissible continuation of `context` (the last
+    /// `order − 1` keys are consulted, backing off to shorter contexts
+    /// down to length 1).
+    ///
+    /// * key 0 (`k0`, the unknown statement) is always abnormal;
+    /// * a context never seen at *any* backoff length is permissive-normal
+    ///   — degraded mode must not flood alerts for traffic the cheap model
+    ///   simply has no opinion on.
+    pub fn transition_allowed(&self, context: &[u32], next: u32) -> bool {
+        if next == 0 {
+            return false;
+        }
+        let longest = self.order.saturating_sub(1).min(context.len());
+        for len in (1..=longest).rev() {
+            let ctx = &context[context.len() - len..];
+            if let Some(followers) = self.counts.get(ctx) {
+                return self.rank_in(followers, next) < self.top_g;
+            }
+        }
+        true
+    }
+
+    /// Rank of `next` among `followers` (0 = most frequent), ties broken by
+    /// key ascending; `usize::MAX` when `next` was never observed.
+    fn rank_in(&self, followers: &BTreeMap<u32, u64>, next: u32) -> usize {
+        let Some(&own) = followers.get(&next) else {
+            return usize::MAX;
+        };
+        followers
+            .iter()
+            .filter(|&(&k, &c)| c > own || (c == own && k < next))
+            .count()
+    }
+}
+
+impl BaselineDetector for NgramLm {
+    fn name(&self) -> &'static str {
+        "NgramLM"
+    }
+
+    fn fit(&mut self, train: &[Vec<u32>], vocab_size: usize) {
+        self.vocab_size = vocab_size;
+        self.counts.clear();
+        for session in train {
+            for t in 1..session.len() {
+                if session[t] == 0 {
+                    continue;
+                }
+                let longest = self.order.saturating_sub(1).min(t);
+                for len in 1..=longest {
+                    let ctx = session[t - len..t].to_vec();
+                    if ctx.contains(&0) {
+                        continue;
+                    }
+                    *self
+                        .counts
+                        .entry(ctx)
+                        .or_default()
+                        .entry(session[t])
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    fn score(&self, session: &[u32]) -> f64 {
+        if session.is_empty() {
+            return 0.0;
+        }
+        let violations = (0..session.len())
+            .filter(|&t| !self.transition_allowed(&session[..t], session[t]))
+            .count();
+        violations as f64 / session.len() as f64
+    }
+
+    fn is_abnormal(&self, session: &[u32]) -> bool {
+        (0..session.len()).any(|t| !self.transition_allowed(&session[..t], session[t]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cyclic_sessions(n: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|_| (0..16).map(|j| (j % 4) as u32 + 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn admits_trained_transitions_and_rejects_violations() {
+        let mut lm = NgramLm::new(3, 1);
+        lm.fit(&cyclic_sessions(6), 8);
+        assert!(lm.is_fitted());
+        let normal: Vec<u32> = (0..12).map(|j| (j % 4) as u32 + 1).collect();
+        assert!(!lm.is_abnormal(&normal), "trained cycle flagged");
+        // 1 always precedes 2 in training; 1 → 4 is a violation.
+        assert!(!lm.transition_allowed(&[1], 4));
+        assert!(lm.transition_allowed(&[1], 2));
+    }
+
+    #[test]
+    fn unknown_key_is_always_abnormal() {
+        let mut lm = NgramLm::new(2, 4);
+        lm.fit(&cyclic_sessions(4), 8);
+        assert!(!lm.transition_allowed(&[1, 2], 0));
+        assert!(lm.is_abnormal(&[1, 2, 0, 4]));
+    }
+
+    #[test]
+    fn unseen_context_is_permissive_normal() {
+        let mut lm = NgramLm::new(3, 1);
+        lm.fit(&[vec![1, 2, 1, 2]], 8);
+        // Key 7 was never observed anywhere: every backoff misses, so the
+        // model abstains rather than alarming.
+        assert!(lm.transition_allowed(&[7, 7], 7));
+    }
+
+    #[test]
+    fn ranking_breaks_ties_deterministically() {
+        // Keys 2 and 3 follow key 1 equally often; the tie breaks toward
+        // the smaller key, so with top_g = 1 only 2 is admitted.
+        let mut lm = NgramLm::new(2, 1);
+        lm.fit(&[vec![1, 2], vec![1, 3]], 8);
+        assert!(lm.transition_allowed(&[1], 2));
+        assert!(!lm.transition_allowed(&[1], 3));
+    }
+
+    #[test]
+    fn refit_is_deterministic() {
+        let train = cyclic_sessions(5);
+        let mut a = NgramLm::new(3, 2);
+        let mut b = NgramLm::new(3, 2);
+        a.fit(&train, 8);
+        b.fit(&train, 8);
+        let probe: Vec<u32> = vec![1, 2, 3, 4, 1, 3, 2, 4];
+        assert_eq!(a.score(&probe), b.score(&probe));
+        assert_eq!(a.contexts(), b.contexts());
+    }
+
+    #[test]
+    fn score_orders_abnormality() {
+        let mut lm = NgramLm::new(3, 1);
+        lm.fit(&cyclic_sessions(6), 8);
+        let normal: Vec<u32> = (0..12).map(|j| (j % 4) as u32 + 1).collect();
+        let abnormal = vec![1u32, 4, 2, 1, 4, 3, 2, 2];
+        assert!(lm.score(&abnormal) > lm.score(&normal));
+    }
+}

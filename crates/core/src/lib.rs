@@ -45,9 +45,13 @@ pub use experiment::{
 };
 pub use metrics::{Confusion, MethodResult};
 pub use online::{Alert, AlertReason, OnlineUcad, ServeObserver};
-pub use serve::{ServeConfig, ServeConfigBuilder, ServeStats, ShardedOnlineUcad, ShutdownReport};
+pub use serve::{
+    OverloadPolicy, ServeConfig, ServeConfigBuilder, ServeStats, ShardedOnlineUcad, ShutdownReport,
+    SubmitOutcome,
+};
 pub use sweep::{sweep_hidden, sweep_margin, sweep_top_p, sweep_window, SweepPoint};
 pub use system::{Ucad, UcadConfig, UcadTrainReport, Verdict};
+pub use ucad_baselines::NgramLm;
 pub use ucad_model::{
     Detection, DetectionMode, Detector, DetectorConfig, DetectorConfigBuilder, ScoreCache,
     TransDas, TransDasConfig, UcadError,
@@ -63,9 +67,11 @@ pub use ucad_obs::FlightEntry;
 pub mod prelude {
     pub use crate::online::{Alert, AlertReason, OnlineUcad, ServeObserver};
     pub use crate::serve::{
-        ServeConfig, ServeConfigBuilder, ServeStats, ShardedOnlineUcad, ShutdownReport,
+        OverloadPolicy, ServeConfig, ServeConfigBuilder, ServeStats, ShardedOnlineUcad,
+        ShutdownReport, SubmitOutcome,
     };
     pub use crate::system::{Ucad, UcadConfig, UcadTrainReport, Verdict};
+    pub use ucad_baselines::NgramLm;
     pub use ucad_model::{
         Detection, DetectionMode, Detector, DetectorConfig, DetectorConfigBuilder, ScoreCache,
         TransDas, TransDasConfig, UcadError,

@@ -30,6 +30,11 @@ pub struct Alert {
     pub sql: Option<String>,
     /// Index of the offending operation within the session.
     pub position: Option<usize>,
+    /// True when the verdict came from the cheap degraded-mode fallback
+    /// (the serving engine's `Degrade` overload policy) rather than the
+    /// full Trans-DAS scoring path. Degraded alerts deserve a second look
+    /// once the overload clears.
+    pub degraded: bool,
 }
 
 /// Why an alert fired.
@@ -140,6 +145,13 @@ impl SessionTracker {
         self.active.len()
     }
 
+    /// Whether `session_id` is currently active in this partition — used by
+    /// shard supervision to truncate a replayed write-ahead log down to the
+    /// entries still needed for a future rebuild.
+    pub(crate) fn has_session(&self, session_id: u64) -> bool {
+        self.active.contains_key(&session_id)
+    }
+
     pub(crate) fn pending_feedback(&self) -> usize {
         self.verified_normals.len()
     }
@@ -161,6 +173,7 @@ impl SessionTracker {
                 reason,
                 sql: Some(op.sql.clone()),
                 position: Some(position),
+                degraded: false,
             },
             rank: detail.and_then(|d| d.rank),
             score: detail.and_then(|d| d.score).map(f64::from),

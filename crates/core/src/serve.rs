@@ -26,21 +26,95 @@
 //!   windows recur across sessions and shards; a hit skips the forward pass
 //!   entirely and is bit-identical to computing it.
 //!
+//! # Fault tolerance
+//!
+//! A worker thread that panics mid-stream does **not** take its partition
+//! down. Every accepted message is first appended to a per-shard
+//! write-ahead snapshot ring (the *WAL*) that lives on the engine side of
+//! the channel, and the worker publishes a processed-message watermark as
+//! it goes. When the engine notices a dead worker — a failed channel send,
+//! or the liveness check every [`ShardedOnlineUcad::flush`] performs — it
+//! *supervises* the shard: the panic is captured and counted, the WAL is
+//! replayed into a fresh [`SessionTracker`] (entries below the watermark
+//! rebuild state silently; entries above it — the messages the crash ate —
+//! are processed for real, alerts, metrics and all, under the model epoch
+//! they were submitted against), and a new worker is spawned on the rebuilt
+//! tracker. The restarted shard is byte-identical to one that never
+//! crashed: no accepted record is lost, no record is scored twice, and
+//! drained alerts keep their global sequence order. Deterministic crash and
+//! overload scenarios can be injected with `ucad-fault` (the `UCAD_FAULTS`
+//! environment variable); the chaos wall in `tests/chaos_serve.rs` holds
+//! these invariants under seeded fault plans.
+//!
+//! When a shard queue saturates, [`OverloadPolicy`] picks the failure mode:
+//! block the submitter (default, lossless backpressure), shed the newest
+//! record (typed [`SubmitOutcome::Shed`], counted), or degrade — score the
+//! record caller-side with a cheap [`NgramLm`] fallback and tag any alert it
+//! raises `degraded: true` for a second look once the overload clears.
+//!
 //! [`OnlineUcad`]: crate::online::OnlineUcad
 //! [`SessionTracker`]: crate::online::SessionTracker
 
-use crate::online::{Alert, RaisedAlert, ServeObserver, SessionTracker};
+use crate::online::{Alert, AlertReason, RaisedAlert, ServeObserver, SessionTracker};
 use crate::system::Ucad;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+use ucad_baselines::NgramLm;
 use ucad_dbsim::LogRecord;
 use ucad_model::{CacheStats, DetectionMode, ScoreCache, TransDas, UcadError};
 use ucad_obs::{
     Counter, FlightEntry, FlightRecorder, Gauge, Histogram, MetricKind, Registry,
     DEFAULT_LATENCY_BUCKETS,
 };
+
+/// Locks a mutex, recovering the guard when a panicking worker poisoned it
+/// (the protected structures are always left in a consistent state: every
+/// critical section is a push, pop or retain that cannot be observed
+/// half-done).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// What the engine does when a record arrives for a shard whose queue is
+/// full (or whose saturation is forced by an armed `ucad-fault` plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Block the submitter until the shard catches up — lossless
+    /// backpressure, the historical behavior.
+    #[default]
+    Block,
+    /// Drop the newest record. The submitter gets [`SubmitOutcome::Shed`]
+    /// and `ucad_serve_records_shed_total` counts the loss; the shed record
+    /// never reaches a tracker, so its session's later context simply skips
+    /// it.
+    ShedNewest,
+    /// Score the record caller-side with the cheap n-gram fallback instead
+    /// of the full Trans-DAS path. Alerts raised this way carry
+    /// `degraded: true`. Requires a fitted [`NgramLm`] at construction
+    /// ([`ShardedOnlineUcad::try_new_full`]).
+    Degrade,
+}
+
+/// What happened to one submitted record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The record reached its shard (directly, or via supervision replay
+    /// when the shard's worker had died) and will be scored by the full
+    /// model path.
+    Accepted,
+    /// The shard was saturated under [`OverloadPolicy::ShedNewest`]; the
+    /// record was dropped.
+    Shed,
+    /// The shard was saturated under [`OverloadPolicy::Degrade`]; the
+    /// record was scored by the n-gram fallback instead.
+    Degraded,
+}
 
 /// Configuration of the sharded serving engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +136,8 @@ pub struct ServeConfig {
     /// Capacity of the flight recorder's alert ring buffer; 0 disables
     /// flight recording.
     pub flight_capacity: usize,
+    /// What to do with a record whose shard queue is full.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +149,7 @@ impl Default for ServeConfig {
             mode: DetectionMode::Streaming,
             seed: 0x5EED,
             flight_capacity: 256,
+            overload: OverloadPolicy::Block,
         }
     }
 }
@@ -129,6 +206,12 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Sets the overload policy for saturated shard queues.
+    pub fn overload(mut self, overload: OverloadPolicy) -> Self {
+        self.cfg.overload = overload;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ServeConfig, UcadError> {
         if self.cfg.shards == 0 {
@@ -153,6 +236,13 @@ pub struct ServeStats {
     pub pending_alerts: usize,
     /// Score-memo counters; `None` when caching is disabled.
     pub cache: Option<CacheStats>,
+    /// Records dropped under [`OverloadPolicy::ShedNewest`].
+    pub records_shed: u64,
+    /// Records scored by the n-gram fallback under
+    /// [`OverloadPolicy::Degrade`].
+    pub records_degraded: u64,
+    /// Shard workers respawned by supervision after a panic.
+    pub worker_restarts: u64,
 }
 
 impl ServeStats {
@@ -171,11 +261,13 @@ pub struct ShutdownReport {
     /// Verified-normal sessions accumulated by the workers' feedback
     /// buffers (grouped by shard), ready for the next fine-tuning round.
     pub verified_normals: Vec<Vec<u32>>,
-    /// Worker threads that died of a panic instead of returning their
-    /// tracker, as `(shard id, panic message)`. A panicked shard loses its
-    /// partition's verified-normal feedback but nothing else: alerts it
-    /// already raised were drained, and other shards are unaffected.
+    /// Worker threads that died of a panic, as `(shard id, panic message)`
+    /// — captured by supervision mid-run or by the final join. A panicked
+    /// shard loses nothing: supervision replays its write-ahead log, so
+    /// alerts, feedback and record counts match a crash-free run.
     pub worker_panics: Vec<(usize, String)>,
+    /// Shard workers supervision respawned over the engine's lifetime.
+    pub worker_restarts: u64,
     /// The flight recorder's resident entries (per-alert diagnostics),
     /// oldest first.
     pub flight: Vec<FlightEntry>,
@@ -184,7 +276,7 @@ pub struct ShutdownReport {
 enum Msg {
     /// A routed record with its global arrival sequence number and the
     /// shard queue depth observed at enqueue time.
-    Record(Box<LogRecord>, u64, usize),
+    Record(Arc<LogRecord>, u64, usize),
     Close(u64, usize),
     FalseAlarm(u64),
     /// Barrier: every message sent before this one has been processed once
@@ -194,14 +286,72 @@ enum Msg {
     /// after a flush barrier, so everything submitted before the swap was
     /// scored by the old model and (FIFO) everything after it by the new.
     Swap(Arc<Ucad>),
-    /// Hands back (and clears) the shard's verified-normal feedback buffer
-    /// without stopping the worker.
-    TakeFeedback(SyncSender<Vec<Vec<u32>>>),
     Shutdown,
-    /// Test hook: makes the worker panic, exercising the shutdown
-    /// panic-capture path.
+    /// Test hook: makes the worker panic, exercising the supervision and
+    /// shutdown panic-capture paths.
     #[cfg(test)]
     Panic,
+}
+
+/// Payload of one write-ahead log entry — the engine-side copy of a
+/// stateful message, sufficient to re-derive the worker's entire effect.
+/// Flush/swap barriers are not logged: they carry no session state.
+#[derive(Clone)]
+enum WalMsg {
+    /// A record and its global arrival sequence number.
+    Record(Arc<LogRecord>, u64),
+    Close(u64),
+    FalseAlarm(u64),
+}
+
+/// One entry of a shard's write-ahead log.
+#[derive(Clone)]
+struct WalEntry {
+    /// Position in the shard's processing order. Appends are contiguous
+    /// and per-shard queues are FIFO, so `idx < watermark` ⟺ the worker
+    /// fully processed this entry before it (last) crashed.
+    idx: u64,
+    /// Model epoch the entry was submitted under; replay scores it with
+    /// exactly that model, so a crash straddling a hot-swap still rebuilds
+    /// byte-identical state.
+    epoch: u64,
+    session_id: u64,
+    msg: WalMsg,
+}
+
+/// Per-shard write-ahead snapshot ring. The engine appends before every
+/// send; the worker truncates a session's entries once it closes (they can
+/// never be needed again); supervision replays what remains.
+#[derive(Default)]
+struct Wal {
+    entries: Vec<WalEntry>,
+    /// Index the next appended entry receives; equals the count of entries
+    /// ever appended (pops of never-sent entries roll it back).
+    next_idx: u64,
+}
+
+impl Wal {
+    fn append(&mut self, epoch: u64, session_id: u64, msg: WalMsg) -> u64 {
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        self.entries.push(WalEntry {
+            idx,
+            epoch,
+            session_id,
+            msg,
+        });
+        idx
+    }
+
+    /// Removes the just-appended entry `idx` after its send was refused
+    /// (shed or degraded record), rolling `next_idx` back so the log stays
+    /// contiguous with the worker's count-based watermark. Only the engine
+    /// appends and submission is serialized, so `idx` is always the tail.
+    fn pop_unsent(&mut self, idx: u64) {
+        debug_assert_eq!(self.entries.last().map(|e| e.idx), Some(idx));
+        self.entries.pop();
+        self.next_idx = idx;
+    }
 }
 
 #[derive(Default)]
@@ -209,12 +359,37 @@ struct Outbox {
     alerts: Vec<(u64, Alert)>,
 }
 
-struct Shard {
-    tx: SyncSender<Msg>,
+/// The engine-side shared state of one shard: everything that must survive
+/// a worker crash, plus the shard's pre-fetched registry handles (the hot
+/// loop never takes the registry mutex).
+#[derive(Clone)]
+struct ShardHandles {
     outbox: Arc<Mutex<Outbox>>,
+    wal: Arc<Mutex<Wal>>,
+    /// Count of stateful messages the worker has fully processed — the
+    /// replay watermark. Bumped only after an entry's complete effect
+    /// (metrics, alerts, feedback) has landed, so a crash mid-message
+    /// replays it exactly once.
+    processed: Arc<AtomicU64>,
+    /// Verified-normal feedback, exported by the worker immediately on
+    /// session close so a later crash cannot lose it.
+    feedback: Arc<Mutex<Vec<Vec<u32>>>>,
     records: Counter,
+    alerts: Counter,
     queue_depth: Gauge,
+    score_latency: Histogram,
+}
+
+/// The restartable half of a shard: the channel sender and the worker's
+/// join handle, swapped out together when supervision respawns the worker.
+struct ShardLink {
+    tx: SyncSender<Msg>,
     handle: Option<JoinHandle<SessionTracker>>,
+}
+
+struct Shard {
+    link: Mutex<ShardLink>,
+    h: ShardHandles,
 }
 
 /// SplitMix64 finalizer: a cheap, well-mixed hash for shard routing.
@@ -225,99 +400,154 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Everything a worker thread needs: the shared system plus this shard's
-/// registry handles (pre-fetched at spawn time, so the hot loop never takes
-/// the registry mutex).
-struct ShardCtx {
+/// Books a raised alert: the outbox (for deterministic draining), the
+/// alert counter, the flight recorder, and — when `UCAD_OBS` is on — a
+/// structured event line. Shared by the worker hot loop and supervision
+/// replay, so a replayed alert is booked exactly like a live one.
+fn book_alert(
+    h: &ShardHandles,
+    shard: usize,
+    flight: &FlightRecorder,
+    observer: Option<&dyn ServeObserver>,
+    raised: RaisedAlert,
+    queue_depth: usize,
+) {
+    h.alerts.inc();
+    let reason = format!("{:?}", raised.alert.reason);
+    flight.record(FlightEntry {
+        seq: raised.seq,
+        session_id: raised.alert.session_id,
+        shard,
+        reason: reason.clone(),
+        position: raised.alert.position,
+        rank: raised.rank,
+        score: raised.score,
+        cache_hit: raised.cache_hit,
+        queue_depth,
+        key_window: raised.key_window,
+    });
+    ucad_obs::event(
+        "serve.alert",
+        &[
+            ("session_id", raised.alert.session_id.to_string()),
+            ("shard", shard.to_string()),
+            ("reason", reason),
+            ("seq", raised.seq.to_string()),
+        ],
+    );
+    if let Some(observer) = observer {
+        observer.on_alert(&raised.alert);
+    }
+    lock(&h.outbox).alerts.push((raised.seq, raised.alert));
+}
+
+/// The immutable-per-spawn inputs of a worker thread (the system handle is
+/// replaced in place by a hot-swap message).
+struct WorkerSpec {
     shard: usize,
     system: Arc<Ucad>,
     cache: Option<Arc<ScoreCache>>,
-    outbox: Arc<Mutex<Outbox>>,
-    records: Counter,
-    alerts: Counter,
-    queue_depth: Gauge,
-    score_latency: Histogram,
     flight: Arc<FlightRecorder>,
-    mode: DetectionMode,
     observer: Option<Arc<dyn ServeObserver>>,
 }
 
-impl ShardCtx {
-    /// Books a raised alert: the outbox (for deterministic draining), the
-    /// alert counter, the flight recorder, and — when `UCAD_OBS` is on — a
-    /// structured event line.
-    fn raise(&self, raised: RaisedAlert, queue_depth: usize) {
-        self.alerts.inc();
-        let reason = format!("{:?}", raised.alert.reason);
-        self.flight.record(FlightEntry {
-            seq: raised.seq,
-            session_id: raised.alert.session_id,
-            shard: self.shard,
-            reason: reason.clone(),
-            position: raised.alert.position,
-            rank: raised.rank,
-            score: raised.score,
-            cache_hit: raised.cache_hit,
-            queue_depth,
-            key_window: raised.key_window,
-        });
-        ucad_obs::event(
-            "serve.alert",
-            &[
-                ("session_id", raised.alert.session_id.to_string()),
-                ("shard", self.shard.to_string()),
-                ("reason", reason),
-                ("seq", raised.seq.to_string()),
-            ],
-        );
-        if let Some(observer) = &self.observer {
-            observer.on_alert(&raised.alert);
-        }
-        self.outbox
-            .lock()
-            .expect("outbox poisoned")
-            .alerts
-            .push((raised.seq, raised.alert));
+fn spawn_worker(
+    spec: WorkerSpec,
+    h: ShardHandles,
+    queue_capacity: usize,
+    tracker: SessionTracker,
+) -> ShardLink {
+    let (tx, rx) = sync_channel(queue_capacity.max(1));
+    let handle = std::thread::spawn(move || worker(rx, spec, h, tracker));
+    ShardLink {
+        tx,
+        handle: Some(handle),
     }
 }
 
-fn worker(rx: Receiver<Msg>, mut ctx: ShardCtx) -> SessionTracker {
-    let mut tracker = SessionTracker::new(ctx.mode);
-    let observer = ctx.observer.clone();
-    let observer = observer.as_deref();
+fn worker(
+    rx: Receiver<Msg>,
+    mut spec: WorkerSpec,
+    h: ShardHandles,
+    mut tracker: SessionTracker,
+) -> SessionTracker {
+    let observer = spec.observer.clone();
     while let Ok(msg) = rx.recv() {
         match msg {
             Msg::Record(record, seq, depth) => {
-                ctx.records.inc();
-                ctx.queue_depth.add(-1.0);
+                // Fault hook first: an injected crash eats the message
+                // before any of its effects land, so supervision replays
+                // it exactly once.
+                ucad_fault::on_worker_record(spec.shard);
+                h.records.inc();
+                h.queue_depth.add(-1.0);
                 let start = Instant::now();
-                let raised =
-                    tracker.ingest(&ctx.system, ctx.cache.as_deref(), observer, &record, seq);
-                ctx.score_latency.observe(start.elapsed().as_secs_f64());
+                let raised = tracker.ingest(
+                    &spec.system,
+                    spec.cache.as_deref(),
+                    observer.as_deref(),
+                    &record,
+                    seq,
+                );
+                h.score_latency.observe(start.elapsed().as_secs_f64());
                 if let Some(raised) = raised {
-                    ctx.raise(raised, depth);
+                    book_alert(
+                        &h,
+                        spec.shard,
+                        &spec.flight,
+                        observer.as_deref(),
+                        raised,
+                        depth,
+                    );
                 }
+                h.processed.fetch_add(1, Ordering::SeqCst);
             }
             Msg::Close(session_id, depth) => {
-                ctx.queue_depth.add(-1.0);
-                if let Some(raised) =
-                    tracker.close(&ctx.system, ctx.cache.as_deref(), observer, session_id)
-                {
-                    ctx.raise(raised, depth);
+                h.queue_depth.add(-1.0);
+                if let Some(raised) = tracker.close(
+                    &spec.system,
+                    spec.cache.as_deref(),
+                    observer.as_deref(),
+                    session_id,
+                ) {
+                    book_alert(
+                        &h,
+                        spec.shard,
+                        &spec.flight,
+                        observer.as_deref(),
+                        raised,
+                        depth,
+                    );
                 }
+                let mut normals = tracker.take_verified_normals();
+                if !normals.is_empty() {
+                    lock(&h.feedback).append(&mut normals);
+                }
+                let now = h.processed.fetch_add(1, Ordering::SeqCst) + 1;
+                // The session is gone; its log entries can never be needed
+                // by a replay again. Entries at or above the watermark
+                // belong to a re-opened session with the same id — keep.
+                lock(&h.wal)
+                    .entries
+                    .retain(|e| e.session_id != session_id || e.idx >= now);
             }
             Msg::FalseAlarm(session_id) => {
-                ctx.queue_depth.add(-1.0);
+                h.queue_depth.add(-1.0);
                 tracker.confirm_false_alarm(session_id);
+                let mut normals = tracker.take_verified_normals();
+                if !normals.is_empty() {
+                    lock(&h.feedback).append(&mut normals);
+                }
+                let now = h.processed.fetch_add(1, Ordering::SeqCst) + 1;
+                lock(&h.wal)
+                    .entries
+                    .retain(|e| e.session_id != session_id || e.idx >= now);
             }
             Msg::Flush(ack) => {
                 let _ = ack.send(());
             }
             Msg::Swap(system) => {
-                ctx.system = system;
-            }
-            Msg::TakeFeedback(ack) => {
-                let _ = ack.send(tracker.take_verified_normals());
+                spec.system = system;
             }
             Msg::Shutdown => break,
             #[cfg(test)]
@@ -327,8 +557,23 @@ fn worker(rx: Receiver<Msg>, mut ctx: ShardCtx) -> SessionTracker {
     tracker
 }
 
-/// The sharded, memoizing serving engine. See the module docs for the
-/// architecture and the determinism guarantee.
+/// Per-session shadow state the engine keeps under
+/// [`OverloadPolicy::Degrade`], fed on every submit so the fallback model
+/// has full context when saturation forces it to score.
+#[derive(Default)]
+struct DegradeShadow {
+    keys: Vec<u32>,
+    alerted: bool,
+}
+
+struct DegradeState {
+    lm: NgramLm,
+    sessions: HashMap<u64, DegradeShadow>,
+}
+
+/// The sharded, memoizing, self-healing serving engine. See the module docs
+/// for the architecture, the determinism guarantee and the fault-tolerance
+/// protocol.
 ///
 /// Every engine owns its own metrics [`Registry`] (exposed via
 /// [`ShardedOnlineUcad::registry`] / [`ShardedOnlineUcad::render_metrics`]),
@@ -337,12 +582,24 @@ fn worker(rx: Receiver<Msg>, mut ctx: ShardCtx) -> SessionTracker {
 /// registry cells, so snapshots and the Prometheus exposition always agree.
 pub struct ShardedOnlineUcad {
     system: Arc<Ucad>,
+    /// Every model epoch ever served, indexed by epoch number. Supervision
+    /// replay scores each write-ahead entry with the model it was
+    /// originally submitted under; the list grows by one Arc per hot-swap.
+    systems: Vec<Arc<Ucad>>,
     cache: Option<Arc<ScoreCache>>,
     registry: Arc<Registry>,
     flight: Arc<FlightRecorder>,
+    observer: Option<Arc<dyn ServeObserver>>,
+    degrade: Option<DegradeState>,
     worker_panics: Counter,
+    worker_restarts: Counter,
+    records_shed: Counter,
+    records_degraded: Counter,
     swaps: Counter,
     epoch_gauge: Gauge,
+    /// Panic messages captured by supervision and the final shutdown join,
+    /// in capture order.
+    panic_log: Mutex<Vec<(usize, String)>>,
     shards: Vec<Shard>,
     cfg: ServeConfig,
     next_seq: u64,
@@ -365,7 +622,7 @@ impl ShardedOnlineUcad {
     /// Fallible constructor: rejects structurally invalid configurations
     /// with an [`UcadError`] instead of panicking.
     pub fn try_new(system: Ucad, cfg: ServeConfig) -> Result<Self, UcadError> {
-        Self::try_new_observed(system, cfg, None)
+        Self::try_new_full(system, cfg, None, None)
     }
 
     /// Like [`ShardedOnlineUcad::try_new`], additionally attaching a
@@ -377,9 +634,35 @@ impl ShardedOnlineUcad {
         cfg: ServeConfig,
         observer: Option<Arc<dyn ServeObserver>>,
     ) -> Result<Self, UcadError> {
+        Self::try_new_full(system, cfg, observer, None)
+    }
+
+    /// Full constructor: observer plus the degraded-mode fallback model.
+    /// [`OverloadPolicy::Degrade`] requires a *fitted* [`NgramLm`]
+    /// (typically trained on the same sessions as the serving model);
+    /// passing none — or an unfitted one — under that policy is rejected.
+    pub fn try_new_full(
+        system: Ucad,
+        cfg: ServeConfig,
+        observer: Option<Arc<dyn ServeObserver>>,
+        fallback: Option<NgramLm>,
+    ) -> Result<Self, UcadError> {
         if cfg.shards == 0 {
             return Err(UcadError::invalid("shards", "at least one shard required"));
         }
+        let degrade = match (cfg.overload, fallback) {
+            (OverloadPolicy::Degrade, Some(lm)) if lm.is_fitted() => Some(DegradeState {
+                lm,
+                sessions: HashMap::new(),
+            }),
+            (OverloadPolicy::Degrade, _) => {
+                return Err(UcadError::invalid(
+                    "overload",
+                    "the Degrade policy requires a fitted NgramLm fallback",
+                ));
+            }
+            _ => None,
+        };
         let system = Arc::new(system);
         let cache = (cfg.cache_capacity > 0).then(|| Arc::new(ScoreCache::new(cfg.cache_capacity)));
         let registry = Arc::new(Registry::new());
@@ -406,7 +689,22 @@ impl ShardedOnlineUcad {
         registry.describe(
             "ucad_serve_worker_panics_total",
             MetricKind::Counter,
-            "Worker threads that died of a panic, observed at shutdown",
+            "Worker threads that died of a panic",
+        );
+        registry.describe(
+            "ucad_serve_worker_restarts_total",
+            MetricKind::Counter,
+            "Shard workers respawned by supervision after a panic",
+        );
+        registry.describe(
+            "ucad_serve_records_shed_total",
+            MetricKind::Counter,
+            "Records dropped by the ShedNewest overload policy",
+        );
+        registry.describe(
+            "ucad_serve_records_degraded_total",
+            MetricKind::Counter,
+            "Records scored by the degraded-mode fallback instead of the model",
         );
         registry.describe(
             "ucad_serve_swaps_total",
@@ -424,53 +722,63 @@ impl ShardedOnlineUcad {
             cache.register_metrics(&registry, &[]);
         }
         let worker_panics = registry.counter("ucad_serve_worker_panics_total", &[]);
+        let worker_restarts = registry.counter("ucad_serve_worker_restarts_total", &[]);
+        let records_shed = registry.counter("ucad_serve_records_shed_total", &[]);
+        let records_degraded = registry.counter("ucad_serve_records_degraded_total", &[]);
         let swaps = registry.counter("ucad_serve_swaps_total", &[]);
         let epoch_gauge = registry.gauge("ucad_serve_model_epoch", &[]);
         let shards = (0..cfg.shards)
             .map(|i| {
-                let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
-                let outbox = Arc::new(Mutex::new(Outbox::default()));
                 let shard_label = i.to_string();
                 let labels: &[(&str, &str)] = &[("shard", shard_label.as_str())];
-                let records = registry.counter("ucad_serve_records_total", labels);
-                let alerts = registry.counter("ucad_serve_alerts_total", labels);
-                let queue_depth = registry.gauge("ucad_serve_queue_depth", labels);
-                let score_latency = registry.histogram(
-                    "ucad_serve_score_duration_seconds",
-                    labels,
-                    &DEFAULT_LATENCY_BUCKETS,
-                );
-                let ctx = ShardCtx {
+                let h = ShardHandles {
+                    outbox: Arc::new(Mutex::new(Outbox::default())),
+                    wal: Arc::new(Mutex::new(Wal::default())),
+                    processed: Arc::new(AtomicU64::new(0)),
+                    feedback: Arc::new(Mutex::new(Vec::new())),
+                    records: registry.counter("ucad_serve_records_total", labels),
+                    alerts: registry.counter("ucad_serve_alerts_total", labels),
+                    queue_depth: registry.gauge("ucad_serve_queue_depth", labels),
+                    score_latency: registry.histogram(
+                        "ucad_serve_score_duration_seconds",
+                        labels,
+                        &DEFAULT_LATENCY_BUCKETS,
+                    ),
+                };
+                let spec = WorkerSpec {
                     shard: i,
                     system: Arc::clone(&system),
                     cache: cache.clone(),
-                    outbox: Arc::clone(&outbox),
-                    records: records.clone(),
-                    alerts,
-                    queue_depth: queue_depth.clone(),
-                    score_latency,
                     flight: Arc::clone(&flight),
-                    mode: cfg.mode,
                     observer: observer.clone(),
                 };
-                let handle = std::thread::spawn(move || worker(rx, ctx));
+                let link = spawn_worker(
+                    spec,
+                    h.clone(),
+                    cfg.queue_capacity,
+                    SessionTracker::new(cfg.mode),
+                );
                 Shard {
-                    tx,
-                    outbox,
-                    records,
-                    queue_depth,
-                    handle: Some(handle),
+                    link: Mutex::new(link),
+                    h,
                 }
             })
             .collect();
         Ok(ShardedOnlineUcad {
+            systems: vec![Arc::clone(&system)],
             system,
             cache,
             registry,
             flight,
+            observer,
+            degrade,
             worker_panics,
+            worker_restarts,
+            records_shed,
+            records_degraded,
             swaps,
             epoch_gauge,
+            panic_log: Mutex::new(Vec::new()),
             shards,
             cfg,
             next_seq: 0,
@@ -488,47 +796,308 @@ impl ShardedOnlineUcad {
         (splitmix64(self.cfg.seed ^ session_id) % self.cfg.shards as u64) as usize
     }
 
-    /// Enqueues a message on a session's shard, tracking the queue-depth
-    /// gauge; the closure receives the depth observed at enqueue time
-    /// (messages already queued ahead of this one).
-    fn send(&self, session_id: u64, make: impl FnOnce(usize) -> Msg) {
-        let shard = &self.shards[self.shard_of(session_id)];
-        let depth = (shard.queue_depth.add(1.0) - 1.0).max(0.0) as usize;
-        shard
-            .tx
-            .send(make(depth))
-            .expect("serving shard terminated");
+    /// Captures a worker panic: the panic log (surfaced in the
+    /// [`ShutdownReport`]), the panic counter, and an event line.
+    fn record_panic(&self, shard: usize, panic: Box<dyn std::any::Any + Send>) {
+        let message = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        self.worker_panics.inc();
+        ucad_obs::event(
+            "serve.worker_panic",
+            &[("shard", shard.to_string()), ("message", message.clone())],
+        );
+        lock(&self.panic_log).push((shard, message));
     }
 
-    /// Routes one audit record to its session's shard, blocking when that
-    /// shard's queue is full. Alerts surface through
+    /// Checks shard `i` for a dead worker and, if found, heals it: joins
+    /// the corpse (capturing the panic), replays the shard's write-ahead
+    /// log into a fresh tracker — entries below the processed watermark
+    /// rebuild state silently, entries above it are processed for real
+    /// under their original model epoch — and respawns the worker on the
+    /// rebuilt tracker. Returns whether a restart happened.
+    ///
+    /// `force` skips the liveness probe: a failed channel send proves the
+    /// receiver is gone even while the worker thread is still unwinding,
+    /// so the caller must supervise unconditionally (the join below waits
+    /// out the unwind).
+    fn supervise_shard(&self, i: usize, force: bool) -> bool {
+        let shard = &self.shards[i];
+        let mut link = lock(&shard.link);
+        let dead = match &link.handle {
+            Some(handle) => force || handle.is_finished(),
+            None => false,
+        };
+        if !dead {
+            return false;
+        }
+        let handle = link.handle.take().expect("liveness-checked above");
+        match handle.join() {
+            Ok(_tracker) => {
+                // Clean exit (shutdown raced a supervision pass): nothing
+                // to heal, but the link must be respawned all the same so
+                // the engine keeps accepting this shard's sessions.
+            }
+            Err(panic) => self.record_panic(i, panic),
+        }
+        // Snapshot the log and watermark. The worker is dead and submission
+        // is externally serialized, so both are frozen.
+        let (entries, wal_top) = {
+            let wal = lock(&shard.h.wal);
+            (wal.entries.clone(), wal.next_idx)
+        };
+        let watermark = shard.h.processed.load(Ordering::SeqCst);
+        let observer = self.observer.clone();
+        let mut tracker = SessionTracker::new(self.cfg.mode);
+        let mut rebuilt = 0u64;
+        let mut replayed = 0u64;
+        for entry in &entries {
+            let system: &Ucad = &self.systems[entry.epoch as usize];
+            // Replaying an old-epoch entry must not memoize stale scores
+            // into the current cache epoch.
+            let cache = if entry.epoch == self.epoch {
+                self.cache.as_deref()
+            } else {
+                None
+            };
+            let live = entry.idx >= watermark;
+            if live {
+                replayed += 1;
+            } else {
+                rebuilt += 1;
+            }
+            let entry_observer = if live { observer.as_deref() } else { None };
+            match &entry.msg {
+                WalMsg::Record(record, seq) => {
+                    if live {
+                        shard.h.records.inc();
+                    }
+                    let start = Instant::now();
+                    let raised = tracker.ingest(system, cache, entry_observer, record, *seq);
+                    if live {
+                        shard.h.score_latency.observe(start.elapsed().as_secs_f64());
+                        if let Some(raised) = raised {
+                            book_alert(&shard.h, i, &self.flight, entry_observer, raised, 0);
+                        }
+                    }
+                }
+                WalMsg::Close(session_id) => {
+                    let raised = tracker.close(system, cache, entry_observer, *session_id);
+                    let mut normals = tracker.take_verified_normals();
+                    if live {
+                        if let Some(raised) = raised {
+                            book_alert(&shard.h, i, &self.flight, entry_observer, raised, 0);
+                        }
+                        if !normals.is_empty() {
+                            lock(&shard.h.feedback).append(&mut normals);
+                        }
+                    }
+                }
+                WalMsg::FalseAlarm(session_id) => {
+                    tracker.confirm_false_alarm(*session_id);
+                    let mut normals = tracker.take_verified_normals();
+                    if live && !normals.is_empty() {
+                        lock(&shard.h.feedback).append(&mut normals);
+                    }
+                }
+            }
+        }
+        // Everything in the log is now processed; keep only what a future
+        // replay of the still-open sessions would need.
+        shard.h.processed.store(wal_top, Ordering::SeqCst);
+        lock(&shard.h.wal)
+            .entries
+            .retain(|e| tracker.has_session(e.session_id));
+        // The dead worker's queue died with it; replay covered its
+        // contents, so the fresh queue starts empty.
+        shard.h.queue_depth.set(0.0);
+        let spec = WorkerSpec {
+            shard: i,
+            system: Arc::clone(&self.system),
+            cache: self.cache.clone(),
+            flight: Arc::clone(&self.flight),
+            observer,
+        };
+        *link = spawn_worker(spec, shard.h.clone(), self.cfg.queue_capacity, tracker);
+        self.worker_restarts.inc();
+        ucad_obs::event(
+            "serve.worker_restart",
+            &[
+                ("shard", i.to_string()),
+                ("rebuilt", rebuilt.to_string()),
+                ("replayed", replayed.to_string()),
+            ],
+        );
+        true
+    }
+
+    /// Routes one audit record to its session's shard. What happens when
+    /// that shard's queue is full depends on [`ServeConfig::overload`]:
+    /// `Block` waits (lossless backpressure), `ShedNewest` drops the
+    /// record, `Degrade` scores it with the n-gram fallback. A dead worker
+    /// is healed in place (see the module docs); the record is then
+    /// accounted through replay, never lost. Alerts surface through
     /// [`ShardedOnlineUcad::drain_alerts`], not the submission path.
-    pub fn submit(&mut self, record: &LogRecord) {
+    pub fn submit(&mut self, record: &LogRecord) -> SubmitOutcome {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let boxed = Box::new(record.clone());
-        self.send(record.session_id, move |depth| {
-            Msg::Record(boxed, seq, depth)
-        });
+        let i = self.shard_of(record.session_id);
+        if self.degrade.is_some() {
+            // Shadow context: the fallback needs the session's full key
+            // sequence even for records the real path scored.
+            let key = self.system.preprocessor.vocab.key_of_sql(&record.sql);
+            if let Some(state) = self.degrade.as_mut() {
+                state
+                    .sessions
+                    .entry(record.session_id)
+                    .or_default()
+                    .keys
+                    .push(key);
+            }
+        }
+        let rec = Arc::new(record.clone());
+        let idx = lock(&self.shards[i].h.wal).append(
+            self.epoch,
+            record.session_id,
+            WalMsg::Record(Arc::clone(&rec), seq),
+        );
+        let depth = (self.shards[i].h.queue_depth.add(1.0) - 1.0).max(0.0) as usize;
+        let msg = Msg::Record(rec, seq, depth);
+        if self.cfg.overload == OverloadPolicy::Block {
+            let sent = lock(&self.shards[i].link).tx.send(msg);
+            if sent.is_err() {
+                // Dead receiver: the std channel wakes blocked senders when
+                // the worker drops its end, so a crashed shard can never
+                // deadlock submission. Supervision replays the appended
+                // entry — do not resend.
+                self.supervise_shard(i, true);
+            }
+            return SubmitOutcome::Accepted;
+        }
+        let saturated = ucad_fault::on_submit_saturated(i);
+        let refused = if saturated {
+            Some(())
+        } else {
+            match lock(&self.shards[i].link).tx.try_send(msg) {
+                Ok(()) => None,
+                Err(TrySendError::Disconnected(_)) => {
+                    self.supervise_shard(i, true);
+                    return SubmitOutcome::Accepted;
+                }
+                Err(TrySendError::Full(_)) => Some(()),
+            }
+        };
+        if refused.is_none() {
+            return SubmitOutcome::Accepted;
+        }
+        // Saturated: the record will not reach the worker, so its log entry
+        // must go too — otherwise replay would double-process everything
+        // behind the resulting index gap.
+        lock(&self.shards[i].h.wal).pop_unsent(idx);
+        self.shards[i].h.queue_depth.add(-1.0);
+        match self.cfg.overload {
+            OverloadPolicy::ShedNewest => {
+                self.records_shed.inc();
+                SubmitOutcome::Shed
+            }
+            OverloadPolicy::Degrade => self.degrade_score(i, record, seq),
+            OverloadPolicy::Block => unreachable!("handled above"),
+        }
+    }
+
+    /// Scores a saturated-out record with the n-gram fallback, booking a
+    /// `degraded: true` alert into the shard's outbox (under the record's
+    /// global sequence number, so drained ordering is preserved) when the
+    /// transition is abnormal and the session has not alerted degraded
+    /// before. Degraded verdicts skip the flight recorder — no rank, score
+    /// or key window exists for them.
+    fn degrade_score(&mut self, i: usize, record: &LogRecord, seq: u64) -> SubmitOutcome {
+        self.records_degraded.inc();
+        let state = self.degrade.as_mut().expect("Degrade policy implies state");
+        let shadow = state
+            .sessions
+            .get_mut(&record.session_id)
+            .expect("shadow fed on every submit");
+        let t = shadow.keys.len() - 1;
+        let key = shadow.keys[t];
+        let abnormal = !state.lm.transition_allowed(&shadow.keys[..t], key);
+        let raise = abnormal && !shadow.alerted;
+        if raise {
+            shadow.alerted = true;
+        }
+        if raise {
+            let alert = Alert {
+                session_id: record.session_id,
+                user: record.user.clone(),
+                reason: if key == 0 {
+                    AlertReason::UnknownStatement
+                } else {
+                    AlertReason::IntentMismatch
+                },
+                sql: Some(record.sql.clone()),
+                position: Some(t),
+                degraded: true,
+            };
+            self.shards[i].h.alerts.inc();
+            ucad_obs::event(
+                "serve.alert",
+                &[
+                    ("session_id", record.session_id.to_string()),
+                    ("shard", i.to_string()),
+                    ("reason", format!("{:?}", alert.reason)),
+                    ("seq", seq.to_string()),
+                    ("degraded", "true".to_string()),
+                ],
+            );
+            if let Some(observer) = &self.observer {
+                observer.on_alert(&alert);
+            }
+            lock(&self.shards[i].h.outbox).alerts.push((seq, alert));
+        }
+        SubmitOutcome::Degraded
+    }
+
+    /// Appends a control message to the shard's log and sends it,
+    /// supervising on a dead receiver (the entry is then consumed by
+    /// replay). Control messages always block — overload policies apply to
+    /// records only.
+    fn send_control(&mut self, session_id: u64, wal_msg: WalMsg) {
+        if let Some(state) = self.degrade.as_mut() {
+            state.sessions.remove(&session_id);
+        }
+        let i = self.shard_of(session_id);
+        lock(&self.shards[i].h.wal).append(self.epoch, session_id, wal_msg.clone());
+        let depth = (self.shards[i].h.queue_depth.add(1.0) - 1.0).max(0.0) as usize;
+        let msg = match wal_msg {
+            WalMsg::Close(id) => Msg::Close(id, depth),
+            WalMsg::FalseAlarm(id) => Msg::FalseAlarm(id),
+            WalMsg::Record(..) => unreachable!("records go through submit"),
+        };
+        let sent = lock(&self.shards[i].link).tx.send(msg);
+        if sent.is_err() {
+            self.supervise_shard(i, true);
+        }
     }
 
     /// Closes a session on its shard (Block mode scores the pending tail,
     /// which can itself raise an alert); unalerted sessions join the
     /// shard's verified-normal feedback buffer.
     pub fn close_session(&mut self, session_id: u64) {
-        self.send(session_id, move |depth| Msg::Close(session_id, depth));
+        self.send_control(session_id, WalMsg::Close(session_id));
     }
 
     /// DBA feedback: the alert on `session_id` was a false alarm.
     pub fn confirm_false_alarm(&mut self, session_id: u64) {
-        self.send(session_id, move |_| Msg::FalseAlarm(session_id));
+        self.send_control(session_id, WalMsg::FalseAlarm(session_id));
     }
 
     /// Atomically hot-swaps the serving model, returning the new model
     /// epoch. The swap happens at a global cut in the submission order:
     ///
     /// 1. a flush barrier completes every record submitted so far against
-    ///    the **old** model,
+    ///    the **old** model (healing any crashed shard under that model),
     /// 2. the shared [`ScoreCache`] advances its epoch, marking every score
     ///    memoized from the old weights stale (they are dropped on their
     ///    next lookup, never served),
@@ -537,11 +1106,13 @@ impl ShardedOnlineUcad {
     ///
     /// Because `&mut self` serializes submission against the swap and the
     /// per-shard queues are FIFO, every record is scored by exactly the
-    /// model that was current when it was submitted — for any shard count.
-    /// Sessions opened after the swap produce verdicts byte-identical to a
-    /// freshly started engine on the new model; sessions straddling the cut
-    /// finish deterministically, with positions scored under the model
-    /// current at their scoring time.
+    /// model that was current when it was submitted — for any shard count,
+    /// and even when a shard crashes around the cut (write-ahead entries
+    /// remember their epoch; replay scores them with that model). Sessions
+    /// opened after the swap produce verdicts byte-identical to a freshly
+    /// started engine on the new model; sessions straddling the cut finish
+    /// deterministically, with positions scored under the model current at
+    /// their scoring time.
     ///
     /// The candidate must share the serving vocabulary (the preprocessor's
     /// statement keys index its embedding table); a mismatched `vocab_size`
@@ -566,13 +1137,19 @@ impl ShardedOnlineUcad {
         let mut system = (*self.system).clone();
         system.model = model;
         let system = Arc::new(system);
-        for shard in &self.shards {
-            // A dead worker's partition is lost either way; skip it like
-            // flush does.
-            let _ = shard.tx.send(Msg::Swap(Arc::clone(&system)));
-        }
-        self.system = system;
+        self.system = Arc::clone(&system);
+        self.systems.push(Arc::clone(&system));
         self.epoch += 1;
+        for i in 0..self.shards.len() {
+            let sent = lock(&self.shards[i].link)
+                .tx
+                .send(Msg::Swap(Arc::clone(&system)));
+            if sent.is_err() {
+                // The respawned worker picks up the already-installed new
+                // system directly; no swap message needed.
+                self.supervise_shard(i, true);
+            }
+        }
         self.swaps.inc();
         self.epoch_gauge.set(self.epoch as f64);
         ucad_obs::event("serve.model_swap", &[("epoch", self.epoch.to_string())]);
@@ -593,35 +1170,81 @@ impl ShardedOnlineUcad {
         self.flush();
         let mut sessions = Vec::new();
         for shard in &self.shards {
-            let (ack_tx, ack_rx) = sync_channel(1);
-            if shard.tx.send(Msg::TakeFeedback(ack_tx)).is_ok() {
-                if let Ok(mut batch) = ack_rx.recv() {
-                    sessions.append(&mut batch);
-                }
-            }
+            sessions.append(&mut lock(&shard.h.feedback));
         }
         sessions
     }
 
-    /// Barrier: returns once every record submitted so far has been fully
-    /// processed by its shard. A shard whose worker has died is skipped
-    /// (there is nothing left to flush on it).
+    /// Barrier: returns once every message submitted so far has been fully
+    /// processed by its shard — healing dead workers along the way. The
+    /// pass repeats until a whole round completes with no restart and no
+    /// failed barrier, so a worker dying *during* the flush (e.g. an
+    /// injected panic on a still-queued record) is also healed before the
+    /// call returns; fault plans are finite, so the loop terminates.
     pub fn flush(&self) {
-        let acks: Vec<Receiver<()>> = self
-            .shards
-            .iter()
-            .filter_map(|shard| {
-                let (ack_tx, ack_rx) = sync_channel(1);
-                shard.tx.send(Msg::Flush(ack_tx)).ok().map(|()| ack_rx)
-            })
-            .collect();
-        for ack in acks {
-            let _ = ack.recv();
+        loop {
+            let mut stable = true;
+            for i in 0..self.shards.len() {
+                if self.supervise_shard(i, false) {
+                    stable = false;
+                }
+            }
+            let acks: Vec<Option<Receiver<()>>> = self
+                .shards
+                .iter()
+                .map(|shard| {
+                    let (ack_tx, ack_rx) = sync_channel(1);
+                    lock(&shard.link)
+                        .tx
+                        .send(Msg::Flush(ack_tx))
+                        .ok()
+                        .map(|()| ack_rx)
+                })
+                .collect();
+            for (i, ack) in acks.into_iter().enumerate() {
+                let acked = match ack {
+                    Some(rx) => self.await_ack(i, rx),
+                    None => false,
+                };
+                if !acked {
+                    stable = false;
+                }
+            }
+            if stable {
+                return;
+            }
+        }
+    }
+
+    /// Waits for one shard's flush ack. A plain `recv()` here can park
+    /// forever: if the worker dies *after* the barrier was queued, its
+    /// receiver drops but the engine still holds the queue's sender, so the
+    /// buffered `Flush` message — and the ack sender inside it — is never
+    /// destroyed. The wait therefore re-checks worker liveness on a short
+    /// timeout; a dead worker fails the ack, and the flush loop supervises
+    /// and retries.
+    fn await_ack(&self, i: usize, rx: Receiver<()>) -> bool {
+        loop {
+            match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(()) => return true,
+                Err(RecvTimeoutError::Disconnected) => return false,
+                Err(RecvTimeoutError::Timeout) => {
+                    let dead = lock(&self.shards[i].link)
+                        .handle
+                        .as_ref()
+                        .is_none_or(|h| h.is_finished());
+                    if dead {
+                        return false;
+                    }
+                }
+            }
         }
     }
 
     /// Flushes, then returns every alert raised since the last drain,
-    /// ordered by the arrival sequence of the triggering record. Given the
+    /// ordered by the arrival sequence of the triggering record — including
+    /// alerts a supervision replay re-raised on behalf of a crashed worker,
+    /// which keep the sequence number of their original trigger. Given the
     /// same submission sequence, the returned list is byte-identical for
     /// any shard count — with the default Streaming mode it equals what
     /// [`crate::OnlineUcad::alerts`] accumulates.
@@ -629,25 +1252,29 @@ impl ShardedOnlineUcad {
         self.flush();
         let mut tagged: Vec<(u64, Alert)> = Vec::new();
         for shard in &self.shards {
-            tagged.append(&mut shard.outbox.lock().expect("outbox poisoned").alerts);
+            tagged.append(&mut lock(&shard.h.outbox).alerts);
         }
         tagged.sort_by_key(|(seq, _)| *seq);
         tagged.into_iter().map(|(_, alert)| alert).collect()
     }
 
-    /// Flushes, then snapshots the throughput and cache counters — a view
-    /// over the same registry cells [`ShardedOnlineUcad::render_metrics`]
-    /// exposes, readable through `&self` (the handles are atomics).
+    /// Flushes, then snapshots the throughput, overload and cache counters
+    /// — a view over the same registry cells
+    /// [`ShardedOnlineUcad::render_metrics`] exposes, readable through
+    /// `&self` (the handles are atomics).
     pub fn stats(&self) -> ServeStats {
         self.flush();
         ServeStats {
-            records_per_shard: self.shards.iter().map(|s| s.records.get()).collect(),
+            records_per_shard: self.shards.iter().map(|s| s.h.records.get()).collect(),
             pending_alerts: self
                 .shards
                 .iter()
-                .map(|s| s.outbox.lock().expect("outbox poisoned").alerts.len())
+                .map(|s| lock(&s.h.outbox).alerts.len())
                 .sum(),
             cache: self.cache.as_ref().map(|c| c.stats()),
+            records_shed: self.records_shed.get(),
+            records_degraded: self.records_degraded.get(),
+            worker_restarts: self.worker_restarts.get(),
         }
     }
 
@@ -672,47 +1299,41 @@ impl ShardedOnlineUcad {
         self.flight.dump_json()
     }
 
-    /// Sends a panic to a shard's worker (exercises the shutdown
-    /// panic-capture path).
+    /// Sends a panic to a shard's worker (exercises the supervision and
+    /// shutdown panic-capture paths).
     #[cfg(test)]
     fn inject_worker_panic(&self, shard: usize) {
-        let _ = self.shards[shard].tx.send(Msg::Panic);
+        let _ = lock(&self.shards[shard].link).tx.send(Msg::Panic);
     }
 
     /// Stops the workers and hands back the system, the remaining alerts,
     /// the accumulated verified-normal feedback, any worker panics, and the
     /// flight recorder's entries. A panicked worker is reported in
     /// [`ShutdownReport::worker_panics`] (and counted on
-    /// `ucad_serve_worker_panics_total`) instead of propagating the panic.
+    /// `ucad_serve_worker_panics_total`) instead of propagating the panic;
+    /// panics already healed by mid-run supervision appear there too.
     pub fn shutdown(mut self) -> ShutdownReport {
         let alerts = self.drain_alerts();
         let mut verified_normals = Vec::new();
-        let mut worker_panics = Vec::new();
-        for (i, shard) in self.shards.iter_mut().enumerate() {
-            let _ = shard.tx.send(Msg::Shutdown);
-            match shard.handle.take().expect("shard joined twice").join() {
-                Ok(mut tracker) => {
-                    verified_normals.append(&mut tracker.take_verified_normals());
-                }
-                Err(panic) => {
-                    let message = panic
-                        .downcast_ref::<String>()
-                        .cloned()
-                        .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
-                        .unwrap_or_else(|| "non-string panic payload".to_string());
-                    self.worker_panics.inc();
-                    ucad_obs::event(
-                        "serve.worker_panic",
-                        &[("shard", i.to_string()), ("message", message.clone())],
-                    );
-                    worker_panics.push((i, message));
+        for shard in &self.shards {
+            verified_normals.append(&mut lock(&shard.h.feedback));
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut link = lock(&shard.link);
+            let _ = link.tx.send(Msg::Shutdown);
+            if let Some(handle) = link.handle.take() {
+                if let Err(panic) = handle.join() {
+                    self.record_panic(i, panic);
                 }
             }
         }
+        let worker_panics = std::mem::take(&mut *lock(&self.panic_log));
+        let worker_restarts = self.worker_restarts.get();
         let flight = self.flight.entries();
         self.cache = None;
         self.shards.clear();
         let system_arc = Arc::clone(&self.system);
+        self.systems.clear();
         drop(self);
         let system = Arc::try_unwrap(system_arc).unwrap_or_else(|arc| (*arc).clone());
         ShutdownReport {
@@ -720,6 +1341,7 @@ impl ShardedOnlineUcad {
             alerts,
             verified_normals,
             worker_panics,
+            worker_restarts,
             flight,
         }
     }
@@ -730,7 +1352,7 @@ impl Drop for ShardedOnlineUcad {
         // Dropping the senders ends each worker's recv loop; detach rather
         // than join so a panicking test does not deadlock on its own shards.
         for shard in &mut self.shards {
-            let _ = shard.tx.send(Msg::Shutdown);
+            let _ = lock(&shard.link).tx.send(Msg::Shutdown);
         }
     }
 }
@@ -738,6 +1360,7 @@ impl Drop for ShardedOnlineUcad {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ucad_baselines::BaselineDetector;
 
     #[test]
     fn splitmix_routes_uniformly_and_deterministically() {
@@ -771,6 +1394,7 @@ mod tests {
         assert!(cfg.queue_capacity >= 1);
         assert_eq!(cfg.mode, DetectionMode::Streaming);
         assert!(cfg.flight_capacity >= 1);
+        assert_eq!(cfg.overload, OverloadPolicy::Block);
     }
 
     #[test]
@@ -782,12 +1406,14 @@ mod tests {
             .mode(DetectionMode::Block)
             .seed(7)
             .flight_capacity(0)
+            .overload(OverloadPolicy::ShedNewest)
             .build()
             .expect("valid config rejected");
         assert_eq!((cfg.shards, cfg.queue_capacity), (2, 64));
         assert_eq!((cfg.cache_capacity, cfg.flight_capacity), (0, 0));
         assert_eq!(cfg.mode, DetectionMode::Block);
         assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.overload, OverloadPolicy::ShedNewest);
         assert!(ServeConfig::builder().shards(0).build().is_err());
         assert!(ServeConfig::builder().queue_capacity(0).build().is_err());
     }
@@ -808,6 +1434,32 @@ mod tests {
             ..cfg.model
         };
         Ucad::train(&raw.sessions, cfg).0
+    }
+
+    fn records_of(system: &Ucad, seed: u64, sessions: usize) -> Vec<LogRecord> {
+        use rand::SeedableRng;
+        use ucad_trace::{ScenarioSpec, SessionGenerator};
+
+        let _ = system;
+        let mut gen = SessionGenerator::new(ScenarioSpec::commenting());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut records = Vec::new();
+        for _ in 0..sessions {
+            let s = gen.normal_session(&mut rng).session;
+            for op in &s.ops {
+                records.push(LogRecord {
+                    timestamp: op.timestamp,
+                    user: s.user.clone(),
+                    client_ip: s.client_ip.clone(),
+                    session_id: s.id,
+                    sql: op.sql.clone(),
+                    table: op.table.clone(),
+                    op: op.kind,
+                    rows: 0,
+                });
+            }
+        }
+        records
     }
 
     #[test]
@@ -832,6 +1484,85 @@ mod tests {
             report.worker_panics[0].1
         );
         assert!(report.alerts.is_empty());
+    }
+
+    #[test]
+    fn dead_shard_is_healed_and_keeps_accepting_without_deadlock() {
+        let system = tiny_system(17);
+        let records = records_of(&system, 18, 6);
+        let mut engine = ShardedOnlineUcad::new(
+            system,
+            ServeConfig {
+                shards: 1,
+                queue_capacity: 4,
+                ..ServeConfig::default()
+            },
+        );
+        let mid = records.len() / 2;
+        for r in &records[..mid] {
+            assert_eq!(engine.submit(r), SubmitOutcome::Accepted);
+        }
+        engine.inject_worker_panic(0);
+        // Keep submitting well past the queue bound: the dead receiver must
+        // fail sends fast (never deadlock), supervision must heal the shard
+        // and replay everything the crash ate.
+        for r in &records[mid..] {
+            assert_eq!(engine.submit(r), SubmitOutcome::Accepted);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.records(), records.len() as u64);
+        assert!(stats.worker_restarts >= 1);
+        let report = engine.shutdown();
+        assert_eq!(report.worker_restarts, stats.worker_restarts);
+        assert_eq!(report.worker_panics.len(), 1);
+    }
+
+    #[test]
+    fn shed_policy_drops_under_forced_saturation_and_reconciles() {
+        let system = tiny_system(21);
+        let records = records_of(&system, 22, 3);
+        let mut engine = ShardedOnlineUcad::new(
+            system,
+            ServeConfig {
+                shards: 1,
+                overload: OverloadPolicy::ShedNewest,
+                ..ServeConfig::default()
+            },
+        );
+        // Force saturation on submissions 2 and 3 (0-based) of shard 0.
+        let _armed = ucad_fault::FaultPlan::new().saturate(2, 4, Some(0)).arm();
+        let mut shed = 0u64;
+        for r in &records {
+            if engine.submit(r) == SubmitOutcome::Shed {
+                shed += 1;
+            }
+        }
+        assert_eq!(shed, 2);
+        let stats = engine.stats();
+        assert_eq!(stats.records_shed, 2);
+        assert_eq!(stats.records() + stats.records_shed, records.len() as u64);
+        let metrics = engine.render_metrics();
+        assert!(metrics.contains("ucad_serve_records_shed_total 2"));
+    }
+
+    #[test]
+    fn degrade_policy_requires_fitted_fallback() {
+        let system = tiny_system(23);
+        let cfg = ServeConfig {
+            overload: OverloadPolicy::Degrade,
+            ..ServeConfig::default()
+        };
+        assert!(ShardedOnlineUcad::try_new_full(system.clone(), cfg, None, None).is_err());
+        assert!(ShardedOnlineUcad::try_new_full(
+            system.clone(),
+            cfg,
+            None,
+            Some(NgramLm::new(3, 4))
+        )
+        .is_err());
+        let mut lm = NgramLm::new(3, 4);
+        lm.fit(&[vec![1, 2, 3]], system.model.cfg.vocab_size);
+        assert!(ShardedOnlineUcad::try_new_full(system, cfg, None, Some(lm)).is_ok());
     }
 
     #[test]

@@ -1,0 +1,709 @@
+//! # ucad-fault
+//!
+//! Deterministic, seeded fault injection for the UCAD serving stack.
+//!
+//! A [`FaultPlan`] describes *which* faults fire and *when* — shard-worker
+//! panics at the Nth record, artificial scoring stalls, forced queue
+//! saturation, and checkpoint-file I/O failures or corruption. Hook
+//! functions are compiled into the serving engine, the detector scoring
+//! path and the checkpoint store; every hook first checks a single relaxed
+//! atomic and returns immediately when no plan is armed, so production runs
+//! pay one predictable load per hook and nothing else.
+//!
+//! Plans are armed two ways:
+//!
+//! * **Environment** — set `UCAD_FAULTS` to a spec string before the first
+//!   hook runs, e.g. `UCAD_FAULTS="panic=40@1;stall_us=500;fs_fail=2"`.
+//!   This is how the CI chaos soak drives a release binary.
+//! * **Programmatically** — build a [`FaultPlan`] and call
+//!   [`FaultPlan::arm`]. The returned [`Armed`] guard serializes every
+//!   plan-holding (or explicitly quiet, see [`quiesce`]) section in the
+//!   process, so parallel tests can never observe each other's faults, and
+//!   disarms on drop.
+//!
+//! ## Spec grammar
+//!
+//! `;`- or `,`-separated `key=value` tokens:
+//!
+//! | token                | fault                                                        |
+//! |----------------------|--------------------------------------------------------------|
+//! | `seed=S`             | seed recorded on the plan (reserved for probabilistic modes) |
+//! | `panic=N`            | panic the worker processing the Nth record overall (1-based) |
+//! | `panic=N@S`          | panic shard S's worker at its own Nth record (repeatable)    |
+//! | `stall_us=U`         | sleep U microseconds inside each scoring forward             |
+//! | `stall_every=K`      | stall only every Kth forward (default 1)                     |
+//! | `stall_limit=M`      | stop stalling after M stalls (default unlimited)             |
+//! | `saturate=A..B`      | submissions A..B (0-based, half-open) see a full queue       |
+//! | `saturate=A..B@S`    | same, but only on shard S                                    |
+//! | `fs_fail=K`          | the next K checkpoint fs operations fail with an I/O error   |
+//! | `fs_corrupt=K`       | the next K checkpoint reads return a bit-flipped payload     |
+//! | `fs_scope=DIR`       | fault only fs operations on paths under DIR                  |
+//!
+//! Every trigger is a pure function of deterministic counters (records
+//! processed, submissions attempted, fs operations issued), so a faulted
+//! run is exactly reproducible.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, Once};
+
+/// One worker-panic trigger: fire (once) when the counted record reaches
+/// `nth` (1-based). With `shard` set the count is that shard's own record
+/// count; otherwise records are counted across all shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanicSpec {
+    /// Shard whose worker panics; `None` counts records globally.
+    pub shard: Option<usize>,
+    /// 1-based record count at which the panic fires.
+    pub nth: u64,
+}
+
+/// Artificial scoring stall: every `every`th scoring forward sleeps for
+/// `micros` microseconds, at most `limit` times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallSpec {
+    /// Sleep duration per stall, in microseconds.
+    pub micros: u64,
+    /// Stall every Kth forward (1 = every forward).
+    pub every: u64,
+    /// Maximum number of stalls before the trigger exhausts.
+    pub limit: u64,
+}
+
+/// Forced queue saturation: submission attempts in `from..until` (0-based,
+/// counted per plan) report a full queue. With `shard` set only that
+/// shard's submissions are counted and saturated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaturateSpec {
+    /// Shard to saturate; `None` saturates whichever shard the counted
+    /// submission routes to.
+    pub shard: Option<usize>,
+    /// First saturated submission attempt (inclusive).
+    pub from: u64,
+    /// First submission attempt past the saturated range (exclusive).
+    pub until: u64,
+}
+
+/// Checkpoint filesystem faults: budgets of injected failures, consumed
+/// one per matching operation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsSpec {
+    /// The next `fail_ops` read/write/rename operations fail with an
+    /// injected I/O error.
+    pub fail_ops: u64,
+    /// The next `corrupt_reads` successful reads return a payload with one
+    /// bit flipped.
+    pub corrupt_reads: u64,
+    /// When set, only operations on paths under this directory are counted
+    /// and faulted. Lets a test scope its faults to its own temp dir so
+    /// parallel tests routing through the same shim stay untouched.
+    pub scope: Option<std::path::PathBuf>,
+}
+
+/// A deterministic fault schedule. Build one with the fluent methods, then
+/// [`FaultPlan::arm`] it (tests) or export it as a `UCAD_FAULTS` spec (CI).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed recorded on the plan; reserved for probabilistic triggers so
+    /// spec strings stay forward-compatible.
+    pub seed: u64,
+    /// Worker-panic triggers (each fires at most once).
+    pub panics: Vec<PanicSpec>,
+    /// Scoring-stall schedule.
+    pub stall: Option<StallSpec>,
+    /// Forced queue-saturation window.
+    pub saturate: Option<SaturateSpec>,
+    /// Checkpoint filesystem fault budgets.
+    pub fs: FsSpec,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a worker panic at the `nth` record (1-based) of `shard`, or of
+    /// the whole engine when `shard` is `None`.
+    pub fn panic_at(mut self, nth: u64, shard: Option<usize>) -> Self {
+        self.panics.push(PanicSpec { shard, nth });
+        self
+    }
+
+    /// Stalls every scoring forward by `micros` microseconds.
+    pub fn stall_us(mut self, micros: u64) -> Self {
+        self.stall = Some(StallSpec {
+            micros,
+            every: 1,
+            limit: u64::MAX,
+        });
+        self
+    }
+
+    /// Saturates submission attempts `from..until`, optionally only on one
+    /// shard.
+    pub fn saturate(mut self, from: u64, until: u64, shard: Option<usize>) -> Self {
+        self.saturate = Some(SaturateSpec { shard, from, until });
+        self
+    }
+
+    /// Makes the next `n` checkpoint fs operations fail with an injected
+    /// I/O error.
+    pub fn fs_fail_ops(mut self, n: u64) -> Self {
+        self.fs.fail_ops = n;
+        self
+    }
+
+    /// Makes the next `n` checkpoint reads return a corrupted payload.
+    pub fn fs_corrupt_reads(mut self, n: u64) -> Self {
+        self.fs.corrupt_reads = n;
+        self
+    }
+
+    /// Restricts fs fault injection to paths under `dir` (see
+    /// [`FsSpec::scope`]).
+    pub fn fs_scope(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.fs.scope = Some(dir.into());
+        self
+    }
+
+    /// Parses a `UCAD_FAULTS` spec string (see the module docs for the
+    /// grammar).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        let mut stall_us = None;
+        let mut stall_every = 1u64;
+        let mut stall_limit = u64::MAX;
+        for token in spec.split([';', ',']) {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("fault token `{token}` is not key=value"))?;
+            let int = |v: &str| -> Result<u64, String> {
+                v.parse::<u64>()
+                    .map_err(|_| format!("fault token `{token}`: `{v}` is not an integer"))
+            };
+            match key.trim() {
+                "seed" => plan.seed = int(value)?,
+                "panic" => {
+                    let (nth, shard) = match value.split_once('@') {
+                        Some((n, s)) => (int(n)?, Some(int(s)? as usize)),
+                        None => (int(value)?, None),
+                    };
+                    if nth == 0 {
+                        return Err("panic=0: records are counted from 1".into());
+                    }
+                    plan.panics.push(PanicSpec { shard, nth });
+                }
+                "stall_us" => stall_us = Some(int(value)?),
+                "stall_every" => stall_every = int(value)?.max(1),
+                "stall_limit" => stall_limit = int(value)?,
+                "saturate" => {
+                    let (range, shard) = match value.split_once('@') {
+                        Some((r, s)) => (r, Some(int(s)? as usize)),
+                        None => (value, None),
+                    };
+                    let (from, until) = range
+                        .split_once("..")
+                        .ok_or_else(|| format!("saturate=`{range}`: expected FROM..UNTIL"))?;
+                    plan.saturate = Some(SaturateSpec {
+                        shard,
+                        from: int(from)?,
+                        until: int(until)?,
+                    });
+                }
+                "fs_fail" => plan.fs.fail_ops = int(value)?,
+                "fs_corrupt" => plan.fs.corrupt_reads = int(value)?,
+                "fs_scope" => plan.fs.scope = Some(value.trim().into()),
+                other => return Err(format!("unknown fault key `{other}`")),
+            }
+        }
+        if let Some(micros) = stall_us {
+            plan.stall = Some(StallSpec {
+                micros,
+                every: stall_every,
+                limit: stall_limit,
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Arms the plan process-wide and returns a guard that disarms it on
+    /// drop. Guards serialize: while one [`Armed`] (or [`Quiet`]) guard is
+    /// alive, other `arm`/[`quiesce`] calls block — parallel tests can
+    /// never leak faults into each other's runs.
+    pub fn arm(self) -> Armed {
+        let lock = serial_lock();
+        let state = Arc::new(PlanState::new(self));
+        let prev = {
+            active_slot()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .replace(Arc::clone(&state))
+        };
+        ARMED.store(true, Ordering::Release);
+        Armed {
+            state,
+            prev,
+            _serial: lock,
+        }
+    }
+}
+
+/// Counters a plan accumulates while armed — what chaos tests assert
+/// against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Worker panics actually fired.
+    pub panics_fired: u64,
+    /// Scoring stalls actually slept.
+    pub stalls: u64,
+    /// Submission attempts forced to report a full queue.
+    pub saturated: u64,
+    /// Checkpoint fs operations attempted (reads + writes + renames).
+    pub fs_ops: u64,
+    /// Fs operations failed with an injected I/O error.
+    pub fs_injected_io: u64,
+    /// Reads returned with an injected corrupted payload.
+    pub fs_injected_corrupt: u64,
+}
+
+/// Live state of an armed plan: the immutable schedule plus its
+/// deterministic trigger counters.
+#[derive(Debug)]
+struct PlanState {
+    plan: FaultPlan,
+    panic_fired: Vec<AtomicBool>,
+    global_records: AtomicU64,
+    shard_records: Mutex<Vec<u64>>,
+    forwards: AtomicU64,
+    submissions: AtomicU64,
+    fs_fail_budget: AtomicU64,
+    fs_corrupt_budget: AtomicU64,
+    stats: StatCells,
+}
+
+#[derive(Debug, Default)]
+struct StatCells {
+    panics_fired: AtomicU64,
+    stalls: AtomicU64,
+    saturated: AtomicU64,
+    fs_ops: AtomicU64,
+    fs_injected_io: AtomicU64,
+    fs_injected_corrupt: AtomicU64,
+}
+
+impl PlanState {
+    fn new(plan: FaultPlan) -> Self {
+        let panic_fired = plan.panics.iter().map(|_| AtomicBool::new(false)).collect();
+        let fs = plan.fs.clone();
+        PlanState {
+            plan,
+            panic_fired,
+            global_records: AtomicU64::new(0),
+            shard_records: Mutex::new(Vec::new()),
+            forwards: AtomicU64::new(0),
+            submissions: AtomicU64::new(0),
+            fs_fail_budget: AtomicU64::new(fs.fail_ops),
+            fs_corrupt_budget: AtomicU64::new(fs.corrupt_reads),
+            stats: StatCells::default(),
+        }
+    }
+
+    fn stats(&self) -> FaultStats {
+        FaultStats {
+            panics_fired: self.stats.panics_fired.load(Ordering::Relaxed),
+            stalls: self.stats.stalls.load(Ordering::Relaxed),
+            saturated: self.stats.saturated.load(Ordering::Relaxed),
+            fs_ops: self.stats.fs_ops.load(Ordering::Relaxed),
+            fs_injected_io: self.stats.fs_injected_io.load(Ordering::Relaxed),
+            fs_injected_corrupt: self.stats.fs_injected_corrupt.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Guard holding an armed [`FaultPlan`]; dropping it disarms the plan and
+/// releases the process-wide serialization lock.
+pub struct Armed {
+    state: Arc<PlanState>,
+    prev: Option<Arc<PlanState>>,
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Armed {
+    /// Trigger counters accumulated so far.
+    pub fn stats(&self) -> FaultStats {
+        self.state.stats()
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        let mut active = active_slot().lock().unwrap_or_else(|e| e.into_inner());
+        *active = self.prev.take();
+        ARMED.store(active.is_some(), Ordering::Release);
+    }
+}
+
+/// Guard for a fault-free critical section: holds the same serialization
+/// lock as [`FaultPlan::arm`] without arming anything, so reference
+/// (fault-free) runs in one test can never observe a plan armed by a
+/// parallel test.
+pub struct Quiet {
+    prev: Option<Arc<PlanState>>,
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for Quiet {
+    fn drop(&mut self) {
+        let mut active = active_slot().lock().unwrap_or_else(|e| e.into_inner());
+        *active = self.prev.take();
+        ARMED.store(active.is_some(), Ordering::Release);
+    }
+}
+
+/// Enters a fault-free critical section (see [`Quiet`]). Any plan armed
+/// from the environment is suspended until the guard drops.
+pub fn quiesce() -> Quiet {
+    let lock = serial_lock();
+    let prev = {
+        let mut active = active_slot().lock().unwrap_or_else(|e| e.into_inner());
+        active.take()
+    };
+    ARMED.store(false, Ordering::Release);
+    Quiet {
+        prev,
+        _serial: lock,
+    }
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+fn active_slot() -> &'static Mutex<Option<Arc<PlanState>>> {
+    static ACTIVE: Mutex<Option<Arc<PlanState>>> = Mutex::new(None);
+    &ACTIVE
+}
+
+fn serial_lock() -> MutexGuard<'static, ()> {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Parses and arms `UCAD_FAULTS` once per process. Called by every hook's
+/// slow path and by [`armed`]; a malformed spec panics loudly rather than
+/// silently running an un-faulted soak.
+fn ensure_env() {
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("UCAD_FAULTS") {
+            if spec.trim().is_empty() {
+                return;
+            }
+            let plan = FaultPlan::parse(&spec)
+                .unwrap_or_else(|e| panic!("invalid UCAD_FAULTS spec `{spec}`: {e}"));
+            let state = Arc::new(PlanState::new(plan));
+            let mut active = active_slot().lock().unwrap_or_else(|e| e.into_inner());
+            *active = Some(state);
+            ARMED.store(true, Ordering::Release);
+        }
+    });
+}
+
+/// True when a fault plan is currently armed (programmatically or from
+/// `UCAD_FAULTS`).
+pub fn armed() -> bool {
+    ensure_env();
+    ARMED.load(Ordering::Acquire)
+}
+
+#[inline]
+fn current() -> Option<Arc<PlanState>> {
+    // Fast path: one relaxed load, no locks, no branches taken.
+    if !ARMED.load(Ordering::Relaxed) {
+        ensure_env();
+        if !ARMED.load(Ordering::Relaxed) {
+            return None;
+        }
+    }
+    active_slot()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
+/// Trigger counters of the currently armed plan (`None` when disarmed).
+/// Lets the CI soak print what actually fired.
+pub fn stats() -> Option<FaultStats> {
+    current().map(|s| s.stats())
+}
+
+/// Serving-engine hook: a shard worker is about to process an accepted
+/// record. Panics — once per matching [`PanicSpec`] — when a trigger
+/// count is reached. No-op when no plan is armed.
+pub fn on_worker_record(shard: usize) {
+    let Some(state) = current() else { return };
+    if state.plan.panics.is_empty() {
+        return;
+    }
+    let global = state.global_records.fetch_add(1, Ordering::Relaxed) + 1;
+    let per_shard = {
+        let mut counts = state
+            .shard_records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if counts.len() <= shard {
+            counts.resize(shard + 1, 0);
+        }
+        counts[shard] += 1;
+        counts[shard]
+    };
+    for (spec, fired) in state.plan.panics.iter().zip(&state.panic_fired) {
+        let count = match spec.shard {
+            Some(s) if s == shard => per_shard,
+            Some(_) => continue,
+            None => global,
+        };
+        if count >= spec.nth
+            && fired
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            state.stats.panics_fired.fetch_add(1, Ordering::Relaxed);
+            panic!("fault-injected worker panic (shard {shard}, record {count})");
+        }
+    }
+}
+
+/// Detector hook: a scoring forward is about to run. Sleeps per the armed
+/// plan's [`StallSpec`]. No-op when no plan is armed.
+pub fn on_scoring_forward() {
+    let Some(state) = current() else { return };
+    let Some(stall) = state.plan.stall else {
+        return;
+    };
+    let n = state.forwards.fetch_add(1, Ordering::Relaxed) + 1;
+    if n % stall.every != 0 {
+        return;
+    }
+    if state.stats.stalls.fetch_add(1, Ordering::Relaxed) >= stall.limit {
+        state.stats.stalls.fetch_sub(1, Ordering::Relaxed);
+        return;
+    }
+    std::thread::sleep(std::time::Duration::from_micros(stall.micros));
+}
+
+/// Submission hook: returns true when the armed plan forces this
+/// submission to see a saturated queue. Always false when disarmed.
+pub fn on_submit_saturated(shard: usize) -> bool {
+    let Some(state) = current() else { return false };
+    let Some(sat) = state.plan.saturate else {
+        return false;
+    };
+    if sat.shard.is_some_and(|s| s != shard) {
+        return false;
+    }
+    let n = state.submissions.fetch_add(1, Ordering::Relaxed);
+    let hit = n >= sat.from && n < sat.until;
+    if hit {
+        state.stats.saturated.fetch_add(1, Ordering::Relaxed);
+    }
+    hit
+}
+
+fn injected_io(op: &str, path: &Path) -> io::Error {
+    io::Error::other(format!("fault-injected {op} failure on {}", path.display()))
+}
+
+fn consume(budget: &AtomicU64) -> bool {
+    // Decrement-if-positive without underflow.
+    budget
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+        .is_ok()
+}
+
+fn in_scope(state: &PlanState, path: &Path) -> bool {
+    match &state.plan.fs.scope {
+        Some(dir) => path.starts_with(dir),
+        None => true,
+    }
+}
+
+/// Checkpoint-store hook: `std::fs::read` with injected failures. The
+/// armed plan may fail the read outright (consuming one `fs_fail` budget
+/// unit) or flip one bit of the payload (consuming one `fs_corrupt` unit).
+pub fn fs_read(path: &Path) -> io::Result<Vec<u8>> {
+    let Some(state) = current().filter(|s| in_scope(s, path)) else {
+        return std::fs::read(path);
+    };
+    state.stats.fs_ops.fetch_add(1, Ordering::Relaxed);
+    if consume(&state.fs_fail_budget) {
+        state.stats.fs_injected_io.fetch_add(1, Ordering::Relaxed);
+        return Err(injected_io("read", path));
+    }
+    let mut bytes = std::fs::read(path)?;
+    if !bytes.is_empty() && consume(&state.fs_corrupt_budget) {
+        state
+            .stats
+            .fs_injected_corrupt
+            .fetch_add(1, Ordering::Relaxed);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+    }
+    Ok(bytes)
+}
+
+/// Checkpoint-store hook: `std::fs::write` with injected failures.
+pub fn fs_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let Some(state) = current().filter(|s| in_scope(s, path)) else {
+        return std::fs::write(path, bytes);
+    };
+    state.stats.fs_ops.fetch_add(1, Ordering::Relaxed);
+    if consume(&state.fs_fail_budget) {
+        state.stats.fs_injected_io.fetch_add(1, Ordering::Relaxed);
+        return Err(injected_io("write", path));
+    }
+    std::fs::write(path, bytes)
+}
+
+/// Checkpoint-store hook: `std::fs::rename` with injected failures.
+pub fn fs_rename(from: &Path, to: &Path) -> io::Result<()> {
+    let Some(state) = current().filter(|s| in_scope(s, from)) else {
+        return std::fs::rename(from, to);
+    };
+    state.stats.fs_ops.fetch_add(1, Ordering::Relaxed);
+    if consume(&state.fs_fail_budget) {
+        state.stats.fs_injected_io.fetch_add(1, Ordering::Relaxed);
+        return Err(injected_io("rename", from));
+    }
+    std::fs::rename(from, to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_the_documented_grammar() {
+        let plan = FaultPlan::parse(
+            "seed=7; panic=25; panic=40@1, stall_us=500;stall_every=3;stall_limit=9; \
+             saturate=10..20@2; fs_fail=2; fs_corrupt=1",
+        )
+        .expect("valid spec");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(
+            plan.panics,
+            vec![
+                PanicSpec {
+                    shard: None,
+                    nth: 25
+                },
+                PanicSpec {
+                    shard: Some(1),
+                    nth: 40
+                }
+            ]
+        );
+        assert_eq!(
+            plan.stall,
+            Some(StallSpec {
+                micros: 500,
+                every: 3,
+                limit: 9
+            })
+        );
+        assert_eq!(
+            plan.saturate,
+            Some(SaturateSpec {
+                shard: Some(2),
+                from: 10,
+                until: 20
+            })
+        );
+        assert_eq!(plan.fs.fail_ops, 2);
+        assert_eq!(plan.fs.corrupt_reads, 1);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("panic=zero").is_err());
+        assert!(FaultPlan::parse("panic=0").is_err());
+        assert!(FaultPlan::parse("saturate=5").is_err());
+        assert!(FaultPlan::parse("volcano=1").is_err());
+        assert!(FaultPlan::parse("")
+            .expect("empty is no faults")
+            .panics
+            .is_empty());
+    }
+
+    #[test]
+    fn hooks_are_noops_when_disarmed() {
+        let _quiet = quiesce();
+        assert!(!armed());
+        on_worker_record(0);
+        on_scoring_forward();
+        assert!(!on_submit_saturated(0));
+        assert!(stats().is_none());
+    }
+
+    #[test]
+    fn worker_panic_fires_once_at_the_nth_record() {
+        let guard = FaultPlan::new().panic_at(3, Some(0)).arm();
+        on_worker_record(0);
+        on_worker_record(1); // other shard: does not advance shard 0's count
+        on_worker_record(0);
+        let result = std::panic::catch_unwind(|| on_worker_record(0));
+        assert!(result.is_err(), "third shard-0 record must panic");
+        assert_eq!(guard.stats().panics_fired, 1);
+        // The trigger is consumed: later records pass.
+        on_worker_record(0);
+        assert_eq!(guard.stats().panics_fired, 1);
+    }
+
+    #[test]
+    fn saturation_window_covers_exactly_the_configured_range() {
+        let guard = FaultPlan::new().saturate(2, 4, None).arm();
+        let hits: Vec<bool> = (0..6).map(|_| on_submit_saturated(0)).collect();
+        assert_eq!(hits, vec![false, false, true, true, false, false]);
+        assert_eq!(guard.stats().saturated, 2);
+    }
+
+    #[test]
+    fn fs_faults_consume_budgets_then_pass_through() {
+        let dir = std::env::temp_dir().join(format!("ucad-fault-fs-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("probe.bin");
+        std::fs::write(&path, b"hello fault injection").unwrap();
+
+        let guard = FaultPlan::new().fs_fail_ops(1).fs_corrupt_reads(1).arm();
+        assert!(fs_read(&path).is_err(), "first op consumes the io budget");
+        let corrupted = fs_read(&path).expect("second read succeeds");
+        assert_ne!(corrupted, b"hello fault injection".to_vec());
+        let clean = fs_read(&path).expect("third read is clean");
+        assert_eq!(clean, b"hello fault injection".to_vec());
+        let s = guard.stats();
+        assert_eq!((s.fs_injected_io, s.fs_injected_corrupt), (1, 1));
+        assert_eq!(s.fs_ops, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stall_sleeps_on_schedule() {
+        let guard = FaultPlan::parse("stall_us=100;stall_every=2;stall_limit=1")
+            .unwrap()
+            .arm();
+        let t0 = std::time::Instant::now();
+        on_scoring_forward(); // 1st: skipped (every=2)
+        on_scoring_forward(); // 2nd: stalls
+        on_scoring_forward(); // 4th would stall but limit=1
+        on_scoring_forward();
+        assert!(t0.elapsed() >= std::time::Duration::from_micros(100));
+        assert_eq!(guard.stats().stalls, 1);
+    }
+}

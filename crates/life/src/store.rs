@@ -25,6 +25,14 @@
 //! garbage, or a payload the model codec rejects — and never panics.
 //! Retention is enforced on save: the oldest versions beyond the configured
 //! count are dropped from the manifest and their files deleted.
+//!
+//! Transient I/O resilience: every read/write/rename goes through the
+//! `ucad-fault` fs shim (a pass-through to `std::fs` when no fault plan is
+//! armed) and retries up to [`IO_RETRIES`] times with a bounded,
+//! deterministic backoff (1 ms, 2 ms, 4 ms) before surfacing
+//! [`UcadError::Io`]. Corruption is *never* retried: a damaged envelope is
+//! the same bytes on every read, so [`UcadError::Corrupt`] surfaces
+//! immediately.
 
 use crate::crc32::crc32;
 use serde::{Deserialize, Serialize};
@@ -35,6 +43,30 @@ const MAGIC: &[u8; 8] = b"UCADCKP1";
 const HEADER_LEN: usize = 16;
 const MANIFEST_FILE: &str = "MANIFEST.json";
 const MANIFEST_VERSION: u32 = 1;
+
+/// Maximum retries after a failed fs operation (so up to `IO_RETRIES + 1`
+/// attempts total), with 1 ms/2 ms/4 ms deterministic backoff between them.
+const IO_RETRIES: u32 = 3;
+
+/// Runs `op`, retrying transient I/O failures per the store's retry policy.
+/// `NotFound` is not transient (a missing checkpoint stays missing) and
+/// surfaces immediately.
+fn retry_io<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    let mut backoff_ms = 1u64;
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(e),
+            Err(e) if attempt >= IO_RETRIES => return Err(e),
+            Err(_) => {
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                backoff_ms *= 2;
+                attempt += 1;
+            }
+        }
+    }
+}
 
 /// FNV-1a 64-bit: the content hash behind version identifiers.
 fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -92,8 +124,14 @@ impl CheckpointStore {
         std::fs::create_dir_all(&dir).map_err(|e| UcadError::io(dir.display().to_string(), &e))?;
         let manifest_path = dir.join(MANIFEST_FILE);
         let manifest = if manifest_path.exists() {
-            let text = std::fs::read_to_string(&manifest_path)
+            let bytes = retry_io(|| ucad_fault::fs_read(&manifest_path))
                 .map_err(|e| UcadError::io(manifest_path.display().to_string(), &e))?;
+            let text = String::from_utf8(bytes).map_err(|e| {
+                UcadError::corrupt(
+                    manifest_path.display().to_string(),
+                    format!("manifest is not UTF-8: {e}"),
+                )
+            })?;
             let manifest: Manifest = serde_json::from_str(&text).map_err(|e| {
                 UcadError::corrupt(
                     manifest_path.display().to_string(),
@@ -174,9 +212,9 @@ impl CheckpointStore {
 
         let final_path = self.path_of(&id);
         let tmp_path = self.dir.join(format!(".tmp-{id}"));
-        std::fs::write(&tmp_path, &bytes)
+        retry_io(|| ucad_fault::fs_write(&tmp_path, &bytes))
             .map_err(|e| UcadError::io(tmp_path.display().to_string(), &e))?;
-        std::fs::rename(&tmp_path, &final_path)
+        retry_io(|| ucad_fault::fs_rename(&tmp_path, &final_path))
             .map_err(|e| UcadError::io(final_path.display().to_string(), &e))?;
 
         self.manifest.entries.push(ManifestEntry {
@@ -210,8 +248,10 @@ impl CheckpointStore {
         let tmp = self.dir.join(".tmp-manifest");
         let text =
             serde_json::to_string(&self.manifest).expect("manifest serialization cannot fail");
-        std::fs::write(&tmp, text).map_err(|e| UcadError::io(tmp.display().to_string(), &e))?;
-        std::fs::rename(&tmp, &path).map_err(|e| UcadError::io(path.display().to_string(), &e))?;
+        retry_io(|| ucad_fault::fs_write(&tmp, text.as_bytes()))
+            .map_err(|e| UcadError::io(tmp.display().to_string(), &e))?;
+        retry_io(|| ucad_fault::fs_rename(&tmp, &path))
+            .map_err(|e| UcadError::io(path.display().to_string(), &e))?;
         Ok(())
     }
 
@@ -221,8 +261,8 @@ impl CheckpointStore {
     /// this path never panics.
     pub fn load(&self, id: &str) -> Result<TransDas, UcadError> {
         let path = self.path_of(id);
-        let bytes =
-            std::fs::read(&path).map_err(|e| UcadError::io(path.display().to_string(), &e))?;
+        let bytes = retry_io(|| ucad_fault::fs_read(&path))
+            .map_err(|e| UcadError::io(path.display().to_string(), &e))?;
         Self::decode(&bytes, &path.display().to_string())
     }
 
@@ -398,5 +438,87 @@ mod tests {
             CheckpointStore::open(tmp_dir("zero"), 0),
             Err(UcadError::InvalidConfig { .. })
         ));
+    }
+
+    /// A save whose writes fail transiently must succeed through the retry
+    /// path: the first three injected failures are absorbed by the 3-retry
+    /// budget of the first faulted operation.
+    #[test]
+    fn save_retries_through_transient_io_failures() {
+        let dir = tmp_dir("flaky-save");
+        let mut store = CheckpointStore::open(&dir, 4).expect("open");
+        let model = tiny_model(2);
+        let guard = ucad_fault::FaultPlan::new()
+            .fs_fail_ops(3)
+            .fs_scope(&dir)
+            .arm();
+        let id = store
+            .save(&model)
+            .expect("save must survive 3 transient failures");
+        drop(guard);
+        let restored = store.load(&id).expect("load after flaky save");
+        assert_eq!(restored.to_json(), model.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// More consecutive failures than the retry budget must surface
+    /// [`UcadError::Io`] — the store does not spin forever.
+    #[test]
+    fn save_surfaces_io_after_retry_budget_exhausted() {
+        let dir = tmp_dir("flaky-exhausted");
+        let mut store = CheckpointStore::open(&dir, 4).expect("open");
+        let guard = ucad_fault::FaultPlan::new()
+            .fs_fail_ops(4)
+            .fs_scope(&dir)
+            .arm();
+        let result = store.save(&tiny_model(2));
+        assert!(
+            matches!(result, Err(UcadError::Io { .. })),
+            "4 consecutive failures exceed the 3-retry budget: {:?}",
+            result.map(|_| "unexpected Ok").err()
+        );
+        drop(guard);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A transient read failure on load is retried; a corrupted payload is
+    /// not — the same bytes come back on every read, so [`UcadError::Corrupt`]
+    /// surfaces after exactly one read.
+    #[test]
+    fn load_retries_io_but_never_retries_corruption() {
+        let dir = tmp_dir("flaky-load");
+        let mut store = CheckpointStore::open(&dir, 4).expect("open");
+        let model = tiny_model(3);
+        let id = store.save(&model).expect("save");
+
+        let guard = ucad_fault::FaultPlan::new()
+            .fs_fail_ops(2)
+            .fs_scope(&dir)
+            .arm();
+        let restored = store
+            .load(&id)
+            .expect("load must retry past 2 transient failures");
+        assert_eq!(restored.to_json(), model.to_json());
+        assert_eq!(guard.stats().fs_injected_io, 2);
+        drop(guard);
+
+        let guard = ucad_fault::FaultPlan::new()
+            .fs_corrupt_reads(1)
+            .fs_scope(&dir)
+            .arm();
+        let result = store.load(&id);
+        assert!(
+            matches!(result, Err(UcadError::Corrupt { .. })),
+            "bit-flipped payload must surface as Corrupt: {:?}",
+            result.map(|_| "unexpected Ok").err()
+        );
+        let stats = guard.stats();
+        assert_eq!(
+            stats.fs_ops, 1,
+            "corruption must not be retried: expected exactly one read, saw {}",
+            stats.fs_ops
+        );
+        drop(guard);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -303,6 +303,7 @@ impl<'a> Detector<'a> {
                 cache_hit: None,
             };
         }
+        ucad_fault::on_scoring_forward();
         let (scores, cache_hit) = self.model.position_scores_cached_flagged(&keys[..t], cache);
         let row = scores.row(scores.rows() - 1);
         let (verdict, rank, score) = self.verdict_at(row, keys[t]);
@@ -391,6 +392,7 @@ impl<'a> Detector<'a> {
         while next_t < keys.len() {
             let start = walk.window_start(next_t);
             let window = &walk.padded[start..start + l];
+            ucad_fault::on_scoring_forward();
             let (scores, cache_hit) = self.model.position_scores_cached_flagged(window, cache);
             if self.scan_block_window(
                 keys,

@@ -4,10 +4,20 @@
 //! ```sh
 //! cargo run --release --example serving
 //! ```
+//!
+//! Two environment knobs exercise the fault-tolerance machinery:
+//!
+//! * `UCAD_SERVE_POLICY=block|shed|degrade` selects the [`OverloadPolicy`]
+//!   (default `block`).
+//! * `UCAD_FAULTS="panic=40@1;stall_us=200"` arms deterministic fault
+//!   injection (worker panics, scoring stalls, forced saturation — see
+//!   `ucad-fault`); shard supervision heals every injected crash and the
+//!   run still drains, reconciles and exits cleanly.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ucad::prelude::*;
+use ucad_baselines::BaselineDetector;
 use ucad_dbsim::LogRecord;
 use ucad_trace::{generate_raw_log, AnomalySynthesizer, ScenarioSpec, Session, SessionGenerator};
 
@@ -41,14 +51,35 @@ fn main() {
 
     // 2. Online: spin up the sharded engine — 4 worker shards, Block-batched
     //    scoring, a 512-window score memo. Alert output is byte-identical
-    //    for any shard count.
+    //    for any shard count. UCAD_SERVE_POLICY picks the overload policy;
+    //    Degrade additionally needs a fitted n-gram fallback.
+    let policy = match std::env::var("UCAD_SERVE_POLICY").as_deref() {
+        Ok("shed") => OverloadPolicy::ShedNewest,
+        Ok("degrade") => OverloadPolicy::Degrade,
+        Ok("block") | Err(_) => OverloadPolicy::Block,
+        Ok(other) => panic!("UCAD_SERVE_POLICY must be block|shed|degrade, got `{other}`"),
+    };
+    let fallback = matches!(policy, OverloadPolicy::Degrade).then(|| {
+        let train: Vec<Vec<u32>> = raw
+            .sessions
+            .iter()
+            .take(60)
+            .map(|s| system.preprocessor.vocab.tokenize_session(s))
+            .collect();
+        let mut lm = NgramLm::new(3, 4);
+        lm.fit(&train, system.model.cfg.vocab_size);
+        lm
+    });
     let serve_cfg = ServeConfig {
         shards: 4,
         cache_capacity: 512,
         mode: DetectionMode::Block,
+        overload: policy,
         ..ServeConfig::default()
     };
-    let mut engine = ShardedOnlineUcad::new(system, serve_cfg);
+    let mut engine = ShardedOnlineUcad::try_new_full(system, serve_cfg, None, fallback)
+        .expect("valid serve configuration");
+    println!("overload policy: {policy:?}");
 
     // 3. Traffic: eight concurrent sessions, one of them carrying a
     //    credential-stealing anomaly, records interleaved round-robin as a
@@ -72,10 +103,15 @@ fn main() {
     let queues: Vec<Vec<LogRecord>> = sessions.iter().map(records_of).collect();
     let longest = queues.iter().map(Vec::len).max().unwrap_or(0);
     let mut submitted = 0usize;
+    let (mut accepted, mut shed, mut degraded) = (0usize, 0usize, 0usize);
     for i in 0..longest {
         for q in &queues {
             if let Some(r) = q.get(i) {
-                engine.submit(r);
+                match engine.submit(r) {
+                    SubmitOutcome::Accepted => accepted += 1,
+                    SubmitOutcome::Shed => shed += 1,
+                    SubmitOutcome::Degraded => degraded += 1,
+                }
                 submitted += 1;
             }
         }
@@ -111,6 +147,29 @@ fn main() {
                 c.misses
             ))
             .unwrap_or_else(|| "n/a".into())
+    );
+    // Fault-tolerance reconciliation: every submission is accounted for
+    // exactly once, even under an armed UCAD_FAULTS plan.
+    println!(
+        "overload: {accepted} accepted, {shed} shed, {degraded} degraded \
+         (engine counters: shed {}, degraded {})",
+        stats.records_shed, stats.records_degraded
+    );
+    println!("worker restarts: {}", stats.worker_restarts);
+    assert_eq!(
+        accepted + shed + degraded,
+        submitted,
+        "submission outcomes do not partition the stream"
+    );
+    assert_eq!(stats.records_shed, shed as u64, "shed counter mismatch");
+    assert_eq!(
+        stats.records_degraded, degraded as u64,
+        "degraded counter mismatch"
+    );
+    assert_eq!(
+        stats.records(),
+        accepted as u64,
+        "accepted records must all reach a shard worker"
     );
 
     // 5. Observability: the whole pipeline self-reports. The global registry

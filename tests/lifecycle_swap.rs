@@ -174,6 +174,9 @@ fn cold_start_alerts(shards: usize, cache_capacity: usize) -> Vec<Alert> {
 /// checkpoint, for every shard count, cached and uncached.
 #[test]
 fn post_swap_verdicts_match_cold_start_on_checkpoint() {
+    // No fault plan may leak into these engines from a concurrently armed
+    // test (the guard also serializes against armed sections).
+    let _quiet = ucad_fault::quiesce();
     let reference = cold_start_alerts(1, 0);
     assert!(
         !reference.is_empty(),
@@ -215,6 +218,7 @@ fn swap_installs_different_weights() {
 /// for the id the manager reports.
 #[test]
 fn managed_promotion_serves_the_committed_checkpoint() {
+    let _quiet = ucad_fault::quiesce();
     let fx = fixture();
     let dir = std::env::temp_dir().join(format!("ucad-promo-wall-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -280,10 +284,85 @@ fn managed_promotion_serves_the_committed_checkpoint() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Satellite of the chaos wall: a hot-swap issued while a shard worker lies
+/// dead must first heal the shard under the **old** model (the swap's flush
+/// barrier supervises, replays the eaten records on epoch 0, and respawns),
+/// then cut over — so pre-swap alerts stay byte-identical to a crash-free
+/// engine and post-swap scoring stays byte-identical to a cold start on the
+/// promoted checkpoint.
+///
+/// The crash is pinned to the *last* record shard 0 receives before the
+/// swap: nothing else touches that shard until the swap, so the swap itself
+/// is always what restarts the worker.
+#[test]
+fn swap_during_shard_restart_matches_cold_start() {
+    let fx = fixture();
+    for (shards, cache_capacity) in [(2usize, 0usize), (3, 256)] {
+        let cfg = ServeConfig {
+            shards,
+            cache_capacity,
+            ..ServeConfig::default()
+        };
+        let (stream_a, _ids_a) = interleaved_stream(51, 5, 10_000);
+        let (stream_b, ids_b) = interleaved_stream(52, 6, 20_000);
+
+        // Crash-free reference for the pre-swap phase. Sessions stay open
+        // (no closes) to mirror the faulted engine below, where stream-A
+        // sessions straddle the swap.
+        let quiet = ucad_fault::quiesce();
+        let mut reference = ShardedOnlineUcad::new(fx.system.clone(), cfg);
+        for r in &stream_a {
+            reference.submit(r);
+        }
+        let expected_pre = reference.drain_alerts();
+        drop(reference.shutdown());
+        drop(quiet);
+
+        let mut engine = ShardedOnlineUcad::new(fx.system.clone(), cfg);
+        let kill_at = stream_a
+            .iter()
+            .filter(|r| engine.shard_of(r.session_id) == 0)
+            .count() as u64;
+        assert!(kill_at > 0, "no stream-A records route to shard 0");
+        let armed = ucad_fault::FaultPlan::new()
+            .panic_at(kill_at, Some(0))
+            .arm();
+        for r in &stream_a {
+            engine.submit(r);
+        }
+        let promoted = fx.store.load(&fx.promoted_id).expect("load checkpoint");
+        assert_eq!(engine.swap_model(promoted).expect("swap"), 1);
+        drop(armed);
+        assert!(
+            engine.stats().worker_restarts >= 1,
+            "shards={shards}: the injected crash never fired; the test is vacuous"
+        );
+        let pre = engine.drain_alerts();
+        assert_eq!(
+            pre, expected_pre,
+            "shards={shards} cache={cache_capacity}: replay across the swap \
+             diverged from the crash-free engine on pre-swap traffic"
+        );
+
+        let warm = run_stream(&mut engine, &stream_b, &ids_b);
+        drop(engine.shutdown());
+
+        let quiet = ucad_fault::quiesce();
+        let cold = cold_start_alerts(shards, cache_capacity);
+        drop(quiet);
+        assert_eq!(
+            warm, cold,
+            "shards={shards} cache={cache_capacity}: post-swap scoring after a \
+             mid-restart swap diverged from a cold start on the checkpoint"
+        );
+    }
+}
+
 /// A gate failure must leave the engine untouched: epoch stays 0 and the
 /// store gains no version.
 #[test]
 fn rejected_candidate_never_swaps() {
+    let _quiet = ucad_fault::quiesce();
     let fx = fixture();
     let dir = std::env::temp_dir().join(format!("ucad-reject-wall-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
