@@ -46,8 +46,8 @@ pub use experiment::{
 pub use metrics::{Confusion, MethodResult};
 pub use online::{Alert, AlertReason, OnlineUcad, ServeObserver};
 pub use serve::{
-    OverloadPolicy, ServeConfig, ServeConfigBuilder, ServeStats, ShardedOnlineUcad, ShutdownReport,
-    SubmitOutcome,
+    DurabilityConfig, OverloadPolicy, ServeConfig, ServeConfigBuilder, ServeStats,
+    ShardedOnlineUcad, ShutdownReport, SubmitOutcome,
 };
 pub use sweep::{sweep_hidden, sweep_margin, sweep_top_p, sweep_window, SweepPoint};
 pub use system::{Ucad, UcadConfig, UcadTrainReport, Verdict};
@@ -67,8 +67,8 @@ pub use ucad_obs::FlightEntry;
 pub mod prelude {
     pub use crate::online::{Alert, AlertReason, OnlineUcad, ServeObserver};
     pub use crate::serve::{
-        OverloadPolicy, ServeConfig, ServeConfigBuilder, ServeStats, ShardedOnlineUcad,
-        ShutdownReport, SubmitOutcome,
+        DurabilityConfig, OverloadPolicy, ServeConfig, ServeConfigBuilder, ServeStats,
+        ShardedOnlineUcad, ShutdownReport, SubmitOutcome,
     };
     pub use crate::system::{Ucad, UcadConfig, UcadTrainReport, Verdict};
     pub use ucad_baselines::NgramLm;

@@ -361,6 +361,73 @@ impl SessionTracker {
     pub(crate) fn take_verified_normals(&mut self) -> Vec<Vec<u32>> {
         std::mem::take(&mut self.verified_normals)
     }
+
+    /// Serializes the partition into its durable image. Sessions are sorted
+    /// by id so the same logical state always produces the same bytes —
+    /// snapshot content must not depend on `HashMap` iteration order.
+    pub(crate) fn export_state(&self) -> TrackerState {
+        let mut sessions: Vec<SessionState> = self
+            .active
+            .values()
+            .map(|e| SessionState {
+                session: e.session.clone(),
+                keys: e.keys.clone(),
+                seqs: e.seqs.clone(),
+                scored: e.scored,
+                alerted: e.alerted,
+            })
+            .collect();
+        sessions.sort_by_key(|s| s.session.id);
+        TrackerState {
+            sessions,
+            verified_normals: self.verified_normals.clone(),
+        }
+    }
+
+    /// Rebuilds a partition from a durable image (crash recovery and the
+    /// supervision base state).
+    pub(crate) fn import_state(mode: DetectionMode, state: TrackerState) -> Self {
+        let active = state
+            .sessions
+            .into_iter()
+            .map(|s| {
+                (
+                    s.session.id,
+                    ActiveSession {
+                        session: s.session,
+                        keys: s.keys,
+                        seqs: s.seqs,
+                        scored: s.scored,
+                        alerted: s.alerted,
+                    },
+                )
+            })
+            .collect();
+        SessionTracker {
+            mode,
+            active,
+            verified_normals: state.verified_normals,
+        }
+    }
+}
+
+/// The durable image of one [`ActiveSession`]: what a WAL snapshot stores
+/// per in-flight session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct SessionState {
+    pub(crate) session: Session,
+    pub(crate) keys: Vec<u32>,
+    pub(crate) seqs: Vec<u64>,
+    pub(crate) scored: usize,
+    pub(crate) alerted: bool,
+}
+
+/// The durable image of a whole [`SessionTracker`] partition, sessions
+/// sorted by id (see [`SessionTracker::export_state`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct TrackerState {
+    pub(crate) sessions: Vec<SessionState>,
+    pub(crate) verified_normals: Vec<Vec<u32>>,
 }
 
 /// The deployment wrapper: per-session state, alerting, and the verified-

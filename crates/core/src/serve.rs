@@ -46,6 +46,25 @@
 //! environment variable); the chaos wall in `tests/chaos_serve.rs` holds
 //! these invariants under seeded fault plans.
 //!
+//! # Durability and crash recovery
+//!
+//! The in-memory protection above heals *thread* deaths; a
+//! [`DurabilityConfig`] extends it to *process* deaths. Every accepted
+//! operation is then also appended — before its send — to a per-shard
+//! segmented on-disk log (`ucad-wal`: CRC-framed records, fsync batching,
+//! rotation), and periodic snapshots of each shard's session state bound
+//! replay length and drive segment truncation. After a `kill -9`,
+//! [`ShardedOnlineUcad::recover`] (or [`ShardedOnlineUcad::try_new_durable`]
+//! on the same directory) reopens the logs, restores the newest intact
+//! snapshot, replays the durable suffix, and resumes — producing the exact
+//! alert stream a crash-free run would have. Replay is at-least-once by
+//! construction (an alert delivered by [`ShardedOnlineUcad::drain_alerts`]
+//! just before the crash is re-raised); the drain boundary makes it
+//! exactly-once by logging a durable marker naming every delivered alert
+//! sequence and filtering those out forever. `tests/crash_recovery.rs`
+//! holds the byte-identity guarantee under a wall of injected
+//! process-crash points.
+//!
 //! When a shard queue saturates, [`OverloadPolicy`] picks the failure mode:
 //! block the submitter (default, lossless backpressure), shed the newest
 //! record (typed [`SubmitOutcome::Shed`], counted), or degrade — score the
@@ -55,9 +74,11 @@
 //! [`OnlineUcad`]: crate::online::OnlineUcad
 //! [`SessionTracker`]: crate::online::SessionTracker
 
-use crate::online::{Alert, AlertReason, RaisedAlert, ServeObserver, SessionTracker};
+use crate::online::{Alert, AlertReason, RaisedAlert, ServeObserver, SessionTracker, TrackerState};
 use crate::system::Ucad;
-use std::collections::HashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -70,6 +91,7 @@ use ucad_obs::{
     Counter, FlightEntry, FlightRecorder, Gauge, Histogram, MetricKind, Registry,
     DEFAULT_LATENCY_BUCKETS,
 };
+use ucad_wal::{SegmentedWal, SnapshotStore, WalMetrics, WalOptions};
 
 /// Locks a mutex, recovering the guard when a panicking worker poisoned it
 /// (the protected structures are always left in a consistent state: every
@@ -227,6 +249,61 @@ impl ServeConfigBuilder {
     }
 }
 
+/// Where and how the engine persists its state. Passed to
+/// [`ShardedOnlineUcad::try_new_durable`] / [`ShardedOnlineUcad::recover`];
+/// engines built without one keep the historical in-memory-only fault
+/// tolerance (thread supervision, no process-crash recovery).
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Root directory of the durable state: `meta/` (routing config, drain
+    /// markers, epoch cuts) plus `shard-N/wal/` and `shard-N/snap/` per
+    /// shard.
+    pub dir: PathBuf,
+    /// Segment rotation threshold for the per-shard logs, in bytes.
+    pub segment_max_bytes: u64,
+    /// Fsync batching for the per-shard logs: sync after every N appends
+    /// (1 = every record, strongest; 0 = only at barriers — drains,
+    /// snapshots, shutdown). The meta log always syncs per record: drain
+    /// markers are the exactly-once boundary and must never be lost.
+    pub fsync_every: u64,
+    /// Automatically snapshot every shard (and truncate the logs) once this
+    /// many operations have been appended since the last snapshot, checked
+    /// at drain time. 0 = automatic snapshots off; explicit
+    /// [`ShardedOnlineUcad::snapshot`] calls and model swaps still snapshot.
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with the default knobs: 1 MiB segments,
+    /// fsync on every append, no automatic snapshots.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            segment_max_bytes: 1 << 20,
+            fsync_every: 1,
+            snapshot_every: 0,
+        }
+    }
+
+    /// Sets the segment rotation threshold in bytes.
+    pub fn segment_max_bytes(mut self, bytes: u64) -> Self {
+        self.segment_max_bytes = bytes;
+        self
+    }
+
+    /// Sets the fsync batch size for the per-shard logs.
+    pub fn fsync_every(mut self, appends: u64) -> Self {
+        self.fsync_every = appends;
+        self
+    }
+
+    /// Sets the automatic snapshot cadence in appends (0 disables).
+    pub fn snapshot_every(mut self, appends: u64) -> Self {
+        self.snapshot_every = appends;
+        self
+    }
+}
+
 /// Counter snapshot of a running engine.
 #[derive(Debug, Clone)]
 pub struct ServeStats {
@@ -286,6 +363,10 @@ enum Msg {
     /// after a flush barrier, so everything submitted before the swap was
     /// scored by the old model and (FIFO) everything after it by the new.
     Swap(Arc<Ucad>),
+    /// State export barrier: the worker answers with its tracker's full
+    /// session state (used to build durable snapshots). Like `Flush`, it
+    /// carries no session state of its own and is never logged.
+    Export(SyncSender<TrackerState>),
     Shutdown,
     /// Test hook: makes the worker panic, exercising the supervision and
     /// shutdown panic-capture paths.
@@ -354,9 +435,130 @@ impl Wal {
     }
 }
 
+/// One durable (on-disk) log record of a shard, JSON-encoded inside the
+/// WAL's CRC frame. The disk analogue of [`WalMsg`], with two differences:
+/// entries carry their model epoch inline, and a refused send cannot *pop*
+/// an already-written entry — it appends a [`DurableEntry::Revoke`] instead.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum DurableEntry {
+    /// An accepted record with its global arrival sequence number and the
+    /// model epoch it was submitted under.
+    Record {
+        seq: u64,
+        epoch: u64,
+        record: LogRecord,
+    },
+    /// A session close.
+    Close { session_id: u64, epoch: u64 },
+    /// A false-alarm confirmation.
+    FalseAlarm { session_id: u64, epoch: u64 },
+    /// Cancels the immediately preceding entry: its send was refused (shed
+    /// or degraded), so replay must not score it. Always directly follows
+    /// the entry it cancels — the engine appends it in the same submission.
+    Revoke,
+}
+
+/// One record of the engine-global meta log (`dir/meta`), which is never
+/// truncated and always fsynced per append.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum MetaEntry {
+    /// Written once when a durable directory is first initialized; recovery
+    /// rejects an engine whose routing (shard count, seed) or scoring
+    /// discipline differs, since shard logs would no longer line up.
+    Config {
+        shards: usize,
+        seed: u64,
+        mode: DetectionMode,
+    },
+    /// A completed [`ShardedOnlineUcad::drain_alerts`]: the global sequence
+    /// counter at the drain and the alert seqs handed to the caller. Replay
+    /// filters these out forever — the exactly-once boundary.
+    Drain { next_seq: u64, delivered: Vec<u64> },
+    /// A completed model hot-swap; recovery resumes at the highest epoch.
+    Epoch { epoch: u64 },
+}
+
+/// A durable snapshot of one shard's full serving state, committed
+/// atomically via the shard's [`SnapshotStore`]. Recovery restores the
+/// newest intact snapshot and replays only the durable entries at or after
+/// `wal_idx`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ShardSnapshot {
+    /// Durable log index the snapshot covers up to (exclusive).
+    wal_idx: u64,
+    /// Model epoch at snapshot time.
+    epoch: u64,
+    /// Global sequence counter at snapshot time.
+    next_seq: u64,
+    /// Cumulative effective (non-revoked) durable operations folded into
+    /// this snapshot — the resume watermark for a replaying driver.
+    ops: u64,
+    /// The shard tracker's exported session state.
+    tracker: TrackerState,
+    /// Alerts raised but not yet drained at snapshot time.
+    outbox: Vec<(u64, Alert)>,
+    /// Verified-normal feedback not yet drained at snapshot time.
+    feedback: Vec<Vec<u32>>,
+}
+
+fn encode_json<T: Serialize>(value: &T) -> Vec<u8> {
+    serde_json::to_string(value)
+        .expect("durable serve records serialize infallibly")
+        .into_bytes()
+}
+
+fn decode_json<T: Deserialize>(payload: &[u8], origin: &str) -> Result<T, UcadError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| UcadError::corrupt(origin, "durable record is not UTF-8"))?;
+    serde_json::from_str(text)
+        .map_err(|e| UcadError::corrupt(origin, format!("durable record does not parse: {e}")))
+}
+
+/// The durable half of one shard: its segmented log and snapshot store.
+struct ShardDurable {
+    wal: SegmentedWal,
+    snaps: SnapshotStore,
+    /// Effective (non-revoked) durable operations this shard has logged or
+    /// folded into snapshots, over the directory's whole lifetime.
+    ops: u64,
+    /// `wal_idx` of the previous retained snapshot: segments wholly below
+    /// it are unreachable even if the newest snapshot turns out damaged
+    /// (the store keeps two), so they are truncated at the next snapshot.
+    last_snap: u64,
+}
+
+/// Everything behind a [`DurabilityConfig`]: the meta log, the per-shard
+/// logs and snapshot stores, and the delivered-alert filter.
+struct DurableState {
+    cfg: DurabilityConfig,
+    meta: SegmentedWal,
+    shards: Vec<ShardDurable>,
+    /// Alert seqs already handed to a caller by a recorded drain; replayed
+    /// duplicates of these are filtered at the next drain.
+    delivered: HashSet<u64>,
+    /// Shard-log appends since the last snapshot round, for the automatic
+    /// snapshot cadence.
+    appends_since_snapshot: u64,
+}
+
 #[derive(Default)]
 struct Outbox {
     alerts: Vec<(u64, Alert)>,
+}
+
+/// Supervision base installed by a durable snapshot (and by recovery): the
+/// state an in-memory replay starts from instead of an empty tracker, so
+/// the in-memory log can be pruned below it.
+#[derive(Clone)]
+struct BaseState {
+    /// In-memory log index the state covers up to (exclusive); entries
+    /// below it are folded into `state` and pruned.
+    idx: u64,
+    /// Session ids open in `state`. Their later log entries — including the
+    /// eventual close — must survive pruning until the base advances past
+    /// them, or a replay would resurrect the session.
+    open: HashSet<u64>,
+    state: TrackerState,
 }
 
 /// The engine-side shared state of one shard: everything that must survive
@@ -374,6 +576,8 @@ struct ShardHandles {
     /// Verified-normal feedback, exported by the worker immediately on
     /// session close so a later crash cannot lose it.
     feedback: Arc<Mutex<Vec<Vec<u32>>>>,
+    /// Supervision base; `None` until a snapshot or recovery installs one.
+    base: Arc<Mutex<Option<BaseState>>>,
     records: Counter,
     alerts: Counter,
     queue_depth: Gauge,
@@ -527,9 +731,18 @@ fn worker(
                 // The session is gone; its log entries can never be needed
                 // by a replay again. Entries at or above the watermark
                 // belong to a re-opened session with the same id — keep.
-                lock(&h.wal)
-                    .entries
-                    .retain(|e| e.session_id != session_id || e.idx >= now);
+                // Exception: the supervision base still lists the session
+                // open, so replay starts before this close — pruning its
+                // entries (this close included) would resurrect it. Keep
+                // them until the next snapshot refreshes the base.
+                let base_open = lock(&h.base)
+                    .as_ref()
+                    .is_some_and(|b| b.open.contains(&session_id));
+                if !base_open {
+                    lock(&h.wal)
+                        .entries
+                        .retain(|e| e.session_id != session_id || e.idx >= now);
+                }
             }
             Msg::FalseAlarm(session_id) => {
                 h.queue_depth.add(-1.0);
@@ -539,12 +752,20 @@ fn worker(
                     lock(&h.feedback).append(&mut normals);
                 }
                 let now = h.processed.fetch_add(1, Ordering::SeqCst) + 1;
-                lock(&h.wal)
-                    .entries
-                    .retain(|e| e.session_id != session_id || e.idx >= now);
+                let base_open = lock(&h.base)
+                    .as_ref()
+                    .is_some_and(|b| b.open.contains(&session_id));
+                if !base_open {
+                    lock(&h.wal)
+                        .entries
+                        .retain(|e| e.session_id != session_id || e.idx >= now);
+                }
             }
             Msg::Flush(ack) => {
                 let _ = ack.send(());
+            }
+            Msg::Export(ack) => {
+                let _ = ack.send(tracker.export_state());
             }
             Msg::Swap(system) => {
                 spec.system = system;
@@ -606,6 +827,13 @@ pub struct ShardedOnlineUcad {
     /// Model epoch: 0 for the model the engine started with, +1 per
     /// completed [`ShardedOnlineUcad::swap_model`].
     epoch: u64,
+    /// Epoch the engine's `systems[0]` corresponds to: 0 for a fresh
+    /// engine, the recovered epoch after [`ShardedOnlineUcad::recover`]
+    /// (pre-recovery models are gone; replay of an older-epoch entry clamps
+    /// to the oldest model still held).
+    epoch_base: u64,
+    /// Durable state; `None` for in-memory-only engines.
+    durable: Option<DurableState>,
 }
 
 impl ShardedOnlineUcad {
@@ -647,10 +875,53 @@ impl ShardedOnlineUcad {
         observer: Option<Arc<dyn ServeObserver>>,
         fallback: Option<NgramLm>,
     ) -> Result<Self, UcadError> {
+        Self::construct(system, cfg, observer, fallback, None)
+    }
+
+    /// Durable constructor: like [`ShardedOnlineUcad::try_new_full`], with
+    /// every accepted operation appended to an on-disk WAL under
+    /// `durability.dir` *before* it is sent to a shard (see the module's
+    /// *Durability* section). On a fresh directory this starts a new
+    /// durable engine; on a directory with prior state it performs full
+    /// crash recovery first — same shard routing and scoring discipline
+    /// required — and resumes exactly where the durable log ends.
+    pub fn try_new_durable(
+        system: Ucad,
+        cfg: ServeConfig,
+        observer: Option<Arc<dyn ServeObserver>>,
+        fallback: Option<NgramLm>,
+        durability: DurabilityConfig,
+    ) -> Result<Self, UcadError> {
+        Self::construct(system, cfg, observer, fallback, Some(durability))
+    }
+
+    /// Recovers (or freshly creates) a durable engine from
+    /// `durability.dir`: restores the newest intact snapshot of every
+    /// shard, replays the durable log suffix — re-raising every alert whose
+    /// delivery was never recorded — and resumes accepting records. The
+    /// caller provides the serving system: models are not persisted here,
+    /// so train deterministically or load a `ucad-life` checkpoint.
+    /// Equivalent to [`ShardedOnlineUcad::try_new_durable`] without
+    /// observer or fallback.
+    pub fn recover(
+        system: Ucad,
+        cfg: ServeConfig,
+        durability: DurabilityConfig,
+    ) -> Result<Self, UcadError> {
+        Self::try_new_durable(system, cfg, None, None, durability)
+    }
+
+    fn construct(
+        system: Ucad,
+        cfg: ServeConfig,
+        observer: Option<Arc<dyn ServeObserver>>,
+        fallback: Option<NgramLm>,
+        durability: Option<DurabilityConfig>,
+    ) -> Result<Self, UcadError> {
         if cfg.shards == 0 {
             return Err(UcadError::invalid("shards", "at least one shard required"));
         }
-        let degrade = match (cfg.overload, fallback) {
+        let mut degrade = match (cfg.overload, fallback) {
             (OverloadPolicy::Degrade, Some(lm)) if lm.is_fitted() => Some(DegradeState {
                 lm,
                 sessions: HashMap::new(),
@@ -716,6 +987,31 @@ impl ShardedOnlineUcad {
             MetricKind::Gauge,
             "Model epoch currently serving (0 = the model the engine started with)",
         );
+        registry.describe(
+            "ucad_wal_segments_total",
+            MetricKind::Counter,
+            "Durable WAL segment files opened for appending",
+        );
+        registry.describe(
+            "ucad_wal_fsyncs_total",
+            MetricKind::Counter,
+            "Durable WAL fsync barriers issued",
+        );
+        registry.describe(
+            "ucad_wal_appends_total",
+            MetricKind::Counter,
+            "Records appended to the durable WAL",
+        );
+        registry.describe(
+            "ucad_wal_replayed_records_total",
+            MetricKind::Counter,
+            "Durable WAL records replayed during crash recovery",
+        );
+        registry.describe(
+            "ucad_serve_recoveries_total",
+            MetricKind::Counter,
+            "Engine constructions that recovered prior durable state",
+        );
         let flight = Arc::new(FlightRecorder::new(cfg.flight_capacity));
         flight.register_metrics(&registry);
         if let Some(cache) = &cache {
@@ -727,43 +1023,235 @@ impl ShardedOnlineUcad {
         let records_degraded = registry.counter("ucad_serve_records_degraded_total", &[]);
         let swaps = registry.counter("ucad_serve_swaps_total", &[]);
         let epoch_gauge = registry.gauge("ucad_serve_model_epoch", &[]);
-        let shards = (0..cfg.shards)
-            .map(|i| {
-                let shard_label = i.to_string();
-                let labels: &[(&str, &str)] = &[("shard", shard_label.as_str())];
-                let h = ShardHandles {
-                    outbox: Arc::new(Mutex::new(Outbox::default())),
-                    wal: Arc::new(Mutex::new(Wal::default())),
-                    processed: Arc::new(AtomicU64::new(0)),
-                    feedback: Arc::new(Mutex::new(Vec::new())),
-                    records: registry.counter("ucad_serve_records_total", labels),
-                    alerts: registry.counter("ucad_serve_alerts_total", labels),
-                    queue_depth: registry.gauge("ucad_serve_queue_depth", labels),
-                    score_latency: registry.histogram(
-                        "ucad_serve_score_duration_seconds",
-                        labels,
-                        &DEFAULT_LATENCY_BUCKETS,
-                    ),
-                };
-                let spec = WorkerSpec {
-                    shard: i,
-                    system: Arc::clone(&system),
-                    cache: cache.clone(),
-                    flight: Arc::clone(&flight),
-                    observer: observer.clone(),
-                };
-                let link = spawn_worker(
-                    spec,
-                    h.clone(),
-                    cfg.queue_capacity,
-                    SessionTracker::new(cfg.mode),
-                );
-                Shard {
-                    link: Mutex::new(link),
-                    h,
+        let wal_metrics = WalMetrics {
+            segments: registry.counter("ucad_wal_segments_total", &[]),
+            fsyncs: registry.counter("ucad_wal_fsyncs_total", &[]),
+            appends: registry.counter("ucad_wal_appends_total", &[]),
+        };
+        let replayed_records = registry.counter("ucad_wal_replayed_records_total", &[]);
+        let recoveries = registry.counter("ucad_serve_recoveries_total", &[]);
+
+        // Durable pre-pass: open the meta log and learn what a prior engine
+        // life left behind (routing config to validate, delivered-alert
+        // seqs for the exactly-once filter, the epoch to resume at).
+        let mut next_seq = 0u64;
+        let mut recovered_epoch = 0u64;
+        let mut prior_state = false;
+        let mut delivered: HashSet<u64> = HashSet::new();
+        let mut meta: Option<SegmentedWal> = None;
+        if let Some(dcfg) = &durability {
+            let meta_dir = dcfg.dir.join("meta");
+            let meta_origin = meta_dir.display().to_string();
+            let meta_opts = WalOptions {
+                // Never truncated and tiny: one segment per directory
+                // lifetime is plenty, so rotation is effectively off.
+                segment_max_bytes: u64::MAX,
+                fsync_every: 1,
+            };
+            let (mut wal, rec) = SegmentedWal::open(meta_dir, meta_opts, wal_metrics.clone())?;
+            for payload in &rec.entries {
+                match decode_json::<MetaEntry>(payload, &meta_origin)? {
+                    MetaEntry::Config { shards, seed, mode } => {
+                        prior_state = true;
+                        if shards != cfg.shards || seed != cfg.seed || mode != cfg.mode {
+                            return Err(UcadError::invalid(
+                                "durability",
+                                format!(
+                                    "directory was written with shards={shards}, seed={seed}, \
+                                     mode={mode:?}; recovery requires the same shard routing \
+                                     and scoring discipline (got shards={}, seed={}, mode={:?})",
+                                    cfg.shards, cfg.seed, cfg.mode
+                                ),
+                            ));
+                        }
+                    }
+                    MetaEntry::Drain {
+                        next_seq: at,
+                        delivered: seqs,
+                    } => {
+                        next_seq = next_seq.max(at);
+                        delivered.extend(seqs);
+                    }
+                    MetaEntry::Epoch { epoch } => recovered_epoch = recovered_epoch.max(epoch),
                 }
-            })
-            .collect();
+            }
+            if !prior_state {
+                wal.append(&encode_json(&MetaEntry::Config {
+                    shards: cfg.shards,
+                    seed: cfg.seed,
+                    mode: cfg.mode,
+                }))?;
+            }
+            meta = Some(wal);
+        }
+
+        let mut shard_durables: Vec<ShardDurable> = Vec::with_capacity(cfg.shards);
+        let mut shards: Vec<Shard> = Vec::with_capacity(cfg.shards);
+        let mut total_replayed = 0u64;
+        for i in 0..cfg.shards {
+            let shard_label = i.to_string();
+            let labels: &[(&str, &str)] = &[("shard", shard_label.as_str())];
+            let h = ShardHandles {
+                outbox: Arc::new(Mutex::new(Outbox::default())),
+                wal: Arc::new(Mutex::new(Wal::default())),
+                processed: Arc::new(AtomicU64::new(0)),
+                feedback: Arc::new(Mutex::new(Vec::new())),
+                base: Arc::new(Mutex::new(None)),
+                records: registry.counter("ucad_serve_records_total", labels),
+                alerts: registry.counter("ucad_serve_alerts_total", labels),
+                queue_depth: registry.gauge("ucad_serve_queue_depth", labels),
+                score_latency: registry.histogram(
+                    "ucad_serve_score_duration_seconds",
+                    labels,
+                    &DEFAULT_LATENCY_BUCKETS,
+                ),
+            };
+            let mut tracker = SessionTracker::new(cfg.mode);
+            if let Some(dcfg) = &durability {
+                let shard_dir = dcfg.dir.join(format!("shard-{i}"));
+                let origin = shard_dir.display().to_string();
+                let shard_opts = WalOptions {
+                    segment_max_bytes: dcfg.segment_max_bytes,
+                    fsync_every: dcfg.fsync_every,
+                };
+                let (wal, rec) =
+                    SegmentedWal::open(shard_dir.join("wal"), shard_opts, wal_metrics.clone())?;
+                let snaps = SnapshotStore::open(shard_dir.join("snap"))?;
+                let mut ops = 0u64;
+                let mut from_idx = rec.first_idx;
+                if let Some((snap_seq, payload)) = snaps.load_latest()? {
+                    let snap: ShardSnapshot = decode_json(&payload, &origin)?;
+                    prior_state = true;
+                    tracker = SessionTracker::import_state(cfg.mode, snap.tracker);
+                    lock(&h.outbox).alerts = snap.outbox;
+                    *lock(&h.feedback) = snap.feedback;
+                    next_seq = next_seq.max(snap.next_seq);
+                    recovered_epoch = recovered_epoch.max(snap.epoch);
+                    ops = snap.ops;
+                    from_idx = snap_seq;
+                }
+                // Decode the durable suffix and drop revoked pairs. A
+                // `Revoke` always directly follows the entry it cancels and
+                // never straddles a snapshot cut (both are appended in one
+                // submission, snapshots only between submissions), so a
+                // simple pop suffices.
+                let mut effective: Vec<DurableEntry> = Vec::new();
+                for (off, payload) in rec.entries.iter().enumerate() {
+                    if rec.first_idx + (off as u64) < from_idx {
+                        continue;
+                    }
+                    match decode_json::<DurableEntry>(payload, &origin)? {
+                        DurableEntry::Revoke => {
+                            effective.pop();
+                        }
+                        entry => effective.push(entry),
+                    }
+                }
+                if !effective.is_empty() {
+                    prior_state = true;
+                }
+                // Replay the suffix into the tracker, alerts and all. The
+                // score cache is skipped: recovery is rare, and a memoized
+                // score is bit-identical to a computed one, so the rebuilt
+                // state (and the alert stream) cannot differ. The observer
+                // is skipped too — its feed is per engine life.
+                for entry in &effective {
+                    ops += 1;
+                    match entry {
+                        DurableEntry::Record { seq, record, .. } => {
+                            h.records.inc();
+                            replayed_records.inc();
+                            total_replayed += 1;
+                            let raised = tracker.ingest(&system, None, None, record, *seq);
+                            if let Some(raised) = raised {
+                                book_alert(&h, i, &flight, None, raised, 0);
+                            }
+                            next_seq = next_seq.max(seq + 1);
+                        }
+                        DurableEntry::Close { session_id, .. } => {
+                            replayed_records.inc();
+                            total_replayed += 1;
+                            let raised = tracker.close(&system, None, None, *session_id);
+                            let mut normals = tracker.take_verified_normals();
+                            if let Some(raised) = raised {
+                                book_alert(&h, i, &flight, None, raised, 0);
+                            }
+                            if !normals.is_empty() {
+                                lock(&h.feedback).append(&mut normals);
+                            }
+                        }
+                        DurableEntry::FalseAlarm { session_id, .. } => {
+                            replayed_records.inc();
+                            total_replayed += 1;
+                            tracker.confirm_false_alarm(*session_id);
+                            let mut normals = tracker.take_verified_normals();
+                            if !normals.is_empty() {
+                                lock(&h.feedback).append(&mut normals);
+                            }
+                        }
+                        DurableEntry::Revoke => unreachable!("revoked pairs dropped above"),
+                    }
+                }
+                // The rebuilt state becomes the supervision base (the
+                // in-memory log restarts empty) and refeeds the degraded-
+                // mode shadows, so every post-recovery path has context.
+                let state = tracker.export_state();
+                if let Some(dstate) = degrade.as_mut() {
+                    for s in &state.sessions {
+                        dstate.sessions.insert(
+                            s.session.id,
+                            DegradeShadow {
+                                keys: s.keys.clone(),
+                                alerted: s.alerted,
+                            },
+                        );
+                    }
+                }
+                let open: HashSet<u64> = state.sessions.iter().map(|s| s.session.id).collect();
+                *lock(&h.base) = Some(BaseState {
+                    idx: 0,
+                    open,
+                    state,
+                });
+                shard_durables.push(ShardDurable {
+                    wal,
+                    snaps,
+                    ops,
+                    last_snap: from_idx,
+                });
+            }
+            let spec = WorkerSpec {
+                shard: i,
+                system: Arc::clone(&system),
+                cache: cache.clone(),
+                flight: Arc::clone(&flight),
+                observer: observer.clone(),
+            };
+            let link = spawn_worker(spec, h.clone(), cfg.queue_capacity, tracker);
+            shards.push(Shard {
+                link: Mutex::new(link),
+                h,
+            });
+        }
+        let durable = durability.map(|dcfg| DurableState {
+            cfg: dcfg,
+            meta: meta.expect("meta log opened whenever durability is configured"),
+            shards: shard_durables,
+            delivered,
+            appends_since_snapshot: 0,
+        });
+        epoch_gauge.set(recovered_epoch as f64);
+        if prior_state {
+            recoveries.inc();
+            ucad_obs::event(
+                "serve.recovery",
+                &[
+                    ("replayed", total_replayed.to_string()),
+                    ("epoch", recovered_epoch.to_string()),
+                    ("next_seq", next_seq.to_string()),
+                ],
+            );
+        }
         Ok(ShardedOnlineUcad {
             systems: vec![Arc::clone(&system)],
             system,
@@ -781,8 +1269,10 @@ impl ShardedOnlineUcad {
             panic_log: Mutex::new(Vec::new()),
             shards,
             cfg,
-            next_seq: 0,
-            epoch: 0,
+            next_seq,
+            epoch: recovered_epoch,
+            epoch_base: recovered_epoch,
+            durable,
         })
     }
 
@@ -850,11 +1340,29 @@ impl ShardedOnlineUcad {
         };
         let watermark = shard.h.processed.load(Ordering::SeqCst);
         let observer = self.observer.clone();
-        let mut tracker = SessionTracker::new(self.cfg.mode);
+        // Replay starts from the supervision base (installed by a durable
+        // snapshot or by recovery) when one exists; entries below its index
+        // are folded into that state already.
+        let base = lock(&shard.h.base).clone();
+        let (base_idx, mut tracker) = match &base {
+            Some(b) => (
+                b.idx,
+                SessionTracker::import_state(self.cfg.mode, b.state.clone()),
+            ),
+            None => (0, SessionTracker::new(self.cfg.mode)),
+        };
         let mut rebuilt = 0u64;
         let mut replayed = 0u64;
         for entry in &entries {
-            let system: &Ucad = &self.systems[entry.epoch as usize];
+            if entry.idx < base_idx {
+                continue;
+            }
+            // Epochs are absolute; `systems` starts at `epoch_base` (0 for
+            // a fresh engine). After a recovery only the current model
+            // survives, so an older-epoch entry clamps to the oldest held.
+            let sys_idx =
+                (entry.epoch.saturating_sub(self.epoch_base) as usize).min(self.systems.len() - 1);
+            let system: &Ucad = &self.systems[sys_idx];
             // Replaying an old-epoch entry must not memoize stale scores
             // into the current cache epoch.
             let cache = if entry.epoch == self.epoch {
@@ -905,11 +1413,15 @@ impl ShardedOnlineUcad {
             }
         }
         // Everything in the log is now processed; keep only what a future
-        // replay of the still-open sessions would need.
+        // replay of the still-open sessions would need (plus sessions the
+        // base still lists open — their closes must stay replayable).
         shard.h.processed.store(wal_top, Ordering::SeqCst);
-        lock(&shard.h.wal)
-            .entries
-            .retain(|e| tracker.has_session(e.session_id));
+        lock(&shard.h.wal).entries.retain(|e| {
+            tracker.has_session(e.session_id)
+                || base
+                    .as_ref()
+                    .is_some_and(|b| b.open.contains(&e.session_id))
+        });
         // The dead worker's queue died with it; replay covered its
         // contents, so the fresh queue starts empty.
         shard.h.queue_depth.set(0.0);
@@ -940,10 +1452,34 @@ impl ShardedOnlineUcad {
     /// is healed in place (see the module docs); the record is then
     /// accounted through replay, never lost. Alerts surface through
     /// [`ShardedOnlineUcad::drain_alerts`], not the submission path.
+    ///
+    /// # Panics
+    /// Panics when a durable WAL append fails (injected I/O faults, disk
+    /// errors) — use [`ShardedOnlineUcad::try_submit`] to handle that
+    /// without panicking. In-memory engines never hit this.
     pub fn submit(&mut self, record: &LogRecord) -> SubmitOutcome {
+        self.try_submit(record)
+            .expect("durable WAL append failed (use try_submit to handle I/O errors)")
+    }
+
+    /// Fallible [`ShardedOnlineUcad::submit`]: a failed durable append
+    /// surfaces as `Err` and the record reaches no shard — the engine stays
+    /// consistent and the caller may retry. Identical to `submit` for
+    /// in-memory engines.
+    pub fn try_submit(&mut self, record: &LogRecord) -> Result<SubmitOutcome, UcadError> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let i = self.shard_of(record.session_id);
+        // Durability first: append-before-send. If the append errors the
+        // record is dropped whole (no shadow feed, no in-memory log entry).
+        self.append_durable(
+            i,
+            &DurableEntry::Record {
+                seq,
+                epoch: self.epoch,
+                record: record.clone(),
+            },
+        )?;
         if self.degrade.is_some() {
             // Shadow context: the fallback needs the session's full key
             // sequence even for records the real path scored.
@@ -974,36 +1510,75 @@ impl ShardedOnlineUcad {
                 // entry — do not resend.
                 self.supervise_shard(i, true);
             }
-            return SubmitOutcome::Accepted;
+            return Ok(SubmitOutcome::Accepted);
         }
         let saturated = ucad_fault::on_submit_saturated(i);
         let refused = if saturated {
             Some(())
         } else {
-            match lock(&self.shards[i].link).tx.try_send(msg) {
+            // Bind before matching: a `match lock(..).try_send(..)` scrutinee
+            // would keep the link guard alive across the whole match, and the
+            // Disconnected arm re-locks the link inside `supervise_shard` —
+            // a self-deadlock the moment a dead worker is observed here.
+            let sent = lock(&self.shards[i].link).tx.try_send(msg);
+            match sent {
                 Ok(()) => None,
                 Err(TrySendError::Disconnected(_)) => {
                     self.supervise_shard(i, true);
-                    return SubmitOutcome::Accepted;
+                    return Ok(SubmitOutcome::Accepted);
                 }
                 Err(TrySendError::Full(_)) => Some(()),
             }
         };
         if refused.is_none() {
-            return SubmitOutcome::Accepted;
+            return Ok(SubmitOutcome::Accepted);
         }
         // Saturated: the record will not reach the worker, so its log entry
         // must go too — otherwise replay would double-process everything
-        // behind the resulting index gap.
+        // behind the resulting index gap. The durable entry cannot pop; a
+        // paired Revoke marker cancels it for recovery replay instead.
         lock(&self.shards[i].h.wal).pop_unsent(idx);
         self.shards[i].h.queue_depth.add(-1.0);
-        match self.cfg.overload {
+        self.revoke_durable(i);
+        Ok(match self.cfg.overload {
             OverloadPolicy::ShedNewest => {
                 self.records_shed.inc();
                 SubmitOutcome::Shed
             }
             OverloadPolicy::Degrade => self.degrade_score(i, record, seq),
             OverloadPolicy::Block => unreachable!("handled above"),
+        })
+    }
+
+    /// Appends one entry to shard `i`'s durable log (a no-op for in-memory
+    /// engines), maintaining the effective-operation count and the
+    /// automatic-snapshot cadence.
+    fn append_durable(&mut self, i: usize, entry: &DurableEntry) -> Result<(), UcadError> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        d.shards[i].wal.append(&encode_json(entry))?;
+        d.shards[i].ops += 1;
+        d.appends_since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Cancels the just-appended durable entry of shard `i` after its send
+    /// was refused (shed or degraded record). The on-disk log cannot pop,
+    /// so a paired [`DurableEntry::Revoke`] is appended; replay drops the
+    /// pair. If even the Revoke append fails (injected I/O faults only),
+    /// the record stays durable and a later recovery would score a record
+    /// the live run refused — surfaced as an event, never a panic.
+    fn revoke_durable(&mut self, i: usize) {
+        let Some(d) = self.durable.as_mut() else {
+            return;
+        };
+        match d.shards[i].wal.append(&encode_json(&DurableEntry::Revoke)) {
+            Ok(_) => d.shards[i].ops = d.shards[i].ops.saturating_sub(1),
+            Err(e) => ucad_obs::event(
+                "serve.wal_revoke_failed",
+                &[("shard", i.to_string()), ("error", e.to_string())],
+            ),
         }
     }
 
@@ -1068,6 +1643,27 @@ impl ShardedOnlineUcad {
             state.sessions.remove(&session_id);
         }
         let i = self.shard_of(session_id);
+        let durable_entry = match &wal_msg {
+            WalMsg::Close(id) => DurableEntry::Close {
+                session_id: *id,
+                epoch: self.epoch,
+            },
+            WalMsg::FalseAlarm(id) => DurableEntry::FalseAlarm {
+                session_id: *id,
+                epoch: self.epoch,
+            },
+            WalMsg::Record(..) => unreachable!("records go through submit"),
+        };
+        if let Err(e) = self.append_durable(i, &durable_entry) {
+            // The in-memory path still applies the control, so the live run
+            // stays correct; a later recovery may miss this close and
+            // re-raise its alert — the drain-side delivered filter absorbs
+            // the duplicate (at-least-once below the drain boundary).
+            ucad_obs::event(
+                "serve.wal_control_append_failed",
+                &[("shard", i.to_string()), ("error", e.to_string())],
+            );
+        }
         lock(&self.shards[i].h.wal).append(self.epoch, session_id, wal_msg.clone());
         let depth = (self.shards[i].h.queue_depth.add(1.0) - 1.0).max(0.0) as usize;
         let msg = match wal_msg {
@@ -1153,13 +1749,140 @@ impl ShardedOnlineUcad {
         self.swaps.inc();
         self.epoch_gauge.set(self.epoch as f64);
         ucad_obs::event("serve.model_swap", &[("epoch", self.epoch.to_string())]);
+        if self.durable.is_some() {
+            let marker = encode_json(&MetaEntry::Epoch { epoch: self.epoch });
+            self.durable
+                .as_mut()
+                .expect("checked above")
+                .meta
+                .append(&marker)?;
+            // Snapshot at the cut: every durable entry behind it is folded
+            // into state, so recovery — which only has the *current* model
+            // to replay with — never rescores an old-epoch entry.
+            self.snapshot()?;
+        }
         Ok(self.epoch)
+    }
+
+    /// Flushes, exports every shard's live session state, and commits it as
+    /// an atomic durable snapshot per shard; the logs are then truncated
+    /// below the previous retained snapshot and the in-memory supervision
+    /// base advances. Bounds both recovery replay length and disk usage.
+    /// No-op for in-memory engines.
+    pub fn snapshot(&mut self) -> Result<(), UcadError> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        self.flush();
+        for i in 0..self.shards.len() {
+            self.snapshot_shard(i)?;
+        }
+        if let Some(d) = self.durable.as_mut() {
+            d.appends_since_snapshot = 0;
+        }
+        Ok(())
+    }
+
+    fn snapshot_shard(&mut self, i: usize) -> Result<(), UcadError> {
+        let state = self.export_tracker(i);
+        let epoch = self.epoch;
+        let next_seq = self.next_seq;
+        let h = self.shards[i].h.clone();
+        let d = self
+            .durable
+            .as_mut()
+            .expect("snapshot_shard requires durability");
+        let sd = &mut d.shards[i];
+        // Everything the snapshot claims to cover must be on disk first.
+        sd.wal.sync()?;
+        let wal_idx = sd.wal.next_idx();
+        let snap = ShardSnapshot {
+            wal_idx,
+            epoch,
+            next_seq,
+            ops: sd.ops,
+            tracker: state.clone(),
+            outbox: lock(&h.outbox).alerts.clone(),
+            feedback: lock(&h.feedback).clone(),
+        };
+        sd.snaps.save(wal_idx, &encode_json(&snap))?;
+        // Segments wholly below the *previous* retained snapshot are
+        // unreachable even if the one just written turns out damaged (the
+        // store keeps two; recovery falls back to the older).
+        sd.wal.truncate_below(sd.last_snap);
+        sd.last_snap = wal_idx;
+        // Advance the supervision base: in-memory entries below the flush
+        // watermark are folded into the exported state and can be pruned.
+        let in_mem_idx = lock(&h.wal).next_idx;
+        let open: HashSet<u64> = state.sessions.iter().map(|s| s.session.id).collect();
+        *lock(&h.base) = Some(BaseState {
+            idx: in_mem_idx,
+            open,
+            state,
+        });
+        lock(&h.wal).entries.retain(|e| e.idx >= in_mem_idx);
+        ucad_obs::event(
+            "serve.snapshot",
+            &[("shard", i.to_string()), ("wal_idx", wal_idx.to_string())],
+        );
+        Ok(())
+    }
+
+    /// Exports shard `i`'s live session state through a queue barrier,
+    /// healing the worker (whose supervision replay rebuilds the same
+    /// state) and retrying if it dies mid-export. Call after a flush so
+    /// the export reflects everything submitted.
+    fn export_tracker(&self, i: usize) -> TrackerState {
+        loop {
+            let (tx, rx) = sync_channel(1);
+            let sent = lock(&self.shards[i].link).tx.send(Msg::Export(tx));
+            if sent.is_ok() {
+                loop {
+                    match rx.recv_timeout(Duration::from_millis(20)) {
+                        Ok(state) => return state,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                        Err(RecvTimeoutError::Timeout) => {
+                            let dead = lock(&self.shards[i].link)
+                                .handle
+                                .as_ref()
+                                .is_none_or(|h| h.is_finished());
+                            if dead {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            // Dead worker: heal it and retry (fault plans are finite).
+            self.supervise_shard(i, true);
+        }
     }
 
     /// The model epoch currently serving: 0 until the first
     /// [`ShardedOnlineUcad::swap_model`], +1 per swap.
     pub fn model_epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Effective durable operations per shard (records, closes and
+    /// false-alarm confirmations; revoked entries excluded), over the
+    /// directory's whole lifetime — `None` for in-memory engines. After a
+    /// recovery, a driver replaying its deterministic submission script can
+    /// skip, per shard, exactly this many of the shard's operations: what
+    /// remains is the crash-free continuation.
+    pub fn durable_ops_per_shard(&self) -> Option<Vec<u64>> {
+        self.durable
+            .as_ref()
+            .map(|d| d.shards.iter().map(|s| s.ops).collect())
+    }
+
+    /// Drops the engine the way a process crash would: no shutdown
+    /// message, no flush, no final fsync — worker threads and file handles
+    /// are leaked outright. Exists for crash-recovery tests, where `Drop`'s
+    /// graceful shutdown would defeat the point; pair with
+    /// [`ShardedOnlineUcad::recover`] on the same directory.
+    pub fn abandon(self) {
+        std::mem::forget(self);
     }
 
     /// Flushes, then hands over (and clears) every shard's verified-normal
@@ -1248,6 +1971,12 @@ impl ShardedOnlineUcad {
     /// same submission sequence, the returned list is byte-identical for
     /// any shard count — with the default Streaming mode it equals what
     /// [`crate::OnlineUcad::alerts`] accumulates.
+    /// For durable engines the drain boundary is also the exactly-once
+    /// boundary: recovery replay re-raises any alert whose delivery was
+    /// never recorded, and this method filters out every alert sequence a
+    /// previously recorded drain already delivered, then durably records
+    /// the new deliveries — so the concatenation of drained streams across
+    /// crashes equals the crash-free stream exactly.
     pub fn drain_alerts(&mut self) -> Vec<Alert> {
         self.flush();
         let mut tagged: Vec<(u64, Alert)> = Vec::new();
@@ -1255,6 +1984,33 @@ impl ShardedOnlineUcad {
             tagged.append(&mut lock(&shard.h.outbox).alerts);
         }
         tagged.sort_by_key(|(seq, _)| *seq);
+        let mut want_snapshot = false;
+        if let Some(d) = self.durable.as_mut() {
+            tagged.retain(|(seq, _)| !d.delivered.contains(seq));
+            if !tagged.is_empty() {
+                let newly: Vec<u64> = tagged.iter().map(|(seq, _)| *seq).collect();
+                let marker = MetaEntry::Drain {
+                    next_seq: self.next_seq,
+                    delivered: newly.clone(),
+                };
+                match d.meta.append(&encode_json(&marker)) {
+                    Ok(_) => d.delivered.extend(newly),
+                    // Marker lost: these alerts stay unrecorded and a crash
+                    // re-delivers them — at-least-once, never silently lost.
+                    Err(e) => ucad_obs::event(
+                        "serve.wal_drain_marker_failed",
+                        &[("error", e.to_string())],
+                    ),
+                }
+            }
+            want_snapshot =
+                d.cfg.snapshot_every > 0 && d.appends_since_snapshot >= d.cfg.snapshot_every;
+        }
+        if want_snapshot {
+            if let Err(e) = self.snapshot() {
+                ucad_obs::event("serve.snapshot_failed", &[("error", e.to_string())]);
+            }
+        }
         tagged.into_iter().map(|(_, alert)| alert).collect()
     }
 
@@ -1314,6 +2070,13 @@ impl ShardedOnlineUcad {
     /// panics already healed by mid-run supervision appear there too.
     pub fn shutdown(mut self) -> ShutdownReport {
         let alerts = self.drain_alerts();
+        // Graceful exit: force the batched per-shard log tails to disk so a
+        // restart from this directory replays everything.
+        if let Some(d) = self.durable.as_mut() {
+            for sd in &mut d.shards {
+                let _ = sd.wal.sync();
+            }
+        }
         let mut verified_normals = Vec::new();
         for shard in &self.shards {
             verified_normals.append(&mut lock(&shard.h.feedback));
@@ -1646,5 +2409,220 @@ mod tests {
         engine.flush();
         let report = engine.shutdown();
         assert!(report.verified_normals.is_empty());
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ucad-serve-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Resumes `records` on a freshly recovered engine, skipping the prefix
+    /// each shard already holds durably — the same protocol a restarted
+    /// ingest process follows after `recover`.
+    fn resume_records(engine: &mut ShardedOnlineUcad, records: &[LogRecord]) {
+        let mut skip = engine.durable_ops_per_shard().expect("durable engine");
+        for r in records {
+            let shard = engine.shard_of(r.session_id);
+            if skip[shard] > 0 {
+                skip[shard] -= 1;
+                continue;
+            }
+            assert_eq!(engine.submit(r), SubmitOutcome::Accepted);
+        }
+    }
+
+    #[test]
+    fn durable_abandon_recover_matches_crash_free_run() {
+        let dir = tmp_dir("recover");
+        let system = tiny_system(31);
+        let cfg = ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        };
+        let mut records = records_of(&system, 32, 6);
+        // Unknown statements alert deterministically regardless of model
+        // weights; sprinkle a few so the comparison below is non-vacuous.
+        let step = records.len() / 3;
+        for (i, r) in records.iter_mut().enumerate() {
+            if i % step == step / 2 {
+                r.sql = format!("DELETE FROM t_shadow WHERE id={i}");
+            }
+        }
+        let sessions: Vec<u64> = {
+            let mut ids: Vec<u64> = records.iter().map(|r| r.session_id).collect();
+            ids.dedup();
+            ids
+        };
+
+        // Crash-free baseline: plain in-memory engine, identical config.
+        let mut baseline = ShardedOnlineUcad::new(system.clone(), cfg);
+        for r in &records {
+            assert_eq!(baseline.submit(r), SubmitOutcome::Accepted);
+        }
+        for &id in &sessions {
+            baseline.close_session(id);
+        }
+        baseline.flush();
+        let mut expected = baseline.drain_alerts();
+        assert!(!expected.is_empty(), "scenario must raise alerts");
+
+        // Durable run: snapshot a third in, "crash" (abandon skips the
+        // shutdown handshake entirely) two thirds in.
+        let mut engine = ShardedOnlineUcad::try_new_durable(
+            system.clone(),
+            cfg,
+            None,
+            None,
+            DurabilityConfig::new(&dir),
+        )
+        .expect("fresh durable engine");
+        let cut = 2 * records.len() / 3;
+        for (i, r) in records[..cut].iter().enumerate() {
+            assert_eq!(engine.submit(r), SubmitOutcome::Accepted);
+            if i == records.len() / 3 {
+                engine.snapshot().expect("snapshot");
+            }
+        }
+        engine.abandon();
+
+        let mut engine =
+            ShardedOnlineUcad::recover(system, cfg, DurabilityConfig::new(&dir)).expect("recovery");
+        resume_records(&mut engine, &records);
+        for &id in &sessions {
+            engine.close_session(id);
+        }
+        engine.flush();
+        let mut got = engine.drain_alerts();
+
+        // A session alerts at most once, so session_id is a total order.
+        expected.sort_by_key(|a| a.session_id);
+        got.sort_by_key(|a| a.session_id);
+        assert_eq!(
+            got, expected,
+            "recovered alert stream must match the crash-free run"
+        );
+        let metrics = engine.render_metrics();
+        assert!(metrics.contains("ucad_serve_recoveries_total 1"));
+        assert!(metrics.contains("ucad_wal_replayed_records_total"));
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression for the latent drain-boundary duplicate: recovery replay
+    /// re-raises every alert it scores, including ones already handed to the
+    /// operator before the crash. The drain marker plus seq dedup make the
+    /// drained stream exactly-once.
+    #[test]
+    fn drain_boundary_is_exactly_once_across_recovery() {
+        let dir = tmp_dir("drain-once");
+        let system = tiny_system(37);
+        let cfg = ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        };
+        let mut records = records_of(&system, 38, 4);
+        // Inject unknown statements mid-session (early positions are still
+        // inside the scoring window and would not be verdicted yet): one in
+        // the first session, one in the last.
+        let first_id = records[0].session_id;
+        let early = records.iter().filter(|r| r.session_id == first_id).count() / 2;
+        records[early].sql = "DELETE FROM t_shadow WHERE id=1".into();
+        let last_id = records.last().expect("records").session_id;
+        let last_start = records
+            .iter()
+            .position(|r| r.session_id == last_id)
+            .expect("last session");
+        let late = last_start + (records.len() - last_start) / 2;
+        records[late].sql = "DELETE FROM t_shadow WHERE id=2".into();
+        let cut = records.len() / 2;
+        assert!(early < cut && cut <= last_start);
+        assert_ne!(
+            records[early].session_id, records[late].session_id,
+            "the two injected anomalies must hit different sessions"
+        );
+
+        let mut engine = ShardedOnlineUcad::try_new_durable(
+            system.clone(),
+            cfg,
+            None,
+            None,
+            DurabilityConfig::new(&dir),
+        )
+        .expect("fresh durable engine");
+        for r in &records[..cut] {
+            assert_eq!(engine.submit(r), SubmitOutcome::Accepted);
+        }
+        engine.flush();
+        let first = engine.drain_alerts();
+        assert!(
+            first
+                .iter()
+                .any(|a| a.session_id == records[early].session_id),
+            "unknown statement must alert before the crash"
+        );
+        engine.abandon();
+
+        let mut engine =
+            ShardedOnlineUcad::recover(system, cfg, DurabilityConfig::new(&dir)).expect("recovery");
+        assert!(
+            engine.drain_alerts().is_empty(),
+            "alerts drained before the crash must not be re-delivered"
+        );
+        resume_records(&mut engine, &records);
+        engine.flush();
+        let second = engine.drain_alerts();
+        assert!(
+            second
+                .iter()
+                .any(|a| a.session_id == records[late].session_id),
+            "post-recovery anomalies must still alert"
+        );
+        assert!(
+            second
+                .iter()
+                .all(|a| a.session_id != records[early].session_id),
+            "pre-crash alerts must appear exactly once across the restart"
+        );
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_rejects_mismatched_routing() {
+        let dir = tmp_dir("mismatch");
+        let system = tiny_system(41);
+        let engine = ShardedOnlineUcad::try_new_durable(
+            system.clone(),
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+            None,
+            None,
+            DurabilityConfig::new(&dir),
+        )
+        .expect("fresh durable engine");
+        engine.shutdown();
+        match ShardedOnlineUcad::recover(
+            system,
+            ServeConfig {
+                shards: 3,
+                ..ServeConfig::default()
+            },
+            DurabilityConfig::new(&dir),
+        ) {
+            Err(UcadError::InvalidConfig {
+                field: "durability",
+                ..
+            }) => {}
+            Err(other) => panic!("wrong error for shard mismatch: {other}"),
+            Ok(_) => panic!("shard count mismatch must be rejected"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -38,6 +38,7 @@
 //! | `fs_fail=K`          | the next K checkpoint fs operations fail with an I/O error   |
 //! | `fs_corrupt=K`       | the next K checkpoint reads return a bit-flipped payload     |
 //! | `fs_scope=DIR`       | fault only fs operations on paths under DIR                  |
+//! | `proc_crash=K`       | abort the whole process just before its Kth WAL append       |
 //!
 //! Every trigger is a pure function of deterministic counters (records
 //! processed, submissions attempted, fs operations issued), so a faulted
@@ -118,6 +119,12 @@ pub struct FaultPlan {
     pub saturate: Option<SaturateSpec>,
     /// Checkpoint filesystem fault budgets.
     pub fs: FsSpec,
+    /// Abort the process — no unwinding, no destructors, the closest a
+    /// process gets to `kill -9`-ing itself — immediately *before* its Kth
+    /// WAL append (1-based, counted across every WAL in the process). The
+    /// crash-recovery wall uses this to kill a child at a pinned append
+    /// point and prove exactly K-1 records hit the disk.
+    pub proc_crash: Option<u64>,
 }
 
 impl FaultPlan {
@@ -167,6 +174,13 @@ impl FaultPlan {
     /// [`FsSpec::scope`]).
     pub fn fs_scope(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.fs.scope = Some(dir.into());
+        self
+    }
+
+    /// Aborts the process just before its `k`th WAL append (1-based). See
+    /// [`FaultPlan::proc_crash`].
+    pub fn proc_crash_at(mut self, k: u64) -> Self {
+        self.proc_crash = Some(k);
         self
     }
 
@@ -221,6 +235,13 @@ impl FaultPlan {
                 "fs_fail" => plan.fs.fail_ops = int(value)?,
                 "fs_corrupt" => plan.fs.corrupt_reads = int(value)?,
                 "fs_scope" => plan.fs.scope = Some(value.trim().into()),
+                "proc_crash" => {
+                    let k = int(value)?;
+                    if k == 0 {
+                        return Err("proc_crash=0: WAL appends are counted from 1".into());
+                    }
+                    plan.proc_crash = Some(k);
+                }
                 other => return Err(format!("unknown fault key `{other}`")),
             }
         }
@@ -272,6 +293,9 @@ pub struct FaultStats {
     pub fs_injected_io: u64,
     /// Reads returned with an injected corrupted payload.
     pub fs_injected_corrupt: u64,
+    /// WAL appends observed while the plan was armed (what `proc_crash`
+    /// counts against).
+    pub wal_appends: u64,
 }
 
 /// Live state of an armed plan: the immutable schedule plus its
@@ -284,6 +308,7 @@ struct PlanState {
     shard_records: Mutex<Vec<u64>>,
     forwards: AtomicU64,
     submissions: AtomicU64,
+    wal_appends: AtomicU64,
     fs_fail_budget: AtomicU64,
     fs_corrupt_budget: AtomicU64,
     stats: StatCells,
@@ -297,6 +322,7 @@ struct StatCells {
     fs_ops: AtomicU64,
     fs_injected_io: AtomicU64,
     fs_injected_corrupt: AtomicU64,
+    wal_appends: AtomicU64,
 }
 
 impl PlanState {
@@ -310,6 +336,7 @@ impl PlanState {
             shard_records: Mutex::new(Vec::new()),
             forwards: AtomicU64::new(0),
             submissions: AtomicU64::new(0),
+            wal_appends: AtomicU64::new(0),
             fs_fail_budget: AtomicU64::new(fs.fail_ops),
             fs_corrupt_budget: AtomicU64::new(fs.corrupt_reads),
             stats: StatCells::default(),
@@ -324,6 +351,7 @@ impl PlanState {
             fs_ops: self.stats.fs_ops.load(Ordering::Relaxed),
             fs_injected_io: self.stats.fs_injected_io.load(Ordering::Relaxed),
             fs_injected_corrupt: self.stats.fs_injected_corrupt.load(Ordering::Relaxed),
+            wal_appends: self.stats.wal_appends.load(Ordering::Relaxed),
         }
     }
 }
@@ -516,6 +544,33 @@ pub fn on_submit_saturated(shard: usize) -> bool {
     hit
 }
 
+/// WAL hook: a record is about to be appended. Counts the append (the
+/// deterministic clock `proc_crash` fires on), aborts the whole process at
+/// the configured Kth append — *before* any bytes are written, so exactly
+/// K-1 appends are durable — and otherwise may fail the append with an
+/// injected I/O error from the scoped `fs_fail` budget. No-op when no plan
+/// is armed.
+///
+/// `proc_crash` deliberately ignores `fs_scope` and counts appends across
+/// every WAL in the process (shard logs and the meta log alike): the crash
+/// wall needs one global, total order of append points to pin kills to.
+pub fn on_wal_append(path: &Path) -> io::Result<()> {
+    let Some(state) = current() else {
+        return Ok(());
+    };
+    let n = state.wal_appends.fetch_add(1, Ordering::Relaxed) + 1;
+    state.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
+    if state.plan.proc_crash.is_some_and(|k| n >= k) {
+        // No unwinding, no destructors, no flushes — the simulated kill -9.
+        std::process::abort();
+    }
+    if in_scope(&state, path) && consume(&state.fs_fail_budget) {
+        state.stats.fs_injected_io.fetch_add(1, Ordering::Relaxed);
+        return Err(injected_io("wal append", path));
+    }
+    Ok(())
+}
+
 fn injected_io(op: &str, path: &Path) -> io::Error {
     io::Error::other(format!("fault-injected {op} failure on {}", path.display()))
 }
@@ -592,7 +647,7 @@ mod tests {
     fn parse_roundtrips_the_documented_grammar() {
         let plan = FaultPlan::parse(
             "seed=7; panic=25; panic=40@1, stall_us=500;stall_every=3;stall_limit=9; \
-             saturate=10..20@2; fs_fail=2; fs_corrupt=1",
+             saturate=10..20@2; fs_fail=2; fs_corrupt=1; proc_crash=6",
         )
         .expect("valid spec");
         assert_eq!(plan.seed, 7);
@@ -627,6 +682,7 @@ mod tests {
         );
         assert_eq!(plan.fs.fail_ops, 2);
         assert_eq!(plan.fs.corrupt_reads, 1);
+        assert_eq!(plan.proc_crash, Some(6));
     }
 
     #[test]
@@ -636,6 +692,8 @@ mod tests {
         assert!(FaultPlan::parse("panic=0").is_err());
         assert!(FaultPlan::parse("saturate=5").is_err());
         assert!(FaultPlan::parse("volcano=1").is_err());
+        assert!(FaultPlan::parse("proc_crash=0").is_err());
+        assert!(FaultPlan::parse("proc_crash=now").is_err());
         assert!(FaultPlan::parse("")
             .expect("empty is no faults")
             .panics
@@ -649,7 +707,31 @@ mod tests {
         on_worker_record(0);
         on_scoring_forward();
         assert!(!on_submit_saturated(0));
+        assert!(on_wal_append(Path::new("/nowhere/wal")).is_ok());
         assert!(stats().is_none());
+    }
+
+    #[test]
+    fn wal_appends_are_counted_and_draw_on_the_scoped_fs_budget() {
+        let scoped = std::env::temp_dir().join("ucad-fault-wal-scope");
+        let guard = FaultPlan::new().fs_fail_ops(1).fs_scope(&scoped).arm();
+        let outside = Path::new("/somewhere/else/wal");
+        assert!(
+            on_wal_append(outside).is_ok(),
+            "out of scope: budget untouched"
+        );
+        let inside = scoped.join("shard-0");
+        assert!(
+            on_wal_append(&inside).is_err(),
+            "in scope: consumes fs_fail"
+        );
+        assert!(on_wal_append(&inside).is_ok(), "budget exhausted: passes");
+        let s = guard.stats();
+        assert_eq!(
+            s.wal_appends, 3,
+            "every append is counted regardless of scope"
+        );
+        assert_eq!(s.fs_injected_io, 1);
     }
 
     #[test]

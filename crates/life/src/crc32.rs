@@ -1,62 +1,8 @@
-//! CRC-32 (IEEE 802.3 polynomial), the integrity check of the checkpoint
-//! envelope. Table-driven, reflected, with the conventional pre/post
-//! inversion — byte-for-byte the checksum `gzip`, `zlib` and PNG use, so a
-//! checkpoint's stored CRC can be cross-checked with standard tools.
+//! CRC-32 (IEEE), re-exported from `ucad-wal`.
+//!
+//! The implementation originated here (PR 4's checkpoint store) and moved
+//! to `ucad-wal` when the WAL generalized the envelope discipline into a
+//! shared crate; this shim keeps `ucad_life::crc32::crc32` working for
+//! existing callers and robustness tests.
 
-/// Reflected IEEE polynomial.
-const POLY: u32 = 0xEDB8_8320;
-
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ POLY
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-static TABLE: [u32; 256] = build_table();
-
-/// CRC-32 of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn matches_known_vectors() {
-        // Standard check value for the ASCII digits.
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
-        assert_eq!(
-            crc32(b"The quick brown fox jumps over the lazy dog"),
-            0x414F_A339
-        );
-    }
-
-    #[test]
-    fn sensitive_to_single_bit_flips() {
-        let base = crc32(b"checkpoint payload");
-        let mut flipped = b"checkpoint payload".to_vec();
-        flipped[3] ^= 0x01;
-        assert_ne!(crc32(&flipped), base);
-    }
-}
+pub use ucad_wal::crc32::crc32;

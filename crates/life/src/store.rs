@@ -28,55 +28,22 @@
 //!
 //! Transient I/O resilience: every read/write/rename goes through the
 //! `ucad-fault` fs shim (a pass-through to `std::fs` when no fault plan is
-//! armed) and retries up to [`IO_RETRIES`] times with a bounded,
+//! armed) and retries up to [`ucad_wal::IO_RETRIES`] times with a bounded,
 //! deterministic backoff (1 ms, 2 ms, 4 ms) before surfacing
 //! [`UcadError::Io`]. Corruption is *never* retried: a damaged envelope is
 //! the same bytes on every read, so [`UcadError::Corrupt`] surfaces
 //! immediately.
 
-use crate::crc32::crc32;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use ucad_model::{TransDas, UcadError};
+use ucad_wal::crc32::crc32;
+use ucad_wal::envelope;
+use ucad_wal::{fnv1a64, retry_io};
 
 const MAGIC: &[u8; 8] = b"UCADCKP1";
-const HEADER_LEN: usize = 16;
 const MANIFEST_FILE: &str = "MANIFEST.json";
 const MANIFEST_VERSION: u32 = 1;
-
-/// Maximum retries after a failed fs operation (so up to `IO_RETRIES + 1`
-/// attempts total), with 1 ms/2 ms/4 ms deterministic backoff between them.
-const IO_RETRIES: u32 = 3;
-
-/// Runs `op`, retrying transient I/O failures per the store's retry policy.
-/// `NotFound` is not transient (a missing checkpoint stays missing) and
-/// surfaces immediately.
-fn retry_io<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
-    let mut backoff_ms = 1u64;
-    let mut attempt = 0;
-    loop {
-        match op() {
-            Ok(v) => return Ok(v),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(e),
-            Err(e) if attempt >= IO_RETRIES => return Err(e),
-            Err(_) => {
-                std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
-                backoff_ms *= 2;
-                attempt += 1;
-            }
-        }
-    }
-}
-
-/// FNV-1a 64-bit: the content hash behind version identifiers.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xCBF2_9CE4_8422_2325u64;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
-}
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ManifestEntry {
@@ -204,11 +171,7 @@ impl CheckpointStore {
         }
 
         let crc = crc32(&payload);
-        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
-        bytes.extend_from_slice(MAGIC);
-        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        bytes.extend_from_slice(&crc.to_le_bytes());
-        bytes.extend_from_slice(&payload);
+        let bytes = envelope::encode(MAGIC, &payload);
 
         let final_path = self.path_of(&id);
         let tmp_path = self.dir.join(format!(".tmp-{id}"));
@@ -278,38 +241,7 @@ impl CheckpointStore {
     /// byte source in errors. Public so robustness tests (and external
     /// tooling) can validate envelopes without a store.
     pub fn decode(bytes: &[u8], origin: &str) -> Result<TransDas, UcadError> {
-        if bytes.len() < HEADER_LEN {
-            return Err(UcadError::corrupt(
-                origin,
-                format!(
-                    "truncated header: {} bytes, envelope header is {HEADER_LEN}",
-                    bytes.len()
-                ),
-            ));
-        }
-        if &bytes[..8] != MAGIC {
-            return Err(UcadError::corrupt(
-                origin,
-                "bad magic (not a UCAD checkpoint)",
-            ));
-        }
-        let declared = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
-        let actual = bytes.len() - HEADER_LEN;
-        if declared != actual {
-            return Err(UcadError::corrupt(
-                origin,
-                format!("payload length mismatch: header declares {declared}, file holds {actual}"),
-            ));
-        }
-        let stored_crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
-        let payload = &bytes[HEADER_LEN..];
-        let computed = crc32(payload);
-        if stored_crc != computed {
-            return Err(UcadError::corrupt(
-                origin,
-                format!("CRC mismatch: stored {stored_crc:#010x}, computed {computed:#010x}"),
-            ));
-        }
+        let payload = envelope::decode(MAGIC, bytes, origin)?;
         let json = std::str::from_utf8(payload)
             .map_err(|e| UcadError::corrupt(origin, format!("payload is not UTF-8: {e}")))?;
         TransDas::from_json(json).map_err(|e| {
@@ -322,6 +254,7 @@ impl CheckpointStore {
 mod tests {
     use super::*;
     use ucad_model::{MaskMode, TransDasConfig};
+    use ucad_wal::envelope::HEADER_LEN;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir =

@@ -1,0 +1,137 @@
+//! Record framing inside a WAL segment.
+//!
+//! Each record is a self-delimiting frame appended after the segment header:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length, u32 little-endian
+//! 4       4     CRC-32 (IEEE) of the payload, u32 little-endian
+//! 8       n     payload
+//! ```
+//!
+//! Frames are scanned strictly in order. The first frame that fails any
+//! check — a truncated header, a length pointing past the end of the file,
+//! a CRC mismatch — ends the scan: everything before it is trusted,
+//! everything at and after it is discarded as a torn tail. That rule is
+//! what makes a crash mid-append (or any trailing garbage) indistinguishable
+//! from a clean end-of-log.
+
+use crate::crc32::crc32;
+
+/// Bytes of frame metadata before each payload.
+pub(crate) const FRAME_HEADER_LEN: usize = 8;
+
+/// Upper bound on a single frame payload. Anything larger in a length field
+/// is treated as corruption, so a bit flip in the length cannot make the
+/// scanner attempt a multi-gigabyte slice.
+pub(crate) const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Appends one framed `payload` to `buf`.
+pub(crate) fn append_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// Scans `bytes` for consecutive valid frames. Returns the payloads that
+/// passed every check plus, when the scan stopped early, a description of
+/// the damage that ended it (`None` means the segment ended exactly on a
+/// frame boundary).
+pub(crate) fn scan_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, Option<String>) {
+    let mut payloads = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let rest = &bytes[at..];
+        if rest.len() < FRAME_HEADER_LEN {
+            return (
+                payloads,
+                Some(format!(
+                    "torn frame header at offset {at}: {} trailing bytes",
+                    rest.len()
+                )),
+            );
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return (
+                payloads,
+                Some(format!("implausible frame length {len} at offset {at}")),
+            );
+        }
+        if rest.len() - FRAME_HEADER_LEN < len {
+            return (
+                payloads,
+                Some(format!(
+                    "torn frame at offset {at}: length {len} exceeds {} remaining bytes",
+                    rest.len() - FRAME_HEADER_LEN
+                )),
+            );
+        }
+        let stored_crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        let payload = &rest[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len];
+        let computed = crc32(payload);
+        if stored_crc != computed {
+            return (
+                payloads,
+                Some(format!(
+                    "frame CRC mismatch at offset {at}: stored {stored_crc:#010x}, computed {computed:#010x}"
+                )),
+            );
+        }
+        payloads.push(payload.to_vec());
+        at += FRAME_HEADER_LEN + len;
+    }
+    (payloads, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_multiple_frames() {
+        let mut buf = Vec::new();
+        let records: &[&[u8]] = &[b"first", b"", b"third record"];
+        for r in records {
+            append_frame(&mut buf, r);
+        }
+        let (payloads, damage) = scan_frames(&buf);
+        assert_eq!(payloads, records);
+        assert!(damage.is_none());
+    }
+
+    #[test]
+    fn truncation_yields_prefix_and_damage_note() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"kept");
+        append_frame(&mut buf, b"lost to the torn tail");
+        for cut in buf.len() - 10..buf.len() {
+            let (payloads, damage) = scan_frames(&buf[..cut]);
+            assert_eq!(payloads, vec![b"kept".to_vec()]);
+            assert!(damage.is_some(), "cut at {cut} must report damage");
+        }
+    }
+
+    #[test]
+    fn implausible_length_is_damage_not_allocation() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"ok");
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 4]);
+        let (payloads, damage) = scan_frames(&buf);
+        assert_eq!(payloads, vec![b"ok".to_vec()]);
+        assert!(damage.unwrap().contains("implausible frame length"));
+    }
+
+    #[test]
+    fn crc_mismatch_stops_the_scan() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"good");
+        let flip_at = buf.len() - 1;
+        append_frame(&mut buf, b"tail");
+        buf[flip_at] ^= 0x01;
+        let (payloads, damage) = scan_frames(&buf);
+        assert!(payloads.is_empty());
+        assert!(damage.unwrap().contains("CRC mismatch"));
+    }
+}

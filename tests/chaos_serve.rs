@@ -14,7 +14,13 @@
 //!   exactly: accepted + shed + degraded == submitted, and degraded alerts
 //!   are the only ones tagged `degraded: true`;
 //! * submission to a dead shard with a full queue never deadlocks, and
-//!   `shutdown()` never hangs — both guarded by wall-clock timeouts.
+//!   `shutdown()` never hangs — both guarded by wall-clock timeouts;
+//! * a full process restart composes with the rest of the chaos menu: a
+//!   durable engine abandoned mid-stream (no shutdown, no flush) and
+//!   recovered under a fresh fault plan replays exactly the accepted
+//!   records and keeps the accounting exact end-to-end. This wall caught a
+//!   real self-deadlock: holding the shard link lock across the
+//!   `supervise_shard` call in the non-blocking submit path.
 //!
 //! Every test holds a `ucad-fault` guard (armed or quiet) for the lifetime
 //! of its engine, so plans can never leak into a neighbouring test's
@@ -432,4 +438,123 @@ fn chaos_wall_exercises_real_alerts() {
         );
         assert!(degraded.alerts.iter().all(|a| a.degraded));
     });
+}
+
+/// Combined chaos plus a full process restart: worker panics, forced
+/// saturation and scoring stalls hit a *durable* engine, which is then
+/// abandoned mid-stream (no shutdown handshake — the in-process stand-in
+/// for `kill -9`; the cross-process version lives in
+/// `tests/crash_recovery.rs`) and recovered under a fresh fault plan with
+/// another panic. Accounting must stay exact across the restart: the
+/// recovered engine replays every accepted record, sheds stay shed, and
+/// the resumed half reconciles on top.
+#[test]
+fn combined_chaos_with_process_restart_reconciles_exactly() {
+    use ucad::DurabilityConfig;
+
+    let dir = std::env::temp_dir().join(format!("ucad-chaos-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_clone = dir.clone();
+    with_timeout(300, move || {
+        let (stream, ids) = interleaved_stream(31337, 6);
+        let half = stream.len() / 2;
+        let (system, _) = trained();
+        let cfg = ServeConfig {
+            shards: 2,
+            cache_capacity: 64,
+            queue_capacity: 32,
+            overload: OverloadPolicy::ShedNewest,
+            ..ServeConfig::default()
+        };
+
+        // Phase 1: panic + saturation window + stalls, first half of the
+        // stream, then a hard abandon.
+        let plan = FaultPlan::new()
+            .panic_at(7, Some(0))
+            .saturate(12, 22, None)
+            .stall_us(200);
+        let guard = FaultGuard::Armed(plan.arm());
+        let mut engine = ShardedOnlineUcad::try_new_durable(
+            system.clone(),
+            cfg,
+            None,
+            None,
+            DurabilityConfig::new(&dir_clone),
+        )
+        .expect("fresh durable engine");
+        let (mut accepted_1, mut shed_1) = (0u64, 0u64);
+        for record in &stream[..half] {
+            match engine.submit(record) {
+                SubmitOutcome::Accepted => accepted_1 += 1,
+                SubmitOutcome::Shed => shed_1 += 1,
+                SubmitOutcome::Degraded => panic!("ShedNewest must never degrade"),
+            }
+        }
+        let stats_1 = engine.stats();
+        assert_eq!(
+            stats_1.records(),
+            accepted_1,
+            "accepted records lost in phase 1"
+        );
+        assert_eq!(
+            accepted_1 + shed_1,
+            half as u64,
+            "phase 1 buckets must partition"
+        );
+        assert!(
+            shed_1 > 0,
+            "saturation window never hit; the restart test is vacuous"
+        );
+        assert!(
+            stats_1.worker_restarts >= 1,
+            "phase 1 panic never fired; the restart test is vacuous"
+        );
+        engine.abandon();
+        drop(guard);
+
+        // Phase 2: recover under a fresh plan with another panic, resume
+        // the second half, reconcile end-to-end.
+        let plan = FaultPlan::new().panic_at(3, Some(1)).stall_us(100);
+        let _guard = FaultGuard::Armed(plan.arm());
+        let mut engine =
+            ShardedOnlineUcad::recover(system.clone(), cfg, DurabilityConfig::new(&dir_clone))
+                .expect("recovery under chaos");
+        assert_eq!(
+            engine.stats().records(),
+            accepted_1,
+            "recovery must replay exactly the accepted phase-1 records"
+        );
+        let (mut accepted_2, mut shed_2) = (0u64, 0u64);
+        for record in &stream[half..] {
+            match engine.submit(record) {
+                SubmitOutcome::Accepted => accepted_2 += 1,
+                SubmitOutcome::Shed => shed_2 += 1,
+                SubmitOutcome::Degraded => panic!("ShedNewest must never degrade"),
+            }
+        }
+        for &id in &ids {
+            engine.close_session(id);
+        }
+        let stats_2 = engine.stats();
+        assert_eq!(
+            stats_2.records(),
+            accepted_1 + accepted_2,
+            "exact accounting across the restart"
+        );
+        assert_eq!(
+            accepted_2 + shed_2,
+            (stream.len() - half) as u64,
+            "phase 2 buckets must partition"
+        );
+        let metrics = engine.render_metrics();
+        assert!(metrics.contains("ucad_serve_recoveries_total 1"));
+        let alerts = engine.drain_alerts();
+        assert!(
+            alerts.iter().all(|a| !a.degraded),
+            "ShedNewest must not tag alerts"
+        );
+        let report = engine.shutdown();
+        assert_eq!(report.worker_restarts, stats_2.worker_restarts);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
 }
