@@ -38,6 +38,42 @@ fn main() {
          ({windows_per_s:8.1} windows/s), final loss {final_loss:.6}"
     );
 
+    // Per-stage attribution from the global registry: where each optimizer
+    // step's time went. Forward/backward are CPU time summed across pool
+    // workers, so the stages can total more than the wall clock above.
+    let obs = ucad_obs::global();
+    println!("stage profile (CPU time across workers):");
+    let stage_total: f64 = ["forward", "backward", "reduction", "optim"]
+        .iter()
+        .map(|s| {
+            obs.histogram(
+                "ucad_train_stage_duration_seconds",
+                &[("stage", s)],
+                ucad_obs::latency_log_bounds(),
+            )
+            .snapshot()
+            .sum
+        })
+        .sum();
+    for stage in ["forward", "backward", "reduction", "optim"] {
+        let snap = obs
+            .histogram(
+                "ucad_train_stage_duration_seconds",
+                &[("stage", stage)],
+                ucad_obs::latency_log_bounds(),
+            )
+            .snapshot();
+        let share = if stage_total > 0.0 {
+            100.0 * snap.sum / stage_total
+        } else {
+            0.0
+        };
+        println!(
+            "  {stage:<10} {:8.3}s over {:5} steps ({share:5.1}% of stage time)",
+            snap.sum, snap.count
+        );
+    }
+
     let mut ledger = ucad_bench::load_parallel_ledger();
     ledger.upsert_train(TrainBenchRow {
         threads,

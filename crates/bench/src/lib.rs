@@ -12,6 +12,8 @@
 
 #![warn(missing_docs)]
 
+pub mod slo;
+
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use ucad::TokenizedDataset;

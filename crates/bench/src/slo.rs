@@ -1,0 +1,425 @@
+//! Open-loop load-replay harness with tail-latency SLO measurement.
+//!
+//! Drives a [`ShardedOnlineUcad`] engine at a **target arrival rate**
+//! rather than as fast as the engine accepts — the open-loop discipline
+//! that avoids coordinated omission: every record has a *scheduled* arrival
+//! time computed from the schedule alone, the submitter never lets engine
+//! backpressure delay the schedule's clock, and end-to-end latency is
+//! measured from the scheduled arrival to scoring completion. A stalled
+//! engine therefore inflates the tail of every record queued behind the
+//! stall, exactly as real clients would experience it.
+//!
+//! Completion is observed through [`ServeObserver::on_scored`], the serving
+//! engine's per-record completion hook: records scored by the model, by
+//! supervision replay, or by the degraded-mode fallback all complete; shed
+//! records never do and are accounted separately.
+//!
+//! The `slo` bench target runs a schedule × shards × overload-policy matrix
+//! and persists the rows in `BENCH_slo.json` (see [`SloLedger`]).
+
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ucad::{OverloadPolicy, ServeConfig, ServeObserver, ShardedOnlineUcad, SubmitOutcome, Ucad};
+use ucad_baselines::NgramLm;
+use ucad_dbsim::LogRecord;
+use ucad_model::DetectionMode;
+
+/// Arrival-rate shape over the replay, all with the same *average* rate so
+/// rows are comparable across schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalSchedule {
+    /// Constant inter-arrival gap `1 / target_rps`.
+    Constant,
+    /// 1-second period: 3x the base rate for the first quarter, 1/3 of it
+    /// for the rest (averages to the base rate) — queue-filling bursts
+    /// followed by drain room.
+    Bursty,
+    /// Sinusoidal rate over a 4-second "day", swinging ±70% around the
+    /// base — the slow load wave of diurnal production traffic.
+    Diurnal,
+}
+
+impl ArrivalSchedule {
+    /// The instantaneous arrival rate at schedule time `t` (seconds).
+    pub fn rate_at(&self, t: f64, base_rps: f64) -> f64 {
+        match self {
+            ArrivalSchedule::Constant => base_rps,
+            ArrivalSchedule::Bursty => {
+                if t.rem_euclid(1.0) < 0.25 {
+                    base_rps * 3.0
+                } else {
+                    base_rps / 3.0
+                }
+            }
+            ArrivalSchedule::Diurnal => {
+                base_rps * (1.0 + 0.7 * (2.0 * std::f64::consts::PI * t / 4.0).sin())
+            }
+        }
+    }
+
+    /// Ledger / display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalSchedule::Constant => "constant",
+            ArrivalSchedule::Bursty => "bursty",
+            ArrivalSchedule::Diurnal => "diurnal",
+        }
+    }
+}
+
+/// Computes the scheduled arrival offsets (nanoseconds from replay start)
+/// for `n` records: `t_{k+1} = t_k + 1 / rate(t_k)`. Pure function of the
+/// schedule — engine behavior never feeds back into it, which is what makes
+/// the measurement coordinated-omission-safe.
+pub fn schedule_arrivals(schedule: ArrivalSchedule, n: usize, base_rps: f64) -> Vec<u64> {
+    assert!(base_rps > 0.0, "target rate must be positive");
+    let mut out = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    for _ in 0..n {
+        out.push((t * 1e9) as u64);
+        t += 1.0 / schedule.rate_at(t, base_rps).max(1e-3);
+    }
+    out
+}
+
+/// One SLO replay configuration.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Arrival-rate shape.
+    pub schedule: ArrivalSchedule,
+    /// Average target arrival rate, records/s.
+    pub target_rps: f64,
+    /// Worker shards.
+    pub shards: usize,
+    /// Overload policy (Degrade requires a fitted fallback).
+    pub policy: OverloadPolicy,
+    /// Per-shard queue bound.
+    pub queue_capacity: usize,
+    /// Score-memo capacity (0 disables).
+    pub cache_capacity: usize,
+}
+
+/// Measured outcome of one replay.
+#[derive(Debug, Clone)]
+pub struct SloResult {
+    /// Records submitted (= records scheduled).
+    pub submitted: u64,
+    /// Records the engine accepted onto a shard queue.
+    pub accepted: u64,
+    /// Records dropped by `ShedNewest`.
+    pub shed: u64,
+    /// Records scored by the degraded-mode fallback.
+    pub degraded: u64,
+    /// Shard workers respawned by supervision during the replay.
+    pub worker_restarts: u64,
+    /// Records that completed scoring (accepted + degraded).
+    pub completed: u64,
+    /// Achieved submission rate over the replay wall time, records/s.
+    pub achieved_rps: f64,
+    /// End-to-end latency quantiles (scheduled arrival -> scored), ms.
+    pub p50_ms: f64,
+    /// 90th percentile, ms.
+    pub p90_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// 99.9th percentile, ms.
+    pub p999_ms: f64,
+    /// Worst observed latency, ms.
+    pub max_ms: f64,
+    /// Alerts drained at the end of the replay.
+    pub alerts: usize,
+}
+
+/// Completion listener: stores each record's completion time (nanoseconds
+/// from the shared origin, +1 so zero means "never completed") into a
+/// per-seq slot. The engine assigns record seqs densely from 0 in
+/// submission order, so the slot index is just the seq.
+struct SloObserver {
+    origin: Instant,
+    completions: Vec<AtomicU64>,
+}
+
+impl ServeObserver for SloObserver {
+    fn on_scored(&self, seq: u64) {
+        if let Some(cell) = self.completions.get(seq as usize) {
+            let ns = self.origin.elapsed().as_nanos() as u64;
+            cell.store(ns.saturating_add(1), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Exact quantile of a sorted sample via linear interpolation between order
+/// statistics. Empty input yields 0.
+pub fn sample_quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = (lo + 1).min(sorted.len() - 1);
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Waits until `origin.elapsed() >= deadline_ns`: coarse sleep to within
+/// ~200µs, then spin — submission jitter must stay well under the
+/// inter-arrival gap for the schedule to mean anything.
+fn pace(origin: Instant, deadline_ns: u64) {
+    loop {
+        let now = origin.elapsed().as_nanos() as u64;
+        if now >= deadline_ns {
+            return;
+        }
+        let left = deadline_ns - now;
+        if left > 500_000 {
+            std::thread::sleep(Duration::from_nanos(left - 200_000));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Replays `stream` against a fresh engine open-loop at the configured
+/// schedule and measures per-record end-to-end latency from scheduled
+/// arrival to scoring completion. `fallback` is required under
+/// [`OverloadPolicy::Degrade`].
+pub fn run_slo(
+    system: Ucad,
+    fallback: Option<NgramLm>,
+    stream: &[LogRecord],
+    cfg: &SloConfig,
+) -> SloResult {
+    let arrivals = schedule_arrivals(cfg.schedule, stream.len(), cfg.target_rps);
+    let observer = Arc::new(SloObserver {
+        origin: Instant::now(),
+        completions: (0..stream.len()).map(|_| AtomicU64::new(0)).collect(),
+    });
+    let serve_cfg = ServeConfig {
+        shards: cfg.shards,
+        queue_capacity: cfg.queue_capacity,
+        cache_capacity: cfg.cache_capacity,
+        mode: DetectionMode::Streaming,
+        overload: cfg.policy,
+        ..ServeConfig::default()
+    };
+    let mut engine = ShardedOnlineUcad::try_new_full(
+        system,
+        serve_cfg,
+        Some(observer.clone() as Arc<dyn ServeObserver>),
+        fallback,
+    )
+    .expect("invalid SLO serve configuration");
+
+    let mut session_order: Vec<u64> = Vec::new();
+    for r in stream {
+        if !session_order.contains(&r.session_id) {
+            session_order.push(r.session_id);
+        }
+    }
+
+    // The replay clock starts *after* engine construction; every scheduled
+    // arrival is an absolute deadline against the shared origin.
+    let start_ns = observer.origin.elapsed().as_nanos() as u64;
+    let (mut accepted, mut shed, mut degraded) = (0u64, 0u64, 0u64);
+    let mut deadlines = Vec::with_capacity(stream.len());
+    for (record, offset) in stream.iter().zip(&arrivals) {
+        let deadline = start_ns + offset;
+        deadlines.push(deadline);
+        pace(observer.origin, deadline);
+        match engine.submit(record) {
+            SubmitOutcome::Accepted => accepted += 1,
+            SubmitOutcome::Shed => shed += 1,
+            SubmitOutcome::Degraded => degraded += 1,
+        }
+    }
+    let wall_secs = (observer.origin.elapsed().as_nanos() as u64 - start_ns) as f64 / 1e9;
+    for id in &session_order {
+        engine.close_session(*id);
+    }
+    let stats = engine.stats(); // flushes: every accepted record has completed
+    let alerts = engine.drain_alerts().len();
+    engine.shutdown();
+
+    let mut lat_ms: Vec<f64> = Vec::with_capacity(stream.len());
+    for (cell, deadline) in observer.completions.iter().zip(&deadlines) {
+        let done = cell.load(Ordering::Relaxed);
+        if done == 0 {
+            continue; // shed — never reached a scorer
+        }
+        lat_ms.push((done - 1).saturating_sub(*deadline) as f64 / 1e6);
+    }
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    SloResult {
+        submitted: stream.len() as u64,
+        accepted,
+        shed,
+        degraded,
+        worker_restarts: stats.worker_restarts,
+        completed: lat_ms.len() as u64,
+        achieved_rps: stream.len() as f64 / wall_secs.max(1e-9),
+        p50_ms: sample_quantile(&lat_ms, 0.50),
+        p90_ms: sample_quantile(&lat_ms, 0.90),
+        p99_ms: sample_quantile(&lat_ms, 0.99),
+        p999_ms: sample_quantile(&lat_ms, 0.999),
+        max_ms: lat_ms.last().copied().unwrap_or(0.0),
+        alerts,
+    }
+}
+
+/// One row of the `BENCH_slo.json` ledger.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SloRow {
+    /// Arrival schedule name (`constant` / `bursty` / `diurnal`).
+    pub schedule: String,
+    /// Overload policy name (`Block` / `ShedNewest` / `Degrade`).
+    pub policy: String,
+    /// Worker shards.
+    pub shards: usize,
+    /// Average target arrival rate, records/s.
+    pub target_rps: f64,
+    /// Compute-pool threads (`UCAD_THREADS`) the row was measured under.
+    pub threads: usize,
+    /// Records submitted.
+    pub submitted: u64,
+    /// Records accepted onto shard queues.
+    pub accepted: u64,
+    /// Records shed.
+    pub shed: u64,
+    /// Records scored degraded.
+    pub degraded: u64,
+    /// Supervision worker restarts during the replay.
+    pub worker_restarts: u64,
+    /// Achieved submission rate, records/s.
+    pub achieved_rps: f64,
+    /// Median end-to-end latency, ms.
+    pub p50_ms: f64,
+    /// 90th percentile, ms.
+    pub p90_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// 99.9th percentile, ms.
+    pub p999_ms: f64,
+    /// Worst observed latency, ms.
+    pub max_ms: f64,
+}
+
+/// The `BENCH_slo.json` ledger: one row per (schedule, policy, shards)
+/// cell, written by the `slo` bench target and checked by the CI
+/// `slo-smoke` job.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SloLedger {
+    /// Measured rows.
+    pub rows: Vec<SloRow>,
+}
+
+impl SloLedger {
+    /// Replaces (or appends) the row for `(schedule, policy, shards)`.
+    pub fn upsert(&mut self, row: SloRow) {
+        self.rows.retain(|r| {
+            !(r.schedule == row.schedule && r.policy == row.policy && r.shards == row.shards)
+        });
+        self.rows.push(row);
+        self.rows.sort_by(|a, b| {
+            (&a.schedule, &a.policy, a.shards).cmp(&(&b.schedule, &b.policy, b.shards))
+        });
+    }
+}
+
+/// Path of `BENCH_slo.json` at the workspace root.
+pub fn slo_ledger_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_slo.json")
+}
+
+/// Loads the SLO ledger, or an empty one when absent/unreadable.
+pub fn load_slo_ledger() -> SloLedger {
+    std::fs::read_to_string(slo_ledger_path())
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default()
+}
+
+/// Writes the SLO ledger back to the workspace root.
+pub fn store_slo_ledger(ledger: &SloLedger) {
+    let json = serde_json::to_string(ledger).expect("ledger serialization cannot fail");
+    std::fs::write(slo_ledger_path(), json + "\n").expect("cannot write BENCH_slo.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_spaces_arrivals_evenly() {
+        let a = schedule_arrivals(ArrivalSchedule::Constant, 5, 1000.0);
+        assert_eq!(a[0], 0);
+        for w in a.windows(2) {
+            let gap = w[1] - w[0];
+            assert!((999_000..=1_001_000).contains(&gap), "gap {gap}ns");
+        }
+    }
+
+    #[test]
+    fn bursty_and_diurnal_schedules_are_monotone_and_average_out() {
+        // One period emits ~base·period records, so size n to cover whole
+        // periods — a fractional period samples only one phase of the wave.
+        for (schedule, n) in [
+            (ArrivalSchedule::Bursty, 2001),
+            (ArrivalSchedule::Diurnal, 4001),
+        ] {
+            let base = 1000.0;
+            let a = schedule_arrivals(schedule, n, base);
+            assert!(a.windows(2).all(|w| w[1] > w[0]), "arrivals must advance");
+            // Mean rate within 25% of the base over two full periods.
+            let span_s = *a.last().unwrap() as f64 / 1e9;
+            let mean = (n - 1) as f64 / span_s;
+            assert!(
+                (mean - base).abs() / base < 0.25,
+                "{}: mean rate {mean:.0} vs base {base}",
+                schedule.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sample_quantile_interpolates_exactly() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(sample_quantile(&s, 0.0), 1.0);
+        assert_eq!(sample_quantile(&s, 0.5), 3.0);
+        assert_eq!(sample_quantile(&s, 0.25), 2.0);
+        assert_eq!(sample_quantile(&s, 1.0), 5.0);
+        assert_eq!(sample_quantile(&[], 0.5), 0.0);
+        assert_eq!(sample_quantile(&[7.0], 0.999), 7.0);
+    }
+
+    #[test]
+    fn ledger_upsert_replaces_matching_cell() {
+        let row = |shards: usize, p99: f64| SloRow {
+            schedule: "constant".into(),
+            policy: "Block".into(),
+            shards,
+            target_rps: 100.0,
+            threads: 1,
+            submitted: 10,
+            accepted: 10,
+            shed: 0,
+            degraded: 0,
+            worker_restarts: 0,
+            achieved_rps: 100.0,
+            p50_ms: 1.0,
+            p90_ms: 2.0,
+            p99_ms: p99,
+            p999_ms: 4.0,
+            max_ms: 5.0,
+        };
+        let mut ledger = SloLedger::default();
+        ledger.upsert(row(1, 3.0));
+        ledger.upsert(row(4, 3.0));
+        ledger.upsert(row(1, 9.0));
+        assert_eq!(ledger.rows.len(), 2);
+        let replaced = ledger.rows.iter().find(|r| r.shards == 1).unwrap();
+        assert_eq!(replaced.p99_ms, 9.0);
+    }
+}

@@ -88,8 +88,8 @@ use ucad_baselines::NgramLm;
 use ucad_dbsim::LogRecord;
 use ucad_model::{CacheStats, DetectionMode, ScoreCache, TransDas, UcadError};
 use ucad_obs::{
-    Counter, FlightEntry, FlightRecorder, Gauge, Histogram, MetricKind, Registry,
-    DEFAULT_LATENCY_BUCKETS,
+    latency_log_bounds, Counter, FlightEntry, FlightRecorder, Gauge, Histogram, MetricKind,
+    Registry,
 };
 use ucad_wal::{SegmentedWal, SnapshotStore, WalMetrics, WalOptions};
 
@@ -351,9 +351,12 @@ pub struct ShutdownReport {
 }
 
 enum Msg {
-    /// A routed record with its global arrival sequence number and the
-    /// shard queue depth observed at enqueue time.
-    Record(Arc<LogRecord>, u64, usize),
+    /// A routed record with its global arrival sequence number, the shard
+    /// queue depth observed at enqueue time, and the enqueue instant — the
+    /// record's trace context. The worker derives queue-wait latency from
+    /// the instant; it never influences scoring, so tracing cannot perturb
+    /// the alert stream.
+    Record(Arc<LogRecord>, u64, usize, Instant),
     Close(u64, usize),
     FalseAlarm(u64),
     /// Barrier: every message sent before this one has been processed once
@@ -541,9 +544,19 @@ struct DurableState {
     appends_since_snapshot: u64,
 }
 
+/// One undrained alert with its trace context: the global sequence of the
+/// triggering record and the instant it was raised (for drain-delay
+/// attribution; `None` for alerts restored from a durable snapshot, whose
+/// raise instant belongs to a previous process life).
+struct OutboxAlert {
+    seq: u64,
+    raised_at: Option<Instant>,
+    alert: Alert,
+}
+
 #[derive(Default)]
 struct Outbox {
-    alerts: Vec<(u64, Alert)>,
+    alerts: Vec<OutboxAlert>,
 }
 
 /// Supervision base installed by a durable snapshot (and by recovery): the
@@ -582,6 +595,13 @@ struct ShardHandles {
     alerts: Counter,
     queue_depth: Gauge,
     score_latency: Histogram,
+    /// Engine-wide queue-wait stage histogram
+    /// (`ucad_latency_queue_wait_seconds`) — one series shared by every
+    /// shard, cloned into the handles so the hot loop stays registry-free.
+    queue_wait: Histogram,
+    /// Engine-wide scoring stage histogram (`ucad_latency_score_seconds`),
+    /// the unlabeled cross-shard companion of `score_latency`.
+    latency_score: Histogram,
 }
 
 /// The restartable half of a shard: the channel sender and the worker's
@@ -615,6 +635,7 @@ fn book_alert(
     observer: Option<&dyn ServeObserver>,
     raised: RaisedAlert,
     queue_depth: usize,
+    queue_wait_us: Option<f64>,
 ) {
     h.alerts.inc();
     let reason = format!("{:?}", raised.alert.reason);
@@ -628,6 +649,8 @@ fn book_alert(
         score: raised.score,
         cache_hit: raised.cache_hit,
         queue_depth,
+        queue_wait_us,
+        drain_delay_us: None,
         key_window: raised.key_window,
     });
     ucad_obs::event(
@@ -642,7 +665,11 @@ fn book_alert(
     if let Some(observer) = observer {
         observer.on_alert(&raised.alert);
     }
-    lock(&h.outbox).alerts.push((raised.seq, raised.alert));
+    lock(&h.outbox).alerts.push(OutboxAlert {
+        seq: raised.seq,
+        raised_at: Some(Instant::now()),
+        alert: raised.alert,
+    });
 }
 
 /// The immutable-per-spawn inputs of a worker thread (the system handle is
@@ -678,13 +705,15 @@ fn worker(
     let observer = spec.observer.clone();
     while let Ok(msg) = rx.recv() {
         match msg {
-            Msg::Record(record, seq, depth) => {
+            Msg::Record(record, seq, depth, enqueued) => {
                 // Fault hook first: an injected crash eats the message
                 // before any of its effects land, so supervision replays
                 // it exactly once.
                 ucad_fault::on_worker_record(spec.shard);
                 h.records.inc();
                 h.queue_depth.add(-1.0);
+                let queue_wait = enqueued.elapsed().as_secs_f64();
+                h.queue_wait.observe(queue_wait);
                 let start = Instant::now();
                 let raised = tracker.ingest(
                     &spec.system,
@@ -693,7 +722,9 @@ fn worker(
                     &record,
                     seq,
                 );
-                h.score_latency.observe(start.elapsed().as_secs_f64());
+                let score_secs = start.elapsed().as_secs_f64();
+                h.score_latency.observe(score_secs);
+                h.latency_score.observe(score_secs);
                 if let Some(raised) = raised {
                     book_alert(
                         &h,
@@ -702,7 +733,11 @@ fn worker(
                         observer.as_deref(),
                         raised,
                         depth,
+                        Some(queue_wait * 1e6),
                     );
+                }
+                if let Some(observer) = observer.as_deref() {
+                    observer.on_scored(seq);
                 }
                 h.processed.fetch_add(1, Ordering::SeqCst);
             }
@@ -714,6 +749,8 @@ fn worker(
                     observer.as_deref(),
                     session_id,
                 ) {
+                    // Close-raised alerts carry no per-record queue wait —
+                    // the control message's residency is not the record's.
                     book_alert(
                         &h,
                         spec.shard,
@@ -721,6 +758,7 @@ fn worker(
                         observer.as_deref(),
                         raised,
                         depth,
+                        None,
                     );
                 }
                 let mut normals = tracker.take_verified_normals();
@@ -818,6 +856,12 @@ pub struct ShardedOnlineUcad {
     records_degraded: Counter,
     swaps: Counter,
     epoch_gauge: Gauge,
+    /// Durable-WAL append stage latency (`ucad_latency_wal_append_seconds`)
+    /// — observed on the submit path of durable engines only.
+    wal_append_latency: Histogram,
+    /// Raised-to-drained alert delay (`ucad_latency_drain_delay_seconds`),
+    /// observed for every delivered alert at drain time.
+    drain_delay_latency: Histogram,
     /// Panic messages captured by supervision and the final shutdown join,
     /// in capture order.
     panic_log: Mutex<Vec<(usize, String)>>,
@@ -958,6 +1002,26 @@ impl ShardedOnlineUcad {
             "Per-record scoring latency (policy screen + model forward)",
         );
         registry.describe(
+            "ucad_latency_queue_wait_seconds",
+            MetricKind::Histogram,
+            "Time a record spent in its shard queue between enqueue and scoring",
+        );
+        registry.describe(
+            "ucad_latency_score_seconds",
+            MetricKind::Histogram,
+            "Per-record scoring stage latency, engine-wide across shards",
+        );
+        registry.describe(
+            "ucad_latency_wal_append_seconds",
+            MetricKind::Histogram,
+            "Durable WAL append latency on the submit path",
+        );
+        registry.describe(
+            "ucad_latency_drain_delay_seconds",
+            MetricKind::Histogram,
+            "Delay between an alert being raised and the drain that delivered it",
+        );
+        registry.describe(
             "ucad_serve_worker_panics_total",
             MetricKind::Counter,
             "Worker threads that died of a panic",
@@ -1023,6 +1087,20 @@ impl ShardedOnlineUcad {
         let records_degraded = registry.counter("ucad_serve_records_degraded_total", &[]);
         let swaps = registry.counter("ucad_serve_swaps_total", &[]);
         let epoch_gauge = registry.gauge("ucad_serve_model_epoch", &[]);
+        // Stage-latency histograms: registered unconditionally (a
+        // zero-count histogram still exposes its bucket series) and
+        // pre-fetched here so no hot path touches the registry mutex.
+        let queue_wait =
+            registry.histogram("ucad_latency_queue_wait_seconds", &[], latency_log_bounds());
+        let latency_score =
+            registry.histogram("ucad_latency_score_seconds", &[], latency_log_bounds());
+        let wal_append_latency =
+            registry.histogram("ucad_latency_wal_append_seconds", &[], latency_log_bounds());
+        let drain_delay_latency = registry.histogram(
+            "ucad_latency_drain_delay_seconds",
+            &[],
+            latency_log_bounds(),
+        );
         let wal_metrics = WalMetrics {
             segments: registry.counter("ucad_wal_segments_total", &[]),
             fsyncs: registry.counter("ucad_wal_fsyncs_total", &[]),
@@ -1103,8 +1181,10 @@ impl ShardedOnlineUcad {
                 score_latency: registry.histogram(
                     "ucad_serve_score_duration_seconds",
                     labels,
-                    &DEFAULT_LATENCY_BUCKETS,
+                    latency_log_bounds(),
                 ),
+                queue_wait: queue_wait.clone(),
+                latency_score: latency_score.clone(),
             };
             let mut tracker = SessionTracker::new(cfg.mode);
             if let Some(dcfg) = &durability {
@@ -1123,7 +1203,17 @@ impl ShardedOnlineUcad {
                     let snap: ShardSnapshot = decode_json(&payload, &origin)?;
                     prior_state = true;
                     tracker = SessionTracker::import_state(cfg.mode, snap.tracker);
-                    lock(&h.outbox).alerts = snap.outbox;
+                    // Restored alerts lost their raise instant with the
+                    // process that raised them: no drain-delay attribution.
+                    lock(&h.outbox).alerts = snap
+                        .outbox
+                        .into_iter()
+                        .map(|(seq, alert)| OutboxAlert {
+                            seq,
+                            raised_at: None,
+                            alert,
+                        })
+                        .collect();
                     *lock(&h.feedback) = snap.feedback;
                     next_seq = next_seq.max(snap.next_seq);
                     recovered_epoch = recovered_epoch.max(snap.epoch);
@@ -1164,7 +1254,7 @@ impl ShardedOnlineUcad {
                             total_replayed += 1;
                             let raised = tracker.ingest(&system, None, None, record, *seq);
                             if let Some(raised) = raised {
-                                book_alert(&h, i, &flight, None, raised, 0);
+                                book_alert(&h, i, &flight, None, raised, 0, None);
                             }
                             next_seq = next_seq.max(seq + 1);
                         }
@@ -1174,7 +1264,7 @@ impl ShardedOnlineUcad {
                             let raised = tracker.close(&system, None, None, *session_id);
                             let mut normals = tracker.take_verified_normals();
                             if let Some(raised) = raised {
-                                book_alert(&h, i, &flight, None, raised, 0);
+                                book_alert(&h, i, &flight, None, raised, 0, None);
                             }
                             if !normals.is_empty() {
                                 lock(&h.feedback).append(&mut normals);
@@ -1266,6 +1356,8 @@ impl ShardedOnlineUcad {
             records_degraded,
             swaps,
             epoch_gauge,
+            wal_append_latency,
+            drain_delay_latency,
             panic_log: Mutex::new(Vec::new()),
             shards,
             cfg,
@@ -1385,9 +1477,16 @@ impl ShardedOnlineUcad {
                     let start = Instant::now();
                     let raised = tracker.ingest(system, cache, entry_observer, record, *seq);
                     if live {
-                        shard.h.score_latency.observe(start.elapsed().as_secs_f64());
+                        let score_secs = start.elapsed().as_secs_f64();
+                        shard.h.score_latency.observe(score_secs);
+                        shard.h.latency_score.observe(score_secs);
+                        // Queue residency died with the worker's queue —
+                        // replayed alerts carry no queue-wait attribution.
                         if let Some(raised) = raised {
-                            book_alert(&shard.h, i, &self.flight, entry_observer, raised, 0);
+                            book_alert(&shard.h, i, &self.flight, entry_observer, raised, 0, None);
+                        }
+                        if let Some(observer) = entry_observer {
+                            observer.on_scored(*seq);
                         }
                     }
                 }
@@ -1396,7 +1495,7 @@ impl ShardedOnlineUcad {
                     let mut normals = tracker.take_verified_normals();
                     if live {
                         if let Some(raised) = raised {
-                            book_alert(&shard.h, i, &self.flight, entry_observer, raised, 0);
+                            book_alert(&shard.h, i, &self.flight, entry_observer, raised, 0, None);
                         }
                         if !normals.is_empty() {
                             lock(&shard.h.feedback).append(&mut normals);
@@ -1472,6 +1571,7 @@ impl ShardedOnlineUcad {
         let i = self.shard_of(record.session_id);
         // Durability first: append-before-send. If the append errors the
         // record is dropped whole (no shadow feed, no in-memory log entry).
+        let wal_timer = self.durable.is_some().then(Instant::now);
         self.append_durable(
             i,
             &DurableEntry::Record {
@@ -1480,6 +1580,9 @@ impl ShardedOnlineUcad {
                 record: record.clone(),
             },
         )?;
+        if let Some(t) = wal_timer {
+            self.wal_append_latency.observe(t.elapsed().as_secs_f64());
+        }
         if self.degrade.is_some() {
             // Shadow context: the fallback needs the session's full key
             // sequence even for records the real path scored.
@@ -1500,7 +1603,7 @@ impl ShardedOnlineUcad {
             WalMsg::Record(Arc::clone(&rec), seq),
         );
         let depth = (self.shards[i].h.queue_depth.add(1.0) - 1.0).max(0.0) as usize;
-        let msg = Msg::Record(rec, seq, depth);
+        let msg = Msg::Record(rec, seq, depth, Instant::now());
         if self.cfg.overload == OverloadPolicy::Block {
             let sent = lock(&self.shards[i].link).tx.send(msg);
             if sent.is_err() {
@@ -1629,7 +1732,14 @@ impl ShardedOnlineUcad {
             if let Some(observer) = &self.observer {
                 observer.on_alert(&alert);
             }
-            lock(&self.shards[i].h.outbox).alerts.push((seq, alert));
+            lock(&self.shards[i].h.outbox).alerts.push(OutboxAlert {
+                seq,
+                raised_at: Some(Instant::now()),
+                alert,
+            });
+        }
+        if let Some(observer) = &self.observer {
+            observer.on_scored(seq);
         }
         SubmitOutcome::Degraded
     }
@@ -1802,7 +1912,13 @@ impl ShardedOnlineUcad {
             next_seq,
             ops: sd.ops,
             tracker: state.clone(),
-            outbox: lock(&h.outbox).alerts.clone(),
+            // Raise instants are process-local; the durable format keeps
+            // only (seq, alert), unchanged across this refactor.
+            outbox: lock(&h.outbox)
+                .alerts
+                .iter()
+                .map(|a| (a.seq, a.alert.clone()))
+                .collect(),
             feedback: lock(&h.feedback).clone(),
         };
         sd.snaps.save(wal_idx, &encode_json(&snap))?;
@@ -1979,16 +2095,30 @@ impl ShardedOnlineUcad {
     /// crashes equals the crash-free stream exactly.
     pub fn drain_alerts(&mut self) -> Vec<Alert> {
         self.flush();
-        let mut tagged: Vec<(u64, Alert)> = Vec::new();
+        let mut tagged: Vec<OutboxAlert> = Vec::new();
         for shard in &self.shards {
             tagged.append(&mut lock(&shard.h.outbox).alerts);
         }
-        tagged.sort_by_key(|(seq, _)| *seq);
+        // Drain-delay attribution: one clock read covers the whole batch
+        // (the per-alert variation is the raise instant, not the drain).
+        // Alerts without a raise instant (restored from a durable snapshot)
+        // are skipped — their delay spans a process death.
+        let now = Instant::now();
+        let mut delays: HashMap<u64, f64> = HashMap::new();
+        for a in &tagged {
+            if let Some(raised_at) = a.raised_at {
+                let secs = now.saturating_duration_since(raised_at).as_secs_f64();
+                self.drain_delay_latency.observe(secs);
+                delays.insert(a.seq, secs * 1e6);
+            }
+        }
+        self.flight.annotate_drain_delays(&delays);
+        tagged.sort_by_key(|a| a.seq);
         let mut want_snapshot = false;
         if let Some(d) = self.durable.as_mut() {
-            tagged.retain(|(seq, _)| !d.delivered.contains(seq));
+            tagged.retain(|a| !d.delivered.contains(&a.seq));
             if !tagged.is_empty() {
-                let newly: Vec<u64> = tagged.iter().map(|(seq, _)| *seq).collect();
+                let newly: Vec<u64> = tagged.iter().map(|a| a.seq).collect();
                 let marker = MetaEntry::Drain {
                     next_seq: self.next_seq,
                     delivered: newly.clone(),
@@ -2011,7 +2141,7 @@ impl ShardedOnlineUcad {
                 ucad_obs::event("serve.snapshot_failed", &[("error", e.to_string())]);
             }
         }
-        tagged.into_iter().map(|(_, alert)| alert).collect()
+        tagged.into_iter().map(|a| a.alert).collect()
     }
 
     /// Flushes, then snapshots the throughput, overload and cache counters

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use ucad_nn::Tensor;
-use ucad_obs::{Counter, Gauge, Registry};
+use ucad_obs::{latency_log_bounds, Counter, Gauge, Histogram, MetricKind, Registry};
 
 /// Counter snapshot for benchmarking and capacity tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +79,9 @@ pub struct ScoreCache {
     evictions: Counter,
     stale_drops: Counter,
     resident: Gauge,
+    /// Wall time of [`ScoreCache::get`] — the cache-lookup stage of the
+    /// serving latency budget (`ucad_latency_cache_lookup_seconds`).
+    lookup_seconds: Histogram,
 }
 
 impl ScoreCache {
@@ -101,6 +104,7 @@ impl ScoreCache {
             evictions: Counter::new(),
             stale_drops: Counter::new(),
             resident: Gauge::new(),
+            lookup_seconds: Histogram::new(latency_log_bounds()),
         }
     }
 
@@ -131,6 +135,16 @@ impl ScoreCache {
         registry.register_counter("ucad_cache_evictions_total", labels, &self.evictions);
         registry.register_counter("ucad_cache_stale_drops_total", labels, &self.stale_drops);
         registry.register_gauge("ucad_cache_len", labels, &self.resident);
+        registry.describe(
+            "ucad_latency_cache_lookup_seconds",
+            MetricKind::Histogram,
+            "Score-cache lookup latency (hit or miss)",
+        );
+        registry.register_histogram(
+            "ucad_latency_cache_lookup_seconds",
+            labels,
+            &self.lookup_seconds,
+        );
     }
 
     /// Looks up a padded window, refreshing its recency on a hit. An entry
@@ -138,6 +152,13 @@ impl ScoreCache {
     /// miss — a hot-swapped model must never be served its predecessor's
     /// scores.
     pub fn get(&self, window: &[u32]) -> Option<Arc<Tensor>> {
+        let start = std::time::Instant::now();
+        let result = self.get_inner(window);
+        self.lookup_seconds.observe(start.elapsed().as_secs_f64());
+        result
+    }
+
+    fn get_inner(&self, window: &[u32]) -> Option<Arc<Tensor>> {
         let mut lru = self.inner.lock().expect("score cache poisoned");
         lru.clock += 1;
         let clock = lru.clock;

@@ -679,8 +679,23 @@ impl TransDas {
         let step_latency = obs.histogram(
             "ucad_train_step_duration_seconds",
             &[],
-            &ucad_obs::DEFAULT_LATENCY_BUCKETS,
+            ucad_obs::latency_log_bounds(),
         );
+        // Per-stage attribution of each optimizer step: forward and
+        // backward are summed across the batch's windows (and workers),
+        // reduction covers gradient merge + averaging + clipping, optim the
+        // Adam update + k0 re-zero.
+        let stage_hist = |stage: &'static str| {
+            obs.histogram(
+                "ucad_train_stage_duration_seconds",
+                &[("stage", stage)],
+                ucad_obs::latency_log_bounds(),
+            )
+        };
+        let stage_forward = stage_hist("forward");
+        let stage_backward = stage_hist("backward");
+        let stage_reduction = stage_hist("reduction");
+        let stage_optim = stage_hist("optim");
         windows_total.add(windows.len() as u64);
         let mut opt = Adam::new(lr, self.cfg.weight_decay);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
@@ -699,7 +714,11 @@ impl TransDas {
                     .seed
                     .wrapping_add((epoch as u64) << 32)
                     .wrapping_add(bi as u64);
-                total += self.accumulate_batch(batch, batch_seed);
+                let timed = self.accumulate_batch_timed(batch, batch_seed);
+                total += timed.loss;
+                stage_forward.observe(timed.forward_secs);
+                stage_backward.observe(timed.backward_secs);
+                let reduce_start = Instant::now();
                 // Average gradients over the batch, then clip the global
                 // norm: a single outlier batch can otherwise knock a
                 // converged model out of its basin.
@@ -721,6 +740,8 @@ impl TransDas {
                         }
                     }
                 }
+                stage_reduction.observe(timed.reduce_secs + reduce_start.elapsed().as_secs_f64());
+                let optim_start = Instant::now();
                 opt.step(&mut self.store);
                 // k0 must stay the constant zero vector.
                 self.store
@@ -729,6 +750,7 @@ impl TransDas {
                     .row_mut(0)
                     .iter_mut()
                     .for_each(|v| *v = 0.0);
+                stage_optim.observe(optim_start.elapsed().as_secs_f64());
                 steps_total.inc();
                 step_latency.observe(step_start.elapsed().as_secs_f64());
             }
@@ -751,24 +773,38 @@ impl TransDas {
     /// Computes and accumulates gradients for one batch, splitting windows
     /// across `cfg.threads` workers; returns the summed loss.
     fn accumulate_batch(&mut self, batch: &[Window], seed: u64) -> f64 {
+        self.accumulate_batch_timed(batch, seed).loss
+    }
+
+    /// [`TransDas::accumulate_batch`] with per-stage wall-time attribution.
+    /// Forward and backward times are summed over the batch's windows; with
+    /// multiple workers they sum *across* workers too (CPU time, not wall
+    /// time — the stages overlap). `reduce_secs` is the cross-worker
+    /// gradient merge (zero on the single-thread path, where gradients land
+    /// in place).
+    fn accumulate_batch_timed(&mut self, batch: &[Window], seed: u64) -> BatchTiming {
         let threads = self.cfg.threads.min(batch.len()).max(1);
         if threads == 1 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut total = 0.0f64;
+            let mut timing = BatchTiming::default();
             // Split borrows: read params through a snapshot reference while
             // writing grads afterwards.
             let snapshot = self.store.clone();
             for w in batch {
                 let mut tape = Tape::new();
+                let t0 = Instant::now();
                 let loss = self.window_loss(&mut tape, &snapshot, w, &mut rng);
-                total += tape.backward(loss, &mut self.store) as f64;
+                let t1 = Instant::now();
+                timing.loss += tape.backward(loss, &mut self.store) as f64;
+                timing.forward_secs += (t1 - t0).as_secs_f64();
+                timing.backward_secs += t1.elapsed().as_secs_f64();
             }
-            return total;
+            return timing;
         }
         let chunk = batch.len().div_ceil(threads);
         let snapshot = &self.store;
         let this = &*self;
-        let partials: Vec<(ParamStore, f64)> = std::thread::scope(|scope| {
+        let partials: Vec<(ParamStore, BatchTiming)> = std::thread::scope(|scope| {
             let handles: Vec<_> = batch
                 .chunks(chunk)
                 .enumerate()
@@ -777,13 +813,17 @@ impl TransDas {
                         let mut local = snapshot.clone();
                         local.zero_grad();
                         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1 + ti as u64));
-                        let mut total = 0.0f64;
+                        let mut timing = BatchTiming::default();
                         for w in chunk_windows {
                             let mut tape = Tape::new();
+                            let t0 = Instant::now();
                             let loss = this.window_loss(&mut tape, snapshot, w, &mut rng);
-                            total += tape.backward(loss, &mut local) as f64;
+                            let t1 = Instant::now();
+                            timing.loss += tape.backward(loss, &mut local) as f64;
+                            timing.forward_secs += (t1 - t0).as_secs_f64();
+                            timing.backward_secs += t1.elapsed().as_secs_f64();
                         }
-                        (local, total)
+                        (local, timing)
                     })
                 })
                 .collect();
@@ -792,15 +832,28 @@ impl TransDas {
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
         });
-        let mut total = 0.0;
+        let mut timing = BatchTiming::default();
+        let reduce_start = Instant::now();
         for (local, t) in partials {
-            total += t;
+            timing.loss += t.loss;
+            timing.forward_secs += t.forward_secs;
+            timing.backward_secs += t.backward_secs;
             for (i, p) in self.store.iter_mut().enumerate() {
                 p.grad.add_assign(&local.get(ucad_nn::ParamId(i)).grad);
             }
         }
-        total
+        timing.reduce_secs = reduce_start.elapsed().as_secs_f64();
+        timing
     }
+}
+
+/// Per-stage wall-time split of one batch's gradient accumulation.
+#[derive(Default)]
+struct BatchTiming {
+    loss: f64,
+    forward_secs: f64,
+    backward_secs: f64,
+    reduce_secs: f64,
 }
 
 #[cfg(test)]

@@ -37,6 +37,16 @@ pub struct FlightEntry {
     pub cache_hit: Option<bool>,
     /// Shard queue depth when the triggering record was enqueued.
     pub queue_depth: usize,
+    /// Measured time the triggering record spent in its shard queue, in
+    /// microseconds (`None` for alerts re-raised by supervision or crash
+    /// replay — their original queue residency is gone).
+    pub queue_wait_us: Option<f64>,
+    /// Measured delay between this alert being raised and the drain that
+    /// delivered it, in microseconds — backfilled by
+    /// [`FlightRecorder::annotate_drain_delays`] at drain time (`None`
+    /// until then, and forever for alerts restored from a durable
+    /// snapshot).
+    pub drain_delay_us: Option<f64>,
     /// The padded key window that ends at the triggering position.
     pub key_window: Vec<u32>,
 }
@@ -47,10 +57,15 @@ impl FlightEntry {
         fn opt_usize(v: Option<usize>) -> String {
             v.map(|x| x.to_string()).unwrap_or_else(|| "null".into())
         }
+        fn opt_us(v: Option<f64>) -> String {
+            v.map(|x| format!("{x:.1}"))
+                .unwrap_or_else(|| "null".into())
+        }
         let window: Vec<String> = self.key_window.iter().map(u32::to_string).collect();
         format!(
             "{{\"seq\":{},\"session_id\":{},\"shard\":{},\"reason\":\"{}\",\"position\":{},\
-             \"rank\":{},\"score\":{},\"cache_hit\":{},\"queue_depth\":{},\"key_window\":[{}]}}",
+             \"rank\":{},\"score\":{},\"cache_hit\":{},\"queue_depth\":{},\
+             \"queue_wait_us\":{},\"drain_delay_us\":{},\"key_window\":[{}]}}",
             self.seq,
             self.session_id,
             self.shard,
@@ -64,6 +79,8 @@ impl FlightEntry {
                 .map(|h| h.to_string())
                 .unwrap_or_else(|| "null".into()),
             self.queue_depth,
+            opt_us(self.queue_wait_us),
+            opt_us(self.drain_delay_us),
             window.join(",")
         )
     }
@@ -149,6 +166,25 @@ impl FlightRecorder {
         self.dropped.get()
     }
 
+    /// Backfills [`FlightEntry::drain_delay_us`] on resident entries: the
+    /// serving engine measures each alert's raised-to-drained delay at
+    /// drain time, after the entry was already recorded. `delays` maps the
+    /// alert's global sequence number to the delay in microseconds; seqs
+    /// with no resident entry (aged out of the ring) are ignored.
+    pub fn annotate_drain_delays(&self, delays: &std::collections::HashMap<u64, f64>) {
+        if self.capacity == 0 || delays.is_empty() {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("flight recorder poisoned");
+        for entry in ring.entries.iter_mut() {
+            if entry.drain_delay_us.is_none() {
+                if let Some(d) = delays.get(&entry.seq) {
+                    entry.drain_delay_us = Some(*d);
+                }
+            }
+        }
+    }
+
     /// Renders the resident entries as a JSON array.
     pub fn dump_json(&self) -> String {
         let entries = self.entries();
@@ -179,6 +215,8 @@ mod tests {
             score: Some(-0.25),
             cache_hit: Some(true),
             queue_depth: 2,
+            queue_wait_us: Some(12.25),
+            drain_delay_us: None,
             key_window: vec![0, 0, 5, 6],
         }
     }
@@ -219,6 +257,8 @@ mod tests {
             "\"score\":-0.25",
             "\"cache_hit\":true",
             "\"queue_depth\":2",
+            "\"queue_wait_us\":12.2",
+            "\"drain_delay_us\":null",
             "\"key_window\":[0,0,5,6]",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
@@ -228,9 +268,26 @@ mod tests {
             score: None,
             cache_hit: None,
             position: None,
+            queue_wait_us: None,
             ..entry(1)
         };
         assert!(none.to_json().contains("\"rank\":null"));
+        assert!(none.to_json().contains("\"queue_wait_us\":null"));
+    }
+
+    #[test]
+    fn drain_delay_backfill_targets_matching_seqs_once() {
+        let rec = FlightRecorder::new(4);
+        rec.record(entry(1));
+        rec.record(entry(2));
+        let delays = std::collections::HashMap::from([(2u64, 450.0f64), (9, 1.0)]);
+        rec.annotate_drain_delays(&delays);
+        let entries = rec.entries();
+        assert_eq!(entries[0].drain_delay_us, None, "seq 1 was not drained");
+        assert_eq!(entries[1].drain_delay_us, Some(450.0));
+        // A second drain must not overwrite the recorded delay.
+        rec.annotate_drain_delays(&std::collections::HashMap::from([(2u64, 9999.0f64)]));
+        assert_eq!(rec.entries()[1].drain_delay_us, Some(450.0));
     }
 
     #[test]

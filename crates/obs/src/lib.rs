@@ -29,14 +29,17 @@
 #![warn(missing_docs)]
 
 pub mod flight;
+pub mod profile;
 pub mod registry;
 pub mod span;
 
 pub use flight::{FlightEntry, FlightRecorder};
+pub use profile::prof_enabled;
 pub use registry::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricSnapshot, Registry,
+    log_bounds, Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricSnapshot, Registry,
+    EXPOSED_QUANTILES,
 };
-pub use span::{SpanGuard, DEFAULT_LATENCY_BUCKETS};
+pub use span::{latency_log_bounds, SpanGuard, DEFAULT_LATENCY_BUCKETS};
 
 use std::io::Write;
 use std::sync::{Mutex, OnceLock};
@@ -109,6 +112,18 @@ pub fn event(kind: &str, fields: &[(&str, String)]) {
     }
     line.push('}');
     write_event_line(&line);
+}
+
+/// Dumps the hierarchical span profile to stderr — the `UCAD_PROF=1`
+/// shutdown hook benches and examples call last thing before exit. No-op
+/// unless profiling is enabled and at least one span completed.
+pub fn dump_profile_if_enabled() {
+    if !prof_enabled() || profile::stats().is_empty() {
+        return;
+    }
+    eprint!("{}", profile::render_report());
+    eprintln!("# collapsed stacks (self-time µs):");
+    eprint!("{}", profile::render_collapsed());
 }
 
 #[cfg(test)]

@@ -1,0 +1,192 @@
+//! `UCAD_PROF=1` hierarchical span profiling.
+//!
+//! When enabled, every [`crate::SpanGuard`] additionally maintains a
+//! thread-local span stack and, on drop, folds its duration into a global
+//! profile table keyed by the full span *path* (`train.epoch;nn.backward`).
+//! Each path accumulates call count, total (inclusive) time and self time
+//! (total minus the time spent in child spans), so the dump answers both
+//! "where does wall time go" (total) and "which stage is actually hot"
+//! (self).
+//!
+//! The profile is dumped explicitly — there is no reliable atexit hook for
+//! library code — via [`render_report`] / [`render_collapsed`] or the
+//! convenience [`crate::dump_profile_if_enabled`], which benches and
+//! examples call at shutdown. [`render_collapsed`] emits standard
+//! collapsed-stack lines (`a;b;c <self-µs>`) consumable by any flamegraph
+//! tool.
+//!
+//! Overhead when disabled: one relaxed atomic load per span (the same
+//! read-once env gate the event log uses), nothing else.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// True when the `UCAD_PROF` environment variable enables span profiling
+/// (any value except empty, `0`, `false` or `off`; read once per process),
+/// or when a test forced it on via [`force_enable`].
+pub fn prof_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    FORCED.load(Ordering::Relaxed)
+        || *ENABLED.get_or_init(|| match std::env::var("UCAD_PROF") {
+            Ok(v) => !matches!(v.as_str(), "" | "0" | "false" | "off"),
+            Err(_) => false,
+        })
+}
+
+static FORCED: AtomicBool = AtomicBool::new(false);
+
+/// Forces profiling on for the rest of the process, bypassing the
+/// read-once `UCAD_PROF` gate — tests use this because the env gate may
+/// already have latched off by the time they run.
+pub fn force_enable() {
+    FORCED.store(true, Ordering::Relaxed);
+}
+
+struct Frame {
+    name: &'static str,
+    /// Nanoseconds spent in already-completed child spans.
+    child_ns: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One path's accumulated statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathStat {
+    /// Completed spans at this path.
+    pub calls: u64,
+    /// Inclusive time, nanoseconds.
+    pub total_ns: u64,
+    /// Exclusive time (total minus child spans), nanoseconds.
+    pub self_ns: u64,
+}
+
+fn table() -> &'static Mutex<BTreeMap<String, PathStat>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<String, PathStat>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Pushes a span onto the calling thread's profile stack. Callers must
+/// pair every `enter` with exactly one [`exit`] on the same thread —
+/// [`crate::SpanGuard`] guarantees this via RAII.
+pub(crate) fn enter(name: &'static str) {
+    STACK.with(|s| s.borrow_mut().push(Frame { name, child_ns: 0 }));
+}
+
+/// Pops the current span, crediting `elapsed_ns` to its path (and to the
+/// parent frame's child time).
+pub(crate) fn exit(elapsed_ns: u64) {
+    let path = STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let frame = stack.pop().expect("span exit without matching enter");
+        let self_ns = elapsed_ns.saturating_sub(frame.child_ns);
+        if let Some(parent) = stack.last_mut() {
+            parent.child_ns = parent.child_ns.saturating_add(elapsed_ns);
+        }
+        let mut path = String::with_capacity(32);
+        for f in stack.iter() {
+            path.push_str(f.name);
+            path.push(';');
+        }
+        path.push_str(frame.name);
+        (path, self_ns)
+    });
+    let (path, self_ns) = path;
+    let mut tbl = table().lock().expect("profile table poisoned");
+    let stat = tbl.entry(path).or_default();
+    stat.calls += 1;
+    stat.total_ns = stat.total_ns.saturating_add(elapsed_ns);
+    stat.self_ns = stat.self_ns.saturating_add(self_ns);
+}
+
+/// Copies out the accumulated profile, path-sorted.
+pub fn stats() -> Vec<(String, PathStat)> {
+    table()
+        .lock()
+        .expect("profile table poisoned")
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// Clears the accumulated profile (tests).
+pub fn reset() {
+    table().lock().expect("profile table poisoned").clear();
+}
+
+/// Renders collapsed-stack lines — `a;b;c <self-time-µs>` — ready for a
+/// flamegraph tool. Paths with zero self time after rounding still emit a
+/// line (value 0) so the hierarchy stays complete.
+pub fn render_collapsed() -> String {
+    let mut out = String::new();
+    for (path, stat) in stats() {
+        out.push_str(&format!("{path} {}\n", stat.self_ns / 1_000));
+    }
+    out
+}
+
+/// Renders a human-readable self/total table, hottest total time first.
+pub fn render_report() -> String {
+    let mut rows = stats();
+    rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(&b.0)));
+    let mut out = String::from(
+        "# UCAD span profile (total = inclusive, self = exclusive)\n\
+         #     total-ms      self-ms        calls  path\n",
+    );
+    for (path, stat) in rows {
+        out.push_str(&format!(
+            "{:>14.3} {:>12.3} {:>12}  {path}\n",
+            stat.total_ns as f64 / 1e6,
+            stat.self_ns as f64 / 1e6,
+            stat.calls,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Histogram, SpanGuard};
+
+    fn hist() -> Histogram {
+        Histogram::log_bucketed(1e-7, 10.0, 5)
+    }
+
+    #[test]
+    fn nested_spans_build_paths_and_split_self_time() {
+        force_enable();
+        {
+            let _outer = SpanGuard::new("prof.test.outer", hist());
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = SpanGuard::new("prof.test.inner", hist());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let stats = stats();
+        let outer = stats
+            .iter()
+            .find(|(p, _)| p == "prof.test.outer")
+            .expect("outer path recorded");
+        let inner = stats
+            .iter()
+            .find(|(p, _)| p == "prof.test.outer;prof.test.inner")
+            .expect("inner path nests under outer");
+        assert!(inner.1.calls >= 1);
+        assert!(outer.1.total_ns >= inner.1.total_ns);
+        assert!(
+            outer.1.self_ns <= outer.1.total_ns - inner.1.total_ns + 1_000_000,
+            "outer self time must exclude the inner span"
+        );
+        let collapsed = render_collapsed();
+        assert!(collapsed.contains("prof.test.outer;prof.test.inner "));
+        let report = render_report();
+        assert!(report.contains("path"));
+        assert!(report.contains("prof.test.outer"));
+    }
+}

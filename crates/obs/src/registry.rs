@@ -141,14 +141,25 @@ impl Histogram {
         }
     }
 
+    /// A histogram with log-spaced bounds covering `[min, max]` at
+    /// `per_decade` buckets per decade — the high-resolution shape every
+    /// latency metric uses, bounded relative error at any scale from
+    /// microseconds to seconds. See [`log_bounds`].
+    pub fn log_bucketed(min: f64, max: f64, per_decade: usize) -> Self {
+        Histogram::new(&log_bounds(min, max, per_decade))
+    }
+
     /// Records one observation.
     pub fn observe(&self, v: f64) {
         let c = &self.core;
-        let idx = c
-            .bounds
-            .iter()
-            .position(|&b| v <= b)
-            .unwrap_or(c.bounds.len());
+        // `le` semantics: the first bound >= v. Bounds are strictly
+        // increasing, so a binary search replaces the linear scan — the
+        // log-bucketed latency histograms carry ~50 bounds.
+        let idx = if v.is_nan() {
+            c.bounds.len()
+        } else {
+            c.bounds.partition_point(|&b| b < v)
+        };
         c.buckets[idx].fetch_add(1, Ordering::Relaxed);
         c.count.fetch_add(1, Ordering::Relaxed);
         let mut cur = c.sum_bits.load(Ordering::Relaxed);
@@ -184,6 +195,79 @@ impl Histogram {
             count: self.core.count.load(Ordering::Relaxed),
             sum: f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed)),
         }
+    }
+}
+
+/// Log-spaced histogram bounds: `per_decade` buckets per decade from `min`
+/// up to the first bound at or above `max`. Bounds are exact powers
+/// `min * 10^(i/per_decade)`, so the vector is strictly increasing and a
+/// bucket's relative width is constant (~58% at 5/decade) at every scale.
+///
+/// # Panics
+/// Panics when `min <= 0`, `max <= min` or `per_decade == 0`.
+pub fn log_bounds(min: f64, max: f64, per_decade: usize) -> Vec<f64> {
+    assert!(min > 0.0, "log bounds need a positive minimum");
+    assert!(max > min, "log bounds need max > min");
+    assert!(
+        per_decade > 0,
+        "log bounds need at least one bucket per decade"
+    );
+    let mut bounds = Vec::new();
+    let mut i = 0usize;
+    loop {
+        let b = min * 10f64.powf(i as f64 / per_decade as f64);
+        // powf is monotone here, but guard against FP ties all the same.
+        if bounds.last().is_none_or(|&prev| b > prev) {
+            bounds.push(b);
+        }
+        if b >= max {
+            return bounds;
+        }
+        i += 1;
+    }
+}
+
+/// The quantiles every histogram exposes, as `(prometheus label, JSON key,
+/// q)` triples.
+pub const EXPOSED_QUANTILES: [(&str, &str, f64); 4] = [
+    ("0.5", "p50", 0.5),
+    ("0.9", "p90", 0.9),
+    ("0.99", "p99", 0.99),
+    ("0.999", "p999", 0.999),
+];
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the bucket holding the target rank, the same estimator
+    /// Prometheus' `histogram_quantile` applies server-side — exact at
+    /// bucket boundaries, bounded by the bucket's width inside it.
+    ///
+    /// Assumes non-negative observations (the first bucket interpolates
+    /// from 0). Returns `None` on an empty histogram; ranks landing in the
+    /// `+Inf` overflow bucket clamp to the last finite bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || self.bounds.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let before = cum;
+            cum += n;
+            if n == 0 || (cum as f64) < target {
+                continue;
+            }
+            let Some(&upper) = self.bounds.get(i) else {
+                // Overflow bucket: no finite upper edge to interpolate
+                // toward; clamp to the largest finite bound.
+                return self.bounds.last().copied();
+            };
+            let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+            let frac = ((target - before as f64) / n as f64).clamp(0.0, 1.0);
+            return Some(lower + (upper - lower) * frac);
+        }
+        self.bounds.last().copied()
     }
 }
 
@@ -488,6 +572,12 @@ impl Registry {
                         }
                         out.push_str(&format!("{name}_sum{labels} {}\n", fmt_f64(snap.sum)));
                         out.push_str(&format!("{name}_count{labels} {}\n", snap.count));
+                        for (tag, _, q) in EXPOSED_QUANTILES {
+                            if let Some(v) = snap.quantile(q) {
+                                let ls = labels_with(labels, &format!("quantile=\"{tag}\""));
+                                out.push_str(&format!("{name}_quantile{ls} {}\n", fmt_f64(v)));
+                            }
+                        }
                     }
                 }
             }
@@ -526,6 +616,15 @@ impl Registry {
                     h.count,
                     json_f64(h.sum)
                 ));
+                let quantiles: Vec<String> = EXPOSED_QUANTILES
+                    .iter()
+                    .filter_map(|(_, key, q)| {
+                        h.quantile(*q).map(|v| format!("\"{key}\":{}", json_f64(v)))
+                    })
+                    .collect();
+                if !quantiles.is_empty() {
+                    out.push_str(&format!(",\"quantiles\":{{{}}}", quantiles.join(",")));
+                }
             }
             out.push('}');
         }
@@ -625,6 +724,131 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_unsorted_bounds() {
         Histogram::new(&[1.0, 1.0]);
+    }
+
+    // -- Log-bucketed histograms + quantile estimation (satellite coverage) -
+
+    #[test]
+    fn log_bounds_are_strictly_increasing_and_cover_the_range() {
+        let bounds = log_bounds(1e-7, 100.0, 5);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert!((bounds[0] - 1e-7).abs() < 1e-20);
+        assert!(*bounds.last().unwrap() >= 100.0);
+        // 9 decades at 5/decade: 46 bounds (47 if the last power rounds
+        // down a hair and one more bound is needed to reach max).
+        assert!((46..=47).contains(&bounds.len()), "{} bounds", bounds.len());
+        // A decade apart means exactly per_decade buckets apart.
+        let ratio = bounds[5] / bounds[0];
+        assert!((ratio - 10.0).abs() < 1e-9, "decade ratio {ratio}");
+    }
+
+    #[test]
+    fn log_bucketed_histogram_places_values_by_le_rule() {
+        let h = Histogram::log_bucketed(1e-6, 10.0, 1);
+        // Bounds: 1e-6, ~1e-5, ..., 10. A value exactly on a bound stays in
+        // that bucket; epsilon above moves to the next. Use the computed
+        // bound, not the literal — powf lands within an ulp of it.
+        let edge = h.snapshot().bounds[1];
+        h.observe(edge);
+        h.observe(edge * 1.0000001);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 1);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::log_bucketed(1e-6, 10.0, 5);
+        assert_eq!(h.snapshot().quantile(0.5), None);
+        assert_eq!(h.snapshot().quantile(0.999), None);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_interpolates_within_its_bucket() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(3.0); // bucket (2, 4]
+        let s = h.snapshot();
+        for q in [0.01, 0.5, 0.999] {
+            let v = s.quantile(q).unwrap();
+            assert!(
+                (2.0..=4.0).contains(&v),
+                "q={q} estimated {v}, outside the sample's bucket"
+            );
+        }
+        // q=1 is the bucket's upper edge.
+        assert_eq!(s.quantile(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_linearly_within_a_bucket() {
+        let h = Histogram::new(&[10.0, 20.0]);
+        for _ in 0..4 {
+            h.observe(5.0); // 4 samples in (0, 10]
+        }
+        for _ in 0..4 {
+            h.observe(15.0); // 4 samples in (10, 20]
+        }
+        let s = h.snapshot();
+        // Rank 4 of 8 sits exactly at the first bucket's upper edge.
+        assert_eq!(s.quantile(0.5), Some(10.0));
+        // Rank 6 of 8 is halfway through the second bucket.
+        assert_eq!(s.quantile(0.75), Some(15.0));
+        // Rank 2 of 8 is halfway through the first (interpolated from 0).
+        assert_eq!(s.quantile(0.25), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_in_overflow_bucket_clamps_to_last_finite_bound() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1e9); // +Inf bucket
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.999), Some(2.0), "overflow must clamp");
+        // Low quantiles still resolve inside finite buckets.
+        assert!(s.quantile(0.25).unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = Histogram::log_bucketed(1e-6, 10.0, 5);
+        let mut v = 1e-5;
+        for _ in 0..1000 {
+            h.observe(v);
+            v *= 1.008;
+        }
+        let s = h.snapshot();
+        let qs: Vec<f64> = [0.5, 0.9, 0.99, 0.999]
+            .iter()
+            .map(|&q| s.quantile(q).unwrap())
+            .collect();
+        assert!(
+            qs.windows(2).all(|w| w[0] <= w[1]),
+            "quantiles not monotone: {qs:?}"
+        );
+        assert!(qs[0] > 0.0);
+    }
+
+    #[test]
+    fn exposition_carries_quantiles_in_text_and_json() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_seconds", &[("stage", "q")], &log_bounds(1e-6, 10.0, 5));
+        for i in 1..=100 {
+            h.observe(i as f64 * 1e-4);
+        }
+        let text = reg.render_prometheus();
+        for tag in ["0.5", "0.9", "0.99", "0.999"] {
+            assert!(
+                text.contains(&format!(
+                    "lat_seconds_quantile{{stage=\"q\",quantile=\"{tag}\"}}"
+                )),
+                "missing quantile {tag} in:\n{text}"
+            );
+        }
+        let json = reg.snapshot_json();
+        assert!(json.contains("\"quantiles\":{\"p50\":"), "json: {json}");
+        for key in ["\"p90\":", "\"p99\":", "\"p999\":"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     // -- Prometheus text-format escaping (satellite coverage) --------------

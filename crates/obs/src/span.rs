@@ -2,7 +2,8 @@
 //! enclosing scope and feeds the per-span latency histogram
 //! `ucad_span_duration_seconds{span="train.epoch"}` in the [`crate::global`]
 //! registry. When the `UCAD_OBS` event log is enabled, each completed span
-//! also emits one structured JSON line.
+//! also emits one structured JSON line; when `UCAD_PROF` is enabled, it
+//! additionally folds into the hierarchical [`crate::profile`] table.
 //!
 //! The macro caches the histogram handle in a per-call-site `OnceLock`, so
 //! the registry mutex is taken once per call site for the lifetime of the
@@ -12,12 +13,23 @@
 use crate::registry::Histogram;
 use std::time::Instant;
 
-/// Default latency buckets for span histograms: 1µs .. 10s, roughly
-/// exponential. Wide enough for a single attention matmul and a whole
-/// training epoch alike.
+/// Legacy fixed latency buckets (1µs .. 10s, roughly exponential). Span and
+/// latency histograms now use the log-bucketed [`latency_log_bounds`]
+/// instead, which adds enough resolution for p99/p999 estimation; this
+/// remains for callers that want a coarse 12-bucket shape.
 pub const DEFAULT_LATENCY_BUCKETS: [f64; 12] = [
     1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 ];
+
+/// The latency-bucket layout every duration metric shares: log-spaced
+/// bounds, 100ns to 100s at 5 buckets per decade (46 buckets, ~58% relative
+/// width) — fine enough for meaningful p50/p90/p99/p999 interpolation from
+/// a single attention matmul to a whole training epoch. Computed once per
+/// process.
+pub fn latency_log_bounds() -> &'static [f64] {
+    static BOUNDS: std::sync::OnceLock<Vec<f64>> = std::sync::OnceLock::new();
+    BOUNDS.get_or_init(|| crate::registry::log_bounds(1e-7, 100.0, 5))
+}
 
 /// Live timing guard; observes its histogram on drop. Construct through
 /// [`crate::span!`] (or [`SpanGuard::new`] with a hand-built histogram).
@@ -25,15 +37,23 @@ pub struct SpanGuard {
     name: &'static str,
     start: Instant,
     hist: Histogram,
+    /// Whether this guard pushed a frame onto the profile stack (latched at
+    /// construction so an env flip mid-span cannot unbalance the stack).
+    profiled: bool,
 }
 
 impl SpanGuard {
     /// Starts a span feeding `hist`.
     pub fn new(name: &'static str, hist: Histogram) -> Self {
+        let profiled = crate::profile::prof_enabled();
+        if profiled {
+            crate::profile::enter(name);
+        }
         SpanGuard {
             name,
             start: Instant::now(),
             hist,
+            profiled,
         }
     }
 
@@ -45,8 +65,12 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let secs = self.start.elapsed().as_secs_f64();
+        let elapsed = self.start.elapsed();
+        let secs = elapsed.as_secs_f64();
         self.hist.observe(secs);
+        if self.profiled {
+            crate::profile::exit(elapsed.as_nanos() as u64);
+        }
         if crate::obs_enabled() {
             crate::event(
                 "span",
@@ -71,7 +95,7 @@ macro_rules! span {
             $crate::global().histogram(
                 "ucad_span_duration_seconds",
                 &[("span", $name)],
-                &$crate::DEFAULT_LATENCY_BUCKETS,
+                $crate::latency_log_bounds(),
             )
         });
         $crate::SpanGuard::new($name, hist.clone())
@@ -107,6 +131,10 @@ mod tests {
             .iter()
             .find(|m| m.name == "ucad_span_duration_seconds" && m.labels.contains("obs.test.macro"))
             .expect("span series registered");
-        assert_eq!(series.histogram.as_ref().unwrap().count, 2);
+        let hist = series.histogram.as_ref().unwrap();
+        assert_eq!(hist.count, 2);
+        // Span histograms are log-bucketed now: quantiles must resolve.
+        assert!(hist.quantile(0.99).is_some());
+        assert_eq!(hist.bounds.len(), latency_log_bounds().len());
     }
 }

@@ -190,4 +190,8 @@ fn main() {
         "shutdown: {} verified-normal sessions buffered for fine-tuning",
         report.verified_normals.len()
     );
+
+    // With UCAD_PROF=1, dump the hierarchical self/total-time span profile
+    // (collapsed-stack format) gathered across the whole run.
+    ucad_obs::dump_profile_if_enabled();
 }

@@ -181,6 +181,16 @@ fn flight_recorder_captures_injected_anomaly_context() {
         let position = e.position.expect("scored alerts carry a position");
         let expected_window = engine.system().model.pad_window(&keys[..=position]);
         assert_eq!(e.key_window, expected_window, "wrong key window recorded");
+        // Latency attribution: every alert here was raised live while
+        // scoring a record (Streaming mode never scores at close), so the
+        // measured queue wait must be present; and the drain above must
+        // have backfilled the raised-to-drained delay.
+        let wait = e
+            .queue_wait_us
+            .expect("live record alerts carry queue wait");
+        assert!(wait.is_finite() && wait >= 0.0, "bad queue wait {wait}");
+        let delay = e.drain_delay_us.expect("drained alerts carry drain delay");
+        assert!(delay.is_finite() && delay >= 0.0, "bad drain delay {delay}");
     }
     // At least one entry must belong to an injected A2 session, and its
     // diagnostics must survive the JSON dump.
@@ -190,6 +200,10 @@ fn flight_recorder_captures_injected_anomaly_context() {
         .expect("no flight entry for an A2 session");
     let dump = engine.dump_flight_json();
     assert!(dump.contains(&format!("\"session_id\":{}", a2_entry.session_id)));
+    assert!(
+        dump.contains("\"queue_wait_us\":") && dump.contains("\"drain_delay_us\":"),
+        "stage timings missing from the JSON dump"
+    );
 
     // The event log must carry a serve.alert line for that session.
     let log = String::from_utf8(sink.0.lock().expect("sink poisoned").clone()).expect("utf8 log");
