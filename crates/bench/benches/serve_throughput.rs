@@ -149,7 +149,7 @@ fn main() {
         let t0 = Instant::now();
         let mut engine = ShardedOnlineUcad::new(system.clone(), serve_cfg);
         for r in &stream {
-            engine.submit(r);
+            engine.try_submit(r).expect("submit");
         }
         for s in &sessions {
             engine.close_session(s.id);

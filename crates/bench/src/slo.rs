@@ -229,7 +229,7 @@ pub fn run_slo(
         let deadline = start_ns + offset;
         deadlines.push(deadline);
         pace(observer.origin, deadline);
-        match engine.submit(record) {
+        match engine.try_submit(record).expect("submit") {
             SubmitOutcome::Accepted => accepted += 1,
             SubmitOutcome::Shed => shed += 1,
             SubmitOutcome::Degraded => degraded += 1,

@@ -1,0 +1,164 @@
+//! The transport-agnostic admission surface of the serving engine.
+//!
+//! [`Admission`] is the contract every front door to UCAD serving offers:
+//! submit audit records, close sessions, feed back false alarms, flush, and
+//! drain the seq-ordered alert stream. [`crate::ShardedOnlineUcad`]
+//! implements it in-process; `ucad-net`'s client and router implement it
+//! over TCP against daemon processes. Callers written against the trait —
+//! `examples/serving.rs` is one — run unchanged on either side of the wire.
+//!
+//! Every method is fallible: the in-process engine only errors on durable
+//! I/O, but a network implementation can fail anywhere, and the trait's
+//! whole point is that callers handle both identically. Methods take
+//! `&mut self` for the same reason — a network client owns a connection
+//! even where the in-process engine would get by with `&self`.
+//!
+//! The module also hosts the two routing/merging primitives whose *sharing*
+//! is the cross-process determinism argument:
+//!
+//! * [`splitmix64`] — the session-routing hash. The in-process engine
+//!   shards by `splitmix64(seed ^ session_id) % shards`; the net router
+//!   picks a daemon by the identical expression. One discipline, two
+//!   scales.
+//! * [`merge_seq_sorted`] — the drain-side merge. The engine merges
+//!   per-shard outboxes with it; the router merges per-daemon drains with
+//!   it. Because both run the exact same code path over streams tagged
+//!   with the same global arrival sequence, the merged alert stream is
+//!   byte-identical for any topology.
+
+use crate::online::Alert;
+use crate::serve::{ServeStats, SubmitOutcome};
+use ucad_dbsim::LogRecord;
+use ucad_model::UcadError;
+
+/// SplitMix64 finalizer: a cheap, well-mixed hash. This is the single
+/// routing discipline of the whole system — in-process shard assignment and
+/// cross-process daemon assignment both compute
+/// `splitmix64(seed ^ session_id) % n`.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Merges independently collected streams of seq-tagged items into one
+/// globally seq-ordered stream. Within a stream, items raised for the same
+/// triggering record keep their relative order (the sort is stable), so the
+/// result is a deterministic function of the tagged contents alone — not of
+/// how the items were partitioned. Both the engine's per-shard outbox drain
+/// and the router's per-daemon drain merge go through this function, which
+/// is what makes cross-process output byte-identical to single-process.
+pub fn merge_seq_sorted<T>(
+    streams: impl IntoIterator<Item = Vec<T>>,
+    seq_of: impl Fn(&T) -> u64,
+) -> Vec<T> {
+    let mut merged: Vec<T> = streams.into_iter().flatten().collect();
+    merged.sort_by_key(seq_of);
+    merged
+}
+
+/// The transport-agnostic serving front door: everything a traffic driver
+/// needs, whether the engine lives in this process or behind a socket.
+///
+/// Implementations must preserve the engine's determinism contract: given
+/// the same submission sequence, [`Admission::drain_alerts`] at the same
+/// points returns byte-identical alert lists, and the accounting identity
+/// `accepted + shed + degraded == submitted` holds exactly.
+pub trait Admission {
+    /// Submits one audit record for scoring. Overload surfaces as a typed
+    /// [`SubmitOutcome`] (`Accepted` / `Shed` / `Degraded`), never a panic.
+    fn try_submit(&mut self, record: &LogRecord) -> Result<SubmitOutcome, UcadError>;
+
+    /// Closes a session (Block mode scores the pending tail, which can
+    /// itself raise an alert).
+    fn close_session(&mut self, session_id: u64) -> Result<(), UcadError>;
+
+    /// DBA feedback: the alert on `session_id` was a false alarm.
+    fn confirm_false_alarm(&mut self, session_id: u64) -> Result<(), UcadError>;
+
+    /// Barrier: returns once everything submitted so far has been fully
+    /// processed.
+    fn flush(&mut self) -> Result<(), UcadError>;
+
+    /// Flushes, then returns every alert raised since the last drain,
+    /// ordered by the global arrival sequence of the triggering record.
+    fn drain_alerts(&mut self) -> Result<Vec<Alert>, UcadError>;
+
+    /// Flushes, then snapshots the throughput, overload and cache counters.
+    fn stats(&mut self) -> Result<ServeStats, UcadError>;
+
+    /// Prometheus text exposition of the serving metrics registry.
+    fn render_metrics(&mut self) -> Result<String, UcadError>;
+
+    /// The flight recorder's resident per-alert diagnostics as a JSON
+    /// array, oldest first.
+    fn dump_flight_json(&mut self) -> Result<String, UcadError>;
+}
+
+impl Admission for crate::ShardedOnlineUcad {
+    fn try_submit(&mut self, record: &LogRecord) -> Result<SubmitOutcome, UcadError> {
+        crate::ShardedOnlineUcad::try_submit(self, record)
+    }
+
+    fn close_session(&mut self, session_id: u64) -> Result<(), UcadError> {
+        crate::ShardedOnlineUcad::close_session(self, session_id);
+        Ok(())
+    }
+
+    fn confirm_false_alarm(&mut self, session_id: u64) -> Result<(), UcadError> {
+        crate::ShardedOnlineUcad::confirm_false_alarm(self, session_id);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), UcadError> {
+        crate::ShardedOnlineUcad::flush(self);
+        Ok(())
+    }
+
+    fn drain_alerts(&mut self) -> Result<Vec<Alert>, UcadError> {
+        Ok(crate::ShardedOnlineUcad::drain_alerts(self))
+    }
+
+    fn stats(&mut self) -> Result<ServeStats, UcadError> {
+        Ok(crate::ShardedOnlineUcad::stats(self))
+    }
+
+    fn render_metrics(&mut self) -> Result<String, UcadError> {
+        Ok(crate::ShardedOnlineUcad::render_metrics(self))
+    }
+
+    fn dump_flight_json(&mut self) -> Result<String, UcadError> {
+        Ok(crate::ShardedOnlineUcad::dump_flight_json(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_partition_independent() {
+        // The same 6 tagged items, split two different ways, merge to the
+        // same stream — the property the cross-process router relies on.
+        let items = |seqs: &[u64]| -> Vec<(u64, char)> {
+            seqs.iter()
+                .map(|&s| (s, (b'a' + s as u8) as char))
+                .collect()
+        };
+        let merged_a = merge_seq_sorted(vec![items(&[0, 3, 5]), items(&[1, 2, 4])], |t| t.0);
+        let merged_b =
+            merge_seq_sorted(vec![items(&[4, 5]), items(&[0, 1]), items(&[2, 3])], |t| {
+                t.0
+            });
+        assert_eq!(merged_a, merged_b);
+        assert_eq!(merged_a, items(&[0, 1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn merge_is_stable_within_a_stream() {
+        // Two items with the same seq from one stream keep their order.
+        let merged = merge_seq_sorted(vec![vec![(7u64, 'x'), (7, 'y')], vec![(1, 'z')]], |t| t.0);
+        assert_eq!(merged, vec![(1, 'z'), (7, 'x'), (7, 'y')]);
+    }
+}

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod experiment;
 pub mod metrics;
 pub mod online;
@@ -40,6 +41,7 @@ pub mod serve;
 pub mod sweep;
 pub mod system;
 
+pub use admission::{merge_seq_sorted, splitmix64, Admission};
 pub use experiment::{
     evaluate_log_dataset, run_baseline, run_transdas, TokenizedDataset, TransferResult,
 };
@@ -65,6 +67,7 @@ pub use ucad_obs::FlightEntry;
 /// use ucad::prelude::*;
 /// ```
 pub mod prelude {
+    pub use crate::admission::{merge_seq_sorted, splitmix64, Admission};
     pub use crate::online::{Alert, AlertReason, OnlineUcad, ServeObserver};
     pub use crate::serve::{
         DurabilityConfig, OverloadPolicy, ServeConfig, ServeConfigBuilder, ServeStats,

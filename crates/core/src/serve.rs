@@ -74,6 +74,7 @@
 //! [`OnlineUcad`]: crate::online::OnlineUcad
 //! [`SessionTracker`]: crate::online::SessionTracker
 
+use crate::admission::{merge_seq_sorted, splitmix64};
 use crate::online::{Alert, AlertReason, RaisedAlert, ServeObserver, SessionTracker, TrackerState};
 use crate::system::Ucad;
 use serde::{Deserialize, Serialize};
@@ -124,7 +125,7 @@ pub enum OverloadPolicy {
 }
 
 /// What happened to one submitted record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SubmitOutcome {
     /// The record reached its shard (directly, or via supervision replay
     /// when the shard's worker had died) and will be scored by the full
@@ -304,8 +305,9 @@ impl DurabilityConfig {
     }
 }
 
-/// Counter snapshot of a running engine.
-#[derive(Debug, Clone)]
+/// Counter snapshot of a running engine (or, through `ucad-net`, of a
+/// remote daemon — the struct crosses the wire as JSON).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServeStats {
     /// Records accepted per shard (indexed by shard id).
     pub records_per_shard: Vec<u64>,
@@ -614,14 +616,6 @@ struct ShardLink {
 struct Shard {
     link: Mutex<ShardLink>,
     h: ShardHandles,
-}
-
-/// SplitMix64 finalizer: a cheap, well-mixed hash for shard routing.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E3779B97F4A7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
-    x ^ (x >> 31)
 }
 
 /// Books a raised alert: the outbox (for deterministic draining), the
@@ -1556,18 +1550,54 @@ impl ShardedOnlineUcad {
     /// Panics when a durable WAL append fails (injected I/O faults, disk
     /// errors) — use [`ShardedOnlineUcad::try_submit`] to handle that
     /// without panicking. In-memory engines never hit this.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_submit`; it returns the same `SubmitOutcome` but surfaces \
+                durable-append failures as `Err(UcadError)` instead of panicking, \
+                and it is the spelling the transport-agnostic `Admission` trait uses"
+    )]
     pub fn submit(&mut self, record: &LogRecord) -> SubmitOutcome {
         self.try_submit(record)
             .expect("durable WAL append failed (use try_submit to handle I/O errors)")
     }
 
-    /// Fallible [`ShardedOnlineUcad::submit`]: a failed durable append
-    /// surfaces as `Err` and the record reaches no shard — the engine stays
-    /// consistent and the caller may retry. Identical to `submit` for
-    /// in-memory engines.
+    /// Fallible submission: a failed durable append surfaces as `Err` and
+    /// the record reaches no shard — the engine stays consistent and the
+    /// caller may retry. In-memory engines never error.
     pub fn try_submit(&mut self, record: &LogRecord) -> Result<SubmitOutcome, UcadError> {
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        self.try_submit_at(record, self.next_seq)
+    }
+
+    /// [`ShardedOnlineUcad::try_submit`] under a caller-assigned global
+    /// arrival sequence number. This is the multi-process hook: a router
+    /// that partitions one logical stream across several daemon-owned
+    /// engines assigns each record its global seq and ships it with the
+    /// record, so every engine tags alerts with stream-global — not
+    /// engine-local — sequence numbers and the merged drain stays
+    /// byte-identical to a single engine ingesting the whole stream.
+    ///
+    /// `seq` must be at least the engine's next unassigned sequence (the
+    /// seqs an engine sees are a strictly increasing subsequence of the
+    /// global stream); a rewind is rejected with
+    /// [`UcadError::InvalidConfig`] before any side effect. The sequence is
+    /// consumed whatever the outcome — shed and degraded records hold their
+    /// position in the global order, exactly as in-process submission does.
+    pub fn try_submit_at(
+        &mut self,
+        record: &LogRecord,
+        seq: u64,
+    ) -> Result<SubmitOutcome, UcadError> {
+        if seq < self.next_seq {
+            return Err(UcadError::invalid(
+                "seq",
+                format!(
+                    "sequence {seq} rewinds the engine (next unassigned is {}); \
+                     global arrival order must be non-decreasing",
+                    self.next_seq
+                ),
+            ));
+        }
+        self.next_seq = seq + 1;
         let i = self.shard_of(record.session_id);
         // Durability first: append-before-send. If the append errors the
         // record is dropped whole (no shadow feed, no in-memory log entry).
@@ -2094,11 +2124,29 @@ impl ShardedOnlineUcad {
     /// the new deliveries — so the concatenation of drained streams across
     /// crashes equals the crash-free stream exactly.
     pub fn drain_alerts(&mut self) -> Vec<Alert> {
+        self.drain_alerts_seq()
+            .into_iter()
+            .map(|(_, alert)| alert)
+            .collect()
+    }
+
+    /// [`ShardedOnlineUcad::drain_alerts`] with each alert's global arrival
+    /// sequence attached. This is what a network daemon ships to its
+    /// router: the seqs let per-daemon drains be re-merged
+    /// ([`crate::admission::merge_seq_sorted`] — the *same* helper this
+    /// method merges per-shard outboxes with) into the stream a single
+    /// engine would have produced.
+    pub fn drain_alerts_seq(&mut self) -> Vec<(u64, Alert)> {
         self.flush();
-        let mut tagged: Vec<OutboxAlert> = Vec::new();
-        for shard in &self.shards {
-            tagged.append(&mut lock(&shard.h.outbox).alerts);
-        }
+        // Per-shard outboxes merge through the shared seq-sort helper —
+        // the identical code path the cross-process router uses, so the
+        // two scales cannot drift apart.
+        let mut tagged: Vec<OutboxAlert> = merge_seq_sorted(
+            self.shards
+                .iter()
+                .map(|shard| std::mem::take(&mut lock(&shard.h.outbox).alerts)),
+            |a| a.seq,
+        );
         // Drain-delay attribution: one clock read covers the whole batch
         // (the per-alert variation is the raise instant, not the drain).
         // Alerts without a raise instant (restored from a durable snapshot)
@@ -2113,7 +2161,6 @@ impl ShardedOnlineUcad {
             }
         }
         self.flight.annotate_drain_delays(&delays);
-        tagged.sort_by_key(|a| a.seq);
         let mut want_snapshot = false;
         if let Some(d) = self.durable.as_mut() {
             tagged.retain(|a| !d.delivered.contains(&a.seq));
@@ -2141,7 +2188,7 @@ impl ShardedOnlineUcad {
                 ucad_obs::event("serve.snapshot_failed", &[("error", e.to_string())]);
             }
         }
-        tagged.into_iter().map(|a| a.alert).collect()
+        tagged.into_iter().map(|a| (a.seq, a.alert)).collect()
     }
 
     /// Flushes, then snapshots the throughput, overload and cache counters
@@ -2393,14 +2440,14 @@ mod tests {
         );
         let mid = records.len() / 2;
         for r in &records[..mid] {
-            assert_eq!(engine.submit(r), SubmitOutcome::Accepted);
+            assert_eq!(engine.try_submit(r), Ok(SubmitOutcome::Accepted));
         }
         engine.inject_worker_panic(0);
         // Keep submitting well past the queue bound: the dead receiver must
         // fail sends fast (never deadlock), supervision must heal the shard
         // and replay everything the crash ate.
         for r in &records[mid..] {
-            assert_eq!(engine.submit(r), SubmitOutcome::Accepted);
+            assert_eq!(engine.try_submit(r), Ok(SubmitOutcome::Accepted));
         }
         let stats = engine.stats();
         assert_eq!(stats.records(), records.len() as u64);
@@ -2426,7 +2473,7 @@ mod tests {
         let _armed = ucad_fault::FaultPlan::new().saturate(2, 4, Some(0)).arm();
         let mut shed = 0u64;
         for r in &records {
-            if engine.submit(r) == SubmitOutcome::Shed {
+            if engine.try_submit(r) == Ok(SubmitOutcome::Shed) {
                 shed += 1;
             }
         }
@@ -2513,7 +2560,7 @@ mod tests {
         for _ in 0..4 {
             let s = gen.normal_session(&mut rng).session;
             for op in &s.ops {
-                engine.submit(&LogRecord {
+                let _ = engine.try_submit(&LogRecord {
                     timestamp: op.timestamp,
                     user: s.user.clone(),
                     client_ip: s.client_ip.clone(),
@@ -2562,7 +2609,7 @@ mod tests {
                 skip[shard] -= 1;
                 continue;
             }
-            assert_eq!(engine.submit(r), SubmitOutcome::Accepted);
+            assert_eq!(engine.try_submit(r), Ok(SubmitOutcome::Accepted));
         }
     }
 
@@ -2592,7 +2639,7 @@ mod tests {
         // Crash-free baseline: plain in-memory engine, identical config.
         let mut baseline = ShardedOnlineUcad::new(system.clone(), cfg);
         for r in &records {
-            assert_eq!(baseline.submit(r), SubmitOutcome::Accepted);
+            assert_eq!(baseline.try_submit(r), Ok(SubmitOutcome::Accepted));
         }
         for &id in &sessions {
             baseline.close_session(id);
@@ -2613,7 +2660,7 @@ mod tests {
         .expect("fresh durable engine");
         let cut = 2 * records.len() / 3;
         for (i, r) in records[..cut].iter().enumerate() {
-            assert_eq!(engine.submit(r), SubmitOutcome::Accepted);
+            assert_eq!(engine.try_submit(r), Ok(SubmitOutcome::Accepted));
             if i == records.len() / 3 {
                 engine.snapshot().expect("snapshot");
             }
@@ -2685,7 +2732,7 @@ mod tests {
         )
         .expect("fresh durable engine");
         for r in &records[..cut] {
-            assert_eq!(engine.submit(r), SubmitOutcome::Accepted);
+            assert_eq!(engine.try_submit(r), Ok(SubmitOutcome::Accepted));
         }
         engine.flush();
         let first = engine.drain_alerts();

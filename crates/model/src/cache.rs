@@ -25,7 +25,7 @@ use ucad_nn::Tensor;
 use ucad_obs::{latency_log_bounds, Counter, Gauge, Histogram, MetricKind, Registry};
 
 /// Counter snapshot for benchmarking and capacity tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CacheStats {
     /// Lookups that returned a memoized score matrix.
     pub hits: u64,

@@ -36,6 +36,20 @@ pub enum UcadError {
         /// The underlying OS error, stringified.
         reason: String,
     },
+    /// A network operation (connect, read, write, daemon lifecycle) failed.
+    Net {
+        /// What the client or daemon was doing (e.g. `"connect 127.0.0.1:7400"`).
+        context: String,
+        /// The underlying failure, stringified.
+        reason: String,
+    },
+    /// A wire frame or payload violated the `ucad-net` protocol. Damage
+    /// (truncation, bit flips, implausible lengths, trailing garbage) is
+    /// always reported through this variant — decoding never panics.
+    Protocol {
+        /// Which protocol check failed.
+        reason: String,
+    },
 }
 
 impl UcadError {
@@ -62,6 +76,21 @@ impl UcadError {
             reason: e.to_string(),
         }
     }
+
+    /// Shorthand for an [`UcadError::Net`].
+    pub fn net(context: impl Into<String>, reason: impl Into<String>) -> Self {
+        UcadError::Net {
+            context: context.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for an [`UcadError::Protocol`].
+    pub fn protocol(reason: impl Into<String>) -> Self {
+        UcadError::Protocol {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for UcadError {
@@ -75,6 +104,8 @@ impl std::fmt::Display for UcadError {
                 write!(f, "corrupt checkpoint {path}: {reason}")
             }
             UcadError::Io { path, reason } => write!(f, "checkpoint io {path}: {reason}"),
+            UcadError::Net { context, reason } => write!(f, "net error: {context}: {reason}"),
+            UcadError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
         }
     }
 }
@@ -98,6 +129,17 @@ mod tests {
             e.to_string(),
             "invalid configuration: heads: must divide hidden"
         );
+    }
+
+    #[test]
+    fn net_and_protocol_display() {
+        let e = UcadError::net("connect 127.0.0.1:7400", "connection refused");
+        assert_eq!(
+            e.to_string(),
+            "net error: connect 127.0.0.1:7400: connection refused"
+        );
+        let e = UcadError::protocol("bad magic");
+        assert_eq!(e.to_string(), "protocol violation: bad magic");
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! A synchronous client for one UCAD daemon.
+//!
+//! [`NetClient`] owns a TCP connection and speaks the [`crate::protocol`]
+//! one request/response pair at a time. It implements [`Admission`], so a
+//! traffic driver written against the trait serves through a remote daemon
+//! exactly as it would through an in-process engine — down to the
+//! `accepted + shed + degraded == submitted` accounting, which travels the
+//! wire as typed [`SubmitOutcome`]s.
+
+use crate::protocol::{
+    decode_message, encode_message, read_frame, FrameKind, HealthInfo, Request, Response,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use ucad::{Admission, Alert, ServeStats, SubmitOutcome};
+use ucad_dbsim::LogRecord;
+use ucad_model::UcadError;
+
+/// A connected client of one daemon.
+pub struct NetClient {
+    stream: TcpStream,
+    addr: String,
+}
+
+impl NetClient {
+    /// Connects to a daemon at `addr` (e.g. `"127.0.0.1:7400"`).
+    pub fn connect(addr: impl Into<String>) -> Result<Self, UcadError> {
+        let addr = addr.into();
+        let stream = TcpStream::connect(&addr)
+            .map_err(|e| UcadError::net(format!("connect {addr}"), e.to_string()))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| UcadError::net(format!("nodelay {addr}"), e.to_string()))?;
+        Ok(NetClient { stream, addr })
+    }
+
+    /// The daemon address this client is connected to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One synchronous request/response round trip. Daemon-reported errors
+    /// come back as `Err`: recoverable ones leave the connection usable for
+    /// the next call, unrecoverable ones mean the daemon is about to close
+    /// it.
+    pub fn call(&mut self, request: &Request) -> Result<Response, UcadError> {
+        let frame = encode_message(FrameKind::Request, request);
+        self.stream
+            .write_all(&frame)
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| UcadError::net(format!("send to {}", self.addr), e.to_string()))?;
+        let (kind, payload) = read_frame(&mut self.stream)?.ok_or_else(|| {
+            UcadError::net(
+                format!("recv from {}", self.addr),
+                "connection closed before a response arrived".to_string(),
+            )
+        })?;
+        if kind != FrameKind::Response {
+            return Err(UcadError::protocol(
+                "expected a response frame, got a request frame".to_string(),
+            ));
+        }
+        let response: Response = decode_message(&payload)?;
+        if let Response::Error { message, .. } = &response {
+            return Err(UcadError::net(
+                format!("daemon {}", self.addr),
+                message.clone(),
+            ));
+        }
+        Ok(response)
+    }
+
+    fn unexpected(&self, wanted: &str, got: &Response) -> UcadError {
+        UcadError::protocol(format!(
+            "daemon {} answered {got:?} where {wanted} was expected",
+            self.addr
+        ))
+    }
+
+    /// Submits a record under a caller-assigned global arrival sequence —
+    /// the router's path (see
+    /// [`ucad::ShardedOnlineUcad::try_submit_at`] for the seq contract).
+    pub fn submit_at(&mut self, seq: u64, record: &LogRecord) -> Result<SubmitOutcome, UcadError> {
+        match self.call(&Request::Submit {
+            seq: Some(seq),
+            record: record.clone(),
+        })? {
+            Response::Submitted(outcome) => Ok(outcome),
+            other => Err(self.unexpected("Submitted", &other)),
+        }
+    }
+
+    /// Drains the daemon's alerts with their global arrival sequences
+    /// attached — the seq-tagged form a router re-merges.
+    pub fn drain_alerts_seq(&mut self) -> Result<Vec<(u64, Alert)>, UcadError> {
+        match self.call(&Request::Drain)? {
+            Response::Alerts(alerts) => Ok(alerts),
+            other => Err(self.unexpected("Alerts", &other)),
+        }
+    }
+
+    /// Liveness / identity probe.
+    pub fn health(&mut self) -> Result<HealthInfo, UcadError> {
+        match self.call(&Request::Health)? {
+            Response::Health(info) => Ok(info),
+            other => Err(self.unexpected("Health", &other)),
+        }
+    }
+
+    /// The daemon's flight-recorder entries as a JSON array.
+    pub fn flight_json(&mut self) -> Result<String, UcadError> {
+        match self.call(&Request::Flight)? {
+            Response::Text(text) => Ok(text),
+            other => Err(self.unexpected("Text", &other)),
+        }
+    }
+
+    /// Asks the daemon to shut down; returns its final counters. The
+    /// daemon's serve loop exits after answering, so this is the last call
+    /// this connection can make.
+    pub fn shutdown_daemon(&mut self) -> Result<ServeStats, UcadError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye(stats) => Ok(stats),
+            other => Err(self.unexpected("Bye", &other)),
+        }
+    }
+}
+
+impl Admission for NetClient {
+    fn try_submit(&mut self, record: &LogRecord) -> Result<SubmitOutcome, UcadError> {
+        match self.call(&Request::Submit {
+            seq: None,
+            record: record.clone(),
+        })? {
+            Response::Submitted(outcome) => Ok(outcome),
+            other => Err(self.unexpected("Submitted", &other)),
+        }
+    }
+
+    fn close_session(&mut self, session_id: u64) -> Result<(), UcadError> {
+        match self.call(&Request::Close { session_id })? {
+            Response::Done => Ok(()),
+            other => Err(self.unexpected("Done", &other)),
+        }
+    }
+
+    fn confirm_false_alarm(&mut self, session_id: u64) -> Result<(), UcadError> {
+        match self.call(&Request::FalseAlarm { session_id })? {
+            Response::Done => Ok(()),
+            other => Err(self.unexpected("Done", &other)),
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), UcadError> {
+        match self.call(&Request::Flush)? {
+            Response::Done => Ok(()),
+            other => Err(self.unexpected("Done", &other)),
+        }
+    }
+
+    fn drain_alerts(&mut self) -> Result<Vec<Alert>, UcadError> {
+        Ok(self
+            .drain_alerts_seq()?
+            .into_iter()
+            .map(|(_, alert)| alert)
+            .collect())
+    }
+
+    fn stats(&mut self) -> Result<ServeStats, UcadError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(self.unexpected("Stats", &other)),
+        }
+    }
+
+    fn render_metrics(&mut self) -> Result<String, UcadError> {
+        match self.call(&Request::Metrics)? {
+            Response::Text(text) => Ok(text),
+            other => Err(self.unexpected("Text", &other)),
+        }
+    }
+
+    fn dump_flight_json(&mut self) -> Result<String, UcadError> {
+        self.flight_json()
+    }
+}

@@ -1,0 +1,439 @@
+//! The UCAD serving daemon: a TCP front door over one
+//! [`ShardedOnlineUcad`].
+//!
+//! The daemon owns the engine and serves the [`crate::protocol`] over a
+//! listener: each accepted connection gets its own thread running a
+//! synchronous read-one-frame / handle / write-one-frame loop against the
+//! shared engine. Backpressure is the engine's own [`OverloadPolicy`]
+//! mapped onto the wire: `Block` blocks the submitting connection (TCP's
+//! own flow control propagates the stall to the client), `ShedNewest` and
+//! `Degrade` come back as typed [`Response::Submitted`] outcomes with the
+//! daemon-side accounting already bumped — exactly the in-process
+//! contract, one socket further away.
+//!
+//! Damage handling splits by recoverability (see [`crate::protocol`]):
+//! a structurally valid frame carrying a bad payload earns a
+//! `Response::Error { recoverable: true }` and the connection lives on;
+//! framing damage earns a best-effort `recoverable: false` error and the
+//! connection is closed — the daemon itself always survives.
+//!
+//! [`ShardedOnlineUcad`]: ucad::ShardedOnlineUcad
+//! [`OverloadPolicy`]: ucad::OverloadPolicy
+
+use crate::protocol::{
+    decode_message, encode_message, read_frame, FrameKind, HealthInfo, Request, Response,
+    HEADER_LEN,
+};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use ucad::{Alert, NgramLm, ServeConfig, ServeObserver, ShardedOnlineUcad, ShutdownReport, Ucad};
+use ucad_model::UcadError;
+use ucad_obs::{Counter, MetricKind};
+
+/// Configuration of a serving daemon: where to listen plus the wrapped
+/// engine's [`ServeConfig`].
+#[derive(Debug, Clone)]
+pub struct NetServeConfig {
+    /// Listen address, e.g. `"127.0.0.1:7400"` (`:0` picks a free port).
+    pub addr: String,
+    /// Configuration of the engine behind the socket.
+    pub serve: ServeConfig,
+}
+
+impl NetServeConfig {
+    /// Fluent builder starting from `127.0.0.1:0` and
+    /// [`ServeConfig::default`].
+    pub fn builder() -> NetServeConfigBuilder {
+        NetServeConfigBuilder {
+            cfg: NetServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                serve: ServeConfig::default(),
+            },
+        }
+    }
+}
+
+/// Builder for [`NetServeConfig`]; validates on
+/// [`NetServeConfigBuilder::build`] into the unified [`UcadError`].
+#[derive(Debug, Clone)]
+pub struct NetServeConfigBuilder {
+    cfg: NetServeConfig,
+}
+
+impl NetServeConfigBuilder {
+    /// Sets the listen address.
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.addr = addr.into();
+        self
+    }
+
+    /// Sets the wrapped engine's configuration.
+    pub fn serve(mut self, serve: ServeConfig) -> Self {
+        self.cfg.serve = serve;
+        self
+    }
+
+    /// Validates and returns the configuration: the address must resolve to
+    /// a socket address, and the engine configuration must be structurally
+    /// valid (the same checks [`ServeConfig::builder`] enforces).
+    pub fn build(self) -> Result<NetServeConfig, UcadError> {
+        if self.cfg.addr.is_empty() {
+            return Err(UcadError::invalid("addr", "listen address is empty"));
+        }
+        self.cfg
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| UcadError::net(format!("resolve {}", self.cfg.addr), e.to_string()))?;
+        if self.cfg.serve.shards == 0 {
+            return Err(UcadError::invalid("shards", "at least one shard required"));
+        }
+        if self.cfg.serve.queue_capacity == 0 {
+            return Err(UcadError::invalid(
+                "queue_capacity",
+                "a zero-capacity queue would deadlock submission",
+            ));
+        }
+        Ok(self.cfg)
+    }
+}
+
+/// Wire-layer counters, registered on the engine's own registry so
+/// [`Request::Metrics`] exposes them alongside `ucad_serve_*` — the
+/// exposition survives the network hop with the transport's own telemetry
+/// folded in.
+#[derive(Clone)]
+struct NetMetrics {
+    connections: Counter,
+    requests: Counter,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    protocol_errors: Counter,
+    alerts_streamed: Counter,
+}
+
+impl NetMetrics {
+    fn register(registry: &ucad_obs::Registry) -> Self {
+        registry.describe(
+            "ucad_net_connections_total",
+            MetricKind::Counter,
+            "TCP connections accepted by the daemon",
+        );
+        registry.describe(
+            "ucad_net_requests_total",
+            MetricKind::Counter,
+            "Protocol requests handled (all kinds, including failed ones)",
+        );
+        registry.describe(
+            "ucad_net_bytes_read_total",
+            MetricKind::Counter,
+            "Frame bytes read off client connections",
+        );
+        registry.describe(
+            "ucad_net_bytes_written_total",
+            MetricKind::Counter,
+            "Frame bytes written to client connections",
+        );
+        registry.describe(
+            "ucad_net_protocol_errors_total",
+            MetricKind::Counter,
+            "Damaged frames and unparseable payloads rejected (typed, never a panic)",
+        );
+        registry.describe(
+            "ucad_net_alerts_streamed_total",
+            MetricKind::Counter,
+            "Alerts shipped to clients by drain responses",
+        );
+        NetMetrics {
+            connections: registry.counter("ucad_net_connections_total", &[]),
+            requests: registry.counter("ucad_net_requests_total", &[]),
+            bytes_read: registry.counter("ucad_net_bytes_read_total", &[]),
+            bytes_written: registry.counter("ucad_net_bytes_written_total", &[]),
+            protocol_errors: registry.counter("ucad_net_protocol_errors_total", &[]),
+            alerts_streamed: registry.counter("ucad_net_alerts_streamed_total", &[]),
+        }
+    }
+}
+
+/// A bound (but not yet serving) daemon. [`NetDaemon::bind`] reserves the
+/// port and builds the engine; [`NetDaemon::run`] serves until a
+/// [`Request::Shutdown`] arrives, then gracefully shuts the engine down and
+/// returns its [`ShutdownReport`].
+pub struct NetDaemon {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shards: usize,
+    engine: Arc<Mutex<Option<ShardedOnlineUcad>>>,
+    stop: Arc<AtomicBool>,
+    metrics: NetMetrics,
+}
+
+impl NetDaemon {
+    /// Binds the listener and constructs the engine.
+    pub fn bind(system: Ucad, cfg: NetServeConfig) -> Result<Self, UcadError> {
+        Self::bind_full(system, cfg, None, None)
+    }
+
+    /// [`NetDaemon::bind`] with an observer and/or the degraded-mode
+    /// fallback model, mirroring [`ShardedOnlineUcad::try_new_full`].
+    pub fn bind_full(
+        system: Ucad,
+        cfg: NetServeConfig,
+        observer: Option<Arc<dyn ServeObserver>>,
+        fallback: Option<NgramLm>,
+    ) -> Result<Self, UcadError> {
+        let shards = cfg.serve.shards;
+        let engine = ShardedOnlineUcad::try_new_full(system, cfg.serve, observer, fallback)?;
+        let metrics = NetMetrics::register(engine.registry());
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| UcadError::net(format!("bind {}", cfg.addr), e.to_string()))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| UcadError::net("local_addr", e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| UcadError::net("set_nonblocking", e.to_string()))?;
+        Ok(NetDaemon {
+            listener,
+            addr,
+            shards,
+            engine: Arc::new(Mutex::new(Some(engine))),
+            stop: Arc::new(AtomicBool::new(false)),
+            metrics,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when the configured
+    /// address ended in `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that makes [`NetDaemon::run`] return from outside a
+    /// connection (the in-process analogue of [`Request::Shutdown`]).
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Serves connections until a [`Request::Shutdown`] arrives (or the
+    /// stop handle is raised), then shuts the engine down gracefully and
+    /// returns its report. Connection threads are detached: they exit on
+    /// client disconnect or when they observe the engine gone, and never
+    /// outlive their sockets.
+    pub fn run(self) -> Result<ShutdownReport, UcadError> {
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.metrics.connections.inc();
+                    let engine = Arc::clone(&self.engine);
+                    let stop = Arc::clone(&self.stop);
+                    let metrics = self.metrics.clone();
+                    let shards = self.shards;
+                    std::thread::spawn(move || {
+                        serve_connection(stream, engine, stop, metrics, shards);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(UcadError::net("accept", e.to_string())),
+            }
+        }
+        let engine = self
+            .engine
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()
+            .expect("engine taken only here");
+        ucad_obs::event("net.daemon_stop", &[("addr", self.addr.to_string())]);
+        Ok(engine.shutdown())
+    }
+
+    /// Spawns [`NetDaemon::run`] on a background thread, returning the
+    /// bound address, a stop handle, and the join handle yielding the
+    /// engine's report.
+    #[allow(clippy::type_complexity)]
+    pub fn spawn(
+        self,
+    ) -> (
+        SocketAddr,
+        Arc<AtomicBool>,
+        std::thread::JoinHandle<Result<ShutdownReport, UcadError>>,
+    ) {
+        let addr = self.addr;
+        let stop = self.stop_handle();
+        let handle = std::thread::spawn(move || self.run());
+        (addr, stop, handle)
+    }
+}
+
+/// One connection's synchronous serve loop.
+fn serve_connection(
+    mut stream: TcpStream,
+    engine: Arc<Mutex<Option<ShardedOnlineUcad>>>,
+    stop: Arc<AtomicBool>,
+    metrics: NetMetrics,
+    shards: usize,
+) {
+    loop {
+        let (kind, payload) = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF on a frame boundary: the client hung up.
+            Ok(None) => return,
+            Err(e) => {
+                // Framing damage or transport failure: the byte stream has
+                // lost its self-delimiting property, so the connection
+                // cannot be salvaged. Answer best-effort and close; the
+                // daemon survives.
+                metrics.protocol_errors.inc();
+                ucad_obs::event("net.frame_damage", &[("error", e.to_string())]);
+                respond(
+                    &mut stream,
+                    &metrics,
+                    &Response::Error {
+                        recoverable: false,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        metrics.requests.inc();
+        metrics.bytes_read.add((HEADER_LEN + payload.len()) as u64);
+        if kind != FrameKind::Request {
+            metrics.protocol_errors.inc();
+            let ok = respond(
+                &mut stream,
+                &metrics,
+                &Response::Error {
+                    recoverable: true,
+                    message: "expected a request frame, got a response frame".to_string(),
+                },
+            );
+            if ok {
+                continue;
+            }
+            return;
+        }
+        let request: Request = match decode_message(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame itself was intact (length and CRC passed), so
+                // the stream keeps framing: skip exactly this message.
+                metrics.protocol_errors.inc();
+                let ok = respond(
+                    &mut stream,
+                    &metrics,
+                    &Response::Error {
+                        recoverable: true,
+                        message: e.to_string(),
+                    },
+                );
+                if ok {
+                    continue;
+                }
+                return;
+            }
+        };
+        let shutdown = matches!(request, Request::Shutdown);
+        let response = {
+            let mut guard = engine
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            match guard.as_mut() {
+                Some(engine) => handle_request(engine, request, &metrics, shards),
+                None => Response::Error {
+                    recoverable: false,
+                    message: "daemon is shutting down".to_string(),
+                },
+            }
+        };
+        let ok = respond(&mut stream, &metrics, &response);
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            return;
+        }
+        if !ok {
+            return;
+        }
+    }
+}
+
+/// Executes one request against the engine. Overload outcomes and
+/// engine-side errors both come back as data — the connection's fate is
+/// decided by the protocol layer, never by the engine.
+fn handle_request(
+    engine: &mut ShardedOnlineUcad,
+    request: Request,
+    metrics: &NetMetrics,
+    shards: usize,
+) -> Response {
+    match request {
+        Request::Submit { seq, record } => {
+            let outcome = match seq {
+                Some(seq) => engine.try_submit_at(&record, seq),
+                None => engine.try_submit(&record),
+            };
+            match outcome {
+                Ok(outcome) => Response::Submitted(outcome),
+                // The engine stays consistent on a failed durable append
+                // (the record reached no shard); the caller may retry, so
+                // the connection survives.
+                Err(e) => Response::Error {
+                    recoverable: true,
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Close { session_id } => {
+            engine.close_session(session_id);
+            Response::Done
+        }
+        Request::FalseAlarm { session_id } => {
+            engine.confirm_false_alarm(session_id);
+            Response::Done
+        }
+        Request::Flush => {
+            engine.flush();
+            Response::Done
+        }
+        Request::Drain => {
+            let alerts: Vec<(u64, Alert)> = engine.drain_alerts_seq();
+            metrics.alerts_streamed.add(alerts.len() as u64);
+            Response::Alerts(alerts)
+        }
+        Request::Stats => Response::Stats(engine.stats()),
+        Request::Metrics => Response::Text(engine.render_metrics()),
+        Request::Flight => Response::Text(engine.dump_flight_json()),
+        Request::Health => {
+            let stats = engine.stats();
+            Response::Health(HealthInfo {
+                shards,
+                model_epoch: engine.model_epoch(),
+                records: stats.records(),
+                pending_alerts: stats.pending_alerts,
+                durable: engine.durable_ops_per_shard().is_some(),
+            })
+        }
+        Request::Shutdown => Response::Bye(engine.stats()),
+    }
+}
+
+/// Writes one response frame, returning whether the connection is still
+/// usable. Write failures are logged, not propagated — the peer may have
+/// hung up mid-response, which only ends this connection.
+fn respond(stream: &mut TcpStream, metrics: &NetMetrics, response: &Response) -> bool {
+    let frame = encode_message(FrameKind::Response, response);
+    match stream.write_all(&frame).and_then(|()| stream.flush()) {
+        Ok(()) => {
+            metrics.bytes_written.add(frame.len() as u64);
+            true
+        }
+        Err(e) => {
+            ucad_obs::event("net.write_failed", &[("error", e.to_string())]);
+            false
+        }
+    }
+}

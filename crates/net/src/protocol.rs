@@ -1,0 +1,398 @@
+//! The UCAD wire protocol: compact length-prefixed binary frames.
+//!
+//! Every message travels as one self-delimiting frame, reusing the WAL's
+//! framing discipline (`ucad-wal`'s length + CRC-32 prefix) with a network
+//! preamble in front:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic, the ASCII bytes "UNET"
+//! 4       2     protocol version, u16 little-endian (currently 1)
+//! 6       2     frame kind, u16 little-endian (1 = request, 2 = response)
+//! 8       4     payload length, u32 little-endian
+//! 12      4     CRC-32 (IEEE) of the payload, u32 little-endian
+//! 16      n     payload: one JSON-encoded [`Request`] or [`Response`]
+//! ```
+//!
+//! The CRC is computed by the *same* `ucad_wal::crc32` the on-disk log
+//! uses. Decoding never panics: every check failure — wrong magic, unknown
+//! version or kind, an implausible length, a CRC mismatch — surfaces as
+//! [`UcadError::Protocol`]. A frame that merely hasn't fully arrived yet is
+//! `Ok(None)`, so a streaming reader can distinguish "wait for more bytes"
+//! from "this connection is speaking garbage".
+//!
+//! Damage recovery follows the WAL's rule adapted to a stream: framing
+//! damage is unrecoverable (the byte stream has lost its self-delimiting
+//! property — the daemon answers best-effort and closes the connection),
+//! while a *valid* frame whose payload fails semantic checks (wrong kind,
+//! unparseable JSON) is recoverable — the frame's length is still trusted,
+//! so the daemon skips exactly that frame, answers a typed
+//! [`Response::Error`], and the connection lives on.
+
+use serde::{Deserialize, Serialize};
+use ucad::{Alert, ServeStats, SubmitOutcome};
+use ucad_dbsim::LogRecord;
+use ucad_model::UcadError;
+use ucad_wal::crc32::crc32;
+
+/// Frame preamble: the ASCII bytes `"UNET"`.
+pub const MAGIC: [u8; 4] = *b"UNET";
+
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+
+/// Bytes of frame metadata before each payload.
+pub const HEADER_LEN: usize = 16;
+
+/// Upper bound on a single payload. Anything larger in a length field is
+/// treated as protocol damage, so a bit flip cannot make a reader attempt
+/// a multi-gigabyte allocation (the WAL's `MAX_FRAME_LEN` rule).
+pub const MAX_PAYLOAD_LEN: usize = 16 * 1024 * 1024;
+
+/// Which direction a frame travels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → daemon.
+    Request,
+    /// Daemon → client.
+    Response,
+}
+
+impl FrameKind {
+    fn to_u16(self) -> u16 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Response => 2,
+        }
+    }
+
+    fn from_u16(raw: u16) -> Result<Self, UcadError> {
+        match raw {
+            1 => Ok(FrameKind::Request),
+            2 => Ok(FrameKind::Response),
+            other => Err(UcadError::protocol(format!("unknown frame kind {other}"))),
+        }
+    }
+}
+
+/// One client → daemon message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit one audit record. `seq` is the caller-assigned global arrival
+    /// sequence (a router partitioning one stream across daemons sets it);
+    /// `None` lets the daemon's engine assign its own — correct only when
+    /// this daemon sees the entire stream.
+    Submit {
+        /// Caller-assigned global arrival sequence, if any.
+        seq: Option<u64>,
+        /// The audit record to score.
+        record: LogRecord,
+    },
+    /// Close a session (Block mode scores the pending tail).
+    Close {
+        /// The session to close.
+        session_id: u64,
+    },
+    /// DBA feedback: the alert on this session was a false alarm.
+    FalseAlarm {
+        /// The session whose alert was a false alarm.
+        session_id: u64,
+    },
+    /// Barrier: ack once everything submitted so far is fully processed.
+    Flush,
+    /// Drain the seq-tagged alert stream raised since the last drain.
+    Drain,
+    /// Snapshot the serving counters.
+    Stats,
+    /// Prometheus text exposition of the daemon's registry.
+    Metrics,
+    /// The flight recorder's resident entries as JSON.
+    Flight,
+    /// Liveness / identity probe.
+    Health,
+    /// Admin: drain nothing, stop accepting connections, shut the engine
+    /// down. The daemon answers [`Response::Bye`] and exits its serve loop.
+    Shutdown,
+}
+
+/// Daemon identity and liveness, answered to [`Request::Health`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthInfo {
+    /// Worker shards inside the daemon's engine.
+    pub shards: usize,
+    /// Model epoch currently serving.
+    pub model_epoch: u64,
+    /// Records accepted so far.
+    pub records: u64,
+    /// Alerts buffered awaiting a drain.
+    pub pending_alerts: usize,
+    /// Whether the engine runs with an on-disk WAL.
+    pub durable: bool,
+}
+
+/// One daemon → client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Outcome of a [`Request::Submit`] — overload (`Shed` / `Degraded`)
+    /// travels the wire as data, with the daemon's accounting already
+    /// updated, never as an error.
+    Submitted(SubmitOutcome),
+    /// Acknowledges a control request (`Close`, `FalseAlarm`, `Flush`).
+    Done,
+    /// The drained alerts, each tagged with the global arrival sequence of
+    /// its triggering record — the tags a router needs to re-merge streams
+    /// from several daemons into the single-process order.
+    Alerts(Vec<(u64, Alert)>),
+    /// Counter snapshot, answered to [`Request::Stats`].
+    Stats(ServeStats),
+    /// Text payload (metrics exposition, flight-recorder JSON).
+    Text(String),
+    /// Liveness / identity probe result.
+    Health(HealthInfo),
+    /// A request failed. `recoverable: true` means the connection survives
+    /// (the offending frame was skipped cleanly); `false` means the byte
+    /// stream is damaged and the daemon closes the connection after this.
+    Error {
+        /// Whether the connection remains usable.
+        recoverable: bool,
+        /// What went wrong.
+        message: String,
+    },
+    /// Acknowledges [`Request::Shutdown`] with the engine's final counters.
+    Bye(ServeStats),
+}
+
+/// Encodes one framed message.
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD_LEN,
+        "payload of {} bytes exceeds MAX_PAYLOAD_LEN",
+        payload.len()
+    );
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&kind.to_u16().to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Decodes the first frame of `bytes`, without consuming them.
+///
+/// * `Ok(Some((kind, payload, consumed)))` — a complete, intact frame;
+///   `consumed` is its total length including the header.
+/// * `Ok(None)` — the bytes so far are a plausible frame prefix; read more.
+/// * `Err` — the bytes cannot be (the start of) a valid frame: wrong
+///   magic, unknown version or kind, implausible length, or CRC mismatch.
+///
+/// Decoding never panics, whatever the input.
+pub fn decode_frame(bytes: &[u8]) -> Result<Option<(FrameKind, Vec<u8>, usize)>, UcadError> {
+    // Validate the preamble on however much of it has arrived: garbage is
+    // reported as soon as it is provable, not after a full header trickles
+    // in.
+    let magic_got = &bytes[..bytes.len().min(4)];
+    if magic_got != &MAGIC[..magic_got.len()] {
+        return Err(UcadError::protocol(format!(
+            "bad magic {magic_got:02x?}, want {MAGIC:02x?}"
+        )));
+    }
+    if bytes.len() >= 6 {
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != VERSION {
+            return Err(UcadError::protocol(format!(
+                "unsupported protocol version {version}, want {VERSION}"
+            )));
+        }
+    }
+    if bytes.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let kind = FrameKind::from_u16(u16::from_le_bytes([bytes[6], bytes[7]]))?;
+    let len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+    if len > MAX_PAYLOAD_LEN {
+        return Err(UcadError::protocol(format!(
+            "implausible payload length {len} (max {MAX_PAYLOAD_LEN})"
+        )));
+    }
+    if bytes.len() < HEADER_LEN + len {
+        return Ok(None);
+    }
+    let stored_crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + len];
+    let computed = crc32(payload);
+    if stored_crc != computed {
+        return Err(UcadError::protocol(format!(
+            "payload CRC mismatch: stored {stored_crc:#010x}, computed {computed:#010x}"
+        )));
+    }
+    Ok(Some((kind, payload.to_vec(), HEADER_LEN + len)))
+}
+
+/// Reads exactly one frame from a stream. `Ok(None)` is a clean EOF on a
+/// frame boundary; an EOF mid-frame is [`UcadError::Protocol`] (a torn
+/// frame, the stream analogue of the WAL's torn tail); transport failures
+/// are [`UcadError::Net`].
+pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<(FrameKind, Vec<u8>)>, UcadError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0usize;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(UcadError::protocol(format!(
+                    "torn frame header: connection closed after {got} of {HEADER_LEN} bytes"
+                )))
+            }
+            Ok(n) => {
+                got += n;
+                // Fail fast on provable garbage, mirroring decode_frame.
+                decode_frame(&header[..got])?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(UcadError::net("read frame header", e.to_string())),
+        }
+    }
+    let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
+    let mut frame = header.to_vec();
+    frame.resize(HEADER_LEN + len, 0);
+    let mut at = HEADER_LEN;
+    while at < frame.len() {
+        match r.read(&mut frame[at..]) {
+            Ok(0) => {
+                return Err(UcadError::protocol(format!(
+                    "torn frame: connection closed {} bytes short of the payload",
+                    frame.len() - at
+                )))
+            }
+            Ok(n) => at += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(UcadError::net("read frame payload", e.to_string())),
+        }
+    }
+    match decode_frame(&frame)? {
+        Some((kind, payload, _)) => Ok(Some((kind, payload))),
+        None => unreachable!("a fully read frame always decodes or errors"),
+    }
+}
+
+/// Writes one framed message to a stream.
+pub fn write_frame(
+    w: &mut impl std::io::Write,
+    kind: FrameKind,
+    payload: &[u8],
+) -> Result<(), UcadError> {
+    let frame = encode_frame(kind, payload);
+    w.write_all(&frame)
+        .and_then(|()| w.flush())
+        .map_err(|e| UcadError::net("write frame", e.to_string()))
+}
+
+/// Serializes a message into frame bytes.
+pub fn encode_message<T: Serialize>(kind: FrameKind, message: &T) -> Vec<u8> {
+    let payload = serde_json::to_string(message)
+        .expect("protocol messages serialize infallibly")
+        .into_bytes();
+    encode_frame(kind, &payload)
+}
+
+/// Parses a frame payload into a message. A failure here is *recoverable*
+/// protocol damage: the frame itself was intact (length and CRC passed),
+/// so the stream's framing survives and only this message is rejected.
+pub fn decode_message<T: Deserialize>(payload: &[u8]) -> Result<T, UcadError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| UcadError::protocol("frame payload is not UTF-8".to_string()))?;
+    serde_json::from_str(text)
+        .map_err(|e| UcadError::protocol(format!("frame payload does not parse: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_request() {
+        let req = Request::Submit {
+            seq: Some(7),
+            record: LogRecord {
+                timestamp: 15,
+                user: "alice".into(),
+                client_ip: "10.0.0.1".into(),
+                session_id: 42,
+                sql: "SELECT * FROM t".into(),
+                table: "t".into(),
+                op: ucad_dbsim::OpKind::Select,
+                rows: 0,
+            },
+        };
+        let frame = encode_message(FrameKind::Request, &req);
+        let (kind, payload, consumed) = decode_frame(&frame).unwrap().unwrap();
+        assert_eq!(kind, FrameKind::Request);
+        assert_eq!(consumed, frame.len());
+        let back: Request = decode_message(&payload).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn incomplete_frames_ask_for_more() {
+        let frame = encode_message(FrameKind::Response, &Response::Done);
+        for cut in 0..frame.len() {
+            assert_eq!(
+                decode_frame(&frame[..cut]).unwrap(),
+                None,
+                "prefix of {cut} bytes must be incomplete, not damaged"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_typed_damage() {
+        let mut frame = encode_message(FrameKind::Request, &Request::Flush);
+        frame[0] = b'X';
+        let err = decode_frame(&frame).unwrap_err();
+        assert!(matches!(err, UcadError::Protocol { .. }), "{err}");
+        // Provable from the very first byte.
+        let err = decode_frame(&frame[..1]).unwrap_err();
+        assert!(matches!(err, UcadError::Protocol { .. }), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_is_typed_damage() {
+        let mut frame = encode_message(FrameKind::Request, &Request::Flush);
+        frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_frame(&frame).unwrap_err();
+        assert!(err.to_string().contains("implausible payload length"));
+    }
+
+    #[test]
+    fn payload_bit_flip_fails_the_crc() {
+        let mut frame = encode_message(FrameKind::Request, &Request::Drain);
+        let last = frame.len() - 1;
+        frame[last] ^= 0x40;
+        let err = decode_frame(&frame).unwrap_err();
+        assert!(err.to_string().contains("CRC mismatch"), "{err}");
+    }
+
+    #[test]
+    fn stream_reader_round_trips_and_reports_clean_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"\"Flush\"").unwrap();
+        write_frame(&mut buf, FrameKind::Request, b"\"Drain\"").unwrap();
+        let mut cursor = &buf[..];
+        let (_, p1) = read_frame(&mut cursor).unwrap().unwrap();
+        let (_, p2) = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(p1, b"\"Flush\"");
+        assert_eq!(p2, b"\"Drain\"");
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn torn_stream_is_typed_damage() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"\"Flush\"").unwrap();
+        let mut cursor = &buf[..buf.len() - 3];
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert!(err.to_string().contains("torn frame"), "{err}");
+    }
+}

@@ -1,0 +1,231 @@
+//! The cross-process router: one logical UCAD engine over N daemons.
+//!
+//! [`NetRouter`] consistent-hashes sessions across daemon processes with
+//! the *same* splitmix64 discipline the in-process engine uses for shard
+//! routing — `splitmix64(seed ^ session_id) % n` — and assigns every
+//! submitted record its **global** arrival sequence before shipping it, so
+//! each daemon's engine tags alerts with stream-global numbers. Draining
+//! collects every daemon's seq-tagged alerts and re-merges them with
+//! [`ucad::merge_seq_sorted`] — the *identical code path* the engine uses
+//! to merge its per-shard outboxes. The two invariants together make the
+//! cross-process alert stream byte-identical to a single-process engine
+//! ingesting the whole stream, for any daemon count (proven by
+//! `tests/net_cluster.rs` against real child processes).
+//!
+//! The router implements [`Admission`], so callers cannot tell it from an
+//! in-process engine — including exact overload accounting:
+//! `accepted + shed + degraded == submitted` holds across the merged
+//! [`ServeStats`] of the whole fleet.
+
+use crate::client::NetClient;
+use crate::protocol::HealthInfo;
+use serde::Value;
+use ucad::{merge_seq_sorted, splitmix64, Admission, Alert, ServeStats, SubmitOutcome};
+use ucad_dbsim::LogRecord;
+use ucad_model::{CacheStats, UcadError};
+
+/// A router over N connected daemons.
+pub struct NetRouter {
+    clients: Vec<NetClient>,
+    seed: u64,
+    next_seq: u64,
+}
+
+impl NetRouter {
+    /// Connects to every daemon in `addrs`. The `seed` feeds the
+    /// session-to-daemon hash, exactly like [`ucad::ServeConfig::seed`]
+    /// feeds the engine's session-to-shard hash.
+    pub fn connect<S: AsRef<str>>(addrs: &[S], seed: u64) -> Result<Self, UcadError> {
+        if addrs.is_empty() {
+            return Err(UcadError::invalid(
+                "addrs",
+                "a router needs at least one daemon",
+            ));
+        }
+        let clients = addrs
+            .iter()
+            .map(|a| NetClient::connect(a.as_ref()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(NetRouter {
+            clients,
+            seed,
+            next_seq: 0,
+        })
+    }
+
+    /// Number of daemons behind this router.
+    pub fn daemons(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The daemon a session routes to — the cross-process twin of
+    /// [`ucad::ShardedOnlineUcad::shard_of`].
+    pub fn daemon_of(&self, session_id: u64) -> usize {
+        (splitmix64(self.seed ^ session_id) % self.clients.len() as u64) as usize
+    }
+
+    /// Health of every daemon, in address order.
+    pub fn health(&mut self) -> Result<Vec<HealthInfo>, UcadError> {
+        self.clients.iter_mut().map(|c| c.health()).collect()
+    }
+
+    /// Drains every daemon and re-merges the streams by global arrival
+    /// sequence, keeping the seq tags. Flushes all daemons first so a
+    /// session's Block-mode tail on one daemon cannot lag a drain that
+    /// another daemon already answered.
+    pub fn drain_alerts_seq(&mut self) -> Result<Vec<(u64, Alert)>, UcadError> {
+        for client in &mut self.clients {
+            Admission::flush(client)?;
+        }
+        let mut streams = Vec::with_capacity(self.clients.len());
+        for client in &mut self.clients {
+            streams.push(client.drain_alerts_seq()?);
+        }
+        // The exact helper the engine's own drain uses for its per-shard
+        // outboxes — shared code, shared ordering, byte-identical output.
+        Ok(merge_seq_sorted(streams, |(seq, _)| *seq))
+    }
+
+    /// Asks every daemon to shut down, returning each daemon's final
+    /// counters in address order. Drain first if the undelivered alerts
+    /// matter.
+    pub fn shutdown(mut self) -> Result<Vec<ServeStats>, UcadError> {
+        self.clients
+            .iter_mut()
+            .map(|c| c.shutdown_daemon())
+            .collect()
+    }
+}
+
+/// Sums two optional cache-counter snapshots (daemons with caching off
+/// contribute nothing).
+fn merge_cache(into: &mut Option<CacheStats>, from: Option<CacheStats>) {
+    let Some(from) = from else { return };
+    match into {
+        None => *into = Some(from),
+        Some(total) => {
+            total.hits += from.hits;
+            total.misses += from.misses;
+            total.evictions += from.evictions;
+            total.stale_drops += from.stale_drops;
+            total.len += from.len;
+            total.capacity += from.capacity;
+        }
+    }
+}
+
+impl Admission for NetRouter {
+    /// Assigns the record the next global arrival sequence and ships it to
+    /// its session's daemon. The sequence is consumed whatever the outcome
+    /// — shed and degraded records hold their position in the global
+    /// order, exactly as in-process submission does.
+    fn try_submit(&mut self, record: &LogRecord) -> Result<SubmitOutcome, UcadError> {
+        let seq = self.next_seq;
+        self.next_seq = seq + 1;
+        let daemon = self.daemon_of(record.session_id);
+        self.clients[daemon].submit_at(seq, record)
+    }
+
+    fn close_session(&mut self, session_id: u64) -> Result<(), UcadError> {
+        let daemon = self.daemon_of(session_id);
+        Admission::close_session(&mut self.clients[daemon], session_id)
+    }
+
+    fn confirm_false_alarm(&mut self, session_id: u64) -> Result<(), UcadError> {
+        let daemon = self.daemon_of(session_id);
+        Admission::confirm_false_alarm(&mut self.clients[daemon], session_id)
+    }
+
+    fn flush(&mut self) -> Result<(), UcadError> {
+        for client in &mut self.clients {
+            Admission::flush(client)?;
+        }
+        Ok(())
+    }
+
+    fn drain_alerts(&mut self) -> Result<Vec<Alert>, UcadError> {
+        Ok(self
+            .drain_alerts_seq()?
+            .into_iter()
+            .map(|(_, alert)| alert)
+            .collect())
+    }
+
+    /// The fleet's counters merged into one [`ServeStats`]:
+    /// `records_per_shard` concatenates daemon-major (daemon 0's shards
+    /// first), the scalar counters sum, and the accounting identity
+    /// `accepted + shed + degraded == submitted` survives the merge
+    /// exactly because every daemon preserves it locally.
+    fn stats(&mut self) -> Result<ServeStats, UcadError> {
+        let mut merged = ServeStats {
+            records_per_shard: Vec::new(),
+            pending_alerts: 0,
+            cache: None,
+            records_shed: 0,
+            records_degraded: 0,
+            worker_restarts: 0,
+        };
+        for client in &mut self.clients {
+            let stats = Admission::stats(client)?;
+            merged.records_per_shard.extend(stats.records_per_shard);
+            merged.pending_alerts += stats.pending_alerts;
+            merge_cache(&mut merged.cache, stats.cache);
+            merged.records_shed += stats.records_shed;
+            merged.records_degraded += stats.records_degraded;
+            merged.worker_restarts += stats.worker_restarts;
+        }
+        Ok(merged)
+    }
+
+    /// Every daemon's Prometheus exposition, concatenated under one
+    /// `# ucad-net daemon <i> @ <addr>` banner per daemon.
+    fn render_metrics(&mut self) -> Result<String, UcadError> {
+        let mut out = String::new();
+        for i in 0..self.clients.len() {
+            let addr = self.clients[i].addr().to_string();
+            let text = Admission::render_metrics(&mut self.clients[i])?;
+            out.push_str(&format!("# ucad-net daemon {i} @ {addr}\n"));
+            out.push_str(&text);
+        }
+        Ok(out)
+    }
+
+    /// The fleet's flight-recorder entries merged into one JSON array,
+    /// ordered by each entry's global `seq` (the same key the alert merge
+    /// uses).
+    fn dump_flight_json(&mut self) -> Result<String, UcadError> {
+        let mut entries: Vec<(u64, Value)> = Vec::new();
+        for client in &mut self.clients {
+            let text = client.flight_json()?;
+            let parsed: Value = serde_json::from_str(&text).map_err(|e| {
+                UcadError::protocol(format!("daemon flight dump does not parse: {e}"))
+            })?;
+            let Some(items) = parsed.as_array() else {
+                return Err(UcadError::protocol(
+                    "daemon flight dump is not a JSON array".to_string(),
+                ));
+            };
+            for item in items {
+                let seq = item
+                    .as_object()
+                    .and_then(|fields| {
+                        fields
+                            .iter()
+                            .find(|(k, _)| k == "seq")
+                            .map(|(_, v)| match v {
+                                Value::UInt(u) => *u,
+                                Value::Int(i) => *i as u64,
+                                Value::Float(f) => *f as u64,
+                                _ => 0,
+                            })
+                    })
+                    .unwrap_or(0);
+                entries.push((seq, item.clone()));
+            }
+        }
+        let merged = merge_seq_sorted(vec![entries], |(seq, _)| *seq);
+        let array = Value::Array(merged.into_iter().map(|(_, v)| v).collect());
+        serde_json::to_string(&array)
+            .map_err(|e| UcadError::protocol(format!("merged flight dump: {e}")))
+    }
+}

@@ -148,7 +148,7 @@ fn run_child() {
             skip[shard] -= 1;
             continue;
         }
-        assert_eq!(engine.submit(record), SubmitOutcome::Accepted);
+        assert_eq!(engine.try_submit(record), Ok(SubmitOutcome::Accepted));
     }
     for &id in &ids {
         pos += 1;
@@ -213,7 +213,7 @@ fn main() {
     let mut engine = ShardedOnlineUcad::new(system(), serve_cfg());
     let (stream, ids) = script();
     for record in &stream {
-        assert_eq!(engine.submit(record), SubmitOutcome::Accepted);
+        assert_eq!(engine.try_submit(record), Ok(SubmitOutcome::Accepted));
     }
     for &id in &ids {
         engine.close_session(id);

@@ -56,7 +56,7 @@ fn serve_sessions(
         let mut s = gen.normal_session(&mut rng).session;
         s.id = id_base + i as u64;
         for r in records_of(&s) {
-            engine.submit(&r);
+            engine.try_submit(&r).expect("submit");
             submitted += 1;
         }
         engine.close_session(s.id);

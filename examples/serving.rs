@@ -5,8 +5,14 @@
 //! cargo run --release --example serving
 //! ```
 //!
-//! Two environment knobs exercise the fault-tolerance machinery:
+//! The traffic driver is written against the transport-agnostic
+//! [`Admission`] trait, so the *same* code drives the engine in-process or
+//! over TCP through a `ucad-net` daemon. Environment knobs:
 //!
+//! * `UCAD_SERVE_NET=1` serves through a real TCP daemon (spawned in this
+//!   process on a loopback port) instead of calling the engine directly —
+//!   the printed alerts, accounting and `ucad_serve_*` metrics are
+//!   identical either way.
 //! * `UCAD_SERVE_POLICY=block|shed|degrade` selects the [`OverloadPolicy`]
 //!   (default `block`).
 //! * `UCAD_FAULTS="panic=40@1;stall_us=200"` arms deterministic fault
@@ -19,6 +25,7 @@ use rand::SeedableRng;
 use ucad::prelude::*;
 use ucad_baselines::BaselineDetector;
 use ucad_dbsim::LogRecord;
+use ucad_net::{NetClient, NetDaemon, NetServeConfig};
 use ucad_trace::{generate_raw_log, AnomalySynthesizer, ScenarioSpec, Session, SessionGenerator};
 
 fn records_of(session: &Session) -> Vec<LogRecord> {
@@ -36,6 +43,97 @@ fn records_of(session: &Session) -> Vec<LogRecord> {
             rows: 0,
         })
         .collect()
+}
+
+/// Steps 3-5 of the quickstart, written against [`Admission`] alone: stream
+/// the interleaved traffic, drain the ordered alerts, reconcile the
+/// overload accounting, and dump the observability surfaces. `engine` may
+/// be the in-process [`ShardedOnlineUcad`] or a [`NetClient`] speaking to a
+/// daemon — the output is the same.
+fn drive<A: Admission>(engine: &mut A, sessions: &[Session]) -> Result<(), UcadError> {
+    let queues: Vec<Vec<LogRecord>> = sessions.iter().map(records_of).collect();
+    let longest = queues.iter().map(Vec::len).max().unwrap_or(0);
+    let mut submitted = 0usize;
+    let (mut accepted, mut shed, mut degraded) = (0usize, 0usize, 0usize);
+    for i in 0..longest {
+        for q in &queues {
+            if let Some(r) = q.get(i) {
+                match engine.try_submit(r)? {
+                    SubmitOutcome::Accepted => accepted += 1,
+                    SubmitOutcome::Shed => shed += 1,
+                    SubmitOutcome::Degraded => degraded += 1,
+                }
+                submitted += 1;
+            }
+        }
+    }
+    for s in sessions {
+        engine.close_session(s.id)?;
+    }
+
+    // Drain: alerts come back ordered by the arrival position of the
+    // record that triggered them.
+    let alerts = engine.drain_alerts()?;
+    println!(
+        "submitted {submitted} records across {} sessions",
+        sessions.len()
+    );
+    for a in &alerts {
+        println!(
+            "[ALARM] session {} (user {}): {:?} at operation {:?}",
+            a.session_id, a.user, a.reason, a.position
+        );
+    }
+
+    let stats = engine.stats()?;
+    println!(
+        "shard load: {:?} records, cache hit-rate {}",
+        stats.records_per_shard,
+        stats
+            .cache
+            .map(|c| format!(
+                "{:.1}% ({} hits / {} misses)",
+                100.0 * c.hit_rate(),
+                c.hits,
+                c.misses
+            ))
+            .unwrap_or_else(|| "n/a".into())
+    );
+    // Fault-tolerance reconciliation: every submission is accounted for
+    // exactly once, even under an armed UCAD_FAULTS plan.
+    println!(
+        "overload: {accepted} accepted, {shed} shed, {degraded} degraded \
+         (engine counters: shed {}, degraded {})",
+        stats.records_shed, stats.records_degraded
+    );
+    println!("worker restarts: {}", stats.worker_restarts);
+    assert_eq!(
+        accepted + shed + degraded,
+        submitted,
+        "submission outcomes do not partition the stream"
+    );
+    assert_eq!(stats.records_shed, shed as u64, "shed counter mismatch");
+    assert_eq!(
+        stats.records_degraded, degraded as u64,
+        "degraded counter mismatch"
+    );
+    assert_eq!(
+        stats.records(),
+        accepted as u64,
+        "accepted records must all reach a shard worker"
+    );
+
+    // Observability: the whole pipeline self-reports. The global registry
+    // carries preprocess/train/model metrics; the engine registry carries
+    // serve/cache metrics; the flight recorder holds per-alert context.
+    // Set UCAD_OBS=1 to additionally stream structured JSON events.
+    println!("\n# --- global metrics (preprocess / train / model) ---");
+    print!("{}", ucad_obs::global().render_prometheus());
+    println!("\n# --- engine metrics (serve / cache / flight) ---");
+    print!("{}", engine.render_metrics()?);
+    println!("\n# --- flight recorder (per-alert context) ---");
+    println!("{}", engine.dump_flight_json()?);
+    Ok(())
 }
 
 fn main() {
@@ -77,8 +175,6 @@ fn main() {
         overload: policy,
         ..ServeConfig::default()
     };
-    let mut engine = ShardedOnlineUcad::try_new_full(system, serve_cfg, None, fallback)
-        .expect("valid serve configuration");
     println!("overload policy: {policy:?}");
 
     // 3. Traffic: eight concurrent sessions, one of them carrying a
@@ -100,92 +196,32 @@ fn main() {
         s.id = 100 + i as u64;
     }
 
-    let queues: Vec<Vec<LogRecord>> = sessions.iter().map(records_of).collect();
-    let longest = queues.iter().map(Vec::len).max().unwrap_or(0);
-    let mut submitted = 0usize;
-    let (mut accepted, mut shed, mut degraded) = (0usize, 0usize, 0usize);
-    for i in 0..longest {
-        for q in &queues {
-            if let Some(r) = q.get(i) {
-                match engine.submit(r) {
-                    SubmitOutcome::Accepted => accepted += 1,
-                    SubmitOutcome::Shed => shed += 1,
-                    SubmitOutcome::Degraded => degraded += 1,
-                }
-                submitted += 1;
-            }
-        }
-    }
-    for s in &sessions {
-        engine.close_session(s.id);
-    }
+    // 4. Serve — same driver, either transport.
+    let report = if std::env::var("UCAD_SERVE_NET").as_deref() == Ok("1") {
+        let net_cfg = NetServeConfig::builder()
+            .addr("127.0.0.1:0")
+            .serve(serve_cfg)
+            .build()
+            .expect("valid net serve configuration");
+        let daemon =
+            NetDaemon::bind_full(system, net_cfg, None, fallback).expect("bind loopback daemon");
+        let (addr, _stop, join) = daemon.spawn();
+        println!("serving over TCP via ucad-net daemon at {addr}");
+        let mut client = NetClient::connect(addr.to_string()).expect("connect to daemon");
+        drive(&mut client, &sessions).expect("serve over TCP");
+        client.shutdown_daemon().expect("daemon shutdown");
+        join.join()
+            .expect("daemon thread")
+            .expect("daemon shutdown report")
+    } else {
+        let mut engine = ShardedOnlineUcad::try_new_full(system, serve_cfg, None, fallback)
+            .expect("valid serve configuration");
+        drive(&mut engine, &sessions).expect("serve in-process");
+        engine.shutdown()
+    };
 
-    // 4. Drain: alerts come back ordered by the arrival position of the
-    //    record that triggered them.
-    let alerts = engine.drain_alerts();
-    println!(
-        "submitted {submitted} records across {} sessions",
-        sessions.len()
-    );
-    for a in &alerts {
-        println!(
-            "[ALARM] session {} (user {}): {:?} at operation {:?}",
-            a.session_id, a.user, a.reason, a.position
-        );
-    }
-
-    let stats = engine.stats();
-    println!(
-        "shard load: {:?} records, cache hit-rate {}",
-        stats.records_per_shard,
-        stats
-            .cache
-            .map(|c| format!(
-                "{:.1}% ({} hits / {} misses)",
-                100.0 * c.hit_rate(),
-                c.hits,
-                c.misses
-            ))
-            .unwrap_or_else(|| "n/a".into())
-    );
-    // Fault-tolerance reconciliation: every submission is accounted for
-    // exactly once, even under an armed UCAD_FAULTS plan.
-    println!(
-        "overload: {accepted} accepted, {shed} shed, {degraded} degraded \
-         (engine counters: shed {}, degraded {})",
-        stats.records_shed, stats.records_degraded
-    );
-    println!("worker restarts: {}", stats.worker_restarts);
-    assert_eq!(
-        accepted + shed + degraded,
-        submitted,
-        "submission outcomes do not partition the stream"
-    );
-    assert_eq!(stats.records_shed, shed as u64, "shed counter mismatch");
-    assert_eq!(
-        stats.records_degraded, degraded as u64,
-        "degraded counter mismatch"
-    );
-    assert_eq!(
-        stats.records(),
-        accepted as u64,
-        "accepted records must all reach a shard worker"
-    );
-
-    // 5. Observability: the whole pipeline self-reports. The global registry
-    //    carries preprocess/train/model metrics; the engine registry carries
-    //    serve/cache metrics; the flight recorder holds per-alert context.
-    //    Set UCAD_OBS=1 to additionally stream structured JSON events.
-    println!("\n# --- global metrics (preprocess / train / model) ---");
-    print!("{}", ucad_obs::global().render_prometheus());
-    println!("\n# --- engine metrics (serve / cache / flight) ---");
-    print!("{}", engine.render_metrics());
-    println!("\n# --- flight recorder (per-alert context) ---");
-    println!("{}", engine.dump_flight_json());
-
-    // 6. Shutdown hands back the system plus the sessions verified normal,
+    // 5. Shutdown hands back the system plus the sessions verified normal,
     //    ready for the §5.2 concept-drift fine-tuning loop.
-    let report = engine.shutdown();
     println!(
         "shutdown: {} verified-normal sessions buffered for fine-tuning",
         report.verified_normals.len()

@@ -186,7 +186,7 @@ fn run(
         .expect("valid chaos config");
     let (mut accepted, mut shed_seen, mut degraded_seen) = (0u64, 0u64, 0u64);
     for record in stream {
-        match engine.submit(record) {
+        match engine.try_submit(record).expect("submit") {
             SubmitOutcome::Accepted => accepted += 1,
             SubmitOutcome::Shed => shed_seen += 1,
             SubmitOutcome::Degraded => degraded_seen += 1,
@@ -347,7 +347,7 @@ fn dead_shard_full_queue_submission_never_deadlocks() {
         };
         let mut engine = ShardedOnlineUcad::new(system.clone(), cfg);
         for record in &stream {
-            assert_eq!(engine.submit(record), SubmitOutcome::Accepted);
+            assert_eq!(engine.try_submit(record), Ok(SubmitOutcome::Accepted));
         }
         for &id in &ids {
             engine.close_session(id);
@@ -484,7 +484,7 @@ fn combined_chaos_with_process_restart_reconciles_exactly() {
         .expect("fresh durable engine");
         let (mut accepted_1, mut shed_1) = (0u64, 0u64);
         for record in &stream[..half] {
-            match engine.submit(record) {
+            match engine.try_submit(record).expect("submit") {
                 SubmitOutcome::Accepted => accepted_1 += 1,
                 SubmitOutcome::Shed => shed_1 += 1,
                 SubmitOutcome::Degraded => panic!("ShedNewest must never degrade"),
@@ -526,7 +526,7 @@ fn combined_chaos_with_process_restart_reconciles_exactly() {
         );
         let (mut accepted_2, mut shed_2) = (0u64, 0u64);
         for record in &stream[half..] {
-            match engine.submit(record) {
+            match engine.try_submit(record).expect("submit") {
                 SubmitOutcome::Accepted => accepted_2 += 1,
                 SubmitOutcome::Shed => shed_2 += 1,
                 SubmitOutcome::Degraded => panic!("ShedNewest must never degrade"),

@@ -159,7 +159,7 @@ fn run_child() {
             skip[shard] -= 1;
             continue;
         }
-        assert_eq!(engine.submit(record), SubmitOutcome::Accepted);
+        assert_eq!(engine.try_submit(record), Ok(SubmitOutcome::Accepted));
     }
     for &id in &ids {
         pos += 1;
@@ -260,7 +260,7 @@ fn crash_free_alerts() -> Vec<Alert> {
     let mut engine = ShardedOnlineUcad::new(system(), serve_cfg(2, 256));
     let (stream, ids) = script();
     for record in &stream {
-        assert_eq!(engine.submit(record), SubmitOutcome::Accepted);
+        assert_eq!(engine.try_submit(record), Ok(SubmitOutcome::Accepted));
     }
     for &id in &ids {
         engine.close_session(id);

@@ -148,7 +148,7 @@ fn scenario1_obs_counters_match_golden_fixture() {
     for i in 0..longest {
         for q in &queues {
             if let Some(r) = q.get(i) {
-                engine.submit(r);
+                engine.try_submit(r).expect("submit");
             }
         }
     }

@@ -136,7 +136,7 @@ fn monitored_run(spec: &ScenarioSpec, seed: u64, sessions: usize) -> DriftSnapsh
     .expect("single-shard engine");
     let (stream, ids) = stream_from(spec, seed, sessions);
     for r in &stream {
-        engine.submit(r);
+        engine.try_submit(r).expect("submit");
     }
     for &id in &ids {
         engine.close_session(id);

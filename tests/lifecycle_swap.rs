@@ -122,7 +122,7 @@ fn interleaved_stream(seed: u64, sessions: usize, id_base: u64) -> (Vec<LogRecor
 
 fn run_stream(engine: &mut ShardedOnlineUcad, stream: &[LogRecord], ids: &[u64]) -> Vec<Alert> {
     for r in stream {
-        engine.submit(r);
+        engine.try_submit(r).expect("submit");
     }
     for &id in ids {
         engine.close_session(id);
@@ -312,7 +312,7 @@ fn swap_during_shard_restart_matches_cold_start() {
         let quiet = ucad_fault::quiesce();
         let mut reference = ShardedOnlineUcad::new(fx.system.clone(), cfg);
         for r in &stream_a {
-            reference.submit(r);
+            reference.try_submit(r).expect("submit");
         }
         let expected_pre = reference.drain_alerts();
         drop(reference.shutdown());
@@ -328,7 +328,7 @@ fn swap_during_shard_restart_matches_cold_start() {
             .panic_at(kill_at, Some(0))
             .arm();
         for r in &stream_a {
-            engine.submit(r);
+            engine.try_submit(r).expect("submit");
         }
         let promoted = fx.store.load(&fx.promoted_id).expect("load checkpoint");
         assert_eq!(engine.swap_model(promoted).expect("swap"), 1);

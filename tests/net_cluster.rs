@@ -1,0 +1,314 @@
+//! Cross-process byte-identity wall (ISSUE 8 tentpole proof): the canonical
+//! interleaved stream is routed through a fleet of **real daemon child
+//! processes** behind a [`NetRouter`], drained on the canonical cadence,
+//! and the merged alert stream must be **byte-identical** to a
+//! single-process engine serving the whole stream — for every fleet
+//! topology (daemon count × cache setting).
+//!
+//! Two mechanisms carry the invariant across the process boundary:
+//!
+//! * the router assigns every record its global arrival sequence and ships
+//!   it in the submit frame, so each daemon's engine tags alerts with
+//!   stream-global numbers (`try_submit_at`);
+//! * draining re-merges the fleet's seq-tagged alerts with the *same*
+//!   `merge_seq_sorted` helper the engine uses for its own per-shard
+//!   outboxes.
+//!
+//! The wall also reconciles fleet accounting: every submission is
+//! accounted `accepted + shed + degraded == submitted` across the merged
+//! [`ServeStats`], and all of it travels the wire as typed responses.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::OnceLock;
+use ucad::{Admission, Alert, ServeConfig, ShardedOnlineUcad, SubmitOutcome, Ucad, UcadConfig};
+use ucad_dbsim::LogRecord;
+use ucad_model::TransDasConfig;
+use ucad_net::{NetDaemon, NetRouter, NetServeConfig};
+use ucad_trace::{generate_raw_log, ScenarioSpec, SessionGenerator};
+
+/// Drain cadence of the canonical run, in script positions. Matching the
+/// reference and the fleet position-for-position matters: Block-style
+/// batching aside, a drain is an observable boundary in the alert stream.
+const DRAIN_EVERY: usize = 7;
+
+const ROUTER_SEED: u64 = 0xDA11A5;
+
+/// Builds the serving system deterministically. The parent's reference
+/// engine and every daemon child train this from scratch in their own
+/// process; seeded training is bit-identical, so the whole fleet serves
+/// the same model.
+fn system() -> Ucad {
+    static SYSTEM: OnceLock<Ucad> = OnceLock::new();
+    SYSTEM
+        .get_or_init(|| {
+            let raw = generate_raw_log(&ScenarioSpec::commenting(), 40, 0.0, 4601);
+            let mut cfg = UcadConfig::scenario1();
+            cfg.model = TransDasConfig {
+                hidden: 8,
+                heads: 2,
+                blocks: 1,
+                window: 8,
+                epochs: 2,
+                ..cfg.model
+            };
+            Ucad::train(&raw.sessions, cfg).0
+        })
+        .clone()
+}
+
+fn serve_cfg(cache_capacity: usize) -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        cache_capacity,
+        ..ServeConfig::default()
+    }
+}
+
+/// The canonical interleaved stream: 8 sessions, every other one carrying
+/// an unknown statement mid-session (a deterministic alert regardless of
+/// model weights), shuffled under a fixed seed.
+fn script() -> (Vec<LogRecord>, Vec<u64>) {
+    let mut gen = SessionGenerator::new(ScenarioSpec::commenting());
+    let mut rng = StdRng::seed_from_u64(4603);
+    let mut queues: Vec<Vec<LogRecord>> = Vec::new();
+    let mut ids = Vec::new();
+    for i in 0..8usize {
+        let mut s = gen.normal_session(&mut rng).session;
+        s.id = 60_000 + i as u64;
+        if i % 2 == 1 {
+            let mid = s.ops.len() / 2;
+            s.ops[mid].sql = format!("DELETE FROM t_shadow WHERE id={i}");
+        }
+        ids.push(s.id);
+        queues.push(
+            s.ops
+                .iter()
+                .map(|op| LogRecord {
+                    timestamp: op.timestamp,
+                    user: s.user.clone(),
+                    client_ip: s.client_ip.clone(),
+                    session_id: s.id,
+                    sql: op.sql.clone(),
+                    table: op.table.clone(),
+                    op: op.kind,
+                    rows: 0,
+                })
+                .collect(),
+        );
+    }
+    let mut stream = Vec::new();
+    let mut cursors = vec![0usize; queues.len()];
+    loop {
+        let open: Vec<usize> = (0..queues.len())
+            .filter(|&q| cursors[q] < queues[q].len())
+            .collect();
+        if open.is_empty() {
+            break;
+        }
+        let q = open[rng.gen_range(0..open.len())];
+        stream.push(queues[q][cursors[q]].clone());
+        cursors[q] += 1;
+    }
+    (stream, ids)
+}
+
+/// Walks the canonical script through any [`Admission`] — the in-process
+/// reference engine or a router over N daemon processes — draining on the
+/// canonical cadence. Returns the concatenated drained alert stream and
+/// the number of records submitted (all accepted: no faults are armed).
+fn run_canonical<A: Admission>(engine: &mut A) -> (Vec<Alert>, u64) {
+    let (stream, ids) = script();
+    let mut alerts = Vec::new();
+    let mut pos = 0usize;
+    for record in &stream {
+        pos += 1;
+        if pos.is_multiple_of(DRAIN_EVERY) {
+            alerts.extend(engine.drain_alerts().expect("cadence drain"));
+        }
+        assert_eq!(engine.try_submit(record), Ok(SubmitOutcome::Accepted));
+    }
+    for &id in &ids {
+        pos += 1;
+        if pos.is_multiple_of(DRAIN_EVERY) {
+            alerts.extend(engine.drain_alerts().expect("cadence drain"));
+        }
+        engine.close_session(id).expect("close session");
+    }
+    engine.flush().expect("final flush");
+    alerts.extend(engine.drain_alerts().expect("final drain"));
+    (alerts, stream.len() as u64)
+}
+
+/// One daemon child: bind on an ephemeral loopback port, announce the
+/// address on stdout, serve until the router's shutdown request.
+fn run_child() {
+    let cache: usize = std::env::var("UCAD_NETD_CACHE")
+        .expect("cache env")
+        .parse()
+        .expect("cache env parses");
+    let cfg = NetServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .serve(serve_cfg(cache))
+        .build()
+        .expect("valid net config");
+    let daemon = NetDaemon::bind(system(), cfg).expect("bind daemon");
+    // Explicit flush: a piped (non-tty) stdout is block-buffered, and the
+    // parent is waiting on this line before it connects.
+    println!("NETD_ADDR={}", daemon.local_addr());
+    std::io::Write::flush(&mut std::io::stdout()).expect("flush address line");
+    daemon.run().expect("daemon serve loop");
+}
+
+/// Child entry point: inert in a normal test run, a serving daemon when
+/// re-exec'ed by the wall below.
+#[test]
+fn child_entry() {
+    if std::env::var_os("UCAD_NETD_ROLE").is_some() {
+        run_child();
+    }
+}
+
+/// A spawned daemon child, killed on drop so a failing wall never leaks
+/// processes.
+struct DaemonChild {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for DaemonChild {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_daemon_child(cache: usize) -> DaemonChild {
+    let exe = std::env::current_exe().expect("own test binary");
+    let mut child = Command::new(exe)
+        .arg("child_entry")
+        .arg("--exact")
+        .arg("--nocapture")
+        .arg("--test-threads=1")
+        .env("UCAD_NETD_ROLE", "daemon")
+        .env("UCAD_NETD_CACHE", cache.to_string())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon child");
+    let stdout = child.stdout.take().expect("piped child stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("read child stdout") == 0 {
+            panic!("daemon child exited before announcing its address");
+        }
+        // libtest prints `test child_entry ... ` without a newline before
+        // the test body runs, so the marker may not start the line.
+        if let Some(at) = line.find("NETD_ADDR=") {
+            break line[at + "NETD_ADDR=".len()..].trim().to_string();
+        }
+    };
+    // Keep draining the child's stdout so the libtest epilogue can never
+    // fill the pipe and wedge the child.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    });
+    DaemonChild { child, addr }
+}
+
+/// Routes the canonical script across `daemons` real child processes and
+/// checks the merged drained stream against `expected`, plus fleet-wide
+/// accounting.
+fn check_topology(daemons: usize, cache: usize, expected: &[Alert]) {
+    let children: Vec<DaemonChild> = (0..daemons).map(|_| spawn_daemon_child(cache)).collect();
+    let addrs: Vec<String> = children.iter().map(|c| c.addr.clone()).collect();
+    let mut router = NetRouter::connect(&addrs, ROUTER_SEED).expect("connect router");
+    assert_eq!(router.daemons(), daemons);
+
+    let (got, submitted) = run_canonical(&mut router);
+    assert_eq!(
+        got, expected,
+        "fleet {daemons}x{cache}: merged cross-process alert stream \
+         diverged from the single-process reference"
+    );
+
+    // Fleet accounting: no faults armed, so every submission was accepted
+    // and reached a shard worker on some daemon.
+    let stats = Admission::stats(&mut router).expect("fleet stats");
+    assert_eq!(stats.records_shed, 0);
+    assert_eq!(stats.records_degraded, 0);
+    assert_eq!(
+        stats.records(),
+        submitted,
+        "fleet {daemons}x{cache}: accepted + shed + degraded != submitted"
+    );
+    assert_eq!(
+        stats.records_per_shard.len(),
+        daemons * 2,
+        "stats merge concatenates per-daemon shards"
+    );
+    if cache > 0 {
+        let cache_stats = stats.cache.expect("caching fleet reports cache stats");
+        assert_eq!(cache_stats.capacity, cache * daemons);
+    }
+
+    // Every daemon saw the router's connection and at least one request.
+    for health in router.health().expect("fleet health") {
+        assert_eq!(health.shards, 2);
+    }
+    let metrics = Admission::render_metrics(&mut router).expect("fleet metrics");
+    assert!(metrics.contains("ucad_net_requests_total"));
+
+    for (i, stats) in router
+        .shutdown()
+        .expect("fleet shutdown")
+        .iter()
+        .enumerate()
+    {
+        assert!(
+            daemons == 1 || stats.records() < submitted,
+            "daemon {i} served the whole stream; routing is degenerate"
+        );
+    }
+    for mut child in children {
+        let status = child.child.wait().expect("child exit");
+        assert!(status.success(), "daemon child exited uncleanly: {status}");
+    }
+}
+
+/// The wall: a single-process reference, then every fleet topology against
+/// it byte-for-byte.
+#[test]
+fn cross_process_alert_stream_is_byte_identical() {
+    if std::env::var_os("UCAD_NETD_ROLE").is_some() {
+        return; // daemon children run `child_entry` only
+    }
+
+    let mut reference = ShardedOnlineUcad::new(system(), serve_cfg(0));
+    let (expected, submitted) = run_canonical(&mut reference);
+    let ref_stats = reference.stats();
+    assert_eq!(ref_stats.records(), submitted);
+    drop(reference.shutdown());
+    assert!(
+        expected.len() >= 4,
+        "the canonical script must alert ({} alerts) or the wall is vacuous",
+        expected.len()
+    );
+
+    // Debug builds serve (and train, three processes per fleet) slowly;
+    // sweep the full topology grid only under optimization.
+    let topologies: &[(usize, usize)] = if cfg!(debug_assertions) {
+        &[(2, 0)]
+    } else {
+        &[(1, 0), (1, 256), (2, 0), (2, 256), (3, 0), (3, 256)]
+    };
+    for &(daemons, cache) in topologies {
+        check_topology(daemons, cache, &expected);
+    }
+}

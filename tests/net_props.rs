@@ -1,0 +1,202 @@
+//! Wire-protocol robustness walls (the `ucad-net` half of the WAL's damage
+//! story, `tests/wal_props.rs`):
+//!
+//! * **round trip** — any payload survives encode/decode bit-exactly, with
+//!   trailing bytes left untouched for the next frame;
+//! * **damage** — truncation, single-bit flips, oversized length fields and
+//!   trailing garbage must never panic: they decode to `Ok(None)` (need
+//!   more bytes) or a typed `UcadError`, and single-bit payload damage is
+//!   *always* caught by the CRC;
+//! * **streams** — a reader over a concatenation of frames yields exactly
+//!   those frames in order; a torn stream yields a clean prefix and then a
+//!   typed error, never an invented frame.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use ucad_net::protocol::{
+    decode_frame, decode_message, encode_frame, encode_message, read_frame, FrameKind, Request,
+    HEADER_LEN, MAX_PAYLOAD_LEN,
+};
+
+fn kind_of(raw: bool) -> FrameKind {
+    if raw {
+        FrameKind::Request
+    } else {
+        FrameKind::Response
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any payload round-trips bit-exactly, and the decoder reports the
+    /// exact frame length so trailing bytes belong to the next frame.
+    #[test]
+    fn frames_round_trip(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        req in any::<bool>(),
+        trailing in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let kind = kind_of(req);
+        let mut wire = encode_frame(kind, &payload);
+        let frame_len = wire.len();
+        prop_assert_eq!(frame_len, HEADER_LEN + payload.len());
+        wire.extend_from_slice(&trailing);
+        let (got_kind, got_payload, consumed) = decode_frame(&wire)
+            .expect("valid frame decodes")
+            .expect("complete frame decodes");
+        prop_assert_eq!(got_kind, kind);
+        prop_assert_eq!(got_payload, payload);
+        prop_assert_eq!(consumed, frame_len);
+    }
+
+    /// Every strict prefix of a valid frame decodes to `Ok(None)` — the
+    /// header validates incrementally (magic, version) without ever
+    /// rejecting a frame that is merely still in flight.
+    #[test]
+    fn prefixes_of_a_valid_frame_ask_for_more_bytes(
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        req in any::<bool>(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let wire = encode_frame(kind_of(req), &payload);
+        let cut = ((wire.len() as f64) * cut_frac) as usize; // strictly < len
+        prop_assert_eq!(decode_frame(&wire[..cut]).expect("prefix never errors"), None);
+    }
+
+    /// Flipping any single bit anywhere in a frame never panics. A flip in
+    /// the payload region is *guaranteed* caught by the CRC; a flip in the
+    /// header yields a typed error or an incomplete-frame verdict, never a
+    /// successful decode of different bytes.
+    #[test]
+    fn single_bit_flips_never_panic_and_payload_flips_always_fail(
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        req in any::<bool>(),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let kind = kind_of(req);
+        let mut wire = encode_frame(kind, &payload);
+        let pos = ((wire.len() as f64) * pos_frac) as usize;
+        wire[pos] ^= 1 << bit;
+        match decode_frame(&wire) {
+            Err(_) => {}                 // typed rejection — the common case
+            Ok(None) => {
+                // Only a length-field flip can legitimately leave the frame
+                // "incomplete": it must have grown the advertised length.
+                prop_assert!((8..12).contains(&pos), "only a longer length field may stall");
+            }
+            Ok(Some((got_kind, got_payload, _))) => {
+                // CRC32 detects every single-bit error in its input, so a
+                // successful decode means the flip touched neither the
+                // payload nor the framing that frames it.
+                prop_assert!(pos < HEADER_LEN, "payload flips must be caught");
+                prop_assert_eq!(got_kind, kind);
+                prop_assert_eq!(got_payload, payload.clone());
+            }
+        }
+    }
+
+    /// An oversized length field is rejected as a typed error before any
+    /// allocation of that size is attempted.
+    #[test]
+    fn oversized_length_is_a_typed_error(
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        req in any::<bool>(),
+        extra in 1u64..=u32::MAX as u64,
+    ) {
+        let len = (MAX_PAYLOAD_LEN as u64 + extra).min(u32::MAX as u64) as u32;
+        let mut wire = encode_frame(kind_of(req), &payload);
+        wire[8..12].copy_from_slice(&len.to_le_bytes());
+        prop_assert!(decode_frame(&wire).is_err());
+        // The header alone is enough to reject it.
+        prop_assert!(decode_frame(&wire[..HEADER_LEN]).is_err());
+    }
+
+    /// A reader over k concatenated frames yields exactly those frames in
+    /// order, then a clean EOF.
+    #[test]
+    fn stream_reader_yields_every_frame_then_eof(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..128), 1..8),
+    ) {
+        let mut wire = Vec::new();
+        for (i, p) in payloads.iter().enumerate() {
+            wire.extend_from_slice(&encode_frame(kind_of(i % 2 == 0), p));
+        }
+        let mut cursor = Cursor::new(wire);
+        for (i, p) in payloads.iter().enumerate() {
+            let (kind, payload) = read_frame(&mut cursor)
+                .expect("valid stream")
+                .expect("frame present");
+            prop_assert_eq!(kind, kind_of(i % 2 == 0));
+            prop_assert_eq!(&payload, p);
+        }
+        prop_assert_eq!(read_frame(&mut cursor).expect("clean EOF"), None);
+    }
+
+    /// Cutting a stream of frames at any byte yields a clean prefix of the
+    /// frames, then either a clean EOF (cut on a frame boundary) or a torn-
+    /// frame error — never a panic, never an invented frame.
+    #[test]
+    fn torn_streams_yield_a_clean_prefix_then_a_typed_error(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..6),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        let mut boundaries = vec![0usize];
+        for (i, p) in payloads.iter().enumerate() {
+            wire.extend_from_slice(&encode_frame(kind_of(i % 2 == 0), p));
+            boundaries.push(wire.len());
+        }
+        let cut = ((wire.len() as f64) * cut_frac) as usize;
+        let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        let mut cursor = Cursor::new(&wire[..cut]);
+        for p in payloads.iter().take(whole) {
+            let (_, payload) = read_frame(&mut cursor)
+                .expect("intact frames read back")
+                .expect("frame present");
+            prop_assert_eq!(&payload, p);
+        }
+        match read_frame(&mut cursor) {
+            Ok(None) => prop_assert!(
+                boundaries.contains(&cut),
+                "clean EOF only on a frame boundary"
+            ),
+            Ok(Some(_)) => prop_assert!(false, "read past the cut"),
+            Err(_) => prop_assert!(!boundaries.contains(&cut), "torn mid-frame is an error"),
+        }
+    }
+
+    /// Typed requests survive the full message path — serialize, frame,
+    /// unframe, deserialize — including arbitrary (unicode) field content.
+    #[test]
+    fn messages_round_trip_through_frames(
+        session_id in any::<u64>(),
+        sql in "[a-zA-Z0-9 _%;=<>'\"èλ✓]{0,64}",
+        user in "[a-zA-Z0-9_]{0,16}",
+        has_seq in any::<bool>(),
+        seq_val in any::<u64>(),
+    ) {
+        let request = Request::Submit {
+            seq: has_seq.then_some(seq_val),
+            record: ucad_dbsim::LogRecord {
+                timestamp: 7,
+                user,
+                client_ip: "10.0.0.1".into(),
+                session_id,
+                sql,
+                table: "t".into(),
+                op: ucad_dbsim::OpKind::Select,
+                rows: 3,
+            },
+        };
+        let wire = encode_message(FrameKind::Request, &request);
+        let (kind, payload, consumed) = decode_frame(&wire)
+            .expect("valid frame")
+            .expect("complete frame");
+        prop_assert_eq!(kind, FrameKind::Request);
+        prop_assert_eq!(consumed, wire.len());
+        let back: Request = decode_message(&payload).expect("parse request");
+        prop_assert_eq!(back, request);
+    }
+}

@@ -110,7 +110,7 @@ fn flight_recorder_captures_injected_anomaly_context() {
         .collect();
     for (s, _) in &sessions {
         for r in records_of(s) {
-            engine.submit(&r);
+            engine.try_submit(&r).expect("submit");
         }
     }
     for (s, _) in &sessions {

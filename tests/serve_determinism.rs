@@ -115,7 +115,7 @@ fn sharded_alerts(
     };
     let mut engine = ShardedOnlineUcad::new(system.clone(), cfg);
     for r in stream {
-        engine.submit(r);
+        engine.try_submit(r).expect("submit");
     }
     for &id in ids {
         engine.close_session(id);
