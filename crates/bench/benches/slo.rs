@@ -5,18 +5,24 @@
 //! `BENCH_slo.json`; the CI `slo-smoke` job replays a small fixed-rate cell
 //! and checks the ledger's invariants.
 //!
-//! Knobs: `UCAD_SLO_RPS` (average target rate, default 500) and
-//! `UCAD_SLO_RECORDS` (records per cell, default 2000). `UCAD_PROF=1`
-//! additionally dumps the hierarchical span profile at exit.
+//! Knobs: `UCAD_SLO_RPS` (average target rate, default 500),
+//! `UCAD_SLO_RECORDS` (records per cell, default 2000), and
+//! `UCAD_SLO_TENANTS` (tenants multiplexed in the fleet cell, default 2;
+//! 0 skips it — single-tenant rows always carry `tenants: 1`).
+//! `UCAD_SLO_TENANT_BUDGET` bounds resident models in the fleet cell
+//! (default = tenant count; lower values push LRU cold loads into the
+//! tail). `UCAD_PROF=1` additionally dumps the hierarchical span profile
+//! at exit.
 
 use std::time::Instant;
 use ucad::{OverloadPolicy, Ucad, UcadConfig};
 use ucad_baselines::{BaselineDetector, NgramLm};
 use ucad_bench::slo::{
-    load_slo_ledger, run_slo, slo_ledger_path, store_slo_ledger, ArrivalSchedule, SloConfig, SloRow,
+    load_slo_ledger, run_slo, run_slo_fleet, slo_ledger_path, store_slo_ledger, ArrivalSchedule,
+    SloConfig, SloRow,
 };
 use ucad_bench::{header, measured_block};
-use ucad_dbsim::LogRecord;
+use ucad_dbsim::{LogRecord, ZipfSampler};
 use ucad_model::TransDasConfig;
 use ucad_trace::{generate_raw_log, ScenarioSpec, Session, SessionGenerator};
 
@@ -185,6 +191,83 @@ fn main() {
             schedule: schedule.name().to_string(),
             policy: policy_name(policy).to_string(),
             shards,
+            tenants: 1,
+            target_rps,
+            threads,
+            submitted: r.submitted,
+            accepted: r.accepted,
+            shed: r.shed,
+            degraded: r.degraded,
+            worker_restarts: r.worker_restarts,
+            achieved_rps: r.achieved_rps,
+            p50_ms: r.p50_ms,
+            p90_ms: r.p90_ms,
+            p99_ms: r.p99_ms,
+            p999_ms: r.p999_ms,
+            max_ms: r.max_ms,
+        });
+    }
+    // Multi-tenant matrix point: the same stream volume split across N
+    // tenants of one shard pool under a Zipf traffic skew (the Scenario-III
+    // arrival pattern), measuring what multiplexing costs the tail relative
+    // to the dedicated `tenants: 1` rows above.
+    let n_tenants = env_usize("UCAD_SLO_TENANTS", 2);
+    if n_tenants >= 2 {
+        let budget = env_usize("UCAD_SLO_TENANT_BUDGET", n_tenants);
+        let per_tenant = (records / n_tenants).max(1);
+        let queues: Vec<(u64, Vec<LogRecord>)> = (0..n_tenants)
+            .map(|t| {
+                let tenant = t as u64 + 1;
+                (tenant, build_stream(&spec, per_tenant, 4242 + tenant))
+            })
+            .collect();
+        // Zipf-pick the next tenant; an exhausted tenant's picks fall
+        // forward to the next with records left, preserving per-tenant
+        // order (the discipline of `ucad_dbsim::interleave_zipf`).
+        let total: usize = queues.iter().map(|(_, q)| q.len()).sum();
+        let mut sampler = ZipfSampler::new(n_tenants, 1.0, 0x510F);
+        let mut cursor = vec![0usize; n_tenants];
+        let mut fleet: Vec<(u64, LogRecord)> = Vec::with_capacity(total);
+        while fleet.len() < total {
+            let mut pick = sampler.sample();
+            while cursor[pick] >= queues[pick].1.len() {
+                pick = (pick + 1) % n_tenants;
+            }
+            let (tenant, q) = &queues[pick];
+            fleet.push((*tenant, q[cursor[pick]].clone()));
+            cursor[pick] += 1;
+        }
+        let tenants: Vec<(u64, String, Ucad)> = (1..=n_tenants as u64)
+            .map(|t| (t, format!("slo-{t}"), system.clone()))
+            .collect();
+        let slo_cfg = SloConfig {
+            schedule: ArrivalSchedule::Constant,
+            target_rps,
+            shards: 4,
+            policy: OverloadPolicy::Block,
+            queue_capacity: 64,
+            cache_capacity: 512,
+        };
+        let r = run_slo_fleet(tenants, budget, &fleet, &slo_cfg);
+        assert_eq!(r.accepted + r.shed, r.submitted, "fleet accounting");
+        println!(
+            "{:<9} {:>6} {:<10} {:>9.0} {:>9.3} {:>9.3} {:>9.3} {:>9.3}  acc {} shed {} tenants {n_tenants} budget {budget}",
+            "constant",
+            4,
+            "Block",
+            r.achieved_rps,
+            r.p50_ms,
+            r.p99_ms,
+            r.p999_ms,
+            r.max_ms,
+            r.accepted,
+            r.shed,
+        );
+        ledger.upsert(SloRow {
+            schedule: "constant".to_string(),
+            policy: "Block".to_string(),
+            shards: 4,
+            tenants: n_tenants,
             target_rps,
             threads,
             submitted: r.submitted,

@@ -26,6 +26,7 @@ use ucad::{OverloadPolicy, ServeConfig, ServeObserver, ShardedOnlineUcad, Submit
 use ucad_baselines::NgramLm;
 use ucad_dbsim::LogRecord;
 use ucad_model::DetectionMode;
+use ucad_tenant::{TenantRegistry, TenantShardPool};
 
 /// Arrival-rate shape over the replay, all with the same *average* rate so
 /// rows are comparable across schedules.
@@ -269,6 +270,109 @@ pub fn run_slo(
     }
 }
 
+/// Replays a tenant-tagged `stream` open-loop against a
+/// [`TenantShardPool`] multiplexing `tenants` behind one shard pool, with
+/// the same coordinated-omission-safe measurement as [`run_slo`]: the pool
+/// assigns record seqs densely from 0 in submission order, so the engine's
+/// completion-slot bookkeeping carries over unchanged. `budget` bounds
+/// resident models (below the tenant count, LRU cold loads land in the
+/// tail — as they would in production). [`OverloadPolicy::Degrade`] is not
+/// supported by the pool and is rejected at construction.
+pub fn run_slo_fleet(
+    tenants: Vec<(u64, String, Ucad)>,
+    budget: usize,
+    stream: &[(u64, LogRecord)],
+    cfg: &SloConfig,
+) -> SloResult {
+    let arrivals = schedule_arrivals(cfg.schedule, stream.len(), cfg.target_rps);
+    let observer = Arc::new(SloObserver {
+        origin: Instant::now(),
+        completions: (0..stream.len()).map(|_| AtomicU64::new(0)).collect(),
+    });
+    let dir = std::env::temp_dir().join(format!(
+        "ucad-slo-fleet-{}-{}",
+        std::process::id(),
+        stream.len()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut registry =
+        TenantRegistry::open(&dir, budget, cfg.cache_capacity).expect("open SLO fleet registry");
+    for (tenant, name, system) in &tenants {
+        registry
+            .register(*tenant, name, system)
+            .expect("register SLO tenant");
+    }
+    let serve_cfg = ServeConfig {
+        shards: cfg.shards,
+        queue_capacity: cfg.queue_capacity,
+        cache_capacity: cfg.cache_capacity,
+        mode: DetectionMode::Streaming,
+        overload: cfg.policy,
+        ..ServeConfig::default()
+    };
+    let mut pool = TenantShardPool::new_observed(
+        registry,
+        serve_cfg,
+        Some(observer.clone() as Arc<dyn ServeObserver>),
+        64,
+    )
+    .expect("invalid SLO fleet configuration");
+
+    let mut session_order: Vec<(u64, u64)> = Vec::new();
+    for (tenant, r) in stream {
+        if !session_order.contains(&(*tenant, r.session_id)) {
+            session_order.push((*tenant, r.session_id));
+        }
+    }
+
+    let start_ns = observer.origin.elapsed().as_nanos() as u64;
+    let (mut accepted, mut shed) = (0u64, 0u64);
+    let mut deadlines = Vec::with_capacity(stream.len());
+    for ((tenant, record), offset) in stream.iter().zip(&arrivals) {
+        let deadline = start_ns + offset;
+        deadlines.push(deadline);
+        pace(observer.origin, deadline);
+        match pool.try_submit(*tenant, record).expect("submit") {
+            SubmitOutcome::Accepted => accepted += 1,
+            SubmitOutcome::Shed => shed += 1,
+            SubmitOutcome::Degraded => unreachable!("pool cannot degrade"),
+        }
+    }
+    let wall_secs = (observer.origin.elapsed().as_nanos() as u64 - start_ns) as f64 / 1e9;
+    for (tenant, id) in &session_order {
+        pool.close_session(*tenant, *id).expect("close");
+    }
+    let stats = pool.stats().expect("stats"); // flushes: accepted work has completed
+    let alerts = pool.drain_alerts().expect("drain").len();
+    drop(pool);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut lat_ms: Vec<f64> = Vec::with_capacity(stream.len());
+    for (cell, deadline) in observer.completions.iter().zip(&deadlines) {
+        let done = cell.load(Ordering::Relaxed);
+        if done == 0 {
+            continue; // shed — never reached a scorer
+        }
+        lat_ms.push((done - 1).saturating_sub(*deadline) as f64 / 1e6);
+    }
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    SloResult {
+        submitted: stream.len() as u64,
+        accepted,
+        shed,
+        degraded: 0,
+        worker_restarts: stats.worker_restarts,
+        completed: lat_ms.len() as u64,
+        achieved_rps: stream.len() as f64 / wall_secs.max(1e-9),
+        p50_ms: sample_quantile(&lat_ms, 0.50),
+        p90_ms: sample_quantile(&lat_ms, 0.90),
+        p99_ms: sample_quantile(&lat_ms, 0.99),
+        p999_ms: sample_quantile(&lat_ms, 0.999),
+        max_ms: lat_ms.last().copied().unwrap_or(0.0),
+        alerts,
+    }
+}
+
 /// One row of the `BENCH_slo.json` ledger.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SloRow {
@@ -278,6 +382,8 @@ pub struct SloRow {
     pub policy: String,
     /// Worker shards.
     pub shards: usize,
+    /// Tenants multiplexed behind the pool (1 = dedicated engine).
+    pub tenants: usize,
     /// Average target arrival rate, records/s.
     pub target_rps: f64,
     /// Compute-pool threads (`UCAD_THREADS`) the row was measured under.
@@ -306,8 +412,8 @@ pub struct SloRow {
     pub max_ms: f64,
 }
 
-/// The `BENCH_slo.json` ledger: one row per (schedule, policy, shards)
-/// cell, written by the `slo` bench target and checked by the CI
+/// The `BENCH_slo.json` ledger: one row per (schedule, policy, shards,
+/// tenants) cell, written by the `slo` bench target and checked by the CI
 /// `slo-smoke` job.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SloLedger {
@@ -316,14 +422,23 @@ pub struct SloLedger {
 }
 
 impl SloLedger {
-    /// Replaces (or appends) the row for `(schedule, policy, shards)`.
+    /// Replaces (or appends) the row for `(schedule, policy, shards,
+    /// tenants)`.
     pub fn upsert(&mut self, row: SloRow) {
         self.rows.retain(|r| {
-            !(r.schedule == row.schedule && r.policy == row.policy && r.shards == row.shards)
+            !(r.schedule == row.schedule
+                && r.policy == row.policy
+                && r.shards == row.shards
+                && r.tenants == row.tenants)
         });
         self.rows.push(row);
         self.rows.sort_by(|a, b| {
-            (&a.schedule, &a.policy, a.shards).cmp(&(&b.schedule, &b.policy, b.shards))
+            (&a.schedule, &a.policy, a.shards, a.tenants).cmp(&(
+                &b.schedule,
+                &b.policy,
+                b.shards,
+                b.tenants,
+            ))
         });
     }
 }
@@ -400,6 +515,7 @@ mod tests {
             schedule: "constant".into(),
             policy: "Block".into(),
             shards,
+            tenants: 1,
             target_rps: 100.0,
             threads: 1,
             submitted: 10,
@@ -421,5 +537,11 @@ mod tests {
         assert_eq!(ledger.rows.len(), 2);
         let replaced = ledger.rows.iter().find(|r| r.shards == 1).unwrap();
         assert_eq!(replaced.p99_ms, 9.0);
+        // Tenant count is part of the cell key: a fleet row coexists with
+        // the dedicated row of the same (schedule, policy, shards).
+        let mut fleet = row(4, 7.0);
+        fleet.tenants = 4;
+        ledger.upsert(fleet);
+        assert_eq!(ledger.rows.len(), 3);
     }
 }

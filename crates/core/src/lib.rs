@@ -46,7 +46,7 @@ pub use experiment::{
     evaluate_log_dataset, run_baseline, run_transdas, TokenizedDataset, TransferResult,
 };
 pub use metrics::{Confusion, MethodResult};
-pub use online::{Alert, AlertReason, OnlineUcad, ServeObserver};
+pub use online::{Alert, AlertReason, OnlineUcad, RaisedAlert, ServeObserver, SessionTracker};
 pub use serve::{
     DurabilityConfig, OverloadPolicy, ServeConfig, ServeConfigBuilder, ServeStats,
     ShardedOnlineUcad, ShutdownReport, SubmitOutcome,

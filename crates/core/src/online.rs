@@ -114,13 +114,23 @@ struct ActiveSession {
 /// score behind the verdict, whether the scoring forward hit the score memo,
 /// and the padded key window that ends at the triggering position. Policy
 /// alerts carry no rank/score/cache-hit (no scoring ran).
-pub(crate) struct RaisedAlert {
-    pub(crate) seq: u64,
-    pub(crate) alert: Alert,
-    pub(crate) rank: Option<usize>,
-    pub(crate) score: Option<f64>,
-    pub(crate) cache_hit: Option<bool>,
-    pub(crate) key_window: Vec<u32>,
+///
+/// Public so external serving engines built on [`SessionTracker`] (the
+/// multi-tenant shard pool in `ucad-tenant` is one) can record the same
+/// flight diagnostics as [`crate::ShardedOnlineUcad`].
+pub struct RaisedAlert {
+    /// Global arrival sequence number of the triggering record.
+    pub seq: u64,
+    /// The alert itself.
+    pub alert: Alert,
+    /// Top-*p* rank of the offending key (`None` when no rank exists).
+    pub rank: Option<usize>,
+    /// Raw similarity score of the offending key.
+    pub score: Option<f64>,
+    /// Whether the scoring forward hit the score memo.
+    pub cache_hit: Option<bool>,
+    /// The padded key window that ends at the triggering position.
+    pub key_window: Vec<u32>,
 }
 
 /// Scoring and alerting engine around one partition of sessions: the shared
@@ -137,14 +147,21 @@ pub(crate) struct RaisedAlert {
 /// closes. Both disciplines are pure functions of each session's record
 /// sequence, so results never depend on how records interleave across
 /// sessions or on worker timing.
-pub(crate) struct SessionTracker {
+///
+/// Public so serving engines outside this crate can build new topologies on
+/// the same per-partition state machine — `ucad-tenant` hosts one tracker
+/// per `(shard, tenant)` pair behind a shared shard pool, which is what
+/// makes its per-tenant output byte-identical to a dedicated single-tenant
+/// engine.
+pub struct SessionTracker {
     mode: DetectionMode,
     active: HashMap<u64, ActiveSession>,
     verified_normals: Vec<Vec<u32>>,
 }
 
 impl SessionTracker {
-    pub(crate) fn new(mode: DetectionMode) -> Self {
+    /// An empty partition scoring under `mode`.
+    pub fn new(mode: DetectionMode) -> Self {
         SessionTracker {
             mode,
             active: HashMap::new(),
@@ -152,7 +169,8 @@ impl SessionTracker {
         }
     }
 
-    pub(crate) fn active_sessions(&self) -> usize {
+    /// Number of currently active (unclosed) sessions.
+    pub fn active_sessions(&self) -> usize {
         self.active.len()
     }
 
@@ -163,7 +181,8 @@ impl SessionTracker {
         self.active.contains_key(&session_id)
     }
 
-    pub(crate) fn pending_feedback(&self) -> usize {
+    /// Sessions waiting in the verified-normal feedback buffer.
+    pub fn pending_feedback(&self) -> usize {
         self.verified_normals.len()
     }
 
@@ -254,7 +273,7 @@ impl SessionTracker {
     /// this operation (paired with the sequence number of the record that
     /// triggered it), if any. A session alerts at most once (the paper
     /// flags the whole session on the first abnormal operation).
-    pub(crate) fn ingest(
+    pub fn ingest(
         &mut self,
         system: &Ucad,
         cache: Option<&ScoreCache>,
@@ -338,7 +357,7 @@ impl SessionTracker {
     /// Closes a session: Block mode scores the still-pending tail first (so
     /// closing can itself raise an alert), then unalerted sessions join the
     /// verified-normal feedback buffer.
-    pub(crate) fn close(
+    pub fn close(
         &mut self,
         system: &Ucad,
         cache: Option<&ScoreCache>,
@@ -362,14 +381,14 @@ impl SessionTracker {
 
     /// DBA feedback: the alert was a false alarm; the session is verified
     /// normal regardless of its alert state.
-    pub(crate) fn confirm_false_alarm(&mut self, session_id: u64) {
+    pub fn confirm_false_alarm(&mut self, session_id: u64) {
         if let Some(entry) = self.active.remove(&session_id) {
             self.verified_normals.push(entry.keys);
         }
     }
 
     /// Hands over (and clears) the verified-normal feedback buffer.
-    pub(crate) fn take_verified_normals(&mut self) -> Vec<Vec<u32>> {
+    pub fn take_verified_normals(&mut self) -> Vec<Vec<u32>> {
         std::mem::take(&mut self.verified_normals)
     }
 

@@ -637,6 +637,7 @@ fn book_alert(
         seq: raised.seq,
         session_id: raised.alert.session_id,
         shard,
+        tenant: None,
         reason: reason.clone(),
         position: raised.alert.position,
         rank: raised.rank,

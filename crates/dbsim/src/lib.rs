@@ -31,8 +31,15 @@ pub mod ast;
 pub mod audit;
 pub mod engine;
 pub mod parser;
+pub mod tenants;
+pub mod zipf;
 
 pub use ast::{Condition, OpKind, Projection, Statement, Value};
 pub use audit::{AuditLog, AuditedDatabase, LogRecord, SessionContext};
 pub use engine::{Database, ExecError, ExecResult, Table};
 pub use parser::{parse, ParseError};
+pub use tenants::{
+    fleet_events, interleave_zipf, tenant_serving_events, training_records, FleetEvent,
+    TenantArchetype, TenantSpec,
+};
+pub use zipf::ZipfSampler;

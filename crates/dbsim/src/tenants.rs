@@ -1,0 +1,599 @@
+//! Scenario III: a heterogeneous multi-tenant fleet sharing one database
+//! service.
+//!
+//! The paper evaluates UCAD on single-application traces (Scenarios I and
+//! II). Production anomaly detection runs as a *service*: many tenants,
+//! each with its own schema, workload shape and trained model, multiplexed
+//! behind one serving pool. This module generates that fleet: every tenant
+//! is stamped from one of three archetypes (a commenting application, a
+//! location service, a syslog sink — echoing the paper's workload families)
+//! and produces audit logs through the real [`crate::engine`] executor, so
+//! rows-affected counts and failed statements behave exactly like the
+//! single-tenant generators.
+//!
+//! Two entry points matter for correctness walls:
+//!
+//! * [`tenant_serving_events`] — the *dedicated* stream of one tenant, in
+//!   isolation. Deterministic in the spec alone.
+//! * [`fleet_events`] — every tenant's stream interleaved under
+//!   [`ZipfSampler`] traffic skew. Restricting the interleaved stream to
+//!   one tenant yields *exactly* that tenant's dedicated stream, which is
+//!   what makes "multi-tenant output ≡ dedicated output" testable at all.
+
+use crate::ast::{Condition, Projection, Statement, Value};
+use crate::audit::{AuditedDatabase, LogRecord, SessionContext};
+use crate::engine::Database;
+use crate::zipf::{splitmix64, ZipfSampler};
+
+/// Workload family a tenant is stamped from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum TenantArchetype {
+    /// Comment/danmu application: balanced read/write on `t_content` /
+    /// `t_comment` (Scenario-I-like).
+    Commenting,
+    /// Location service: device position reads and upserts on
+    /// `t_location` / `t_cell` (Scenario-II-like).
+    LocationService,
+    /// Syslog sink: insert-heavy append stream on `t_syslog` with
+    /// rotation deletes.
+    Syslog,
+}
+
+impl TenantArchetype {
+    /// Stable lowercase name — used for metric labels and checkpoint dirs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TenantArchetype::Commenting => "commenting",
+            TenantArchetype::LocationService => "location",
+            TenantArchetype::Syslog => "syslog",
+        }
+    }
+
+    /// All archetypes, in a stable order.
+    pub fn all() -> [TenantArchetype; 3] {
+        [
+            TenantArchetype::Commenting,
+            TenantArchetype::LocationService,
+            TenantArchetype::Syslog,
+        ]
+    }
+
+    fn schema(&self, db: &mut Database) {
+        match self {
+            TenantArchetype::Commenting => {
+                db.create_table("t_content", &["danmuKey", "count", "ts"]);
+                db.create_table("t_comment", &["danmuKey", "userId", "content", "ts"]);
+            }
+            TenantArchetype::LocationService => {
+                db.create_table("t_cell", &["cellId", "pnci"]);
+                db.create_table("t_location", &["deviceId", "gridId", "lat", "lon", "ts"]);
+            }
+            TenantArchetype::Syslog => {
+                db.create_table("t_syslog", &["host", "severity", "msg", "ts"]);
+            }
+        }
+    }
+
+    fn users(&self) -> &'static [&'static str] {
+        match self {
+            TenantArchetype::Commenting => &["app_fe1", "app_fe2", "app_fe3"],
+            TenantArchetype::LocationService => &["loc_svc", "loc_batch"],
+            TenantArchetype::Syslog => &["log_agent"],
+        }
+    }
+
+    fn ips(&self) -> &'static [&'static str] {
+        match self {
+            TenantArchetype::Commenting => &["10.1.0.1", "10.1.0.2", "10.1.0.3"],
+            TenantArchetype::LocationService => &["10.2.0.1", "10.2.0.2"],
+            TenantArchetype::Syslog => &["10.3.0.1"],
+        }
+    }
+
+    fn entry_statement(&self, rng: &mut Rng) -> Statement {
+        match self {
+            TenantArchetype::Commenting => select_eq("t_content", "danmuKey", rng.int(500)),
+            TenantArchetype::LocationService => select_eq("t_cell", "cellId", rng.int(200)),
+            TenantArchetype::Syslog => Statement::Select {
+                table: "t_syslog".into(),
+                projection: Projection::All,
+                conditions: vec![Condition::Eq(
+                    "host".into(),
+                    Value::Str(format!("host{}", rng.int(16))),
+                )],
+            },
+        }
+    }
+
+    fn exit_statement(&self, rng: &mut Rng) -> Statement {
+        match self {
+            TenantArchetype::Commenting => Statement::Select {
+                table: "t_content".into(),
+                projection: Projection::Columns(vec!["count".into()]),
+                conditions: vec![Condition::Eq("danmuKey".into(), Value::Int(rng.int(500)))],
+            },
+            TenantArchetype::LocationService => Statement::Select {
+                table: "t_location".into(),
+                projection: Projection::Columns(vec!["ts".into()]),
+                conditions: vec![Condition::Eq("deviceId".into(), Value::Int(rng.int(300)))],
+            },
+            TenantArchetype::Syslog => Statement::Select {
+                table: "t_syslog".into(),
+                projection: Projection::Columns(vec!["severity".into()]),
+                conditions: vec![Condition::Eq(
+                    "host".into(),
+                    Value::Str(format!("host{}", rng.int(16))),
+                )],
+            },
+        }
+    }
+
+    /// One normal body statement, drawn from the archetype's template mix.
+    fn body_statement(&self, rng: &mut Rng) -> Statement {
+        match self {
+            TenantArchetype::Commenting => match rng.pick(&[3, 3, 2, 2, 1]) {
+                0 => Statement::Insert {
+                    table: "t_comment".into(),
+                    columns: vec![
+                        "danmuKey".into(),
+                        "userId".into(),
+                        "content".into(),
+                        "ts".into(),
+                    ],
+                    rows: vec![vec![
+                        Value::Int(rng.int(500)),
+                        Value::Int(rng.int(40)),
+                        Value::Str(format!("c{}", rng.int(10_000))),
+                        Value::Int(rng.int(1 << 20)),
+                    ]],
+                },
+                1 => Statement::Select {
+                    table: "t_comment".into(),
+                    projection: Projection::Columns(vec!["content".into(), "ts".into()]),
+                    conditions: vec![Condition::Eq("danmuKey".into(), Value::Int(rng.int(500)))],
+                },
+                2 => Statement::Update {
+                    table: "t_content".into(),
+                    assignments: vec![("count".into(), Value::Int(rng.int(1000)))],
+                    conditions: vec![Condition::Eq("danmuKey".into(), Value::Int(rng.int(500)))],
+                },
+                3 => select_eq("t_comment", "userId", rng.int(40)),
+                _ => Statement::Delete {
+                    table: "t_comment".into(),
+                    conditions: vec![
+                        Condition::Eq("danmuKey".into(), Value::Int(rng.int(500))),
+                        Condition::Eq("userId".into(), Value::Int(rng.int(40))),
+                    ],
+                },
+            },
+            TenantArchetype::LocationService => match rng.pick(&[3, 3, 2, 1]) {
+                0 => Statement::Select {
+                    table: "t_location".into(),
+                    projection: Projection::Columns(vec!["lat".into(), "lon".into()]),
+                    conditions: vec![Condition::Eq("deviceId".into(), Value::Int(rng.int(300)))],
+                },
+                1 => Statement::Insert {
+                    table: "t_location".into(),
+                    columns: vec![
+                        "deviceId".into(),
+                        "gridId".into(),
+                        "lat".into(),
+                        "lon".into(),
+                        "ts".into(),
+                    ],
+                    rows: vec![vec![
+                        Value::Int(rng.int(300)),
+                        Value::Int(rng.int(64)),
+                        Value::Int(rng.int(90)),
+                        Value::Int(rng.int(180)),
+                        Value::Int(rng.int(1 << 20)),
+                    ]],
+                },
+                2 => Statement::Update {
+                    table: "t_location".into(),
+                    assignments: vec![
+                        ("lat".into(), Value::Int(rng.int(90))),
+                        ("lon".into(), Value::Int(rng.int(180))),
+                    ],
+                    conditions: vec![Condition::Eq("deviceId".into(), Value::Int(rng.int(300)))],
+                },
+                _ => Statement::Select {
+                    table: "t_location".into(),
+                    projection: Projection::All,
+                    conditions: vec![Condition::In(
+                        "gridId".into(),
+                        vec![
+                            Value::Int(rng.int(64)),
+                            Value::Int(rng.int(64)),
+                            Value::Int(rng.int(64)),
+                        ],
+                    )],
+                },
+            },
+            TenantArchetype::Syslog => match rng.pick(&[6, 2, 1]) {
+                0 => Statement::Insert {
+                    table: "t_syslog".into(),
+                    columns: vec!["host".into(), "severity".into(), "msg".into(), "ts".into()],
+                    rows: vec![vec![
+                        Value::Str(format!("host{}", rng.int(16))),
+                        Value::Int(rng.int(8)),
+                        Value::Str(format!("m{}", rng.int(100_000))),
+                        Value::Int(rng.int(1 << 20)),
+                    ]],
+                },
+                1 => Statement::Select {
+                    table: "t_syslog".into(),
+                    projection: Projection::Columns(vec!["msg".into()]),
+                    conditions: vec![Condition::Eq("severity".into(), Value::Int(rng.int(8)))],
+                },
+                _ => Statement::Delete {
+                    table: "t_syslog".into(),
+                    conditions: vec![Condition::Eq("ts".into(), Value::Int(rng.int(1 << 20)))],
+                },
+            },
+        }
+    }
+
+    /// A statement whose *shape* never occurs in training: the anomaly the
+    /// detector should flag as a newly-appeared statement key.
+    fn anomalous_statement(&self, rng: &mut Rng) -> Statement {
+        match self {
+            // Full-table dump of every comment: exfiltration-shaped.
+            TenantArchetype::Commenting => Statement::Select {
+                table: "t_comment".into(),
+                projection: Projection::All,
+                conditions: vec![],
+            },
+            // Destructive delete of a device's history: never trained.
+            TenantArchetype::LocationService => Statement::Delete {
+                table: "t_location".into(),
+                conditions: vec![Condition::Eq("deviceId".into(), Value::Int(rng.int(300)))],
+            },
+            // Targeted probe of one host's log lines: unseen predicate pair.
+            TenantArchetype::Syslog => Statement::Select {
+                table: "t_syslog".into(),
+                projection: Projection::Columns(vec!["msg".into(), "ts".into()]),
+                conditions: vec![
+                    Condition::Eq("host".into(), Value::Str(format!("host{}", rng.int(16)))),
+                    Condition::Eq("severity".into(), Value::Int(rng.int(8))),
+                ],
+            },
+        }
+    }
+}
+
+fn select_eq(table: &str, column: &str, v: i64) -> Statement {
+    Statement::Select {
+        table: table.into(),
+        projection: Projection::All,
+        conditions: vec![Condition::Eq(column.into(), Value::Int(v))],
+    }
+}
+
+/// Tiny deterministic PRNG over splitmix64 (independent of the `rand`
+/// crate so stream shapes can never drift with a dependency bump).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(splitmix64(seed ^ 0x7E4A_4E7A_0000_0001))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = splitmix64(self.0);
+        self.0
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    fn int(&mut self, bound: i64) -> i64 {
+        (self.next() % bound as u64) as i64
+    }
+
+    /// Uniform index in `[0, bound)`.
+    fn index(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Weighted choice: returns the index of the chosen weight.
+    fn pick(&mut self, weights: &[u32]) -> usize {
+        let total: u32 = weights.iter().sum();
+        let mut draw = (self.next() % total as u64) as u32;
+        for (i, &w) in weights.iter().enumerate() {
+            if draw < w {
+                return i;
+            }
+            draw -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+/// One tenant of the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TenantSpec {
+    /// Fleet-unique tenant id.
+    pub tenant: u64,
+    /// Workload family the tenant is stamped from.
+    pub archetype: TenantArchetype,
+    /// Per-tenant stream seed: two tenants of the same archetype with
+    /// different seeds produce different (but same-shaped) traffic.
+    pub seed: u64,
+}
+
+/// One element of a serving stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetEvent {
+    /// A data-access record to score, tagged with its tenant.
+    Record {
+        /// Tenant the record belongs to.
+        tenant: u64,
+        /// The audit-log record.
+        record: LogRecord,
+    },
+    /// End of one tenant session (the engine should close and classify it).
+    Close {
+        /// Tenant the session belongs to.
+        tenant: u64,
+        /// The finished session.
+        session_id: u64,
+    },
+}
+
+impl FleetEvent {
+    /// Tenant the event belongs to.
+    pub fn tenant(&self) -> u64 {
+        match self {
+            FleetEvent::Record { tenant, .. } | FleetEvent::Close { tenant, .. } => *tenant,
+        }
+    }
+}
+
+/// Drives one session through the executor, returning its records.
+fn run_session(
+    adb: &mut AuditedDatabase,
+    archetype: TenantArchetype,
+    session_id: u64,
+    rng: &mut Rng,
+    anomaly_rate: f64,
+) -> Vec<LogRecord> {
+    let users = archetype.users();
+    let ips = archetype.ips();
+    let ctx = SessionContext {
+        user: users[rng.index(users.len())].to_string(),
+        client_ip: ips[rng.index(ips.len())].to_string(),
+        session_id,
+    };
+    let start = adb.log.len();
+    let body_len = 4 + rng.index(6);
+    let _ = adb.execute(&ctx, &archetype.entry_statement(rng));
+    adb.advance_clock(1 + rng.next() % 4);
+    for _ in 0..body_len {
+        let stmt = if anomaly_rate > 0.0 && rng.unit() < anomaly_rate {
+            archetype.anomalous_statement(rng)
+        } else {
+            archetype.body_statement(rng)
+        };
+        let _ = adb.execute(&ctx, &stmt);
+        adb.advance_clock(1 + rng.next() % 4);
+    }
+    let _ = adb.execute(&ctx, &archetype.exit_statement(rng));
+    adb.advance_clock(2);
+    adb.log.records()[start..].to_vec()
+}
+
+/// Generates `sessions` clean training sessions for one archetype. The
+/// returned records group into sessions via `session_id`; ids start at 1.
+pub fn training_records(archetype: TenantArchetype, sessions: usize, seed: u64) -> Vec<LogRecord> {
+    let mut db = Database::new();
+    archetype.schema(&mut db);
+    let mut adb = AuditedDatabase::new(db, 1_000);
+    let mut rng = Rng::new(seed ^ 0x7124_1111);
+    let mut out = Vec::new();
+    for i in 0..sessions {
+        out.extend(run_session(
+            &mut adb,
+            archetype,
+            i as u64 + 1,
+            &mut rng,
+            0.0,
+        ));
+    }
+    out
+}
+
+/// Serving session ids are namespaced per tenant: `tenant << 24 | index`.
+/// Valid for up to 2^24 sessions per tenant and 2^40 tenants.
+pub fn serving_session_id(tenant: u64, index: usize) -> u64 {
+    (tenant << 24) | index as u64
+}
+
+/// The dedicated serving stream of one tenant: `sessions` sessions with
+/// `anomaly_rate` of body statements replaced by never-trained shapes.
+/// Deterministic in `(spec, sessions, anomaly_rate)` alone — this is the
+/// reference stream the byte-identity wall replays into a single-tenant
+/// engine.
+pub fn tenant_serving_events(
+    spec: &TenantSpec,
+    sessions: usize,
+    anomaly_rate: f64,
+) -> Vec<FleetEvent> {
+    let mut db = Database::new();
+    spec.archetype.schema(&mut db);
+    let mut adb = AuditedDatabase::new(db, 500_000);
+    let mut rng = Rng::new(spec.seed ^ splitmix64(spec.tenant) ^ 0x5E21_2222);
+    let mut out = Vec::new();
+    for i in 0..sessions {
+        let sid = serving_session_id(spec.tenant, i);
+        for record in run_session(&mut adb, spec.archetype, sid, &mut rng, anomaly_rate) {
+            out.push(FleetEvent::Record {
+                tenant: spec.tenant,
+                record,
+            });
+        }
+        out.push(FleetEvent::Close {
+            tenant: spec.tenant,
+            session_id: sid,
+        });
+    }
+    out
+}
+
+/// Interleaves per-tenant streams under Zipf skew: stream order within each
+/// tenant is preserved; the sampler only decides whose turn it is. When the
+/// sampled stream is exhausted the scan falls forward to the next live one,
+/// so every event is always emitted.
+pub fn interleave_zipf(streams: Vec<Vec<FleetEvent>>, exponent: f64, seed: u64) -> Vec<FleetEvent> {
+    if streams.is_empty() {
+        return Vec::new();
+    }
+    let mut sampler = ZipfSampler::new(streams.len(), exponent, seed);
+    let mut cursors = vec![0usize; streams.len()];
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let want = sampler.sample();
+        let live = (0..streams.len())
+            .map(|k| (want + k) % streams.len())
+            .find(|&s| cursors[s] < streams[s].len())
+            .expect("total accounting guarantees a live stream");
+        out.push(streams[live][cursors[live]].clone());
+        cursors[live] += 1;
+    }
+    out
+}
+
+/// Convenience: dedicated streams for every spec, Zipf-interleaved. Spec
+/// order is rank order — the first tenant is the hottest.
+pub fn fleet_events(
+    specs: &[TenantSpec],
+    sessions_per_tenant: usize,
+    anomaly_rate: f64,
+    exponent: f64,
+    seed: u64,
+) -> Vec<FleetEvent> {
+    let streams = specs
+        .iter()
+        .map(|s| tenant_serving_events(s, sessions_per_tenant, anomaly_rate))
+        .collect();
+    interleave_zipf(streams, exponent, seed ^ 0xF1EE_7000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<TenantSpec> {
+        TenantArchetype::all()
+            .iter()
+            .enumerate()
+            .map(|(i, &archetype)| TenantSpec {
+                tenant: i as u64 + 1,
+                archetype,
+                seed: 90 + i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_records_are_clean_deterministic_sessions() {
+        let a = training_records(TenantArchetype::Commenting, 10, 7);
+        let b = training_records(TenantArchetype::Commenting, 10, 7);
+        assert_eq!(a, b, "same seed must replay identically");
+        let ids: std::collections::BTreeSet<u64> = a.iter().map(|r| r.session_id).collect();
+        assert_eq!(ids.len(), 10);
+        // Sessions carry entry + >=4 body ops + exit.
+        assert!(a.len() >= 10 * 6, "only {} records", a.len());
+        let c = training_records(TenantArchetype::Commenting, 10, 8);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn archetypes_have_disjoint_tables() {
+        let mut tables: Vec<std::collections::BTreeSet<String>> = Vec::new();
+        for archetype in TenantArchetype::all() {
+            let recs = training_records(archetype, 6, 3);
+            tables.push(recs.iter().map(|r| r.table.clone()).collect());
+        }
+        for i in 0..tables.len() {
+            for j in i + 1..tables.len() {
+                assert!(
+                    tables[i].is_disjoint(&tables[j]),
+                    "archetype tables overlap: {:?} vs {:?}",
+                    tables[i],
+                    tables[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_restricted_to_one_tenant_equals_its_dedicated_stream() {
+        let specs = specs();
+        let fleet = fleet_events(&specs, 5, 0.1, 1.0, 42);
+        for spec in &specs {
+            let dedicated = tenant_serving_events(spec, 5, 0.1);
+            let restricted: Vec<FleetEvent> = fleet
+                .iter()
+                .filter(|e| e.tenant() == spec.tenant)
+                .cloned()
+                .collect();
+            assert_eq!(
+                restricted, dedicated,
+                "tenant {} stream perturbed by interleaving",
+                spec.tenant
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_interleave_skews_toward_rank_zero() {
+        let specs = specs();
+        let fleet = fleet_events(&specs, 20, 0.0, 1.2, 9);
+        // Count whose events occupy the first quarter of the stream: the
+        // hottest tenant should dominate early.
+        let head = &fleet[..fleet.len() / 4];
+        let hot = head
+            .iter()
+            .filter(|e| e.tenant() == specs[0].tenant)
+            .count();
+        assert!(
+            hot * 2 > head.len(),
+            "rank-0 tenant only has {hot}/{} of the head",
+            head.len()
+        );
+    }
+
+    #[test]
+    fn anomalies_change_the_stream_but_not_session_structure() {
+        let spec = TenantSpec {
+            tenant: 4,
+            archetype: TenantArchetype::LocationService,
+            seed: 77,
+        };
+        let clean = tenant_serving_events(&spec, 8, 0.0);
+        let dirty = tenant_serving_events(&spec, 8, 0.3);
+        let closes = |evs: &[FleetEvent]| {
+            evs.iter()
+                .filter(|e| matches!(e, FleetEvent::Close { .. }))
+                .count()
+        };
+        assert_eq!(closes(&clean), 8);
+        assert_eq!(closes(&dirty), 8);
+        // The anomalous shape (a DELETE on t_location) never appears clean.
+        let has_delete = |evs: &[FleetEvent]| {
+            evs.iter().any(|e| match e {
+                FleetEvent::Record { record, .. } => {
+                    record.table == "t_location" && record.op == crate::ast::OpKind::Delete
+                }
+                _ => false,
+            })
+        };
+        assert!(!has_delete(&clean));
+        assert!(has_delete(&dirty));
+    }
+}

@@ -1,0 +1,156 @@
+//! Label-cardinality guard for per-tenant (and other unbounded-identifier)
+//! metric labels.
+//!
+//! Prometheus scrape cost and registry memory both grow with the number of
+//! distinct label values, and a fleet that serves tenants keyed by caller
+//! input could mint an unbounded series set. [`LabelGuard`] bounds that:
+//! the first `limit` distinct values pass through verbatim, every later
+//! value collapses onto the single [`LabelGuard::OVERFLOW`] series (so the
+//! traffic is still counted, just not attributed), and the collapses are
+//! themselves counted for alerting. Admission is idempotent — a value
+//! admitted before the limit keeps resolving to itself forever, so a
+//! tenant's series never flaps between its own name and the overflow
+//! bucket.
+
+use crate::registry::{Counter, Registry};
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Bounds the distinct values of one metric label (e.g. `tenant`).
+pub struct LabelGuard {
+    limit: usize,
+    seen: Mutex<BTreeSet<String>>,
+    clamped: Counter,
+}
+
+impl LabelGuard {
+    /// The label value every post-limit identifier collapses onto.
+    pub const OVERFLOW: &'static str = "_overflow";
+
+    /// A guard admitting at most `limit` distinct values.
+    ///
+    /// # Panics
+    /// Panics when `limit` is zero — a guard that admits nothing would make
+    /// every series anonymous, which is a configuration error, not a
+    /// runtime condition.
+    pub fn new(limit: usize) -> Self {
+        assert!(limit >= 1, "label guard needs room for at least one value");
+        LabelGuard {
+            limit,
+            seen: Mutex::new(BTreeSet::new()),
+            clamped: Counter::new(),
+        }
+    }
+
+    /// Resolves `value` to the label value to expose: `value` itself while
+    /// the distinct-value budget lasts (or when it was admitted earlier),
+    /// [`LabelGuard::OVERFLOW`] afterwards.
+    pub fn admit(&self, value: &str) -> String {
+        let mut seen = self.seen.lock().expect("label guard poisoned");
+        if seen.contains(value) {
+            return value.to_string();
+        }
+        if seen.len() < self.limit {
+            seen.insert(value.to_string());
+            return value.to_string();
+        }
+        self.clamped.inc();
+        Self::OVERFLOW.to_string()
+    }
+
+    /// Distinct values admitted so far.
+    pub fn seen(&self) -> usize {
+        self.seen.lock().expect("label guard poisoned").len()
+    }
+
+    /// Admissions that collapsed onto the overflow series.
+    pub fn clamped(&self) -> u64 {
+        self.clamped.get()
+    }
+
+    /// Exposes the clamp counter on `registry` as
+    /// `<name>` (e.g. `ucad_tenant_label_clamped_total`).
+    pub fn register_metrics(&self, registry: &Registry, name: &str) {
+        registry.register_counter(name, &[], &self.clamped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn values_pass_until_the_limit_then_collapse() {
+        let guard = LabelGuard::new(2);
+        assert_eq!(guard.admit("tenant-a"), "tenant-a");
+        assert_eq!(guard.admit("tenant-b"), "tenant-b");
+        assert_eq!(guard.admit("tenant-c"), LabelGuard::OVERFLOW);
+        assert_eq!(guard.admit("tenant-d"), LabelGuard::OVERFLOW);
+        assert_eq!(guard.seen(), 2);
+        assert_eq!(guard.clamped(), 2);
+    }
+
+    #[test]
+    fn admission_is_idempotent_across_the_limit() {
+        let guard = LabelGuard::new(1);
+        assert_eq!(guard.admit("t0"), "t0");
+        assert_eq!(guard.admit("t1"), LabelGuard::OVERFLOW);
+        // The pre-limit value keeps resolving to itself; no series flap.
+        assert_eq!(guard.admit("t0"), "t0");
+        assert_eq!(guard.clamped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn zero_limit_is_rejected() {
+        LabelGuard::new(0);
+    }
+
+    #[test]
+    fn clamp_counter_is_exposable() {
+        let reg = Registry::new();
+        let guard = LabelGuard::new(1);
+        guard.register_metrics(&reg, "ucad_tenant_label_clamped_total");
+        guard.admit("a");
+        guard.admit("b");
+        assert!(reg
+            .render_prometheus()
+            .contains("ucad_tenant_label_clamped_total 1"));
+    }
+
+    #[test]
+    fn guarded_tenant_labels_escape_like_any_label() {
+        // A hostile tenant identifier with every special character must
+        // round-trip the guard and come out escaped in the exposition.
+        let reg = Registry::new();
+        let guard = LabelGuard::new(4);
+        let hostile = "t\"quote\\slash\nline";
+        let label = guard.admit(hostile);
+        assert_eq!(label, hostile, "guard must not alter admitted values");
+        reg.counter("ucad_serve_records_total", &[("tenant", &label)])
+            .inc();
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("ucad_serve_records_total{tenant=\"t\\\"quote\\\\slash\\nline\"} 1"),
+            "bad tenant-label escaping in: {text}"
+        );
+    }
+
+    #[test]
+    fn overflow_series_aggregates_instead_of_dropping() {
+        let reg = Registry::new();
+        let guard = LabelGuard::new(1);
+        for tenant in ["a", "b", "c"] {
+            let label = guard.admit(tenant);
+            reg.counter("ucad_serve_records_total", &[("tenant", &label)])
+                .inc();
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("ucad_serve_records_total{tenant=\"a\"} 1"));
+        assert!(
+            text.contains("ucad_serve_records_total{tenant=\"_overflow\"} 2"),
+            "overflow traffic must still be counted: {text}"
+        );
+    }
+}

@@ -22,6 +22,8 @@ pub struct FlightEntry {
     pub session_id: u64,
     /// Shard that scored the record.
     pub shard: usize,
+    /// Tenant the session belongs to (`None` on single-tenant engines).
+    pub tenant: Option<String>,
     /// Alert reason (e.g. `IntentMismatch`, `UnknownStatement`,
     /// `Policy(...)`).
     pub reason: String,
@@ -63,12 +65,17 @@ impl FlightEntry {
         }
         let window: Vec<String> = self.key_window.iter().map(u32::to_string).collect();
         format!(
-            "{{\"seq\":{},\"session_id\":{},\"shard\":{},\"reason\":\"{}\",\"position\":{},\
+            "{{\"seq\":{},\"session_id\":{},\"shard\":{},\"tenant\":{},\"reason\":\"{}\",\
+             \"position\":{},\
              \"rank\":{},\"score\":{},\"cache_hit\":{},\"queue_depth\":{},\
              \"queue_wait_us\":{},\"drain_delay_us\":{},\"key_window\":[{}]}}",
             self.seq,
             self.session_id,
             self.shard,
+            self.tenant
+                .as_deref()
+                .map(|t| format!("\"{}\"", escape_json(t)))
+                .unwrap_or_else(|| "null".into()),
             escape_json(&self.reason),
             opt_usize(self.position),
             opt_usize(self.rank),
@@ -209,6 +216,7 @@ mod tests {
             seq,
             session_id: 100 + seq,
             shard: 1,
+            tenant: None,
             reason: "IntentMismatch".into(),
             position: Some(3),
             rank: Some(7),
@@ -252,6 +260,7 @@ mod tests {
             "\"seq\":9",
             "\"session_id\":109",
             "\"shard\":1",
+            "\"tenant\":null",
             "\"reason\":\"IntentMismatch\"",
             "\"rank\":7",
             "\"score\":-0.25",
@@ -273,6 +282,19 @@ mod tests {
         };
         assert!(none.to_json().contains("\"rank\":null"));
         assert!(none.to_json().contains("\"queue_wait_us\":null"));
+    }
+
+    #[test]
+    fn tenant_tag_renders_and_escapes() {
+        let tagged = FlightEntry {
+            tenant: Some("acme \"prod\"\\eu".into()),
+            ..entry(3)
+        };
+        let json = tagged.to_json();
+        assert!(
+            json.contains("\"tenant\":\"acme \\\"prod\\\"\\\\eu\""),
+            "tenant not escaped: {json}"
+        );
     }
 
     #[test]

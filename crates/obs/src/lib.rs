@@ -28,11 +28,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cardinality;
 pub mod flight;
 pub mod profile;
 pub mod registry;
 pub mod span;
 
+pub use cardinality::LabelGuard;
 pub use flight::{FlightEntry, FlightRecorder};
 pub use profile::prof_enabled;
 pub use registry::{

@@ -12,9 +12,10 @@ use crate::dbscan::{dbscan, Assignment, DbscanParams};
 use crate::ngram::NgramProfile;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Cleaning configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct CleanerConfig {
     /// Gram size for session profiles.
     pub ngram: usize,

@@ -11,7 +11,7 @@ pub enum Assignment {
 }
 
 /// DBSCAN parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct DbscanParams {
     /// Neighborhood radius (on the distance scale, typically 1 - Jaccard).
     pub eps: f64,

@@ -32,10 +32,11 @@ pub use vocab::{Vocabulary, UNKNOWN_KEY};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use ucad_trace::Session;
 
 /// Configuration of the full preprocessing pipeline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct PreprocessConfig {
     /// Minimum support for learned granting-policy attributes.
     pub policy_min_support: usize,
@@ -68,7 +69,7 @@ pub struct PreprocessReport {
 }
 
 /// Trained preprocessing state: frozen vocabulary plus learned policies.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Preprocessor {
     /// Frozen statement-key vocabulary.
     pub vocab: Vocabulary,

@@ -1,0 +1,753 @@
+//! The shared shard pool: N workers serving every tenant at once.
+//!
+//! The single-tenant [`ucad::ShardedOnlineUcad`] binds one model to N
+//! shard workers. The pool inverts that: workers are model-free, and every
+//! queued record carries its tenant's resolved [`TenantHandle`] — the
+//! `Arc<Ucad>`, the tenant's score cache and its observer. Three
+//! consequences:
+//!
+//! * **Eviction can never touch in-flight work.** The registry dropping a
+//!   tenant's resident model only drops *its* reference; queued messages
+//!   keep the model alive until scored.
+//! * **Per-tenant state is structurally namespaced.** Each worker hosts
+//!   one [`SessionTracker`] per `(shard, tenant)`, each tenant memoizes
+//!   into its own [`ScoreCache`] instance, and a hot swap bumps only that
+//!   tenant's cache epoch. There is no shared mutable scoring state to
+//!   leak across tenants.
+//! * **Byte-identity falls out.** The tracker is a pure function of each
+//!   session's record sequence, sessions route by
+//!   `splitmix64(seed ^ splitmix64(tenant) ^ session_id)`, and drains
+//!   merge per-shard outboxes by global arrival seq — restricted to one
+//!   tenant, that order is exactly the tenant's own submission order, i.e.
+//!   what a dedicated engine would emit.
+//!
+//! Accounting is exact: `accepted + shed == submitted` always (the pool
+//! supports [`OverloadPolicy::Block`] and [`OverloadPolicy::ShedNewest`];
+//! `Degrade` needs a per-tenant fallback model and is rejected at
+//! construction).
+
+use crate::registry::{TenantHandle, TenantRegistry};
+use crate::TenantId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use ucad::serve::{OverloadPolicy, ServeConfig, ServeStats, SubmitOutcome};
+use ucad::{
+    merge_seq_sorted, splitmix64, Admission, Alert, RaisedAlert, ServeObserver, SessionTracker,
+    Ucad,
+};
+use ucad_dbsim::LogRecord;
+use ucad_model::{ScoreCache, UcadError};
+use ucad_obs::{Counter, FlightEntry, FlightRecorder, LabelGuard, Registry};
+
+/// Default bound on distinct `tenant` label values in the pool's metric
+/// exposition; tenants beyond it aggregate under the guard's overflow
+/// bucket instead of growing cardinality.
+pub const DEFAULT_TENANT_LABEL_LIMIT: usize = 32;
+
+/// How long a flush barrier waits between liveness checks of a shard
+/// worker that has not yet acknowledged.
+const FLUSH_POLL: Duration = Duration::from_millis(50);
+
+/// Locks a mutex, recovering the guard when a panicking thread poisoned it
+/// (the protected structures are push/pop-only and never observable
+/// half-done).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// An alert waiting in a shard outbox or the pool's pending buffer.
+#[derive(Clone)]
+struct PendingAlert {
+    seq: u64,
+    tenant: TenantId,
+    alert: Alert,
+}
+
+/// Fans observer hooks out to the pool-global observer and the tenant's
+/// own (e.g. a per-tenant drift monitor). Hooks run inline on shard
+/// workers, same contract as the single-tenant engine.
+struct FanoutObserver(Vec<Arc<dyn ServeObserver>>);
+
+impl ServeObserver for FanoutObserver {
+    fn on_record(&self, key: u32) {
+        for o in &self.0 {
+            o.on_record(key);
+        }
+    }
+
+    fn on_score(&self, rank: Option<usize>, abnormal: bool) {
+        for o in &self.0 {
+            o.on_score(rank, abnormal);
+        }
+    }
+
+    fn on_alert(&self, alert: &Alert) {
+        for o in &self.0 {
+            o.on_alert(alert);
+        }
+    }
+
+    fn on_session_close(&self, alerted: bool) {
+        for o in &self.0 {
+            o.on_session_close(alerted);
+        }
+    }
+
+    fn on_scored(&self, seq: u64) {
+        for o in &self.0 {
+            o.on_scored(seq);
+        }
+    }
+}
+
+/// Per-tenant serving context resolved at submit time and carried by every
+/// queued message.
+#[derive(Clone)]
+struct TenantCtx {
+    tenant: TenantId,
+    system: Arc<Ucad>,
+    cache: Option<Arc<ScoreCache>>,
+    observer: Option<Arc<dyn ServeObserver>>,
+    /// Guard-clamped label value for metrics and flight entries.
+    label: Arc<str>,
+    alerts: Counter,
+}
+
+enum PoolMsg {
+    Record {
+        ctx: TenantCtx,
+        record: Arc<LogRecord>,
+        seq: u64,
+        depth: usize,
+        enqueued: Instant,
+    },
+    Close {
+        ctx: TenantCtx,
+        session_id: u64,
+    },
+    FalseAlarm {
+        tenant: TenantId,
+        session_id: u64,
+    },
+    Flush(SyncSender<()>),
+    Shutdown,
+}
+
+struct PoolShard {
+    tx: SyncSender<PoolMsg>,
+    handle: Option<JoinHandle<()>>,
+    outbox: Arc<Mutex<Vec<PendingAlert>>>,
+    depth: Arc<AtomicUsize>,
+    records: Counter,
+}
+
+fn worker(
+    rx: Receiver<PoolMsg>,
+    shard: usize,
+    mode: ucad_model::DetectionMode,
+    flight: Arc<FlightRecorder>,
+    outbox: Arc<Mutex<Vec<PendingAlert>>>,
+    depth: Arc<AtomicUsize>,
+) {
+    let mut trackers: HashMap<TenantId, SessionTracker> = HashMap::new();
+    let book = |ctx: &TenantCtx, raised: RaisedAlert, depth_now: usize, wait_us: Option<f64>| {
+        ctx.alerts.inc();
+        flight.record(FlightEntry {
+            seq: raised.seq,
+            session_id: raised.alert.session_id,
+            shard,
+            tenant: Some(ctx.label.to_string()),
+            reason: format!("{:?}", raised.alert.reason),
+            position: raised.alert.position,
+            rank: raised.rank,
+            score: raised.score,
+            cache_hit: raised.cache_hit,
+            queue_depth: depth_now,
+            queue_wait_us: wait_us,
+            drain_delay_us: None,
+            key_window: raised.key_window,
+        });
+        if let Some(observer) = &ctx.observer {
+            observer.on_alert(&raised.alert);
+        }
+        lock(&outbox).push(PendingAlert {
+            seq: raised.seq,
+            tenant: ctx.tenant,
+            alert: raised.alert,
+        });
+    };
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            PoolMsg::Record {
+                ctx,
+                record,
+                seq,
+                depth: depth_at_enqueue,
+                enqueued,
+            } => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                let wait_us = enqueued.elapsed().as_secs_f64() * 1e6;
+                let tracker = trackers
+                    .entry(ctx.tenant)
+                    .or_insert_with(|| SessionTracker::new(mode));
+                let raised = tracker.ingest(
+                    &ctx.system,
+                    ctx.cache.as_deref(),
+                    ctx.observer.as_deref(),
+                    &record,
+                    seq,
+                );
+                if let Some(raised) = raised {
+                    book(&ctx, raised, depth_at_enqueue, Some(wait_us));
+                }
+                if let Some(observer) = &ctx.observer {
+                    observer.on_scored(seq);
+                }
+            }
+            PoolMsg::Close { ctx, session_id } => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                let tracker = trackers
+                    .entry(ctx.tenant)
+                    .or_insert_with(|| SessionTracker::new(mode));
+                let raised = tracker.close(
+                    &ctx.system,
+                    ctx.cache.as_deref(),
+                    ctx.observer.as_deref(),
+                    session_id,
+                );
+                if let Some(raised) = raised {
+                    book(&ctx, raised, 0, None);
+                }
+            }
+            PoolMsg::FalseAlarm { tenant, session_id } => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                if let Some(tracker) = trackers.get_mut(&tenant) {
+                    tracker.confirm_false_alarm(session_id);
+                }
+            }
+            PoolMsg::Flush(ack) => {
+                let _ = ack.send(());
+            }
+            PoolMsg::Shutdown => break,
+        }
+    }
+}
+
+/// One pool of shard workers multiplexing every registered tenant.
+pub struct TenantShardPool {
+    registry: TenantRegistry,
+    cfg: ServeConfig,
+    shards: Vec<PoolShard>,
+    metrics: Registry,
+    flight: Arc<FlightRecorder>,
+    guard: LabelGuard,
+    global_observer: Option<Arc<dyn ServeObserver>>,
+    tenant_observers: HashMap<TenantId, Arc<dyn ServeObserver>>,
+    /// Composed (global + tenant) observers, rebuilt on attachment.
+    resolved_observers: HashMap<TenantId, Arc<dyn ServeObserver>>,
+    /// Guard-clamped label + per-tenant counters, cached per tenant.
+    tenant_meters: HashMap<TenantId, (Arc<str>, Counter, Counter)>,
+    pending: Vec<PendingAlert>,
+    next_seq: u64,
+    submitted: Counter,
+    shed: Counter,
+}
+
+impl TenantShardPool {
+    /// Builds a pool over `registry` with the default tenant-label budget
+    /// and no pool-global observer. Rejects `OverloadPolicy::Degrade`
+    /// (degraded scoring needs a per-tenant fallback model the registry
+    /// does not hold) and zero shards / zero queue capacity.
+    pub fn new(registry: TenantRegistry, cfg: ServeConfig) -> Result<Self, UcadError> {
+        Self::new_observed(registry, cfg, None, DEFAULT_TENANT_LABEL_LIMIT)
+    }
+
+    /// [`TenantShardPool::new`] with a pool-global [`ServeObserver`]
+    /// (receives every tenant's hooks — the SLO harness keys completion
+    /// off its `on_scored`) and an explicit bound on distinct `tenant`
+    /// metric-label values.
+    pub fn new_observed(
+        registry: TenantRegistry,
+        cfg: ServeConfig,
+        observer: Option<Arc<dyn ServeObserver>>,
+        label_limit: usize,
+    ) -> Result<Self, UcadError> {
+        if cfg.shards == 0 {
+            return Err(UcadError::invalid("shards", "at least one shard required"));
+        }
+        if cfg.queue_capacity == 0 {
+            return Err(UcadError::invalid(
+                "queue_capacity",
+                "a zero-capacity queue would deadlock submission",
+            ));
+        }
+        if cfg.overload == OverloadPolicy::Degrade {
+            return Err(UcadError::invalid(
+                "overload",
+                "the tenant pool has no per-tenant fallback model; \
+                 use Block or ShedNewest",
+            ));
+        }
+        if label_limit == 0 {
+            return Err(UcadError::invalid(
+                "label_limit",
+                "the tenant label budget must admit at least one value",
+            ));
+        }
+        let metrics = Registry::new();
+        let flight = Arc::new(FlightRecorder::new(cfg.flight_capacity));
+        flight.register_metrics(&metrics);
+        registry.register_metrics(&metrics);
+        let guard = LabelGuard::new(label_limit);
+        guard.register_metrics(&metrics, "ucad_tenant_label_clamped_total");
+        let shards = (0..cfg.shards)
+            .map(|i| {
+                let (tx, rx) = sync_channel(cfg.queue_capacity);
+                let outbox = Arc::new(Mutex::new(Vec::new()));
+                let depth = Arc::new(AtomicUsize::new(0));
+                let records = metrics.counter(
+                    "ucad_serve_shard_records_total",
+                    &[("shard", &i.to_string())],
+                );
+                let handle = {
+                    let flight = Arc::clone(&flight);
+                    let outbox = Arc::clone(&outbox);
+                    let depth = Arc::clone(&depth);
+                    let mode = cfg.mode;
+                    std::thread::spawn(move || worker(rx, i, mode, flight, outbox, depth))
+                };
+                PoolShard {
+                    tx,
+                    handle: Some(handle),
+                    outbox,
+                    depth,
+                    records,
+                }
+            })
+            .collect();
+        Ok(TenantShardPool {
+            registry,
+            cfg,
+            shards,
+            submitted: metrics.counter("ucad_tenant_records_submitted_total", &[]),
+            shed: metrics.counter("ucad_serve_records_shed_total", &[]),
+            metrics,
+            flight,
+            guard,
+            global_observer: observer,
+            tenant_observers: HashMap::new(),
+            resolved_observers: HashMap::new(),
+            tenant_meters: HashMap::new(),
+            pending: Vec::new(),
+            next_seq: 0,
+        })
+    }
+
+    /// The tenant catalog behind the pool.
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the tenant catalog (registration, budget probes).
+    pub fn registry_mut(&mut self) -> &mut TenantRegistry {
+        &mut self.registry
+    }
+
+    /// The pool's metric registry — attach extra per-tenant series here
+    /// (e.g. [`ucad_life::DriftMonitor::register_metrics`] with a
+    /// `tenant` label) so they render through [`Self::render_metrics`].
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Attaches a per-tenant observer (e.g. a drift monitor registered
+    /// with `[("tenant", name)]` metric labels). Hooks fire alongside the
+    /// pool-global observer for this tenant's records only.
+    pub fn set_tenant_observer(&mut self, tenant: TenantId, observer: Arc<dyn ServeObserver>) {
+        self.tenant_observers.insert(tenant, observer);
+        self.resolved_observers.remove(&tenant);
+    }
+
+    fn observer_for(&mut self, tenant: TenantId) -> Option<Arc<dyn ServeObserver>> {
+        if let Some(o) = self.resolved_observers.get(&tenant) {
+            return Some(Arc::clone(o));
+        }
+        let mut fan: Vec<Arc<dyn ServeObserver>> = Vec::new();
+        if let Some(g) = &self.global_observer {
+            fan.push(Arc::clone(g));
+        }
+        if let Some(t) = self.tenant_observers.get(&tenant) {
+            fan.push(Arc::clone(t));
+        }
+        let resolved: Option<Arc<dyn ServeObserver>> = match fan.len() {
+            0 => None,
+            1 => Some(fan.pop().expect("len checked")),
+            _ => Some(Arc::new(FanoutObserver(fan))),
+        };
+        if let Some(o) = &resolved {
+            self.resolved_observers.insert(tenant, Arc::clone(o));
+        }
+        resolved
+    }
+
+    fn meters_for(
+        &mut self,
+        tenant: TenantId,
+        handle: &TenantHandle,
+    ) -> (Arc<str>, Counter, Counter) {
+        if let Some(m) = self.tenant_meters.get(&tenant) {
+            return m.clone();
+        }
+        let label: Arc<str> = Arc::from(self.guard.admit(handle.name.as_ref()).as_str());
+        let records = self
+            .metrics
+            .counter("ucad_serve_records_total", &[("tenant", label.as_ref())]);
+        let alerts = self
+            .metrics
+            .counter("ucad_serve_alerts_total", &[("tenant", label.as_ref())]);
+        let m = (label, records, alerts);
+        self.tenant_meters.insert(tenant, m.clone());
+        m
+    }
+
+    fn ctx_for(&mut self, tenant: TenantId) -> Result<(TenantCtx, Counter), UcadError> {
+        let handle = self.registry.activate(tenant)?;
+        let observer = self.observer_for(tenant);
+        let (label, records, alerts) = self.meters_for(tenant, &handle);
+        Ok((
+            TenantCtx {
+                tenant,
+                system: handle.system,
+                cache: handle.cache,
+                observer,
+                label,
+                alerts,
+            },
+            records,
+        ))
+    }
+
+    /// Routes a session of a tenant to its shard: one more application of
+    /// the system-wide splitmix64 discipline, with the tenant folded in so
+    /// equal session ids of different tenants spread independently.
+    fn route(&self, tenant: TenantId, session_id: u64) -> usize {
+        (splitmix64(self.cfg.seed ^ splitmix64(tenant) ^ session_id) % self.shards.len() as u64)
+            as usize
+    }
+
+    /// Submits one record of `tenant` for scoring. Activates the tenant
+    /// (possibly cold loading its model), then enqueues under the
+    /// configured overload policy: `Block` applies lossless backpressure,
+    /// `ShedNewest` drops the record and reports [`SubmitOutcome::Shed`].
+    pub fn try_submit(
+        &mut self,
+        tenant: TenantId,
+        record: &LogRecord,
+    ) -> Result<SubmitOutcome, UcadError> {
+        let (ctx, records) = self.ctx_for(tenant)?;
+        let shard = self.route(tenant, record.session_id);
+        self.submitted.inc();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let s = &self.shards[shard];
+        let depth = s.depth.load(Ordering::Relaxed);
+        let msg = PoolMsg::Record {
+            ctx,
+            record: Arc::new(record.clone()),
+            seq,
+            depth,
+            enqueued: Instant::now(),
+        };
+        s.depth.fetch_add(1, Ordering::Relaxed);
+        let outcome = match self.cfg.overload {
+            OverloadPolicy::Block => {
+                s.tx.send(msg)
+                    .map(|()| SubmitOutcome::Accepted)
+                    .map_err(|_| UcadError::protocol(format!("shard {shard} worker is gone")))
+            }
+            OverloadPolicy::ShedNewest => match s.tx.try_send(msg) {
+                Ok(()) => Ok(SubmitOutcome::Accepted),
+                Err(TrySendError::Full(_)) => {
+                    self.shed.inc();
+                    Ok(SubmitOutcome::Shed)
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    Err(UcadError::protocol(format!("shard {shard} worker is gone")))
+                }
+            },
+            OverloadPolicy::Degrade => unreachable!("rejected at construction"),
+        };
+        match &outcome {
+            Ok(SubmitOutcome::Accepted) => {
+                records.inc();
+                self.shards[shard].records.inc();
+            }
+            _ => {
+                self.shards[shard].depth.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    fn send_stateful(
+        &mut self,
+        tenant: TenantId,
+        msg_shard: usize,
+        msg: PoolMsg,
+    ) -> Result<(), UcadError> {
+        let s = &self.shards[msg_shard];
+        s.depth.fetch_add(1, Ordering::Relaxed);
+        s.tx.send(msg).map_err(|_| {
+            self.shards[msg_shard].depth.fetch_sub(1, Ordering::Relaxed);
+            UcadError::protocol(format!(
+                "shard {msg_shard} worker is gone (tenant {tenant:#x})"
+            ))
+        })
+    }
+
+    /// Closes one session of `tenant` (Block mode scores the pending tail,
+    /// which can itself raise an alert).
+    pub fn close_session(&mut self, tenant: TenantId, session_id: u64) -> Result<(), UcadError> {
+        let (ctx, _) = self.ctx_for(tenant)?;
+        let shard = self.route(tenant, session_id);
+        self.send_stateful(tenant, shard, PoolMsg::Close { ctx, session_id })
+    }
+
+    /// DBA feedback: the alert on `(tenant, session_id)` was a false alarm.
+    pub fn confirm_false_alarm(
+        &mut self,
+        tenant: TenantId,
+        session_id: u64,
+    ) -> Result<(), UcadError> {
+        let shard = self.route(tenant, session_id);
+        self.send_stateful(tenant, shard, PoolMsg::FalseAlarm { tenant, session_id })
+    }
+
+    /// Barrier: returns once every message submitted so far is processed.
+    pub fn flush(&self) -> Result<(), UcadError> {
+        let mut acks = Vec::with_capacity(self.shards.len());
+        for (i, s) in self.shards.iter().enumerate() {
+            let (tx, rx) = sync_channel(1);
+            s.tx.send(PoolMsg::Flush(tx))
+                .map_err(|_| UcadError::protocol(format!("shard {i} worker is gone")))?;
+            acks.push((i, rx));
+        }
+        for (i, rx) in acks {
+            loop {
+                match rx.recv_timeout(FLUSH_POLL) {
+                    Ok(()) => break,
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                        let dead = self.shards[i]
+                            .handle
+                            .as_ref()
+                            .map(JoinHandle::is_finished)
+                            .unwrap_or(true);
+                        if dead {
+                            return Err(UcadError::protocol(format!(
+                                "shard {i} worker died before acknowledging flush"
+                            )));
+                        }
+                    }
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                        return Err(UcadError::protocol(format!(
+                            "shard {i} worker dropped its flush acknowledgement"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes, then folds every shard outbox into the pool's pending
+    /// buffer in global-seq order.
+    fn collect(&mut self) -> Result<(), UcadError> {
+        self.flush()?;
+        let fresh: Vec<Vec<PendingAlert>> = self
+            .shards
+            .iter()
+            .map(|s| std::mem::take(&mut *lock(&s.outbox)))
+            .collect();
+        let pending = std::mem::take(&mut self.pending);
+        self.pending =
+            merge_seq_sorted(std::iter::once(pending).chain(fresh), |a: &PendingAlert| {
+                a.seq
+            });
+        Ok(())
+    }
+
+    /// Flushes, then returns every alert raised since the last drain
+    /// across **all** tenants, ordered by global arrival seq.
+    pub fn drain_alerts(&mut self) -> Result<Vec<Alert>, UcadError> {
+        self.collect()?;
+        Ok(self.pending.drain(..).map(|p| p.alert).collect())
+    }
+
+    /// Flushes, then returns (and removes) the alerts of one tenant,
+    /// leaving other tenants' pending alerts undisturbed. Within the
+    /// returned vector, order is the tenant's own submission order — the
+    /// same order a dedicated single-tenant engine drains in.
+    pub fn drain_tenant_alerts(&mut self, tenant: TenantId) -> Result<Vec<Alert>, UcadError> {
+        self.collect()?;
+        let (mine, rest): (Vec<PendingAlert>, Vec<PendingAlert>) =
+            std::mem::take(&mut self.pending)
+                .into_iter()
+                .partition(|p| p.tenant == tenant);
+        self.pending = rest;
+        Ok(mine.into_iter().map(|p| p.alert).collect())
+    }
+
+    /// Hot-swaps one tenant's system mid-stream: full flush barrier (every
+    /// record submitted before the swap scores under the old model), then
+    /// the registry persists + installs the new system and bumps only this
+    /// tenant's cache epoch. Other tenants' serving state, caches and
+    /// epochs are untouched.
+    pub fn swap_tenant(&mut self, tenant: TenantId, system: &Ucad) -> Result<(), UcadError> {
+        self.flush()?;
+        self.registry.swap(tenant, system)
+    }
+
+    /// Flushes, then snapshots the pool's throughput and overload
+    /// counters. `cache` is `None`: score memos are per-tenant (inspect a
+    /// tenant's via its [`TenantHandle`]); `records_degraded` and
+    /// `worker_restarts` are structurally zero for the pool.
+    pub fn stats(&mut self) -> Result<ServeStats, UcadError> {
+        self.collect()?;
+        Ok(ServeStats {
+            records_per_shard: self.shards.iter().map(|s| s.records.get()).collect(),
+            pending_alerts: self.pending.len(),
+            cache: None,
+            records_shed: self.shed.get(),
+            records_degraded: 0,
+            worker_restarts: 0,
+        })
+    }
+
+    /// Records ever submitted (accepted + shed).
+    pub fn submitted(&self) -> u64 {
+        self.submitted.get()
+    }
+
+    /// Prometheus text exposition of the pool registry (tenant-labeled
+    /// serve counters, `ucad_tenant_*` lifecycle counters, flight-recorder
+    /// counters, label-guard clamps).
+    pub fn render_metrics(&self) -> String {
+        self.metrics.render_prometheus()
+    }
+
+    /// The flight recorder's resident entries as a JSON array.
+    pub fn dump_flight_json(&self) -> String {
+        self.flight.dump_json()
+    }
+
+    /// The flight recorder's resident entries of one tenant, as a JSON
+    /// array (entries are tagged with the tenant's guard-clamped label).
+    pub fn dump_tenant_flight_json(&self, tenant: TenantId) -> String {
+        let label = self
+            .tenant_meters
+            .get(&tenant)
+            .map(|(l, _, _)| l.to_string());
+        let body: Vec<String> = self
+            .flight
+            .entries()
+            .iter()
+            .filter(|e| e.tenant == label)
+            .map(FlightEntry::to_json)
+            .collect();
+        format!("[{}]", body.join(","))
+    }
+
+    /// Drains every remaining alert, stops the workers and returns the
+    /// catalog (for reuse or inspection). Alerts still pending are
+    /// returned alongside.
+    pub fn shutdown(mut self) -> Result<(TenantRegistry, Vec<Alert>), UcadError> {
+        let alerts = self.drain_alerts()?;
+        for s in &mut self.shards {
+            let _ = s.tx.send(PoolMsg::Shutdown);
+        }
+        for s in &mut self.shards {
+            if let Some(h) = s.handle.take() {
+                let _ = h.join();
+            }
+        }
+        let dir = self.registry.dir().to_path_buf();
+        let budget = self.registry.budget();
+        let registry = std::mem::replace(&mut self.registry, TenantRegistry::open(dir, budget, 0)?);
+        Ok((registry, alerts))
+    }
+}
+
+impl Drop for TenantShardPool {
+    fn drop(&mut self) {
+        for s in &mut self.shards {
+            let _ = s.tx.send(PoolMsg::Shutdown);
+        }
+        for s in &mut self.shards {
+            if let Some(h) = s.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// A per-tenant view of a shared [`TenantShardPool`], implementing the
+/// transport-agnostic [`Admission`] trait: traffic drivers written against
+/// the trait serve one tenant of the pool exactly as they would a
+/// dedicated engine. Cheap to clone — one pool serves many views.
+#[derive(Clone)]
+pub struct TenantedAdmission {
+    pool: Arc<Mutex<TenantShardPool>>,
+    tenant: TenantId,
+}
+
+impl TenantedAdmission {
+    /// A view of `tenant` over `pool`.
+    pub fn new(pool: Arc<Mutex<TenantShardPool>>, tenant: TenantId) -> Self {
+        TenantedAdmission { pool, tenant }
+    }
+
+    /// The tenant this view serves.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+}
+
+impl Admission for TenantedAdmission {
+    fn try_submit(&mut self, record: &LogRecord) -> Result<SubmitOutcome, UcadError> {
+        lock(&self.pool).try_submit(self.tenant, record)
+    }
+
+    fn close_session(&mut self, session_id: u64) -> Result<(), UcadError> {
+        lock(&self.pool).close_session(self.tenant, session_id)
+    }
+
+    fn confirm_false_alarm(&mut self, session_id: u64) -> Result<(), UcadError> {
+        lock(&self.pool).confirm_false_alarm(self.tenant, session_id)
+    }
+
+    fn flush(&mut self) -> Result<(), UcadError> {
+        lock(&self.pool).flush()
+    }
+
+    fn drain_alerts(&mut self) -> Result<Vec<Alert>, UcadError> {
+        lock(&self.pool).drain_tenant_alerts(self.tenant)
+    }
+
+    fn stats(&mut self) -> Result<ServeStats, UcadError> {
+        lock(&self.pool).stats()
+    }
+
+    fn render_metrics(&mut self) -> Result<String, UcadError> {
+        Ok(lock(&self.pool).render_metrics())
+    }
+
+    fn dump_flight_json(&mut self) -> Result<String, UcadError> {
+        Ok(lock(&self.pool).dump_tenant_flight_json(self.tenant))
+    }
+}

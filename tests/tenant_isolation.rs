@@ -1,0 +1,374 @@
+//! Multi-tenant isolation wall: a tenant sharing the pool must be unable
+//! to tell it is sharing. For every pool topology (shard counts 1–4, score
+//! caching on and off), under LRU evict/reload churn (resident budget
+//! below the tenant count) and across mid-stream per-tenant model swaps,
+//! each tenant's drained alert stream must be **byte-identical** (as JSON)
+//! to what a dedicated single-tenant [`ShardedOnlineUcad`] produces for
+//! the same per-tenant substream — and the fleet accounting identity
+//! `accepted + shed == submitted` must hold exactly.
+
+use std::sync::{Arc, Mutex, OnceLock};
+use ucad::{
+    Admission, Alert, OverloadPolicy, ServeConfig, ShardedOnlineUcad, SubmitOutcome, Ucad,
+    UcadConfig,
+};
+use ucad_dbsim::{
+    fleet_events, interleave_zipf, tenant_serving_events, training_records, FleetEvent,
+    TenantArchetype, TenantSpec,
+};
+use ucad_model::TransDasConfig;
+use ucad_tenant::{TenantRegistry, TenantShardPool, TenantedAdmission};
+use ucad_trace::Session;
+
+const SESSIONS_PER_TENANT: usize = 6;
+const ANOMALY_RATE: f64 = 0.25;
+const FLEET_SEED: u64 = 42;
+
+fn light_config(epochs: usize, model_seed: u64) -> UcadConfig {
+    let mut cfg = UcadConfig::scenario1();
+    cfg.model = TransDasConfig {
+        hidden: 8,
+        heads: 2,
+        blocks: 2,
+        window: 12,
+        epochs,
+        seed: model_seed,
+        ..cfg.model
+    };
+    cfg
+}
+
+/// One trained system per archetype, shared by every test in the binary.
+fn trained(archetype: TenantArchetype) -> &'static Ucad {
+    static SYSTEMS: OnceLock<Vec<(TenantArchetype, Ucad)>> = OnceLock::new();
+    let systems = SYSTEMS.get_or_init(|| {
+        TenantArchetype::all()
+            .into_iter()
+            .map(|a| {
+                let records = training_records(a, 48, 0xA11 + a as u64);
+                let sessions = Session::from_log_records(&records);
+                let (system, _) = Ucad::train(&sessions, light_config(8, 0x7EED));
+                (a, system)
+            })
+            .collect()
+    });
+    &systems
+        .iter()
+        .find(|(a, _)| *a == archetype)
+        .expect("all archetypes trained")
+        .1
+}
+
+/// The fleet under test: four tenants over three archetypes (two
+/// commenting-app tenants with distinct traffic seeds), so a resident
+/// budget of two models keeps the LRU churning for the whole run.
+fn specs() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            tenant: 1,
+            archetype: TenantArchetype::Commenting,
+            seed: 90,
+        },
+        TenantSpec {
+            tenant: 2,
+            archetype: TenantArchetype::LocationService,
+            seed: 91,
+        },
+        TenantSpec {
+            tenant: 3,
+            archetype: TenantArchetype::Syslog,
+            seed: 92,
+        },
+        TenantSpec {
+            tenant: 4,
+            archetype: TenantArchetype::Commenting,
+            seed: 93,
+        },
+    ]
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ucad-tenant-wall-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fresh_pool(tag: &str, budget: usize, shards: usize, cache: usize) -> TenantShardPool {
+    let mut registry = TenantRegistry::open(temp_dir(tag), budget, cache).unwrap();
+    for spec in specs() {
+        registry
+            .register(
+                spec.tenant,
+                &format!("{}-{}", spec.archetype.name(), spec.tenant),
+                trained(spec.archetype),
+            )
+            .unwrap();
+    }
+    let cfg = ServeConfig {
+        shards,
+        cache_capacity: cache,
+        ..ServeConfig::default()
+    };
+    TenantShardPool::new(registry, cfg).unwrap()
+}
+
+/// The dedicated single-tenant reference: the tenant's substream through
+/// its own engine. Alert output of the dedicated engine is shard-count
+/// and cache invariant (the PR-1 determinism wall), so one configuration
+/// suffices as the reference.
+fn dedicated_alerts(spec: &TenantSpec) -> Vec<Alert> {
+    let cfg = ServeConfig {
+        shards: 2,
+        ..ServeConfig::default()
+    };
+    let mut engine = ShardedOnlineUcad::try_new(trained(spec.archetype).clone(), cfg).unwrap();
+    for ev in tenant_serving_events(spec, SESSIONS_PER_TENANT, ANOMALY_RATE) {
+        match ev {
+            FleetEvent::Record { record, .. } => {
+                engine.try_submit(&record).unwrap();
+            }
+            FleetEvent::Close { session_id, .. } => engine.close_session(session_id),
+        }
+    }
+    engine.drain_alerts()
+}
+
+fn drive_fleet(pool: &mut TenantShardPool, fleet: &[FleetEvent]) -> (u64, u64) {
+    let (mut accepted, mut shed) = (0u64, 0u64);
+    for ev in fleet {
+        match ev {
+            FleetEvent::Record { tenant, record } => {
+                match pool.try_submit(*tenant, record).unwrap() {
+                    SubmitOutcome::Accepted => accepted += 1,
+                    SubmitOutcome::Shed => shed += 1,
+                    SubmitOutcome::Degraded => unreachable!("pool cannot degrade"),
+                }
+            }
+            FleetEvent::Close { tenant, session_id } => {
+                pool.close_session(*tenant, *session_id).unwrap()
+            }
+        }
+    }
+    (accepted, shed)
+}
+
+fn as_json(alerts: &[Alert]) -> String {
+    serde_json::to_string(alerts).unwrap()
+}
+
+#[test]
+fn per_tenant_output_is_byte_identical_across_the_pool_matrix() {
+    let specs = specs();
+    let references: Vec<String> = specs
+        .iter()
+        .map(|s| as_json(&dedicated_alerts(s)))
+        .collect();
+    assert!(
+        references.iter().any(|r| r != "[]"),
+        "wall is vacuous: no reference alerts"
+    );
+    let fleet = fleet_events(&specs, SESSIONS_PER_TENANT, ANOMALY_RATE, 1.0, FLEET_SEED);
+    for shards in 1..=4 {
+        for cache in [0usize, 256] {
+            // Budget 2 with 4 tenants: the Zipf interleave keeps evicting
+            // and cold-reloading models for the entire stream.
+            let tag = format!("matrix-{shards}-{cache}");
+            let mut pool = fresh_pool(&tag, 2, shards, cache);
+            let (accepted, shed) = drive_fleet(&mut pool, &fleet);
+            for (spec, reference) in specs.iter().zip(&references) {
+                let drained = pool.drain_tenant_alerts(spec.tenant).unwrap();
+                assert_eq!(
+                    &as_json(&drained),
+                    reference,
+                    "tenant {} diverged from its dedicated engine at \
+                     shards={shards} cache={cache}",
+                    spec.tenant
+                );
+            }
+            let stats = pool.stats().unwrap();
+            assert_eq!(shed, 0, "Block policy must never shed");
+            assert_eq!(
+                accepted,
+                stats.records(),
+                "per-shard record accounting drifted"
+            );
+            assert_eq!(pool.submitted(), accepted + shed);
+            let reg = pool.registry();
+            assert!(
+                reg.evictions() > 0 && reg.cold_loads() > 0,
+                "budget 2 over 4 tenants must churn the LRU \
+                 (evictions={}, cold_loads={})",
+                reg.evictions(),
+                reg.cold_loads()
+            );
+            let _ = std::fs::remove_dir_all(pool.registry().dir());
+        }
+    }
+}
+
+#[test]
+fn admission_view_serves_one_tenant_of_the_shared_pool() {
+    let specs = specs();
+    let spec = &specs[0];
+    let reference = as_json(&dedicated_alerts(spec));
+    let pool = Arc::new(Mutex::new(fresh_pool("admission", 2, 3, 64)));
+
+    // Background noise from another tenant through the pool directly.
+    let noise = tenant_serving_events(&specs[2], SESSIONS_PER_TENANT, ANOMALY_RATE);
+    {
+        let mut p = pool.lock().unwrap();
+        drive_fleet(&mut p, &noise);
+    }
+
+    // The tenant under test goes through the transport-agnostic trait.
+    let mut admission = TenantedAdmission::new(Arc::clone(&pool), spec.tenant);
+    for ev in tenant_serving_events(spec, SESSIONS_PER_TENANT, ANOMALY_RATE) {
+        match ev {
+            FleetEvent::Record { record, .. } => {
+                Admission::try_submit(&mut admission, &record).unwrap();
+            }
+            FleetEvent::Close { session_id, .. } => {
+                Admission::close_session(&mut admission, session_id).unwrap()
+            }
+        }
+    }
+    let drained = Admission::drain_alerts(&mut admission).unwrap();
+    assert_eq!(as_json(&drained), reference);
+
+    // The view's flight dump carries only this tenant's entries, tagged
+    // with its label; the noise tenant's alerts are still pending.
+    let flight = Admission::dump_flight_json(&mut admission).unwrap();
+    assert!(!flight.contains("\"tenant\":null"));
+    assert!(
+        !flight.contains("syslog-3"),
+        "foreign tenant leaked: {flight}"
+    );
+    let metrics = Admission::render_metrics(&mut admission).unwrap();
+    assert!(metrics.contains("ucad_serve_records_total{tenant=\"commenting-1\"}"));
+    assert!(metrics.contains("ucad_tenant_activations_total"));
+    let noise_alerts = pool
+        .lock()
+        .unwrap()
+        .drain_tenant_alerts(specs[2].tenant)
+        .unwrap();
+    assert_eq!(
+        as_json(&noise_alerts),
+        as_json(&dedicated_alerts(&specs[2])),
+        "noise tenant perturbed by the admission view's drains"
+    );
+    let _ = std::fs::remove_dir_all(pool.lock().unwrap().registry().dir());
+}
+
+#[test]
+fn mid_stream_swap_perturbs_only_its_own_tenant() {
+    let specs = specs();
+    let (spec_a, spec_b) = (&specs[0], &specs[2]);
+
+    // Retrain tenant A's archetype with a different model seed: same
+    // vocabulary (the swap contract), different weights.
+    let records = training_records(spec_a.archetype, 48, 0xA11 + spec_a.archetype as u64);
+    let sessions = Session::from_log_records(&records);
+    let (new_a, _) = Ucad::train(&sessions, light_config(5, 0xBEEF));
+    assert_eq!(
+        new_a.model.cfg.vocab_size,
+        trained(spec_a.archetype).model.cfg.vocab_size
+    );
+
+    let ev_a = tenant_serving_events(spec_a, SESSIONS_PER_TENANT, ANOMALY_RATE);
+    let ev_b = tenant_serving_events(spec_b, SESSIONS_PER_TENANT, ANOMALY_RATE);
+    let fleet = interleave_zipf(vec![ev_a.clone(), ev_b], 0.8, 7);
+    let mid = fleet.len() / 2;
+    let a_before_mid = fleet[..mid]
+        .iter()
+        .filter(|e| e.tenant() == spec_a.tenant)
+        .count();
+
+    // Dedicated reference for A: same stream, swapped at the same cut.
+    let ref_a = {
+        let cfg = ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        };
+        let mut engine =
+            ShardedOnlineUcad::try_new(trained(spec_a.archetype).clone(), cfg).unwrap();
+        for (i, ev) in ev_a.iter().enumerate() {
+            if i == a_before_mid {
+                engine.swap_model(new_a.model.clone()).unwrap();
+            }
+            match ev {
+                FleetEvent::Record { record, .. } => {
+                    engine.try_submit(record).unwrap();
+                }
+                FleetEvent::Close { session_id, .. } => engine.close_session(*session_id),
+            }
+        }
+        as_json(&engine.drain_alerts())
+    };
+    let ref_b = as_json(&dedicated_alerts(spec_b));
+
+    let mut pool = fresh_pool("swap", 4, 3, 64);
+    drive_fleet(&mut pool, &fleet[..mid]);
+    pool.swap_tenant(spec_a.tenant, &new_a).unwrap();
+    drive_fleet(&mut pool, &fleet[mid..]);
+    assert_eq!(
+        as_json(&pool.drain_tenant_alerts(spec_a.tenant).unwrap()),
+        ref_a,
+        "swapped tenant diverged from its dedicated swapped engine"
+    );
+    assert_eq!(
+        as_json(&pool.drain_tenant_alerts(spec_b.tenant).unwrap()),
+        ref_b,
+        "the swap leaked into an unrelated tenant"
+    );
+
+    // Epoch bump is tenant-granular: A's cache expired once, B's never.
+    let cache_a = pool
+        .registry_mut()
+        .activate(spec_a.tenant)
+        .unwrap()
+        .cache
+        .unwrap();
+    let cache_b = pool
+        .registry_mut()
+        .activate(spec_b.tenant)
+        .unwrap()
+        .cache
+        .unwrap();
+    assert_eq!(cache_a.epoch(), 1);
+    assert_eq!(cache_b.epoch(), 0);
+    let _ = std::fs::remove_dir_all(pool.registry().dir());
+}
+
+#[test]
+fn shed_newest_accounting_stays_exact_under_saturation() {
+    let mut registry = TenantRegistry::open(temp_dir("shed"), 2, 0).unwrap();
+    for spec in specs().into_iter().take(2) {
+        registry
+            .register(spec.tenant, spec.archetype.name(), trained(spec.archetype))
+            .unwrap();
+    }
+    let cfg = ServeConfig {
+        shards: 1,
+        queue_capacity: 2,
+        cache_capacity: 0,
+        overload: OverloadPolicy::ShedNewest,
+        ..ServeConfig::default()
+    };
+    let mut pool = TenantShardPool::new(registry, cfg).unwrap();
+    let fleet = fleet_events(&specs()[..2], SESSIONS_PER_TENANT, 0.0, 1.0, 11);
+    let (accepted, shed) = drive_fleet(&mut pool, &fleet);
+    let stats = pool.stats().unwrap();
+    assert_eq!(
+        pool.submitted(),
+        accepted + shed,
+        "accounting identity broke"
+    );
+    assert_eq!(stats.records_shed, shed);
+    assert_eq!(stats.records(), accepted);
+    assert_eq!(stats.records_degraded, 0);
+    let _ = std::fs::remove_dir_all(pool.registry().dir());
+}
