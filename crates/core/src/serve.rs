@@ -1577,26 +1577,31 @@ impl ShardedOnlineUcad {
     /// engine-local — sequence numbers and the merged drain stays
     /// byte-identical to a single engine ingesting the whole stream.
     ///
-    /// `seq` must be at least the engine's next unassigned sequence (the
-    /// seqs an engine sees are a strictly increasing subsequence of the
-    /// global stream); a rewind is rejected with
-    /// [`UcadError::InvalidConfig`] before any side effect. The sequence is
-    /// consumed whatever the outcome — shed and degraded records hold their
-    /// position in the global order, exactly as in-process submission does.
+    /// `seq` must normally be at least the engine's next unassigned
+    /// sequence (the seqs an engine sees are a strictly increasing
+    /// subsequence of the global stream). A `seq` *below* that watermark is
+    /// acked as [`SubmitOutcome::Accepted`] with **no** side effect: the
+    /// engine has already consumed that position, so the only legitimate
+    /// sender is a router resubmitting after a lost ack — a connection died
+    /// between the engine consuming the record (and, when durable, logging
+    /// it) and the response reaching the client. Deduplicating here is what
+    /// makes the router's reconnect-and-resubmit idempotent, and it holds
+    /// across process death because recovery restores the watermark from
+    /// the durable log (see [`ShardedOnlineUcad::seq_watermark`]). The
+    /// sequence is consumed whatever the outcome — shed and degraded
+    /// records hold their position in the global order, exactly as
+    /// in-process submission does.
     pub fn try_submit_at(
         &mut self,
         record: &LogRecord,
         seq: u64,
     ) -> Result<SubmitOutcome, UcadError> {
         if seq < self.next_seq {
-            return Err(UcadError::invalid(
-                "seq",
-                format!(
-                    "sequence {seq} rewinds the engine (next unassigned is {}); \
-                     global arrival order must be non-decreasing",
-                    self.next_seq
-                ),
-            ));
+            // Already consumed: a resubmit of a settled position. Ack it
+            // without touching any shard — processing it again would
+            // duplicate the record in the WAL, the shadow feed and the
+            // alert stream.
+            return Ok(SubmitOutcome::Accepted);
         }
         self.next_seq = seq + 1;
         let i = self.shard_of(record.session_id);
@@ -2011,6 +2016,17 @@ impl ShardedOnlineUcad {
         self.epoch
     }
 
+    /// The engine's sequence watermark: the next global arrival sequence it
+    /// has not yet consumed. Every submission at a sequence **below** this
+    /// is already settled — [`ShardedOnlineUcad::try_submit_at`] acks such
+    /// resubmits without re-processing, which is what lets a router replay
+    /// unacknowledged submits after a reconnect. Durable recovery restores
+    /// the watermark from the log (replayed records and drain markers), so
+    /// the dedupe discipline survives process death.
+    pub fn seq_watermark(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Effective durable operations per shard (records, closes and
     /// false-alarm confirmations; revoked entries excluded), over the
     /// directory's whole lifetime — `None` for in-memory engines. After a
@@ -2401,6 +2417,43 @@ mod tests {
             }
         }
         records
+    }
+
+    #[test]
+    fn resubmit_below_the_watermark_is_acked_without_reprocessing() {
+        let system = tiny_system(11);
+        let records = records_of(&system, 12, 2);
+        let mut engine = ShardedOnlineUcad::new(
+            system,
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(engine.seq_watermark(), 0);
+        assert_eq!(
+            engine.try_submit_at(&records[0], 4),
+            Ok(SubmitOutcome::Accepted)
+        );
+        assert_eq!(engine.seq_watermark(), 5, "gaps are fine; rewinds are not");
+        // A resubmit of any settled position acks as already accepted and
+        // reaches no shard: the record count must not move.
+        assert_eq!(
+            engine.try_submit_at(&records[1], 3),
+            Ok(SubmitOutcome::Accepted)
+        );
+        assert_eq!(
+            engine.try_submit_at(&records[0], 4),
+            Ok(SubmitOutcome::Accepted)
+        );
+        assert_eq!(engine.seq_watermark(), 5, "dup-acks must not advance");
+        assert_eq!(
+            engine.try_submit_at(&records[1], 5),
+            Ok(SubmitOutcome::Accepted)
+        );
+        engine.flush();
+        assert_eq!(engine.stats().records(), 2, "dup-acks reached no shard");
+        drop(engine.shutdown());
     }
 
     #[test]

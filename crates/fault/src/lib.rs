@@ -39,10 +39,17 @@
 //! | `fs_corrupt=K`       | the next K checkpoint reads return a bit-flipped payload     |
 //! | `fs_scope=DIR`       | fault only fs operations on paths under DIR                  |
 //! | `proc_crash=K`       | abort the whole process just before its Kth WAL append       |
+//! | `conn_reset=K`       | drop every Kth daemon connection request before handling it  |
+//! | `net_stall_us=U`     | sleep U microseconds inside each network I/O hook            |
+//! | `net_stall_every=K`  | net-stall only every Kth I/O (default 1)                     |
+//! | `net_stall_limit=M`  | stop net-stalling after M stalls (default unlimited)         |
+//! | `torn_frame=K`       | half-write every Kth submit response, then kill the socket   |
+//! | `blackhole=A..B`     | daemon requests A..B (0-based, half-open) get no response    |
+//! | `crash_reply=K`      | abort the process just before its Kth submit response        |
 //!
 //! Every trigger is a pure function of deterministic counters (records
-//! processed, submissions attempted, fs operations issued), so a faulted
-//! run is exactly reproducible.
+//! processed, submissions attempted, fs operations issued, frames read or
+//! written), so a faulted run is exactly reproducible.
 
 #![warn(missing_docs)]
 
@@ -104,6 +111,35 @@ pub struct FsSpec {
     pub scope: Option<std::path::PathBuf>,
 }
 
+/// Network damage schedule, hooked into the `ucad-net` daemon's connection
+/// handling and the client's I/O path. All triggers count deterministic
+/// per-process frame counters, so a faulted soak replays exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetSpec {
+    /// When nonzero, every `conn_reset`th request frame a daemon reads is
+    /// dropped *before* handling and its connection is closed — the wire
+    /// analogue of an `ECONNRESET` racing the request. The request had no
+    /// effect, so a retry is always safe.
+    pub conn_reset: u64,
+    /// Artificial network stall: each triggered I/O hook (daemon frame
+    /// handling, client send) sleeps per the schedule.
+    pub stall: Option<StallSpec>,
+    /// When nonzero, every `torn_frame`th *submit* response is written only
+    /// halfway and the connection is killed — the peer observes a torn
+    /// frame after the engine already consumed the record, which is exactly
+    /// the lost-ack window resubmit dedupe exists for.
+    pub torn_frame: u64,
+    /// Request frames `from..until` (0-based, half-open, counted across
+    /// connections) are read and then silently ignored: no handling, no
+    /// response. The client's read deadline is what gets it unstuck.
+    pub blackhole: Option<(u64, u64)>,
+    /// Abort the whole process — the daemon's self-inflicted `kill -9` —
+    /// immediately *before* writing its Kth submit response (1-based). The
+    /// triggering record is already durable by then, so recovery replays it
+    /// and the router's resubmit must be acked as a duplicate.
+    pub crash_reply: Option<u64>,
+}
+
 /// A deterministic fault schedule. Build one with the fluent methods, then
 /// [`FaultPlan::arm`] it (tests) or export it as a `UCAD_FAULTS` spec (CI).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -125,6 +161,8 @@ pub struct FaultPlan {
     /// crash-recovery wall uses this to kill a child at a pinned append
     /// point and prove exactly K-1 records hit the disk.
     pub proc_crash: Option<u64>,
+    /// Network damage schedule (see [`NetSpec`]).
+    pub net: NetSpec,
 }
 
 impl FaultPlan {
@@ -184,6 +222,44 @@ impl FaultPlan {
         self
     }
 
+    /// Drops every `k`th daemon request connection before handling (see
+    /// [`NetSpec::conn_reset`]).
+    pub fn conn_reset_every(mut self, k: u64) -> Self {
+        self.net.conn_reset = k;
+        self
+    }
+
+    /// Stalls every network I/O hook by `micros` microseconds.
+    pub fn net_stall_us(mut self, micros: u64) -> Self {
+        self.net.stall = Some(StallSpec {
+            micros,
+            every: 1,
+            limit: u64::MAX,
+        });
+        self
+    }
+
+    /// Half-writes every `k`th submit response, then kills the connection
+    /// (see [`NetSpec::torn_frame`]).
+    pub fn torn_frame_every(mut self, k: u64) -> Self {
+        self.net.torn_frame = k;
+        self
+    }
+
+    /// Silently swallows daemon request frames `from..until` (see
+    /// [`NetSpec::blackhole`]).
+    pub fn blackhole(mut self, from: u64, until: u64) -> Self {
+        self.net.blackhole = Some((from, until));
+        self
+    }
+
+    /// Aborts the process just before its `k`th submit response (1-based).
+    /// See [`NetSpec::crash_reply`].
+    pub fn crash_reply_at(mut self, k: u64) -> Self {
+        self.net.crash_reply = Some(k);
+        self
+    }
+
     /// Parses a `UCAD_FAULTS` spec string (see the module docs for the
     /// grammar).
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
@@ -191,6 +267,9 @@ impl FaultPlan {
         let mut stall_us = None;
         let mut stall_every = 1u64;
         let mut stall_limit = u64::MAX;
+        let mut net_stall_us = None;
+        let mut net_stall_every = 1u64;
+        let mut net_stall_limit = u64::MAX;
         for token in spec.split([';', ',']) {
             let token = token.trim();
             if token.is_empty() {
@@ -242,6 +321,36 @@ impl FaultPlan {
                     }
                     plan.proc_crash = Some(k);
                 }
+                "conn_reset" => {
+                    let k = int(value)?;
+                    if k == 0 {
+                        return Err("conn_reset=0: request frames are counted from 1".into());
+                    }
+                    plan.net.conn_reset = k;
+                }
+                "net_stall_us" => net_stall_us = Some(int(value)?),
+                "net_stall_every" => net_stall_every = int(value)?.max(1),
+                "net_stall_limit" => net_stall_limit = int(value)?,
+                "torn_frame" => {
+                    let k = int(value)?;
+                    if k == 0 {
+                        return Err("torn_frame=0: submit responses are counted from 1".into());
+                    }
+                    plan.net.torn_frame = k;
+                }
+                "blackhole" => {
+                    let (from, until) = value
+                        .split_once("..")
+                        .ok_or_else(|| format!("blackhole=`{value}`: expected FROM..UNTIL"))?;
+                    plan.net.blackhole = Some((int(from)?, int(until)?));
+                }
+                "crash_reply" => {
+                    let k = int(value)?;
+                    if k == 0 {
+                        return Err("crash_reply=0: submit responses are counted from 1".into());
+                    }
+                    plan.net.crash_reply = Some(k);
+                }
                 other => return Err(format!("unknown fault key `{other}`")),
             }
         }
@@ -250,6 +359,13 @@ impl FaultPlan {
                 micros,
                 every: stall_every,
                 limit: stall_limit,
+            });
+        }
+        if let Some(micros) = net_stall_us {
+            plan.net.stall = Some(StallSpec {
+                micros,
+                every: net_stall_every,
+                limit: net_stall_limit,
             });
         }
         Ok(plan)
@@ -296,6 +412,14 @@ pub struct FaultStats {
     /// WAL appends observed while the plan was armed (what `proc_crash`
     /// counts against).
     pub wal_appends: u64,
+    /// Daemon connections dropped by `conn_reset`.
+    pub conn_resets: u64,
+    /// Network I/O hooks actually stalled.
+    pub net_stalls: u64,
+    /// Submit responses half-written by `torn_frame`.
+    pub torn_frames: u64,
+    /// Daemon requests swallowed by `blackhole`.
+    pub blackholed: u64,
 }
 
 /// Live state of an armed plan: the immutable schedule plus its
@@ -311,6 +435,9 @@ struct PlanState {
     wal_appends: AtomicU64,
     fs_fail_budget: AtomicU64,
     fs_corrupt_budget: AtomicU64,
+    net_requests: AtomicU64,
+    net_submit_replies: AtomicU64,
+    net_io: AtomicU64,
     stats: StatCells,
 }
 
@@ -323,6 +450,10 @@ struct StatCells {
     fs_injected_io: AtomicU64,
     fs_injected_corrupt: AtomicU64,
     wal_appends: AtomicU64,
+    conn_resets: AtomicU64,
+    net_stalls: AtomicU64,
+    torn_frames: AtomicU64,
+    blackholed: AtomicU64,
 }
 
 impl PlanState {
@@ -339,6 +470,9 @@ impl PlanState {
             wal_appends: AtomicU64::new(0),
             fs_fail_budget: AtomicU64::new(fs.fail_ops),
             fs_corrupt_budget: AtomicU64::new(fs.corrupt_reads),
+            net_requests: AtomicU64::new(0),
+            net_submit_replies: AtomicU64::new(0),
+            net_io: AtomicU64::new(0),
             stats: StatCells::default(),
         }
     }
@@ -352,6 +486,10 @@ impl PlanState {
             fs_injected_io: self.stats.fs_injected_io.load(Ordering::Relaxed),
             fs_injected_corrupt: self.stats.fs_injected_corrupt.load(Ordering::Relaxed),
             wal_appends: self.stats.wal_appends.load(Ordering::Relaxed),
+            conn_resets: self.stats.conn_resets.load(Ordering::Relaxed),
+            net_stalls: self.stats.net_stalls.load(Ordering::Relaxed),
+            torn_frames: self.stats.torn_frames.load(Ordering::Relaxed),
+            blackholed: self.stats.blackholed.load(Ordering::Relaxed),
         }
     }
 }
@@ -571,6 +709,109 @@ pub fn on_wal_append(path: &Path) -> io::Result<()> {
     Ok(())
 }
 
+/// What a daemon must do with a request frame it just read, decided by the
+/// armed plan's [`NetSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetRequestFate {
+    /// Handle the request normally.
+    Pass,
+    /// Drop the request unhandled and close the connection (simulated
+    /// connection reset). The request had no effect; a retry is safe.
+    Reset,
+    /// Swallow the request: no handling, no response, connection stays
+    /// open. The client's read deadline is its only way out.
+    Blackhole,
+}
+
+/// What a daemon must do with a submit response it is about to write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetReplyFate {
+    /// Write the full frame.
+    Send,
+    /// Write only the first half of the frame, then close the connection —
+    /// the peer sees a torn frame after the engine consumed the record.
+    Torn,
+}
+
+/// Daemon hook: one request frame was read and is about to be handled.
+/// Counts the request and returns its fate per the armed plan. Also sleeps
+/// per the net-stall schedule (the daemon-side half of `net_stall_us`).
+/// Always [`NetRequestFate::Pass`] when disarmed.
+pub fn on_net_request() -> NetRequestFate {
+    let Some(state) = current() else {
+        return NetRequestFate::Pass;
+    };
+    net_stall(&state);
+    let net = &state.plan.net;
+    if net.conn_reset == 0 && net.blackhole.is_none() {
+        return NetRequestFate::Pass;
+    }
+    let n0 = state.net_requests.fetch_add(1, Ordering::Relaxed);
+    if net.conn_reset != 0 && (n0 + 1) % net.conn_reset == 0 {
+        state.stats.conn_resets.fetch_add(1, Ordering::Relaxed);
+        return NetRequestFate::Reset;
+    }
+    if let Some((from, until)) = net.blackhole {
+        if n0 >= from && n0 < until {
+            state.stats.blackholed.fetch_add(1, Ordering::Relaxed);
+            return NetRequestFate::Blackhole;
+        }
+    }
+    NetRequestFate::Pass
+}
+
+/// Daemon hook: a *submit* response frame is about to be written. Counts
+/// it, aborts the whole process at the configured `crash_reply` point —
+/// after the engine consumed the record but before the client learns so,
+/// the lost-ack window — and otherwise may demand a torn write. Always
+/// [`NetReplyFate::Send`] when disarmed.
+///
+/// Only submit responses are counted: a torn or crashed drain response
+/// would lose delivered alerts for good (the engine's exactly-once drain
+/// marker is already on disk), which is a durability property, not a
+/// transport one — retryable requests are where transport faults belong.
+pub fn on_net_submit_reply() -> NetReplyFate {
+    let Some(state) = current() else {
+        return NetReplyFate::Send;
+    };
+    let net = &state.plan.net;
+    if net.torn_frame == 0 && net.crash_reply.is_none() {
+        return NetReplyFate::Send;
+    }
+    let m = state.net_submit_replies.fetch_add(1, Ordering::Relaxed) + 1;
+    if net.crash_reply.is_some_and(|k| m >= k) {
+        // No unwinding, no destructors, no flushes — the simulated kill -9.
+        std::process::abort();
+    }
+    if net.torn_frame != 0 && m % net.torn_frame == 0 {
+        state.stats.torn_frames.fetch_add(1, Ordering::Relaxed);
+        return NetReplyFate::Torn;
+    }
+    NetReplyFate::Send
+}
+
+/// Client hook: a request is about to be sent. Sleeps per the net-stall
+/// schedule (the client-side half of `net_stall_us`). No-op when disarmed.
+pub fn on_net_client_send() {
+    let Some(state) = current() else { return };
+    net_stall(&state);
+}
+
+fn net_stall(state: &PlanState) {
+    let Some(stall) = state.plan.net.stall else {
+        return;
+    };
+    let n = state.net_io.fetch_add(1, Ordering::Relaxed) + 1;
+    if !n.is_multiple_of(stall.every) {
+        return;
+    }
+    if state.stats.net_stalls.fetch_add(1, Ordering::Relaxed) >= stall.limit {
+        state.stats.net_stalls.fetch_sub(1, Ordering::Relaxed);
+        return;
+    }
+    std::thread::sleep(std::time::Duration::from_micros(stall.micros));
+}
+
 fn injected_io(op: &str, path: &Path) -> io::Error {
     io::Error::other(format!("fault-injected {op} failure on {}", path.display()))
 }
@@ -647,7 +888,9 @@ mod tests {
     fn parse_roundtrips_the_documented_grammar() {
         let plan = FaultPlan::parse(
             "seed=7; panic=25; panic=40@1, stall_us=500;stall_every=3;stall_limit=9; \
-             saturate=10..20@2; fs_fail=2; fs_corrupt=1; proc_crash=6",
+             saturate=10..20@2; fs_fail=2; fs_corrupt=1; proc_crash=6; \
+             conn_reset=4; net_stall_us=250; net_stall_every=2; net_stall_limit=5; \
+             torn_frame=3; blackhole=8..11; crash_reply=9",
         )
         .expect("valid spec");
         assert_eq!(plan.seed, 7);
@@ -683,6 +926,18 @@ mod tests {
         assert_eq!(plan.fs.fail_ops, 2);
         assert_eq!(plan.fs.corrupt_reads, 1);
         assert_eq!(plan.proc_crash, Some(6));
+        assert_eq!(plan.net.conn_reset, 4);
+        assert_eq!(
+            plan.net.stall,
+            Some(StallSpec {
+                micros: 250,
+                every: 2,
+                limit: 5
+            })
+        );
+        assert_eq!(plan.net.torn_frame, 3);
+        assert_eq!(plan.net.blackhole, Some((8, 11)));
+        assert_eq!(plan.net.crash_reply, Some(9));
     }
 
     #[test]
@@ -694,6 +949,10 @@ mod tests {
         assert!(FaultPlan::parse("volcano=1").is_err());
         assert!(FaultPlan::parse("proc_crash=0").is_err());
         assert!(FaultPlan::parse("proc_crash=now").is_err());
+        assert!(FaultPlan::parse("conn_reset=0").is_err());
+        assert!(FaultPlan::parse("torn_frame=0").is_err());
+        assert!(FaultPlan::parse("blackhole=7").is_err());
+        assert!(FaultPlan::parse("crash_reply=0").is_err());
         assert!(FaultPlan::parse("")
             .expect("empty is no faults")
             .panics
@@ -708,7 +967,63 @@ mod tests {
         on_scoring_forward();
         assert!(!on_submit_saturated(0));
         assert!(on_wal_append(Path::new("/nowhere/wal")).is_ok());
+        assert_eq!(on_net_request(), NetRequestFate::Pass);
+        assert_eq!(on_net_submit_reply(), NetReplyFate::Send);
+        on_net_client_send();
         assert!(stats().is_none());
+    }
+
+    #[test]
+    fn conn_reset_fires_every_kth_request_and_blackhole_covers_its_range() {
+        let guard = FaultPlan::new().conn_reset_every(3).blackhole(3, 5).arm();
+        let fates: Vec<NetRequestFate> = (0..7).map(|_| on_net_request()).collect();
+        // Requests 2 and 5 (0-based) are the 3rd and 6th reads → reset;
+        // requests 3 and 4 fall in the blackhole window.
+        assert_eq!(
+            fates,
+            vec![
+                NetRequestFate::Pass,
+                NetRequestFate::Pass,
+                NetRequestFate::Reset,
+                NetRequestFate::Blackhole,
+                NetRequestFate::Blackhole,
+                NetRequestFate::Reset,
+                NetRequestFate::Pass,
+            ]
+        );
+        let s = guard.stats();
+        assert_eq!((s.conn_resets, s.blackholed), (2, 2));
+    }
+
+    #[test]
+    fn torn_frame_fires_every_kth_submit_reply() {
+        let guard = FaultPlan::new().torn_frame_every(2).arm();
+        let fates: Vec<NetReplyFate> = (0..5).map(|_| on_net_submit_reply()).collect();
+        assert_eq!(
+            fates,
+            vec![
+                NetReplyFate::Send,
+                NetReplyFate::Torn,
+                NetReplyFate::Send,
+                NetReplyFate::Torn,
+                NetReplyFate::Send,
+            ]
+        );
+        assert_eq!(guard.stats().torn_frames, 2);
+    }
+
+    #[test]
+    fn net_stall_sleeps_on_its_own_schedule() {
+        let guard = FaultPlan::parse("net_stall_us=100;net_stall_every=2;net_stall_limit=1")
+            .unwrap()
+            .arm();
+        let t0 = std::time::Instant::now();
+        on_net_client_send(); // 1st: skipped (every=2)
+        on_net_request(); // 2nd: stalls (daemon and client share the clock)
+        on_net_client_send(); // 4th would stall but limit=1
+        on_net_client_send();
+        assert!(t0.elapsed() >= std::time::Duration::from_micros(100));
+        assert_eq!(guard.stats().net_stalls, 1);
     }
 
     #[test]

@@ -6,32 +6,222 @@
 //! exactly as it would through an in-process engine — down to the
 //! `accepted + shed + degraded == submitted` accounting, which travels the
 //! wire as typed [`SubmitOutcome`]s.
+//!
+//! ## Failure discipline
+//!
+//! Every socket carries read/write deadlines ([`NetClientConfig`]), so a
+//! stalled daemon can never park the caller forever. Any transport failure
+//! mid-call — a timeout, a reset, a torn response — leaves the stream's
+//! framing state unknowable, so the client marks the connection
+//! **poisoned**: subsequent calls fail with a typed recoverable
+//! [`UcadError::Net`] instead of desyncing the frame stream, until
+//! [`NetClient::reconnect`] replaces the socket. A daemon-*reported* error
+//! ([`crate::protocol::Response::Error`] with `recoverable: true`) is an
+//! answer, not a transport failure: it never poisons and is never retried
+//! here.
+//!
+//! With a non-empty [`RetryPolicy`], retryable requests heal themselves:
+//! the client sleeps the jitterless exponential-backoff schedule,
+//! reconnects, and replays the request. Every request is retryable except
+//! `Submit { seq: None }` (without a sequence the daemon cannot dedupe a
+//! replay) and `Shutdown`. Seq-carrying submits are safe *because* the
+//! engine acks any sequence below its watermark without reprocessing — see
+//! [`ucad::ShardedOnlineUcad::try_submit_at`].
 
 use crate::protocol::{
-    decode_message, encode_message, read_frame, FrameKind, HealthInfo, Request, Response,
+    decode_message, encode_message, is_timeout, FrameBuffer, FrameKind, HealthInfo, Request,
+    Response,
 };
-use std::io::Write;
-use std::net::TcpStream;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::OnceLock;
+use std::time::Duration;
 use ucad::{Admission, Alert, ServeStats, SubmitOutcome};
 use ucad_dbsim::LogRecord;
 use ucad_model::UcadError;
+use ucad_obs::{Counter, MetricKind};
+
+/// Bounded retry with a jitterless exponential-backoff schedule: attempt
+/// `i` (0-based) sleeps `backoff_base * 2^i`, capped at `backoff_cap`.
+/// Deterministic by design — a faulted soak replays the same schedule
+/// every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Reconnect-and-retry attempts after the first failure (0 = fail
+    /// fast).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: every transport failure surfaces immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 0,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        }
+    }
+
+    /// A modest self-healing default: 4 attempts backing off 25ms, 50ms,
+    /// 100ms, 200ms.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+        }
+    }
+
+    /// The deterministic backoff before retry `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.backoff_cap)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Deadlines and retry behavior of one client connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetClientConfig {
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Socket read deadline per `read` call: a daemon that goes silent
+    /// mid-response fails the call (and poisons the connection) instead of
+    /// parking the thread forever.
+    pub read_timeout: Duration,
+    /// Socket write deadline: a peer that stops draining its receive
+    /// buffer cannot wedge a large submit forever.
+    pub write_timeout: Duration,
+    /// Retry schedule for retryable requests.
+    pub retry: RetryPolicy,
+}
+
+impl Default for NetClientConfig {
+    /// Generous deadlines (Block-mode backpressure legitimately stalls a
+    /// submit response while queues drain), no retries.
+    fn default() -> Self {
+        NetClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            retry: RetryPolicy::none(),
+        }
+    }
+}
+
+/// Client-side transport counters, on the process-global registry (a
+/// client has no engine registry to hang them on; the daemon-side
+/// `ucad_net_*` family lives on the engine's).
+struct ClientMetrics {
+    retries: Counter,
+    reconnects: Counter,
+    timeouts: Counter,
+}
+
+fn client_metrics() -> &'static ClientMetrics {
+    static METRICS: OnceLock<ClientMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = ucad_obs::global();
+        registry.describe(
+            "ucad_net_retries_total",
+            MetricKind::Counter,
+            "Requests replayed after a transport failure (client side)",
+        );
+        registry.describe(
+            "ucad_net_reconnects_total",
+            MetricKind::Counter,
+            "Connections re-established after poisoning (client side)",
+        );
+        registry.describe(
+            "ucad_net_timeouts_total",
+            MetricKind::Counter,
+            "Read/write deadlines expired on client sockets",
+        );
+        ClientMetrics {
+            retries: registry.counter("ucad_net_retries_total", &[]),
+            reconnects: registry.counter("ucad_net_reconnects_total", &[]),
+            timeouts: registry.counter("ucad_net_timeouts_total", &[]),
+        }
+    })
+}
+
+/// Counts a request replay initiated above the client (the router's
+/// failover loop replays operations it could not confirm).
+pub(crate) fn note_retry() {
+    client_metrics().retries.inc();
+}
 
 /// A connected client of one daemon.
 pub struct NetClient {
     stream: TcpStream,
     addr: String,
+    cfg: NetClientConfig,
+    reader: FrameBuffer,
+    poisoned: bool,
 }
 
 impl NetClient {
-    /// Connects to a daemon at `addr` (e.g. `"127.0.0.1:7400"`).
+    /// Connects to a daemon at `addr` (e.g. `"127.0.0.1:7400"`) with
+    /// [`NetClientConfig::default`] deadlines and no retries.
     pub fn connect(addr: impl Into<String>) -> Result<Self, UcadError> {
+        Self::connect_with(addr, NetClientConfig::default())
+    }
+
+    /// Connects with explicit deadlines and retry policy.
+    pub fn connect_with(addr: impl Into<String>, cfg: NetClientConfig) -> Result<Self, UcadError> {
         let addr = addr.into();
-        let stream = TcpStream::connect(&addr)
-            .map_err(|e| UcadError::net(format!("connect {addr}"), e.to_string()))?;
+        let stream = Self::open(&addr, &cfg)?;
+        Ok(NetClient {
+            stream,
+            addr,
+            cfg,
+            reader: FrameBuffer::new(),
+            poisoned: false,
+        })
+    }
+
+    fn open(addr: &str, cfg: &NetClientConfig) -> Result<TcpStream, UcadError> {
+        let mut last = None;
+        let targets = addr
+            .to_socket_addrs()
+            .map_err(|e| UcadError::net(format!("resolve {addr}"), e.to_string()))?;
+        let mut stream = None;
+        for target in targets {
+            match TcpStream::connect_timeout(&target, cfg.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        let stream = stream.ok_or_else(|| {
+            UcadError::net(
+                format!("connect {addr}"),
+                last.map_or_else(|| "no addresses resolved".to_string(), |e| e.to_string()),
+            )
+        })?;
         stream
             .set_nodelay(true)
             .map_err(|e| UcadError::net(format!("nodelay {addr}"), e.to_string()))?;
-        Ok(NetClient { stream, addr })
+        stream
+            .set_read_timeout(Some(cfg.read_timeout))
+            .map_err(|e| UcadError::net(format!("read timeout {addr}"), e.to_string()))?;
+        stream
+            .set_write_timeout(Some(cfg.write_timeout))
+            .map_err(|e| UcadError::net(format!("write timeout {addr}"), e.to_string()))?;
+        Ok(stream)
     }
 
     /// The daemon address this client is connected to.
@@ -39,35 +229,169 @@ impl NetClient {
         &self.addr
     }
 
-    /// One synchronous request/response round trip. Daemon-reported errors
-    /// come back as `Err`: recoverable ones leave the connection usable for
-    /// the next call, unrecoverable ones mean the daemon is about to close
-    /// it.
+    /// True after a transport failure left the stream's framing state
+    /// unknowable. Calls fail cleanly until [`NetClient::reconnect`].
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Replaces the socket with a fresh connection to a (possibly new)
+    /// address — the failover path when a supervisor respawned the daemon
+    /// on another port.
+    pub fn reconnect_to(&mut self, addr: impl Into<String>) -> Result<(), UcadError> {
+        self.addr = addr.into();
+        self.reconnect()
+    }
+
+    /// Replaces the socket with a fresh connection to the same address,
+    /// clearing the poison flag and any partial frame.
+    pub fn reconnect(&mut self) -> Result<(), UcadError> {
+        self.stream = Self::open(&self.addr, &self.cfg)?;
+        self.reader = FrameBuffer::new();
+        self.poisoned = false;
+        client_metrics().reconnects.inc();
+        ucad_obs::event("net.client_reconnect", &[("addr", self.addr.clone())]);
+        Ok(())
+    }
+
+    /// Whether a request may be transparently replayed on a fresh
+    /// connection. Seq-less submits cannot (the daemon has no sequence to
+    /// dedupe a replay against); shutdown must not (a replay would kill a
+    /// daemon that was just restarted).
+    fn retryable(request: &Request) -> bool {
+        !matches!(
+            request,
+            Request::Submit { seq: None, .. } | Request::Shutdown
+        )
+    }
+
+    /// One synchronous request/response round trip, with the configured
+    /// retry schedule on transport failures of retryable requests.
+    /// Daemon-reported errors come back as `Err` without retry: recoverable
+    /// ones leave the connection usable for the next call, unrecoverable
+    /// ones poison it.
     pub fn call(&mut self, request: &Request) -> Result<Response, UcadError> {
+        let mut attempt = 0u32;
+        loop {
+            let result = if self.poisoned {
+                Err(UcadError::net(
+                    format!("daemon {}", self.addr),
+                    "connection poisoned by an earlier I/O failure (half-written or \
+                     half-read frame); reconnect to recover"
+                        .to_string(),
+                ))
+            } else {
+                self.call_once(request)
+            };
+            let err = match result {
+                Ok(response) => return Ok(response),
+                Err(err) => err,
+            };
+            // A healthy connection means the daemon answered with a typed
+            // error: that is a result, not a transport failure.
+            if !self.poisoned || !Self::retryable(request) || attempt >= self.cfg.retry.attempts {
+                return Err(err);
+            }
+            std::thread::sleep(self.cfg.retry.delay(attempt));
+            attempt += 1;
+            client_metrics().retries.inc();
+            if let Err(reconnect_err) = self.reconnect() {
+                if attempt >= self.cfg.retry.attempts {
+                    return Err(reconnect_err);
+                }
+            }
+        }
+    }
+
+    fn call_once(&mut self, request: &Request) -> Result<Response, UcadError> {
+        ucad_fault::on_net_client_send();
         let frame = encode_message(FrameKind::Request, request);
-        self.stream
+        if let Err(e) = self
+            .stream
             .write_all(&frame)
             .and_then(|()| self.stream.flush())
-            .map_err(|e| UcadError::net(format!("send to {}", self.addr), e.to_string()))?;
-        let (kind, payload) = read_frame(&mut self.stream)?.ok_or_else(|| {
-            UcadError::net(
-                format!("recv from {}", self.addr),
-                "connection closed before a response arrived".to_string(),
-            )
-        })?;
+        {
+            self.poisoned = true;
+            if is_timeout(&e) {
+                client_metrics().timeouts.inc();
+            }
+            return Err(UcadError::net(
+                format!("send to {}", self.addr),
+                e.to_string(),
+            ));
+        }
+        let (kind, payload) = match self.read_response() {
+            Ok(frame) => frame,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(e);
+            }
+        };
         if kind != FrameKind::Response {
+            self.poisoned = true;
             return Err(UcadError::protocol(
                 "expected a response frame, got a request frame".to_string(),
             ));
         }
         let response: Response = decode_message(&payload)?;
-        if let Response::Error { message, .. } = &response {
+        if let Response::Error {
+            recoverable,
+            message,
+        } = &response
+        {
+            if !recoverable {
+                // The daemon closes the connection after an unrecoverable
+                // error; don't wait for the EOF to find out.
+                self.poisoned = true;
+            }
             return Err(UcadError::net(
                 format!("daemon {}", self.addr),
                 message.clone(),
             ));
         }
         Ok(response)
+    }
+
+    /// Reads one response frame under the socket's read deadline.
+    fn read_response(&mut self) -> Result<(FrameKind, Vec<u8>), UcadError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(frame) = self.reader.pop()? {
+                return Ok(frame);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(if self.reader.is_mid_frame() {
+                        UcadError::protocol(
+                            "torn frame: connection closed mid-response".to_string(),
+                        )
+                    } else {
+                        UcadError::net(
+                            format!("recv from {}", self.addr),
+                            "connection closed before a response arrived".to_string(),
+                        )
+                    })
+                }
+                Ok(n) => self.reader.push(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if is_timeout(&e) => {
+                    client_metrics().timeouts.inc();
+                    return Err(UcadError::net(
+                        format!("recv from {}", self.addr),
+                        format!(
+                            "read deadline ({:?}) expired waiting for a response",
+                            self.cfg.read_timeout
+                        ),
+                    ));
+                }
+                Err(e) => {
+                    return Err(UcadError::net(
+                        format!("recv from {}", self.addr),
+                        e.to_string(),
+                    ))
+                }
+            }
+        }
     }
 
     fn unexpected(&self, wanted: &str, got: &Response) -> UcadError {
@@ -80,6 +404,8 @@ impl NetClient {
     /// Submits a record under a caller-assigned global arrival sequence —
     /// the router's path (see
     /// [`ucad::ShardedOnlineUcad::try_submit_at`] for the seq contract).
+    /// Safe to retry: a replayed sequence below the engine's watermark is
+    /// acked as already accepted.
     pub fn submit_at(&mut self, seq: u64, record: &LogRecord) -> Result<SubmitOutcome, UcadError> {
         match self.call(&Request::Submit {
             seq: Some(seq),
@@ -182,5 +508,51 @@ impl Admission for NetClient {
 
     fn dump_flight_json(&mut self) -> Result<String, UcadError> {
         self.flight_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_exponential_and_capped() {
+        let policy = RetryPolicy {
+            attempts: 6,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_millis(150),
+        };
+        let delays: Vec<u64> = (0..6).map(|i| policy.delay(i).as_millis() as u64).collect();
+        assert_eq!(delays, vec![25, 50, 100, 150, 150, 150]);
+        // No randomness anywhere: the schedule is a pure function.
+        let again: Vec<u64> = (0..6).map(|i| policy.delay(i).as_millis() as u64).collect();
+        assert_eq!(delays, again);
+        assert_eq!(RetryPolicy::none().attempts, 0);
+    }
+
+    #[test]
+    fn seqless_submits_and_shutdown_are_not_retryable() {
+        let record = LogRecord {
+            timestamp: 0,
+            user: "u".into(),
+            client_ip: "ip".into(),
+            session_id: 1,
+            sql: "SELECT 1".into(),
+            table: "t".into(),
+            op: ucad_dbsim::OpKind::Select,
+            rows: 0,
+        };
+        assert!(!NetClient::retryable(&Request::Submit {
+            seq: None,
+            record: record.clone(),
+        }));
+        assert!(!NetClient::retryable(&Request::Shutdown));
+        assert!(NetClient::retryable(&Request::Submit {
+            seq: Some(7),
+            record,
+        }));
+        assert!(NetClient::retryable(&Request::Flush));
+        assert!(NetClient::retryable(&Request::Drain));
+        assert!(NetClient::retryable(&Request::Close { session_id: 1 }));
     }
 }

@@ -22,6 +22,15 @@
 //!   cross-process alert stream is byte-identical to a single-process
 //!   engine for any topology.
 //!
+//! The wire is self-healing: every socket carries deadlines, an I/O
+//! failure poisons the connection (fail-fast typed errors instead of a
+//! desynced stream), [`RetryPolicy`] drives bounded deterministic
+//! reconnect-and-retry, and the router replays unacknowledged submits
+//! through a supervisor-updatable [`AddrBook`] — the engine dup-acks any
+//! sequence below its durable arrival watermark, so byte-identity holds
+//! through `kill -9` + crash recovery + failover. Resilience counters:
+//! `ucad_net_{retries,reconnects,timeouts,resubmitted,idle_reaped}_total`.
+//!
 //! ```no_run
 //! use ucad::prelude::*;
 //! use ucad_net::{NetDaemon, NetRouter, NetServeConfig};
@@ -42,7 +51,7 @@ pub mod daemon;
 pub mod protocol;
 pub mod router;
 
-pub use client::NetClient;
+pub use client::{NetClient, NetClientConfig, RetryPolicy};
 pub use daemon::{NetDaemon, NetServeConfig, NetServeConfigBuilder};
-pub use protocol::{FrameKind, HealthInfo, Request, Response};
-pub use router::NetRouter;
+pub use protocol::{FrameBuffer, FrameKind, HealthInfo, Request, Response};
+pub use router::{AddrBook, NetRouter, NetRouterConfig};

@@ -277,6 +277,60 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<(FrameKind, Vec<u
     }
 }
 
+/// An incremental frame reader: feed it raw bytes as they arrive, pop
+/// complete frames as they become available. This is what deadline-aware
+/// readers use instead of [`read_frame`] — a socket read timeout can fire
+/// *between* chunks of one frame, and the buffer keeps the partial frame
+/// intact across the timeout so the caller can distinguish "idle at a
+/// frame boundary" ([`FrameBuffer::is_mid_frame`] false: reap or keep
+/// waiting) from "the peer stalled mid-frame" (true: the connection is
+/// broken, close it).
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes read off the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when the buffer holds a partial frame — an EOF or persistent
+    /// stall now means a torn frame, not a clean hangup.
+    pub fn is_mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Pops the next complete frame, `Ok(None)` when more bytes are needed.
+    /// Damage verdicts are [`decode_frame`]'s, surfaced as early as they
+    /// are provable.
+    pub fn pop(&mut self) -> Result<Option<(FrameKind, Vec<u8>)>, UcadError> {
+        match decode_frame(&self.buf)? {
+            Some((kind, payload, consumed)) => {
+                self.buf.drain(..consumed);
+                Ok(Some((kind, payload)))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// True when an I/O error is a read/write deadline expiring — the two
+/// kinds portably used for socket timeouts (`WouldBlock` on Unix,
+/// `TimedOut` on Windows).
+pub fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// Writes one framed message to a stream.
 pub fn write_frame(
     w: &mut impl std::io::Write,
@@ -385,6 +439,38 @@ mod tests {
         assert_eq!(p1, b"\"Flush\"");
         assert_eq!(p2, b"\"Drain\"");
         assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_and_pipelined_frames() {
+        let a = encode_message(FrameKind::Request, &Request::Flush);
+        let b = encode_message(FrameKind::Request, &Request::Drain);
+        let mut wire = a.clone();
+        wire.extend_from_slice(&b);
+        let mut fb = FrameBuffer::new();
+        assert!(!fb.is_mid_frame());
+        // Trickle the two frames in 5-byte chunks: pops must appear exactly
+        // when each frame completes, and mid-frame state must track.
+        let mut popped = Vec::new();
+        for chunk in wire.chunks(5) {
+            fb.push(chunk);
+            while let Some((kind, payload)) = fb.pop().expect("intact stream") {
+                assert_eq!(kind, FrameKind::Request);
+                popped.push(payload);
+            }
+        }
+        assert_eq!(popped.len(), 2);
+        assert!(!fb.is_mid_frame(), "both frames fully consumed");
+        fb.push(&a[..HEADER_LEN + 2]);
+        assert_eq!(fb.pop().expect("prefix is plausible"), None);
+        assert!(fb.is_mid_frame(), "a partial frame is buffered");
+    }
+
+    #[test]
+    fn frame_buffer_reports_damage_as_early_as_provable() {
+        let mut fb = FrameBuffer::new();
+        fb.push(b"XUNK");
+        assert!(fb.pop().is_err(), "bad magic is provable from byte 0");
     }
 
     #[test]

@@ -16,26 +16,129 @@
 //! in-process engine — including exact overload accounting:
 //! `accepted + shed + degraded == submitted` holds across the merged
 //! [`ServeStats`] of the whole fleet.
+//!
+//! ## Failover: reconnect-and-resubmit
+//!
+//! Every operation runs under the router's failover loop. When a client
+//! connection is poisoned by a transport failure — reset, timeout, torn
+//! response, daemon death — the router sleeps the deterministic backoff
+//! schedule ([`crate::RetryPolicy`]), re-reads the daemon's address from
+//! its shared [`AddrBook`] (a supervisor that respawned the daemon on a
+//! new port updates the book), reconnects, and replays the operation.
+//! Replayed submits carry their original global sequence, so a daemon
+//! that *did* process the lost-ack submit simply dup-acks it below its
+//! recovered watermark (`ucad_net_resubmitted_total`) — the alert stream
+//! stays byte-identical through `kill -9` + durable recovery + failover.
+//! A daemon-*reported* error is an answer, never retried.
 
-use crate::client::NetClient;
+use crate::client::{note_retry, NetClient, NetClientConfig, RetryPolicy};
 use crate::protocol::HealthInfo;
 use serde::Value;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 use ucad::{merge_seq_sorted, splitmix64, Admission, Alert, ServeStats, SubmitOutcome};
 use ucad_dbsim::LogRecord;
 use ucad_model::{CacheStats, UcadError};
 
+/// A shared, mutable view of the fleet's daemon addresses. The router
+/// re-reads the book before every reconnect attempt, so a supervisor
+/// thread holding a clone can point a daemon slot at a respawned
+/// process's new port while the router is mid-failover.
+#[derive(Clone, Debug)]
+pub struct AddrBook {
+    addrs: Arc<Mutex<Vec<String>>>,
+}
+
+impl AddrBook {
+    /// A book over the initial fleet addresses.
+    pub fn new<S: AsRef<str>>(addrs: &[S]) -> Self {
+        AddrBook {
+            addrs: Arc::new(Mutex::new(
+                addrs.iter().map(|a| a.as_ref().to_string()).collect(),
+            )),
+        }
+    }
+
+    /// Number of daemon slots.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when the book has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// The current address of daemon `i`.
+    pub fn get(&self, i: usize) -> String {
+        self.lock()[i].clone()
+    }
+
+    /// Points daemon slot `i` at a new address (the supervisor's half of
+    /// failover).
+    pub fn set(&self, i: usize, addr: impl Into<String>) {
+        self.lock()[i] = addr.into();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<String>> {
+        self.addrs
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Router-level resilience knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetRouterConfig {
+    /// Deadlines for each daemon connection. Client-level retry is left
+    /// off by default: the router's failover loop is the retry layer, and
+    /// it must re-read the [`AddrBook`] between attempts — something a
+    /// client pinned to one address cannot do.
+    pub client: NetClientConfig,
+    /// The reconnect-and-resubmit schedule: how many times, and with what
+    /// deterministic backoff, the router tries to heal a daemon slot
+    /// before giving up on an operation.
+    pub failover: RetryPolicy,
+}
+
+impl Default for NetRouterConfig {
+    fn default() -> Self {
+        NetRouterConfig {
+            client: NetClientConfig::default(),
+            failover: RetryPolicy {
+                attempts: 5,
+                backoff_base: Duration::from_millis(50),
+                backoff_cap: Duration::from_secs(2),
+            },
+        }
+    }
+}
+
 /// A router over N connected daemons.
 pub struct NetRouter {
     clients: Vec<NetClient>,
+    addrs: AddrBook,
     seed: u64,
     next_seq: u64,
+    cfg: NetRouterConfig,
 }
 
 impl NetRouter {
-    /// Connects to every daemon in `addrs`. The `seed` feeds the
-    /// session-to-daemon hash, exactly like [`ucad::ServeConfig::seed`]
-    /// feeds the engine's session-to-shard hash.
+    /// Connects to every daemon in `addrs` with [`NetRouterConfig::default`].
+    /// The `seed` feeds the session-to-daemon hash, exactly like
+    /// [`ucad::ServeConfig::seed`] feeds the engine's session-to-shard
+    /// hash.
     pub fn connect<S: AsRef<str>>(addrs: &[S], seed: u64) -> Result<Self, UcadError> {
+        Self::connect_with(addrs, seed, NetRouterConfig::default())
+    }
+
+    /// [`NetRouter::connect`] with explicit deadlines and failover
+    /// schedule.
+    pub fn connect_with<S: AsRef<str>>(
+        addrs: &[S],
+        seed: u64,
+        cfg: NetRouterConfig,
+    ) -> Result<Self, UcadError> {
         if addrs.is_empty() {
             return Err(UcadError::invalid(
                 "addrs",
@@ -44,12 +147,14 @@ impl NetRouter {
         }
         let clients = addrs
             .iter()
-            .map(|a| NetClient::connect(a.as_ref()))
+            .map(|a| NetClient::connect_with(a.as_ref(), cfg.client))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(NetRouter {
             clients,
+            addrs: AddrBook::new(addrs),
             seed,
             next_seq: 0,
+            cfg,
         })
     }
 
@@ -58,15 +163,62 @@ impl NetRouter {
         self.clients.len()
     }
 
+    /// A clone of the shared address book — hand it to the supervisor
+    /// that respawns dead daemons so failover can find their new ports.
+    pub fn addr_book(&self) -> AddrBook {
+        self.addrs.clone()
+    }
+
     /// The daemon a session routes to — the cross-process twin of
     /// [`ucad::ShardedOnlineUcad::shard_of`].
     pub fn daemon_of(&self, session_id: u64) -> usize {
         (splitmix64(self.seed ^ session_id) % self.clients.len() as u64) as usize
     }
 
+    /// Runs `op` against daemon `daemon`, healing the connection between
+    /// attempts. Safe for every operation the router issues: submits are
+    /// replayed with their original sequence (dup-acked below the
+    /// daemon's watermark), control frames are no-ops on unknown
+    /// sessions, and the rest are reads.
+    fn with_failover<T>(
+        &mut self,
+        daemon: usize,
+        mut op: impl FnMut(&mut NetClient) -> Result<T, UcadError>,
+    ) -> Result<T, UcadError> {
+        let mut attempt = 0u32;
+        loop {
+            if self.clients[daemon].poisoned() {
+                let addr = self.addrs.get(daemon);
+                if let Err(e) = self.clients[daemon].reconnect_to(addr) {
+                    if attempt >= self.cfg.failover.attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.cfg.failover.delay(attempt));
+                    attempt += 1;
+                    continue;
+                }
+            }
+            match op(&mut self.clients[daemon]) {
+                Ok(value) => return Ok(value),
+                Err(e) => {
+                    // A healthy connection means the daemon answered with
+                    // a typed error: an answer, not a transport failure.
+                    if !self.clients[daemon].poisoned() || attempt >= self.cfg.failover.attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.cfg.failover.delay(attempt));
+                    attempt += 1;
+                    note_retry();
+                }
+            }
+        }
+    }
+
     /// Health of every daemon, in address order.
     pub fn health(&mut self) -> Result<Vec<HealthInfo>, UcadError> {
-        self.clients.iter_mut().map(|c| c.health()).collect()
+        (0..self.clients.len())
+            .map(|i| self.with_failover(i, |c| c.health()))
+            .collect()
     }
 
     /// Drains every daemon and re-merges the streams by global arrival
@@ -74,12 +226,12 @@ impl NetRouter {
     /// session's Block-mode tail on one daemon cannot lag a drain that
     /// another daemon already answered.
     pub fn drain_alerts_seq(&mut self) -> Result<Vec<(u64, Alert)>, UcadError> {
-        for client in &mut self.clients {
-            Admission::flush(client)?;
+        for i in 0..self.clients.len() {
+            self.with_failover(i, Admission::flush)?;
         }
         let mut streams = Vec::with_capacity(self.clients.len());
-        for client in &mut self.clients {
-            streams.push(client.drain_alerts_seq()?);
+        for i in 0..self.clients.len() {
+            streams.push(self.with_failover(i, |c| c.drain_alerts_seq())?);
         }
         // The exact helper the engine's own drain uses for its per-shard
         // outboxes — shared code, shared ordering, byte-identical output.
@@ -88,7 +240,8 @@ impl NetRouter {
 
     /// Asks every daemon to shut down, returning each daemon's final
     /// counters in address order. Drain first if the undelivered alerts
-    /// matter.
+    /// matter. Shutdown is deliberately *not* retried under failover — a
+    /// replay could kill a daemon that was just respawned.
     pub fn shutdown(mut self) -> Result<Vec<ServeStats>, UcadError> {
         self.clients
             .iter_mut()
@@ -118,27 +271,31 @@ impl Admission for NetRouter {
     /// Assigns the record the next global arrival sequence and ships it to
     /// its session's daemon. The sequence is consumed whatever the outcome
     /// — shed and degraded records hold their position in the global
-    /// order, exactly as in-process submission does.
+    /// order, exactly as in-process submission does. On a transport
+    /// failure the submit is replayed with the *same* sequence after
+    /// reconnect; a daemon that already consumed it dup-acks below its
+    /// watermark, so replays can neither duplicate nor reorder the alert
+    /// stream.
     fn try_submit(&mut self, record: &LogRecord) -> Result<SubmitOutcome, UcadError> {
         let seq = self.next_seq;
         self.next_seq = seq + 1;
         let daemon = self.daemon_of(record.session_id);
-        self.clients[daemon].submit_at(seq, record)
+        self.with_failover(daemon, |c| c.submit_at(seq, record))
     }
 
     fn close_session(&mut self, session_id: u64) -> Result<(), UcadError> {
         let daemon = self.daemon_of(session_id);
-        Admission::close_session(&mut self.clients[daemon], session_id)
+        self.with_failover(daemon, |c| Admission::close_session(c, session_id))
     }
 
     fn confirm_false_alarm(&mut self, session_id: u64) -> Result<(), UcadError> {
         let daemon = self.daemon_of(session_id);
-        Admission::confirm_false_alarm(&mut self.clients[daemon], session_id)
+        self.with_failover(daemon, |c| Admission::confirm_false_alarm(c, session_id))
     }
 
     fn flush(&mut self) -> Result<(), UcadError> {
-        for client in &mut self.clients {
-            Admission::flush(client)?;
+        for i in 0..self.clients.len() {
+            self.with_failover(i, Admission::flush)?;
         }
         Ok(())
     }
@@ -165,8 +322,8 @@ impl Admission for NetRouter {
             records_degraded: 0,
             worker_restarts: 0,
         };
-        for client in &mut self.clients {
-            let stats = Admission::stats(client)?;
+        for i in 0..self.clients.len() {
+            let stats = self.with_failover(i, Admission::stats)?;
             merged.records_per_shard.extend(stats.records_per_shard);
             merged.pending_alerts += stats.pending_alerts;
             merge_cache(&mut merged.cache, stats.cache);
@@ -182,8 +339,8 @@ impl Admission for NetRouter {
     fn render_metrics(&mut self) -> Result<String, UcadError> {
         let mut out = String::new();
         for i in 0..self.clients.len() {
+            let text = self.with_failover(i, Admission::render_metrics)?;
             let addr = self.clients[i].addr().to_string();
-            let text = Admission::render_metrics(&mut self.clients[i])?;
             out.push_str(&format!("# ucad-net daemon {i} @ {addr}\n"));
             out.push_str(&text);
         }
@@ -195,8 +352,8 @@ impl Admission for NetRouter {
     /// uses).
     fn dump_flight_json(&mut self) -> Result<String, UcadError> {
         let mut entries: Vec<(u64, Value)> = Vec::new();
-        for client in &mut self.clients {
-            let text = client.flight_json()?;
+        for i in 0..self.clients.len() {
+            let text = self.with_failover(i, |c| c.flight_json())?;
             let parsed: Value = serde_json::from_str(&text).map_err(|e| {
                 UcadError::protocol(format!("daemon flight dump does not parse: {e}"))
             })?;
@@ -227,5 +384,21 @@ impl Admission for NetRouter {
         let array = Value::Array(merged.into_iter().map(|(_, v)| v).collect());
         serde_json::to_string(&array)
             .map_err(|e| UcadError::protocol(format!("merged flight dump: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_book_updates_are_visible_through_clones() {
+        let book = AddrBook::new(&["127.0.0.1:1", "127.0.0.1:2"]);
+        let supervisor = book.clone();
+        assert_eq!(book.len(), 2);
+        assert!(!book.is_empty());
+        supervisor.set(1, "127.0.0.1:99");
+        assert_eq!(book.get(1), "127.0.0.1:99");
+        assert_eq!(book.get(0), "127.0.0.1:1");
     }
 }

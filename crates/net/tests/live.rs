@@ -303,24 +303,84 @@ fn recoverable_garbage_keeps_the_connection_fatal_garbage_only_kills_it() {
 }
 
 #[test]
-fn sequence_rewind_is_a_typed_recoverable_error() {
+fn resubmit_below_the_watermark_is_acked_without_reprocessing() {
     let (_addr, mut client) = spawn_daemon(serve_cfg());
     let (stream, _ids) = script();
     assert_eq!(
         client.submit_at(5, &stream[0]).expect("submit at 5"),
         SubmitOutcome::Accepted
     );
-    // Rewinding the global order is rejected engine-side and travels back
-    // as an error that leaves the connection usable.
-    let err = client
-        .submit_at(3, &stream[1])
-        .expect_err("rewind rejected");
-    assert!(err.to_string().contains("rewind"), "{err}");
+    // A sequence at or below the watermark is a replay of a settled
+    // arrival position: the daemon dup-acks it without touching any shard
+    // — the idempotence that makes reconnect-and-resubmit safe.
+    assert_eq!(
+        client.submit_at(3, &stream[1]).expect("resubmit at 3"),
+        SubmitOutcome::Accepted
+    );
+    assert_eq!(
+        client.submit_at(5, &stream[0]).expect("resubmit at 5"),
+        SubmitOutcome::Accepted
+    );
     assert_eq!(
         client.submit_at(6, &stream[1]).expect("submit at 6"),
         SubmitOutcome::Accepted
     );
     let stats = Admission::stats(&mut client).expect("stats");
-    assert_eq!(stats.records(), 2);
+    assert_eq!(stats.records(), 2, "dup-acks must reach no shard");
+    let metrics = Admission::render_metrics(&mut client).expect("metrics");
+    assert!(
+        metrics.contains("ucad_net_resubmitted_total 2"),
+        "both dup-acks counted: {metrics}"
+    );
+    client.shutdown_daemon().expect("shutdown");
+}
+
+#[test]
+fn idle_connections_are_reaped_and_mid_frame_stalls_are_cut_off() {
+    let serve = serve_cfg();
+    let cfg = NetServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .serve(serve)
+        .read_timeout(std::time::Duration::from_millis(200))
+        .idle_timeout(std::time::Duration::from_millis(400))
+        .build()
+        .expect("valid net config");
+    let daemon = NetDaemon::bind(system(), cfg).expect("bind daemon");
+    let (addr, _stop, _join) = daemon.spawn();
+    let addr = addr.to_string();
+
+    // A connection that goes silent at a frame boundary is reaped.
+    let mut idle = TcpStream::connect(&addr).expect("idle connect");
+    let mut byte = [0u8; 1];
+    assert_eq!(
+        idle.read(&mut byte).expect("reaped connection EOFs"),
+        0,
+        "daemon must close the idle connection"
+    );
+
+    // A connection that stalls *mid-frame* is cut off on the (shorter)
+    // read deadline with an unrecoverable error: the half-frame can never
+    // resynchronise the stream.
+    let mut stalled = TcpStream::connect(&addr).expect("stalled connect");
+    let frame = encode_message(FrameKind::Request, &Request::Health);
+    stalled
+        .write_all(&frame[..HEADER_LEN / 2])
+        .expect("half a header");
+    match read_raw_response(&mut stalled) {
+        Some(Response::Error { recoverable, .. }) => assert!(!recoverable),
+        // The close may also beat the best-effort error.
+        Some(other) => panic!("expected an error, got {other:?}"),
+        None => {}
+    }
+
+    // The daemon survived both and counted the reap.
+    let mut client = NetClient::connect(&addr).expect("connect");
+    let metrics = Admission::render_metrics(&mut client).expect("metrics");
+    let reaped = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("ucad_net_idle_reaped_total "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .expect("idle reap counter exposed");
+    assert!(reaped >= 1, "idle connection counted: {metrics}");
     client.shutdown_daemon().expect("shutdown");
 }

@@ -18,15 +18,21 @@
 //! accounted `accepted + shed + degraded == submitted` across the merged
 //! [`ServeStats`], and all of it travels the wire as typed responses.
 
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::OnceLock;
-use ucad::{Admission, Alert, ServeConfig, ShardedOnlineUcad, SubmitOutcome, Ucad, UcadConfig};
+use std::time::Duration;
+use ucad::{
+    splitmix64, Admission, Alert, DurabilityConfig, ServeConfig, ShardedOnlineUcad, SubmitOutcome,
+    Ucad, UcadConfig,
+};
 use ucad_dbsim::LogRecord;
 use ucad_model::TransDasConfig;
-use ucad_net::{NetDaemon, NetRouter, NetServeConfig};
+use ucad_net::{NetDaemon, NetRouter, NetRouterConfig, NetServeConfig, RetryPolicy};
 use ucad_trace::{generate_raw_log, ScenarioSpec, SessionGenerator};
 
 /// Drain cadence of the canonical run, in script positions. Matching the
@@ -149,11 +155,16 @@ fn run_child() {
         .expect("cache env")
         .parse()
         .expect("cache env parses");
-    let cfg = NetServeConfig::builder()
+    let mut builder = NetServeConfig::builder()
         .addr("127.0.0.1:0")
-        .serve(serve_cfg(cache))
-        .build()
-        .expect("valid net config");
+        .serve(serve_cfg(cache));
+    // A durable child persists (and on restart recovers) its engine state
+    // under the supervisor-provided directory — the failover wall's
+    // respawn path.
+    if let Some(dir) = std::env::var_os("UCAD_NETD_DIR") {
+        builder = builder.durability(DurabilityConfig::new(PathBuf::from(dir)));
+    }
+    let cfg = builder.build().expect("valid net config");
     let daemon = NetDaemon::bind(system(), cfg).expect("bind daemon");
     // Explicit flush: a piped (non-tty) stdout is block-buffered, and the
     // parent is waiting on this line before it connects.
@@ -186,17 +197,28 @@ impl Drop for DaemonChild {
 }
 
 fn spawn_daemon_child(cache: usize) -> DaemonChild {
+    spawn_daemon_child_with(cache, None, None)
+}
+
+/// [`spawn_daemon_child`] plus a durable state directory and/or a
+/// `UCAD_FAULTS` spec armed inside the child only.
+fn spawn_daemon_child_with(cache: usize, dir: Option<&Path>, faults: Option<&str>) -> DaemonChild {
     let exe = std::env::current_exe().expect("own test binary");
-    let mut child = Command::new(exe)
-        .arg("child_entry")
+    let mut cmd = Command::new(exe);
+    cmd.arg("child_entry")
         .arg("--exact")
         .arg("--nocapture")
         .arg("--test-threads=1")
         .env("UCAD_NETD_ROLE", "daemon")
         .env("UCAD_NETD_CACHE", cache.to_string())
-        .stdout(Stdio::piped())
-        .spawn()
-        .expect("spawn daemon child");
+        .stdout(Stdio::piped());
+    if let Some(dir) = dir {
+        cmd.env("UCAD_NETD_DIR", dir);
+    }
+    if let Some(faults) = faults {
+        cmd.env("UCAD_FAULTS", faults);
+    }
+    let mut child = cmd.spawn().expect("spawn daemon child");
     let stdout = child.stdout.take().expect("piped child stdout");
     let mut reader = BufReader::new(stdout);
     let mut line = String::new();
@@ -310,5 +332,272 @@ fn cross_process_alert_stream_is_byte_identical() {
     };
     for &(daemons, cache) in topologies {
         check_topology(daemons, cache, &expected);
+    }
+}
+
+/// The victim daemon aborts itself (via an armed `crash_reply` fault) just
+/// before acking this many submit replies — after the engine has consumed
+/// and durably logged the record, so the router's resubmit is a true
+/// lost-ack replay.
+const CRASH_AT: u64 = 4;
+
+/// Sums one counter across a fleet's concatenated Prometheus exposition.
+fn fleet_counter(exposition: &str, name: &str) -> u64 {
+    exposition
+        .lines()
+        .filter_map(|l| l.strip_prefix(&format!("{name} ")))
+        .filter_map(|v| v.trim().parse::<u64>().ok())
+        .sum()
+}
+
+/// Routes the canonical script across durable child daemons while the
+/// victim kills itself mid-stream; a supervisor thread respawns it over
+/// the same durable directory and repoints the router's address book. The
+/// merged stream must still match the crash-free reference byte for byte.
+fn check_failover_topology(daemons: usize, cache: usize, expected: &[Alert]) {
+    let base = std::env::temp_dir().join(format!(
+        "ucad-net-failover-{}-{daemons}-{cache}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // The victim is whichever daemon serves the canonical script's first
+    // session — guaranteed traffic for any daemon count. Guard against a
+    // vacuous wall: it must see enough submits to reach the crash point.
+    let victim_idx = (splitmix64(ROUTER_SEED ^ 60_000) % daemons as u64) as usize;
+    let (stream, _ids) = script();
+    let victim_submits = stream
+        .iter()
+        .filter(|r| {
+            (splitmix64(ROUTER_SEED ^ r.session_id) % daemons as u64) as usize == victim_idx
+        })
+        .count() as u64;
+    assert!(
+        victim_submits > CRASH_AT,
+        "victim daemon would see only {victim_submits} submits; the crash never fires"
+    );
+
+    let mut children: Vec<Option<DaemonChild>> = Vec::new();
+    let mut dirs = Vec::new();
+    for i in 0..daemons {
+        let dir = base.join(format!("daemon-{i}"));
+        std::fs::create_dir_all(&dir).expect("daemon state dir");
+        let faults = (i == victim_idx).then(|| format!("crash_reply={CRASH_AT}"));
+        children.push(Some(spawn_daemon_child_with(
+            cache,
+            Some(&dir),
+            faults.as_deref(),
+        )));
+        dirs.push(dir);
+    }
+    let addrs: Vec<String> = children
+        .iter()
+        .map(|c| c.as_ref().expect("spawned").addr.clone())
+        .collect();
+    // A failover budget generous enough to cover the replacement child's
+    // spawn + from-scratch training + durable recovery.
+    let mut router = NetRouter::connect_with(
+        &addrs,
+        ROUTER_SEED,
+        NetRouterConfig {
+            failover: RetryPolicy {
+                attempts: 120,
+                backoff_base: Duration::from_millis(100),
+                backoff_cap: Duration::from_secs(1),
+            },
+            ..NetRouterConfig::default()
+        },
+    )
+    .expect("connect router");
+    let book = router.addr_book();
+
+    // The supervisor: reap the victim's corpse, respawn it (fault-free)
+    // over its durable directory, repoint the address book.
+    let victim = children[victim_idx].take().expect("victim spawned");
+    let victim_dir = dirs[victim_idx].clone();
+    let supervisor = std::thread::spawn(move || {
+        let mut victim = victim;
+        let status = victim.child.wait().expect("victim exit status");
+        assert!(
+            !status.success(),
+            "victim must die by fault injection, not exit cleanly"
+        );
+        let replacement = spawn_daemon_child_with(cache, Some(&victim_dir), None);
+        book.set(victim_idx, replacement.addr.clone());
+        replacement
+    });
+
+    let reconnects_before = ucad_obs::global()
+        .counter("ucad_net_reconnects_total", &[])
+        .get();
+    let (got, submitted) = run_canonical(&mut router);
+    let replacement = supervisor.join().expect("supervisor thread");
+    children[victim_idx] = Some(replacement);
+
+    assert_eq!(
+        got, expected,
+        "failover fleet {daemons}x{cache}: alert stream diverged through \
+         kill + durable recovery + failover"
+    );
+    let reconnects = ucad_obs::global()
+        .counter("ucad_net_reconnects_total", &[])
+        .get();
+    assert!(
+        reconnects > reconnects_before,
+        "the wall is vacuous without at least one reconnect"
+    );
+    let metrics = Admission::render_metrics(&mut router).expect("fleet metrics");
+    assert!(
+        fleet_counter(&metrics, "ucad_net_resubmitted_total") > 0,
+        "the wall is vacuous unless a lost-ack submit was dup-acked"
+    );
+
+    // Exact accounting survives the crash: the record whose ack died with
+    // the victim is counted once — by the recovered engine.
+    let stats = Admission::stats(&mut router).expect("fleet stats");
+    assert_eq!(stats.records_shed, 0);
+    assert_eq!(stats.records_degraded, 0);
+    assert_eq!(
+        stats.records(),
+        submitted,
+        "failover fleet {daemons}x{cache}: accepted + shed + degraded != submitted"
+    );
+
+    router.shutdown().expect("fleet shutdown");
+    for child in children.into_iter().flatten() {
+        let mut child = child;
+        let status = child.child.wait().expect("child exit");
+        assert!(status.success(), "daemon child exited uncleanly: {status}");
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// The kill-and-failover wall (ISSUE 10 tentpole proof): a daemon killed
+/// mid-stream by fault injection and respawned via durable recovery must
+/// leave the router's merged alert stream byte-identical to the
+/// single-process reference — with real reconnects and real dup-acked
+/// resubmits along the way.
+#[test]
+fn kill_and_failover_alert_stream_is_byte_identical() {
+    if std::env::var_os("UCAD_NETD_ROLE").is_some() {
+        return; // daemon children run `child_entry` only
+    }
+
+    let mut reference = ShardedOnlineUcad::new(system(), serve_cfg(0));
+    let (expected, _submitted) = run_canonical(&mut reference);
+    drop(reference.shutdown());
+    assert!(
+        expected.len() >= 4,
+        "the canonical script must alert ({} alerts) or the wall is vacuous",
+        expected.len()
+    );
+
+    // Each topology spawns daemons+1 child processes that train from
+    // scratch; sweep the full grid only under optimization.
+    let topologies: &[(usize, usize)] = if cfg!(debug_assertions) {
+        &[(2, 0)]
+    } else {
+        &[(1, 0), (1, 256), (2, 0), (2, 256), (3, 0), (3, 256)]
+    };
+    for &(daemons, cache) in topologies {
+        check_failover_topology(daemons, cache, &expected);
+    }
+}
+
+fn suffix_replay_cases() -> u32 {
+    if cfg!(debug_assertions) {
+        2
+    } else {
+        6
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(suffix_replay_cases()))]
+
+    /// Replaying *any* suffix of the submit sequence after a crash and
+    /// durable recovery never duplicates or reorders alerts vs the
+    /// crash-free reference — the engine-side idempotence
+    /// (`try_submit_at`'s watermark dup-ack) that makes the router's
+    /// reconnect-and-resubmit protocol safe for an arbitrary window of
+    /// unacknowledged frames.
+    #[test]
+    fn replaying_any_submit_suffix_after_recovery_is_byte_identical(
+        cut_frac in 0.05f64..0.95,
+        replay_frac in 0.0f64..1.0,
+    ) {
+        let (stream, ids) = script();
+        let n = stream.len();
+        let cut = (((n as f64) * cut_frac) as usize).clamp(1, n - 1);
+        let replay_from = (((cut as f64) * replay_frac) as usize).min(cut);
+
+        // Crash-free reference, same seq tagging as the durable run.
+        let mut reference = ShardedOnlineUcad::new(system(), serve_cfg(0));
+        for (seq, record) in stream.iter().enumerate() {
+            prop_assert_eq!(
+                reference.try_submit_at(record, seq as u64),
+                Ok(SubmitOutcome::Accepted)
+            );
+        }
+        for &id in &ids {
+            reference.close_session(id);
+        }
+        reference.flush();
+        let expected = ShardedOnlineUcad::drain_alerts(&mut reference);
+        drop(reference.shutdown());
+        prop_assert!(!expected.is_empty(), "script must alert or this is vacuous");
+
+        // Durable run: crash after `cut` submits, recover, replay from
+        // `replay_from` — an arbitrary overlap with the consumed prefix.
+        let dir = std::env::temp_dir().join(format!(
+            "ucad-suffix-replay-{}-{cut}-{replay_from}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut engine = ShardedOnlineUcad::try_new_durable(
+            system(),
+            serve_cfg(0),
+            None,
+            None,
+            DurabilityConfig::new(&dir),
+        )
+        .expect("fresh durable engine");
+        for (seq, record) in stream[..cut].iter().enumerate() {
+            prop_assert_eq!(
+                engine.try_submit_at(record, seq as u64),
+                Ok(SubmitOutcome::Accepted)
+            );
+        }
+        engine.abandon();
+
+        let mut engine =
+            ShardedOnlineUcad::recover(system(), serve_cfg(0), DurabilityConfig::new(&dir))
+                .expect("durable recovery");
+        prop_assert_eq!(
+            engine.seq_watermark(),
+            cut as u64,
+            "recovery must restore the arrival-sequence watermark"
+        );
+        for (i, record) in stream[replay_from..].iter().enumerate() {
+            let seq = (replay_from + i) as u64;
+            prop_assert_eq!(
+                engine.try_submit_at(record, seq),
+                Ok(SubmitOutcome::Accepted)
+            );
+        }
+        for &id in &ids {
+            engine.close_session(id);
+        }
+        engine.flush();
+        let got = ShardedOnlineUcad::drain_alerts(&mut engine);
+        prop_assert_eq!(got, expected, "suffix replay duplicated or reordered alerts");
+        let stats = engine.stats();
+        prop_assert_eq!(
+            stats.records(),
+            n as u64,
+            "every record exactly once across crash + replay"
+        );
+        drop(engine.shutdown());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
